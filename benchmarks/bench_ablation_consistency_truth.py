@@ -1,0 +1,77 @@
+"""Ablation — is location consistency a good proxy for ground truth?
+
+The paper uses IP-/24-/AS-level consistency as a stand-in for the ground
+truth it lacked, arguing the approach "forms a lower bound of the true
+accuracy".  The simulator *has* ground truth, so this bench tests the
+assumption directly: for every linkable field, compare AS-level
+consistency against true group purity.
+"""
+
+from repro.stats.tables import format_pct, render_table
+
+from _truth import device_index, group_purity
+
+
+def test_ablation_consistency_vs_truth(benchmark, paper_study, record_result):
+    dataset = paper_study.dataset
+    truth = device_index(dataset)
+
+    evaluations = benchmark.pedantic(
+        paper_study.feature_evaluations, rounds=1, iterations=1
+    )
+
+    rows = []
+    proxy_errors = []
+    for feature, evaluation in evaluations.items():
+        if evaluation.total_linked < 10:
+            continue
+        purity = group_purity(evaluation.result.groups, truth)
+        consistency = evaluation.consistency
+        rows.append(
+            [
+                feature.value,
+                evaluation.total_linked,
+                format_pct(consistency.ip_level, 1),
+                format_pct(consistency.as_level, 1),
+                format_pct(purity, 1),
+            ]
+        )
+        proxy_errors.append((feature, consistency.as_level, purity))
+    lines = [
+        "Ablation — consistency proxies vs simulator ground truth",
+        render_table(
+            ["feature", "linked", "IP-consistency", "AS-consistency",
+             "true group purity"],
+            rows,
+        ),
+        "",
+        "The paper's claim: consistency lower-bounds true accuracy, because",
+        "dynamic reassignment depresses IP-level scores for correct links.",
+        "Caveat the simulator exposes: timestamp fields (Not Before/After)",
+        "can score high AS-consistency while being impure, because their",
+        "false groups are single-scan coincidences that score trivially —",
+        "supporting the paper's decision to drop them on other grounds.",
+    ]
+    record_result("\n".join(lines), "ablation_consistency_truth")
+
+    # The paper's assumption holds in the simulator: for every field,
+    # IP-level consistency is a (often very loose) lower bound on true
+    # purity, and non-timestamp fields passing the 90 % AS-level bar are
+    # genuinely pure.  Timestamp fields are the exception — their false
+    # groups are single-scan coincidences with vacuously high consistency.
+    from repro.core.features import Feature
+
+    timestamp_fields = {Feature.NOT_BEFORE, Feature.NOT_AFTER}
+    for feature, as_level, purity in proxy_errors:
+        evaluation = evaluations[feature]
+        if feature in timestamp_fields:
+            # The exception the simulator exposes: dead-RTC and firmware
+            # coincidence groups are single-scan, so every consistency
+            # level scores vacuously high while purity is poor.
+            continue
+        assert evaluation.consistency.ip_level <= purity + 0.10, feature
+        if as_level >= 0.90:
+            assert purity > 0.85, f"{feature} passed the bar but is impure"
+    # The timestamp pathology itself must be present — it is a finding.
+    nb = evaluations[Feature.NOT_BEFORE]
+    assert group_purity(nb.result.groups, truth) < nb.consistency.as_level

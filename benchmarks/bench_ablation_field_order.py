@@ -1,0 +1,72 @@
+"""Ablation — the §6.4.3 field ordering.
+
+The paper links fields in decreasing AS-level-consistency order, removing
+linked certificates after each field.  This compares that policy against
+a reversed order and against the excluded low-consistency fields, scoring
+each with ground-truth group purity.
+"""
+
+from repro.core.features import Feature
+from repro.core.pipeline import iterative_link
+from repro.stats.tables import format_pct, render_table
+
+from _truth import device_index, group_purity
+
+
+def test_ablation_field_order(benchmark, paper_study, record_result):
+    dataset = paper_study.dataset
+    fingerprints = list(paper_study.unique_invalid)
+    truth = device_index(dataset)
+    as_of = paper_study.as_of
+    evaluations = paper_study.feature_evaluations()
+
+    default = paper_study.pipeline()
+    reversed_order = tuple(reversed(default.field_order))
+    #: What happens if the paper had kept the fields it excluded?
+    with_excluded = tuple(default.field_order) + tuple(default.excluded)
+
+    def run_variants():
+        return {
+            "reversed": iterative_link(
+                dataset, fingerprints, as_of, field_order=reversed_order
+            ),
+            "with-excluded-fields": iterative_link(
+                dataset, fingerprints, as_of, field_order=with_excluded
+            ),
+        }
+
+    variants = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    variants["consistency-ordered (paper)"] = default
+
+    rows = []
+    purities = {}
+    for name, result in variants.items():
+        purities[name] = group_purity(result.groups, truth)
+        rows.append(
+            [
+                name,
+                result.linked_certificates,
+                len(result.groups),
+                format_pct(purities[name], 2),
+            ]
+        )
+    lines = [
+        "Ablation — pipeline field order",
+        render_table(["variant", "linked certs", "groups", "group purity"], rows),
+        "",
+        f"paper order: {', '.join(f.value for f in default.field_order)}",
+        f"excluded:    {', '.join(f.value for f in default.excluded) or '(none)'}",
+    ]
+    record_result("\n".join(lines), "ablation_field_order")
+
+    # Adding the excluded (low-consistency) fields links more certificates.
+    assert (
+        variants["with-excluded-fields"].linked_certificates
+        > default.linked_certificates
+    )
+    # Every variant stays pure in the simulator — notably, IN+SN (which the
+    # paper's proxy rejects) links PlayBooks *correctly*; its low AS-level
+    # consistency reflects genuinely mobile devices, not bad links.  The
+    # consistency proxy is conservative, exactly as §8 argues.
+    for name, purity in purities.items():
+        assert purity > 0.9, name

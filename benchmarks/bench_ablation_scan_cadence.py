@@ -1,0 +1,76 @@
+"""Ablation — how scan cadence shapes the measured results.
+
+The paper is careful to call its lifetimes "a lower bound ... due to the
+periodic nature of our scan data" (§5.1, footnote 8).  This ablation
+quantifies that: the same world scanned at full, half, and quarter
+cadence yields different single-scan fractions and linked fractions —
+the *population* did not change, only the sampling did.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import generate
+from repro.internet.population import WorldConfig
+from repro.stats.tables import format_pct, render_table
+from repro.study import Study
+
+
+@pytest.fixture(scope="module")
+def cadence_studies():
+    studies = {}
+    for stride in (2, 4, 8):
+        config = WorldConfig(
+            seed=99, n_devices=350, n_websites=120,
+            n_generic_access=30, n_enterprise=8, n_hosting=6,
+            unused_roots=0,
+        )
+        studies[stride] = Study.from_synthetic(generate(config, scan_stride=stride))
+    return studies
+
+
+def test_ablation_scan_cadence(benchmark, cadence_studies, record_result):
+    def measure():
+        rows = {}
+        for stride, study in cadence_studies.items():
+            from repro.core.analysis.longevity import lifetimes
+
+            life = lifetimes(study.dataset, study.invalid)
+            pipeline = study.pipeline()
+            rows[stride] = (
+                len(study.dataset.scans),
+                len(study.invalid),
+                life.single_scan_fraction,
+                float(life.cdf.median),
+                pipeline.linked_fraction,
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = [
+        [f"1/{stride}", scans, invalid, format_pct(single),
+         f"{median:.0f}d", format_pct(linked)]
+        for stride, (scans, invalid, single, median, linked) in sorted(rows.items())
+    ]
+    lines = [
+        "Ablation — scan cadence (same world, different sampling)",
+        render_table(
+            ["cadence", "scans", "invalid certs", "single-scan",
+             "median lifetime", "linked"],
+            table,
+        ),
+        "",
+        "The measured 'ephemerality' is partly an artifact of sampling:",
+        "sparser scanning sees fewer certificates, each in fewer scans —",
+        "the paper's footnote-8 lower-bound caveat, quantified.",
+    ]
+    record_result("\n".join(lines), "ablation_scan_cadence")
+
+    # Sparser cadence observes fewer distinct certificates...
+    counts = [rows[stride][1] for stride in (2, 4, 8)]
+    assert counts[0] > counts[1] > counts[2]
+    # ...and sampling at least influences the ephemerality statistics
+    # (strictly monotone behaviour is not guaranteed — fewer scans also
+    # mean fewer chances to re-observe a certificate).
+    singles = [rows[stride][2] for stride in (2, 4, 8)]
+    assert max(singles) - min(singles) > 0.02

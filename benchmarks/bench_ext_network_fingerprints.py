@@ -1,0 +1,135 @@
+"""Extension — the paper's §6.3 future work, implemented.
+
+The paper wanted to link on network-connection features (initial TCP
+window size) alongside certificate features, but its corpora contained
+only certificates.  Our scanner can collect handshake traits, so this
+bench runs certificate-only linking and fingerprint-augmented linking side
+by side and scores both against simulator ground truth.
+
+Also reproduces footnote 10: Lancom's shared-key fleet negotiates no
+forward-secure ciphers, so its historic traffic hinges on one extractable
+private key.
+"""
+
+from repro.core.features import Feature
+from repro.core.linking import link_on_feature
+from repro.core.netlink import (
+    link_on_feature_with_fingerprint,
+    pfs_support,
+    stack_fingerprints,
+)
+from repro.stats.tables import format_count, format_pct, render_table
+
+from _truth import device_index, group_purity, pairwise_precision
+
+
+def test_ext_fingerprint_augmented_linking(
+    benchmark, handshake_synthetic, handshake_study, record_result
+):
+    dataset = handshake_study.dataset
+    fingerprints = list(handshake_study.unique_invalid)
+    truth = device_index(dataset)
+    index = stack_fingerprints(dataset, fingerprints)
+
+    def run_both():
+        rows = {}
+        for feature in (Feature.NOT_BEFORE, Feature.NOT_AFTER,
+                        Feature.COMMON_NAME, Feature.PUBLIC_KEY):
+            plain = link_on_feature(dataset, fingerprints, feature)
+            augmented = link_on_feature_with_fingerprint(
+                dataset, fingerprints, feature, fingerprint_index=index
+            )
+            rows[feature] = (plain, augmented)
+        return rows
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    table_rows = []
+    precisions = {}
+    for feature, (plain, augmented) in results.items():
+        plain_precision = pairwise_precision(plain.groups, truth)
+        augmented_precision = pairwise_precision(augmented.groups, truth)
+        precisions[feature] = (plain_precision, augmented_precision)
+        table_rows.append(
+            [
+                feature.value,
+                format_count(plain.total_linked), format_pct(plain_precision),
+                format_count(augmented.total_linked),
+                format_pct(augmented_precision),
+            ]
+        )
+    lines = [
+        "Extension — linking with network fingerprints (§6.3 future work)",
+        render_table(
+            ["feature", "cert-only linked", "pair precision",
+             "with fingerprint", "pair precision"],
+            table_rows,
+        ),
+        "",
+        "Stack fingerprints split cross-vendor coincidence groups — dead-RTC",
+        "devices of different vendors share Not Before 2000-01-01 00:00:00,",
+        "and only the transport fingerprint tells them apart.  Intra-vendor",
+        "coincidences remain, as Greenwald & Thomas predicted (fingerprints",
+        "identify the family, not the individual device).",
+    ]
+    record_result("\n".join(lines), "ext_network_fingerprints")
+
+    # Fingerprints must never hurt precision...
+    for feature, (plain_precision, augmented_precision) in precisions.items():
+        assert augmented_precision >= plain_precision - 1e-9, feature
+    # ...the cross-vendor dead-RTC coincidence class must exist...
+    rtc_stamped = [
+        fp for fp in fingerprints
+        if dataset.certificate(fp).not_before_stamp == (0, 0)
+    ]
+    rtc_stacks = {index[fp] for fp in rtc_stamped} - {None}
+    assert len(rtc_stamped) >= 2 and len(rtc_stacks) >= 2, (
+        "dead-RTC devices of at least two firmware families expected"
+    )
+    # ...and by construction no augmented group may mix firmware families.
+    for feature, (_, augmented) in (
+        (f, (None, results[f][1])) for f in results
+    ):
+        for group in augmented.groups:
+            stacks = {index.get(fp) for fp in group.fingerprints}
+            assert len(stacks) == 1, (feature, group.value)
+
+
+def test_ext_pfs_posture(benchmark, handshake_study, record_result):
+    dataset = handshake_study.dataset
+
+    invalid_report, valid_report = benchmark.pedantic(
+        lambda: (
+            pfs_support(dataset, handshake_study.invalid),
+            pfs_support(dataset, handshake_study.valid),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "Extension — forward-secrecy posture (§5.2 footnote 10)",
+        render_table(
+            ["population", "with handshake", "PFS share",
+             "shared key AND no PFS"],
+            [
+                ["invalid", format_count(invalid_report.n_with_handshake),
+                 format_pct(invalid_report.pfs_fraction),
+                 format_count(invalid_report.shared_key_without_pfs)],
+                ["valid", format_count(valid_report.n_with_handshake),
+                 format_pct(valid_report.pfs_fraction),
+                 format_count(valid_report.shared_key_without_pfs)],
+            ],
+        ),
+        "",
+        "The Lancom double jeopardy: certificates that share a private key",
+        "*and* never negotiate PFS — one extracted key decrypts the fleet's",
+        "historic traffic.",
+    ]
+    record_result("\n".join(lines), "ext_pfs_posture")
+
+    # Valid (mainstream) stacks negotiate PFS; embedded stacks mostly not.
+    assert valid_report.pfs_fraction > 0.9
+    assert invalid_report.pfs_fraction < valid_report.pfs_fraction
+    # The footnote-10 population exists.
+    assert invalid_report.shared_key_without_pfs > 0

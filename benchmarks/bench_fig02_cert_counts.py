@@ -1,0 +1,77 @@
+"""Figure 2 — valid/invalid certificates per scan, per campaign.
+
+Paper: both campaigns show growing invalid counts; per-scan invalid
+fraction ranges 59.6–73.7 % (65.0 % average); across the whole corpus
+87.9 % of certificates are invalid.
+"""
+
+from repro.core.analysis.scans import invalid_fraction_summary, per_scan_counts
+from repro.core.analysis.trends import growth_comparison
+from repro.simtime import format_day
+from repro.stats.tables import format_pct, render_table
+
+
+def test_fig02_per_scan_counts(benchmark, paper_study, record_result):
+    dataset = paper_study.dataset
+    report = paper_study.validation()
+
+    counts = benchmark.pedantic(
+        lambda: per_scan_counts(dataset, report), rounds=3, iterations=1
+    )
+
+    low, mean, high = invalid_fraction_summary(counts)
+    lines = [
+        "Figure 2 — certificates per scan",
+        f"paper: invalid fraction per scan 59.6%..73.7% (avg 65.0%); overall 87.9%",
+        f"ours : invalid fraction per scan {format_pct(low)}..{format_pct(high)} "
+        f"(avg {format_pct(mean)}); overall {format_pct(report.invalid_fraction)}",
+        "",
+    ]
+    sampled = counts[:: max(1, len(counts) // 12)]
+    rows = [
+        [format_day(c.day), c.source, c.n_valid, c.n_invalid, format_pct(c.invalid_fraction)]
+        for c in sampled
+    ]
+    lines.append(render_table(["scan day", "source", "valid", "invalid", "% invalid"], rows))
+    record_result("\n".join(lines), "fig02_cert_counts")
+
+    # Shape assertions: invalid majority per scan, growth over time.
+    assert 0.5 < mean < 0.8
+    assert 0.80 < report.invalid_fraction < 0.95
+    first_quarter = [c.n_invalid for c in counts[: len(counts) // 4]]
+    last_quarter = [c.n_invalid for c in counts[-len(counts) // 4:]]
+    assert sum(last_quarter) / len(last_quarter) > sum(first_quarter) / len(first_quarter)
+
+
+def test_fig02_growth_forecast(benchmark, paper_study, record_result):
+    """§5.4's closing forecast: invalid counts grow faster than valid."""
+    dataset = paper_study.dataset
+    counts = per_scan_counts(dataset, paper_study.validation())
+
+    comparison = benchmark.pedantic(
+        lambda: growth_comparison(counts), rounds=3, iterations=1
+    )
+
+    horizon = counts[-1].day + 2 * 365
+    lines = [
+        "§5.4 forecast — per-scan count growth (least squares)",
+        render_table(
+            ["population", "slope/year", "R²", "doubling (days)"],
+            [
+                ["invalid", f"{comparison.invalid.slope_per_year:+.0f}",
+                 f"{comparison.invalid.r_squared:.3f}",
+                 f"{comparison.invalid.doubling_days():.0f}"],
+                ["valid", f"{comparison.valid.slope_per_year:+.0f}",
+                 f"{comparison.valid.r_squared:.3f}",
+                 "-" if comparison.valid.doubling_days() == float('inf')
+                 else f"{comparison.valid.doubling_days():.0f}"],
+            ],
+        ),
+        f"extrapolated invalid share two years past the dataset: "
+        f"{format_pct(comparison.invalid_share_at(horizon))}",
+    ]
+    record_result("\n".join(lines), "fig02_growth_forecast")
+
+    assert comparison.invalid_grows_faster
+    assert comparison.invalid.slope_per_year > 0
+    assert comparison.invalid_share_at(horizon) > counts[-1].invalid_fraction - 0.05

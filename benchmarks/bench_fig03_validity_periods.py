@@ -1,0 +1,48 @@
+"""Figure 3 — CDF of validity periods, valid vs invalid.
+
+Paper: valid certificates have tight windows (median 1.1 years, p90 3.1);
+invalid ones are extreme (median 20 years, p90 25, some beyond a million
+days) and 5.38 % have *negative* validity periods.
+"""
+
+from repro.core.analysis.longevity import validity_periods
+from repro.stats.tables import format_pct, render_table
+
+
+def test_fig03_validity_periods(benchmark, paper_study, record_result):
+    dataset = paper_study.dataset
+
+    invalid_cdf, valid_cdf = benchmark.pedantic(
+        lambda: (
+            validity_periods(dataset, paper_study.invalid),
+            validity_periods(dataset, paper_study.valid),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        ["valid median", "1.1y", f"{valid_cdf.median / 365:.1f}y"],
+        ["valid p90", "3.1y", f"{valid_cdf.percentile(0.9) / 365:.1f}y"],
+        ["invalid median", "20y", f"{invalid_cdf.median / 365:.1f}y"],
+        ["invalid p90", "25y", f"{invalid_cdf.percentile(0.9) / 365:.1f}y"],
+        ["invalid negative", "5.38%", format_pct(invalid_cdf.at(-1))],
+        ["invalid max (days)", ">1,000,000", f"{invalid_cdf.max:,.0f}"],
+    ]
+    lines = [
+        "Figure 3 — validity periods",
+        render_table(["statistic", "paper", "ours"], rows),
+        "",
+        "CDF series (days → fraction):",
+    ]
+    for days in (0, 365, 1125, 3650, 7300, 9125, 100_000):
+        lines.append(
+            f"  {days:>7d}d  valid {valid_cdf.at(days):.3f}  invalid {invalid_cdf.at(days):.3f}"
+        )
+    record_result("\n".join(lines), "fig03_validity_periods")
+
+    assert 300 <= valid_cdf.median <= 800            # ≈1.1 years
+    assert 5000 <= invalid_cdf.median <= 9000        # ≈20 years
+    assert 0.01 < invalid_cdf.at(-1) < 0.12          # negative periods exist
+    assert invalid_cdf.max > 100_000                 # the year-3000 tail
+    assert valid_cdf.at(-1) == 0.0                   # no negative valid windows

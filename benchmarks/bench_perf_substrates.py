@@ -1,0 +1,98 @@
+"""Performance benchmarks of the substrates themselves.
+
+Not a paper experiment — these track the cost of the building blocks that
+dominate whole-corpus runs: DER round-trips, RSA generation/signing, scan
+execution, and the linking inner loop.  pytest-benchmark's timing table is
+the artifact.
+"""
+
+import random
+
+import pytest
+
+from repro.core.features import Feature
+from repro.core.linking import link_on_feature
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.engine import ScanEngine
+from repro.x509.certificate import Certificate
+from repro.x509.keys import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def sample_cert(paper_study):
+    fingerprint = next(iter(paper_study.invalid))
+    return paper_study.dataset.certificate(fingerprint)
+
+
+def test_perf_der_encode(benchmark, sample_cert):
+    blob = sample_cert.to_der()
+
+    def encode():
+        # Bypass the instance cache by re-signing into a fresh object.
+        return Certificate.from_der(blob).to_der()
+
+    assert benchmark(encode) == blob
+
+
+def test_perf_der_parse(benchmark, sample_cert):
+    blob = sample_cert.to_der()
+    parsed = benchmark(Certificate.from_der, blob)
+    assert parsed.fingerprint == sample_cert.fingerprint
+
+
+def test_perf_keygen_128(benchmark):
+    counter = iter(range(10 ** 9))
+
+    def generate():
+        return generate_keypair(random.Random(next(counter)), 128)
+
+    pair = benchmark(generate)
+    assert pair.public.bits <= 128
+
+
+def test_perf_sign_verify(benchmark):
+    pair = generate_keypair(random.Random(1), 128)
+    message = b"tbs bytes" * 20
+
+    def sign_and_verify():
+        signature = pair.private.sign(message)
+        assert pair.public.verify(message, signature)
+        return signature
+
+    benchmark(sign_and_verify)
+
+
+def test_perf_single_scan(benchmark, paper_synthetic):
+    world = paper_synthetic.world
+    engine = ScanEngine(world)
+    day = world.config.start_day + 400
+    campaign = ScanCampaign(name="perf", scan_days=(day,))
+
+    scan = benchmark.pedantic(
+        lambda: engine.run(campaign, day), rounds=3, iterations=1
+    )
+    assert len(scan) > 0
+
+
+def test_perf_public_key_linking(benchmark, paper_study):
+    dataset = paper_study.dataset
+    fingerprints = list(paper_study.unique_invalid)
+
+    result = benchmark.pedantic(
+        lambda: link_on_feature(dataset, fingerprints, Feature.PUBLIC_KEY),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.total_linked > 0
+
+
+def test_perf_full_validation(benchmark, paper_synthetic):
+    from repro.core.validation import validate_dataset
+
+    dataset = paper_synthetic.scans
+    trust_store = paper_synthetic.world.trust_store
+
+    report = benchmark.pedantic(
+        lambda: validate_dataset(dataset, trust_store), rounds=1, iterations=1
+    )
+    assert report.considered > 0

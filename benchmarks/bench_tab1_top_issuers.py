@@ -1,0 +1,99 @@
+"""Table 1 + §5.3 — top issuers and signing-key concentration.
+
+Paper (Table 1): valid certificates come from the big commercial CAs
+(GoDaddy, RapidSSL, PositiveSSL, GeoTrust); invalid ones from device
+vendors (www.lancom-systems.de, remotewd.com, VMware), the 192.168.1.1
+Common Name, and the empty string.
+
+Paper (§5.3): five signing keys span half of all valid certificates
+(1,477 parent keys total); the invalid AKI-bearing population has far
+more parent keys (1.7M) with the top five covering only ~37 %.
+"""
+
+from repro.core.analysis.issuers import (
+    private_ip_issuer_count,
+    self_signed_fraction,
+    signing_key_concentration,
+    top_issuers,
+)
+from repro.stats.tables import format_count, format_pct, render_table
+
+PAPER_INVALID_ISSUERS = {
+    "www.lancom-systems.de",
+    "192.168.1.1",
+    "(Empty string)",
+    "remotewd.com",
+    "VMware",
+}
+
+
+def test_tab1_top_issuers(benchmark, paper_study, record_result):
+    dataset = paper_study.dataset
+
+    invalid_rows, valid_rows = benchmark.pedantic(
+        lambda: (
+            top_issuers(dataset, paper_study.invalid, n=8),
+            top_issuers(dataset, paper_study.valid, n=5),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        "Table 1 — top issuers",
+        "",
+        "valid (paper: GoDaddy, RapidSSL, PositiveSSL, GoDaddy G2, GeoTrust):",
+        render_table(
+            ["issuer", "certs"],
+            [[cn, format_count(count)] for cn, count in valid_rows],
+        ),
+        "",
+        "invalid (paper: lancom, 192.168.1.1, empty, remotewd.com, VMware):",
+        render_table(
+            ["issuer", "certs"],
+            [[cn, format_count(count)] for cn, count in invalid_rows],
+        ),
+        "",
+        f"self-signed share of invalid: "
+        f"{format_pct(self_signed_fraction(dataset, paper_study.invalid))} (paper 88.0%)",
+        f"invalid certs with 192.168/16 issuer: "
+        f"{format_count(private_ip_issuer_count(dataset, paper_study.invalid))}"
+        f" (paper 3,353,464 of 70M)",
+    ]
+    record_result("\n".join(lines), "tab1_top_issuers")
+
+    valid_names = " ".join(cn for cn, _ in valid_rows)
+    assert "Go Daddy" in valid_names and "RapidSSL" in valid_names
+    invalid_names = {cn for cn, _ in invalid_rows}
+    # At least four of the paper's five invalid issuers in our top-8.
+    assert len(PAPER_INVALID_ISSUERS & invalid_names) >= 4
+    assert self_signed_fraction(dataset, paper_study.invalid) > 0.75
+
+
+def test_tab1_signing_key_concentration(benchmark, paper_study, record_result):
+    dataset = paper_study.dataset
+
+    valid_keys, invalid_keys = benchmark.pedantic(
+        lambda: (
+            signing_key_concentration(dataset, paper_study.valid),
+            signing_key_concentration(dataset, paper_study.invalid),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        ["valid: keys for half the certs", "5", valid_keys.keys_for_half],
+        ["valid: distinct parent keys", "1,477", format_count(valid_keys.n_parent_keys)],
+        ["invalid: top-5 key coverage", "37%", format_pct(invalid_keys.top5_coverage)],
+        ["invalid: distinct parent keys", "1.7M", format_count(invalid_keys.n_parent_keys)],
+    ]
+    lines = ["§5.3 — signing-key concentration",
+             render_table(["statistic", "paper", "ours"], rows)]
+    record_result("\n".join(lines), "tab1_key_concentration")
+
+    # Shape: valid issuance is concentrated in a handful of keys; the
+    # invalid parent-key space is far more diverse.
+    assert valid_keys.keys_for_half <= 8
+    assert invalid_keys.n_parent_keys > valid_keys.n_parent_keys
+    assert invalid_keys.top5_coverage < 0.7

@@ -1,0 +1,58 @@
+"""Table 3 — top hosting ASes for valid and invalid certificates.
+
+Paper: valid certificates come from US hosting providers (GoDaddy,
+Unified Layer, Amazon, SoftLayer); invalid ones from consumer access ISPs,
+led by Deutsche Telekom, with Comcast, Vodafone, Telefonica Germany, and
+Korea Telecom following.
+"""
+
+from repro.core.analysis.hosts import top_hosting_ases
+from repro.stats.tables import format_count, render_table
+
+PAPER_VALID_ASNS = {26496, 46606, 14618, 36351, 16509}
+PAPER_INVALID_ASNS = {3320, 7922, 3209, 6805, 4766}
+
+
+def test_tab3_top_ases(benchmark, paper_synthetic, paper_study, record_result):
+    dataset = paper_study.dataset
+    world = paper_synthetic.world
+
+    valid_rows, invalid_rows = benchmark.pedantic(
+        lambda: (
+            top_hosting_ases(dataset, paper_study.valid,
+                             world.routing.origin_as, world.registry, n=5),
+            top_hosting_ases(dataset, paper_study.invalid,
+                             world.routing.origin_as, world.registry, n=5),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    def table(rows):
+        return render_table(
+            ["ASN", "name", "country", "certs"],
+            [[f"#{asn}", name, country, format_count(count)]
+             for asn, name, country, count in rows],
+        )
+
+    lines = [
+        "Table 3 — top hosting ASes",
+        "",
+        "valid (paper: GoDaddy, Unified Layer, Amazon, SoftLayer, Amazon):",
+        table(valid_rows),
+        "",
+        "invalid (paper: Deutsche Telekom, Comcast, Vodafone, Telefonica DE, Korea Telecom):",
+        table(invalid_rows),
+    ]
+    record_result("\n".join(lines), "tab3_top_ases")
+
+    # Shape: valid tops are dominated by hosting ASes; invalid tops are
+    # access ISPs, with German ISPs prominent.
+    valid_asns = [row[0] for row in valid_rows]
+    assert valid_asns[0] == 26496                      # GoDaddy leads
+    assert len(set(valid_asns) & PAPER_VALID_ASNS) >= 3
+    invalid_asns = {row[0] for row in invalid_rows}
+    assert len(invalid_asns & PAPER_INVALID_ASNS) >= 3
+    assert invalid_rows[0][0] == 3320   # Deutsche Telekom leads
+    countries = [row[2] for row in invalid_rows]
+    assert "DEU" in countries

@@ -1,0 +1,64 @@
+"""Benchmark harness fixtures.
+
+The full paper-fidelity dataset (222-scan replica schedule, 2,500 devices,
+850 websites) is built once per session; every bench then times its own
+analysis stage and writes the paper-vs-measured rows to
+``benchmarks/results/<experiment>.txt``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.datasets.synthetic import generate, paper
+from repro.internet.population import WorldConfig
+from repro.study import Study
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_synthetic():
+    """The full-fidelity synthetic corpus (built once, ~40 s)."""
+    return paper()
+
+
+@pytest.fixture(scope="session")
+def paper_study(paper_synthetic):
+    """Study over the paper-scale corpus; stages cache across benches."""
+    return Study.from_synthetic(paper_synthetic)
+
+
+@pytest.fixture(scope="session")
+def handshake_synthetic():
+    """A handshake-collecting corpus for the §6.3 future-work extension."""
+    config = WorldConfig(
+        seed=2016, n_devices=900, n_websites=310, n_generic_access=60,
+        n_enterprise=15, n_hosting=10,
+    )
+    return generate(config, scan_stride=3, collect_handshakes=True)
+
+
+@pytest.fixture(scope="session")
+def handshake_study(handshake_synthetic):
+    return Study.from_synthetic(handshake_synthetic)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir, request):
+    """Write one experiment's rendered output next to the benchmarks."""
+
+    def write(text: str, name: str = None) -> None:
+        stem = name or request.node.name.replace("test_", "").replace("[", "_").rstrip("]")
+        path = results_dir / f"{stem}.txt"
+        path.write_text(text + "\n")
+        # Also echo, so `pytest -s benchmarks/` shows the tables inline.
+        print(f"\n--- {stem} ---\n{text}")
+
+    return write

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""§5 in action: a census of the invalid-certificate population.
+
+Contrasts the invalid and valid populations the way the paper's comparison
+section does: validity periods, observed lifetimes, key sharing, top
+issuers, and device types.
+
+Run:  python examples/invalid_census.py
+"""
+
+from repro.core.analysis.hosts import device_type_breakdown
+from repro.core.analysis.issuers import self_signed_fraction, top_issuers
+from repro.core.analysis.keys import key_sharing
+from repro.core.analysis.longevity import lifetimes, validity_periods
+from repro.datasets import small
+from repro.stats.tables import format_count, format_pct, render_table
+from repro.study import Study
+
+
+def main() -> None:
+    print("Building the 'small' synthetic dataset (this takes a moment)...")
+    synthetic = small()
+    dataset = synthetic.scans
+    study = Study.from_synthetic(synthetic)
+    invalid, valid = study.invalid, study.valid
+
+    print(
+        f"\nPopulation: {format_count(len(invalid))} invalid vs "
+        f"{format_count(len(valid))} valid certificates "
+        f"({format_pct(study.validation().invalid_fraction)} invalid)"
+    )
+
+    print("\nValidity periods (Figure 3):")
+    invalid_validity = validity_periods(dataset, invalid)
+    valid_validity = validity_periods(dataset, valid)
+    rows = [
+        ["valid", f"{valid_validity.median / 365:.1f}y",
+         f"{valid_validity.percentile(0.9) / 365:.1f}y"],
+        ["invalid", f"{invalid_validity.median / 365:.1f}y",
+         f"{invalid_validity.percentile(0.9) / 365:.1f}y"],
+    ]
+    print(render_table(["population", "median", "p90"], rows))
+    print(
+        f"  invalid with negative validity: "
+        f"{format_pct(invalid_validity.at(0))}"
+    )
+
+    print("\nObserved lifetimes (Figure 4):")
+    invalid_life = lifetimes(dataset, invalid)
+    valid_life = lifetimes(dataset, valid)
+    print(f"  valid median:   {valid_life.median_days:.0f} days")
+    print(f"  invalid median: {invalid_life.median_days:.0f} days")
+    print(
+        f"  invalid seen in a single scan: "
+        f"{format_pct(invalid_life.single_scan_fraction)}"
+    )
+
+    print("\nKey sharing (Figure 6):")
+    invalid_keys = key_sharing(dataset, invalid)
+    valid_keys = key_sharing(dataset, valid)
+    print(f"  invalid certs sharing a key: {format_pct(invalid_keys.shared_fraction)}")
+    print(f"  valid certs sharing a key:   {format_pct(valid_keys.shared_fraction)}")
+    print(
+        f"  most-shared invalid key covers "
+        f"{format_pct(invalid_keys.top_key_fraction)} of invalid certificates"
+    )
+
+    print(f"\nSelf-signed share of invalid: "
+          f"{format_pct(self_signed_fraction(dataset, invalid))}")
+
+    print("\nTop issuers (Table 1):")
+    rows = [[cn, format_count(count)] for cn, count in top_issuers(dataset, invalid)]
+    print("  invalid:")
+    print(render_table(["issuer", "certs"], rows))
+    rows = [[cn, format_count(count)] for cn, count in top_issuers(dataset, valid)]
+    print("  valid:")
+    print(render_table(["issuer", "certs"], rows))
+
+    print("\nDevice types behind the top invalid issuers (Table 4):")
+    breakdown = device_type_breakdown(dataset, invalid)
+    rows = [
+        [device_type, format_pct(fraction)]
+        for device_type, fraction in sorted(breakdown.items(), key=lambda kv: -kv[1])
+    ]
+    print(render_table(["device type", "share"], rows))
+
+    print("\nFigure 3, as the paper plots it (log-x CDF of validity days):")
+    from repro.stats.asciichart import render_cdf
+
+    print(render_cdf(invalid_validity, title="invalid", log_x=True, height=8))
+    print(render_cdf(valid_validity, title="valid", log_x=True, height=8))
+
+
+if __name__ == "__main__":
+    main()

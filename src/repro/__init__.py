@@ -1,0 +1,29 @@
+"""repro — a full reproduction of *Measuring and Applying Invalid SSL
+Certificates: The Silent Majority* (Chung et al., IMC 2016).
+
+Layers:
+
+* :mod:`repro.x509` — from-scratch X.509: DER, RSA, chains, trust stores;
+* :mod:`repro.net` — IPv4/prefix math, BGP routing history, AS registry;
+* :mod:`repro.internet` — the simulated device/website population;
+* :mod:`repro.scanner` — zmap-like full-IPv4 scan campaigns;
+* :mod:`repro.core` — the paper's pipeline: validation, comparison
+  analyses, certificate linking, device tracking;
+* :mod:`repro.datasets` — ready-made synthetic corpora;
+* :mod:`repro.study` — the one-object facade over the whole pipeline.
+
+Quickstart::
+
+    from repro.datasets import tiny
+    from repro.study import Study
+
+    study = Study.from_synthetic(tiny())
+    print(f"invalid: {study.validation().invalid_fraction:.1%}")
+    print(f"linked devices: {len(study.pipeline().groups)}")
+"""
+
+from .study import Study
+
+__version__ = "1.0.0"
+
+__all__ = ["Study", "__version__"]

@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the full pipeline from a shell:
+
+* ``generate`` — build a synthetic world, scan it, and save the corpus
+  (``.rpz``) plus its analysis environment (``.rpe``);
+* ``info``     — print a saved corpus' manifest;
+* ``census``   — the §5 comparison (validity, lifetimes, keys, issuers);
+* ``link``     — the §6 linking pipeline and Table 6 summary;
+* ``track``    — the §7 tracking applications.
+
+All analysis commands accept either a saved corpus+environment pair or
+``--preset tiny|small|paper`` to build one on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .stats.tables import format_count, format_pct, render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Silent Majority' (IMC 2016)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="build, scan, and save a synthetic corpus"
+    )
+    generate.add_argument("--preset", choices=("tiny", "small", "paper"),
+                          default="tiny")
+    generate.add_argument("--seed", type=int, default=2016)
+    generate.add_argument("--handshakes", action="store_true",
+                          help="collect TLS/transport traits per observation")
+    generate.add_argument("--corpus", default="corpus.rpz")
+    generate.add_argument("--environment", default="environment.rpe")
+
+    info = commands.add_parser("info", help="print a saved corpus' manifest")
+    info.add_argument("corpus")
+
+    for name, help_text in (
+        ("census", "the §5 invalid-vs-valid comparison"),
+        ("link", "the §6 linking pipeline"),
+        ("track", "the §7 tracking applications"),
+        ("report", "full markdown study report"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("--corpus", help="saved .rpz corpus")
+        sub.add_argument("--environment", help="saved .rpe environment")
+        sub.add_argument("--preset", choices=("tiny", "small", "paper"),
+                         help="build a corpus on the fly instead")
+        sub.add_argument("--seed", type=int, default=2016)
+        if name == "report":
+            sub.add_argument("--out", default="report.md")
+            sub.add_argument("--title", default="Invalid-certificate study")
+    return parser
+
+
+def _make_study(args):
+    from .study import Study
+
+    if args.preset:
+        from .datasets import synthetic
+
+        dataset = getattr(synthetic, args.preset)(seed=args.seed)
+        return Study.from_synthetic(dataset)
+    if not args.corpus or not args.environment:
+        raise SystemExit("need either --preset or both --corpus and --environment")
+    from .io import load_dataset, load_environment
+
+    dataset = load_dataset(args.corpus)
+    environment = load_environment(args.environment)
+    return Study(
+        dataset=dataset,
+        trust_store=environment.trust_store,
+        as_of=environment.routing.origin_as,
+        registry=environment.registry,
+    )
+
+
+def _cmd_generate(args) -> int:
+    from .datasets import synthetic
+    from .io import AnalysisEnvironment, save_dataset, save_environment
+    from .internet.population import WorldConfig
+
+    presets = {
+        "tiny": dict(n_devices=220, n_websites=75, n_generic_access=30,
+                     n_enterprise=8, n_hosting=6, unused_roots=5, stride=8),
+        "small": dict(n_devices=900, n_websites=310, n_generic_access=60,
+                      n_enterprise=15, n_hosting=10, stride=3),
+        "paper": dict(n_devices=2500, n_websites=850, stride=1),
+    }
+    settings = dict(presets[args.preset])
+    stride = settings.pop("stride")
+    config = WorldConfig(seed=args.seed, **settings)
+    print(f"building '{args.preset}' world (seed {args.seed})...")
+    bundle = synthetic.generate(
+        config, scan_stride=stride, collect_handshakes=args.handshakes
+    )
+    save_dataset(bundle.scans, args.corpus)
+    save_environment(AnalysisEnvironment.of_world(bundle.world), args.environment)
+    print(
+        f"wrote {args.corpus} ({len(bundle.scans.scans)} scans, "
+        f"{format_count(bundle.scans.n_observations)} observations, "
+        f"{format_count(len(bundle.scans.certificates))} certificates) "
+        f"and {args.environment}"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import json
+    import zipfile
+
+    with zipfile.ZipFile(args.corpus) as archive:
+        manifest = json.loads(archive.read("manifest.json"))
+    for key, value in manifest.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_census(args) -> int:
+    from .core.analysis.issuers import self_signed_fraction, top_issuers
+    from .core.analysis.keys import key_sharing
+    from .core.analysis.longevity import lifetimes, validity_periods
+
+    study = _make_study(args)
+    dataset = study.dataset
+    validation = study.validation()
+    print(f"invalid: {format_pct(validation.invalid_fraction)} of "
+          f"{format_count(validation.considered)} certificates")
+    print(f"self-signed share of invalid: "
+          f"{format_pct(self_signed_fraction(dataset, study.invalid))}")
+
+    invalid_validity = validity_periods(dataset, study.invalid)
+    valid_validity = validity_periods(dataset, study.valid)
+    invalid_life = lifetimes(dataset, study.invalid)
+    valid_life = lifetimes(dataset, study.valid)
+    invalid_keys = key_sharing(dataset, study.invalid)
+    valid_keys = key_sharing(dataset, study.valid)
+    print(render_table(
+        ["statistic", "valid", "invalid"],
+        [
+            ["validity median", f"{valid_validity.median/365:.1f}y",
+             f"{invalid_validity.median/365:.1f}y"],
+            ["lifetime median", f"{valid_life.median_days:.0f}d",
+             f"{invalid_life.median_days:.0f}d"],
+            ["single-scan share", format_pct(valid_life.single_scan_fraction),
+             format_pct(invalid_life.single_scan_fraction)],
+            ["certs sharing keys", format_pct(valid_keys.shared_fraction),
+             format_pct(invalid_keys.shared_fraction)],
+        ],
+    ))
+    print("\ntop invalid issuers:")
+    for issuer, count in top_issuers(dataset, study.invalid):
+        print(f"  {count:>8,d}  {issuer}")
+    return 0
+
+
+def _cmd_link(args) -> int:
+    study = _make_study(args)
+    evaluations = study.feature_evaluations()
+    rows = []
+    for feature, evaluation in evaluations.items():
+        consistency = evaluation.consistency
+        rows.append(
+            [feature.value, format_count(evaluation.total_linked),
+             format_count(evaluation.uniquely_linked),
+             format_pct(consistency.ip_level), format_pct(consistency.as_level)]
+        )
+    print(render_table(["feature", "linked", "uniquely", "IP-consistency",
+                        "AS-consistency"], rows))
+    pipeline = study.pipeline()
+    print(f"\npipeline: linked {format_count(pipeline.linked_certificates)} "
+          f"certificates ({format_pct(pipeline.linked_fraction)}) into "
+          f"{format_count(len(pipeline.groups))} groups")
+    print(f"order: {', '.join(f.value for f in pipeline.field_order)}")
+    if pipeline.excluded:
+        print(f"excluded: {', '.join(f.value for f in pipeline.excluded)}")
+    return 0
+
+
+def _cmd_track(args) -> int:
+    study = _make_study(args)
+    trackable = study.trackable()
+    print(f"trackable devices: {format_count(trackable.trackable_without_linking)} "
+          f"without linking, {format_count(trackable.trackable_with_linking)} with "
+          f"(+{format_pct(trackable.improvement_fraction)})")
+    movement = study.movement()
+    print(f"devices changing AS: {format_count(movement.devices_changing_as)} "
+          f"({format_count(movement.total_transitions)} transitions, "
+          f"{format_pct(movement.single_change_fraction)} exactly once)")
+    print(f"cross-country moves: {format_count(movement.country_moves)}")
+    for transfer in movement.bulk_transfers[:5]:
+        print(f"bulk transfer: AS{transfer.from_asn} -> AS{transfer.to_asn} "
+              f"({transfer.device_count} devices)")
+    try:
+        reassignment = study.reassignment()
+    except ValueError:
+        print("reassignment inference: too few tracked devices per AS")
+        return 0
+    print(f"ASes >=90% static: "
+          f"{format_pct(reassignment.fraction_of_ases_mostly_static())} "
+          f"of {len(reassignment.static_fraction_by_as)}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .report import write_report
+
+    study = _make_study(args)
+    write_report(study, args.out, title=args.title)
+    print(f"wrote {args.out}")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "census": _cmd_census,
+    "link": _cmd_link,
+    "track": _cmd_track,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

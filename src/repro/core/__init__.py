@@ -1,0 +1,62 @@
+"""The paper's core contribution: validation, analysis, linking, tracking."""
+
+from .consistency import ConsistencyReport, evaluate_link_result, group_consistency
+from .dedup import DedupResult, classify_unique_certificates
+from .features import Feature, absence_rates, extract, linkable_value, non_uniqueness_census
+from .linking import LinkResult, LinkedGroup, group_by_feature, link_on_feature
+from .pipeline import (
+    DEFAULT_CONSISTENCY_THRESHOLD,
+    FeatureEvaluation,
+    LifetimeImprovement,
+    PipelineResult,
+    evaluate_all_features,
+    iterative_link,
+    lifetime_improvement,
+)
+from .tracking import (
+    BulkTransfer,
+    MovementReport,
+    ReassignmentReport,
+    TrackableReport,
+    TrackedDevice,
+    analyze_movement,
+    build_tracked_devices,
+    infer_reassignment_policies,
+    trackable_devices,
+)
+from .validation import ValidationReport, validate_dataset
+
+__all__ = [
+    "ConsistencyReport",
+    "evaluate_link_result",
+    "group_consistency",
+    "DedupResult",
+    "classify_unique_certificates",
+    "Feature",
+    "absence_rates",
+    "extract",
+    "linkable_value",
+    "non_uniqueness_census",
+    "LinkResult",
+    "LinkedGroup",
+    "group_by_feature",
+    "link_on_feature",
+    "DEFAULT_CONSISTENCY_THRESHOLD",
+    "FeatureEvaluation",
+    "LifetimeImprovement",
+    "PipelineResult",
+    "evaluate_all_features",
+    "iterative_link",
+    "lifetime_improvement",
+    "BulkTransfer",
+    "MovementReport",
+    "ReassignmentReport",
+    "TrackableReport",
+    "TrackedDevice",
+    "analyze_movement",
+    "build_tracked_devices",
+    "infer_reassignment_policies",
+    "trackable_devices",
+    "ValidationReport",
+    "validate_dataset",
+]

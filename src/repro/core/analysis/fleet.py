@@ -1,0 +1,88 @@
+"""§7.1's motivating question: how is the device population changing?
+
+The paper motivates tracking with longitudinal questions — "researchers
+may wish to study how the end-user devices attached to the Internet are
+changing, as users upgrade devices or change ISPs".  With the tracked
+device population (linked groups + unlinked long-lived certificates),
+those questions become answerable from scan data alone:
+
+* :func:`population_series` — tracked devices present per scan day;
+* :func:`turnover` — arrival/departure rates and observed lifespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...stats.cdf import CDF
+from ..tracking import TrackedDevice
+
+__all__ = ["population_series", "FleetTurnover", "turnover"]
+
+
+def population_series(
+    devices: Sequence[TrackedDevice], scan_days: Sequence[int]
+) -> list[tuple[int, int]]:
+    """(day, devices observed alive) per scan day.
+
+    A device counts as alive between its first and last sighting,
+    inclusive — the same lower-bound convention as certificate lifetimes.
+    """
+    spans = [(device.first_day, device.last_day) for device in devices]
+    series = []
+    for day in scan_days:
+        alive = sum(1 for first, last in spans if first <= day <= last)
+        series.append((day, alive))
+    return series
+
+
+@dataclass(frozen=True)
+class FleetTurnover:
+    """Arrival/departure statistics of the tracked population."""
+
+    n_devices: int
+    arrivals_per_month: float       # mean first-sightings per 30 days
+    departures_per_month: float     # mean last-sightings per 30 days
+    lifespan_cdf: CDF               # observed spans, days
+    #: Devices seen in both the first and last tenth of the dataset.
+    persistent_fraction: float
+
+
+def turnover(
+    devices: Sequence[TrackedDevice],
+    first_day: int,
+    last_day: int,
+) -> FleetTurnover:
+    """Summarize population churn over the dataset window.
+
+    Arrivals exclude devices already present at the window's opening edge
+    (their true arrival predates the dataset), and departures exclude
+    devices still present at the closing edge, so the rates are not
+    inflated by censoring.
+    """
+    if not devices:
+        raise ValueError("no tracked devices")
+    span_days = max(1, last_day - first_day + 1)
+    months = span_days / 30.0
+    edge = span_days // 10
+
+    arrivals = sum(
+        1 for device in devices if device.first_day > first_day + edge
+    )
+    departures = sum(
+        1 for device in devices if device.last_day < last_day - edge
+    )
+    persistent = sum(
+        1
+        for device in devices
+        if device.first_day <= first_day + edge
+        and device.last_day >= last_day - edge
+    )
+    return FleetTurnover(
+        n_devices=len(devices),
+        arrivals_per_month=arrivals / months,
+        departures_per_month=departures / months,
+        lifespan_cdf=CDF.of(device.span_days for device in devices),
+        persistent_fraction=persistent / len(devices),
+    )

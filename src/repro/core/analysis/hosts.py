@@ -1,0 +1,218 @@
+"""§5.4 — Host diversity (Figures 7 and 8, Tables 2, 3, and 4).
+
+From where are certificates served: addresses per certificate, AS
+diversity and concentration, AS-type breakdown (CAIDA-style), top hosting
+ASes, and the device-type attribution of the top invalid issuers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ...net.asn import ASRegistry, ASType
+from ...net.ip import is_private, looks_like_ipv4, str_to_ip
+from ...scanner.dataset import ScanDataset
+from ...stats.cdf import CDF
+from ..consistency import ASLookup
+
+__all__ = [
+    "ip_diversity",
+    "IPDiversity",
+    "as_diversity",
+    "ASDiversity",
+    "as_type_breakdown",
+    "top_hosting_ases",
+    "DEVICE_TYPE_RULES",
+    "classify_issuer_device_type",
+    "device_type_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class IPDiversity:
+    """Figure 7's inputs."""
+
+    cdf: CDF                 # mean addresses per scan, per certificate
+    p99: float
+    max_mean_ips: float
+
+
+def ip_diversity(dataset: ScanDataset, fingerprints: Iterable[bytes]) -> IPDiversity:
+    """Average number of addresses advertising each certificate per scan."""
+    means = [dataset.mean_ips_per_scan(fp) for fp in fingerprints]
+    cdf = CDF.of(means)
+    return IPDiversity(cdf=cdf, p99=cdf.percentile(0.99), max_mean_ips=cdf.max)
+
+
+@dataclass(frozen=True)
+class ASDiversity:
+    """Figure 8's inputs plus the concentration claims of §5.4."""
+
+    ases_per_cert_cdf: CDF
+    #: Certificate share of the single largest AS (18 % invalid / 10 % valid).
+    largest_as_share: float
+    #: ASes needed to cover 70 % of certificates (165 invalid / 500 valid).
+    ases_for_70pct: int
+    n_ases: int
+
+
+def as_diversity(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    as_of: ASLookup,
+) -> ASDiversity:
+    """Map every sighting to its origin AS and measure diversity."""
+    per_cert_ases: list[int] = []
+    cert_count_per_as: dict[int, int] = {}
+    for fingerprint in fingerprints:
+        ases = set()
+        for scan_idx, ip in dataset.appearances(fingerprint):
+            asn = as_of(ip, dataset.scans[scan_idx].day)
+            if asn is not None:
+                ases.add(asn)
+        per_cert_ases.append(len(ases))
+        # Attribute the certificate to every AS hosting it (as the paper's
+        # per-AS counts do); the concentration metrics use these counts.
+        for asn in ases:
+            cert_count_per_as[asn] = cert_count_per_as.get(asn, 0) + 1
+
+    total = len(per_cert_ases)
+    ordered = sorted(cert_count_per_as.values(), reverse=True)
+    running = 0
+    ases_for_70 = len(ordered)
+    for index, count in enumerate(ordered, start=1):
+        running += count
+        if running >= 0.70 * total:
+            ases_for_70 = index
+            break
+    return ASDiversity(
+        ases_per_cert_cdf=CDF.of(per_cert_ases),
+        largest_as_share=(ordered[0] / total) if ordered else 0.0,
+        ases_for_70pct=ases_for_70,
+        n_ases=len(ordered),
+    )
+
+
+def _primary_as(
+    dataset: ScanDataset, fingerprint: bytes, as_of: ASLookup
+) -> Optional[int]:
+    """The AS a certificate is most often served from."""
+    counts: dict[int, int] = {}
+    for scan_idx, ip in dataset.appearances(fingerprint):
+        asn = as_of(ip, dataset.scans[scan_idx].day)
+        if asn is not None:
+            counts[asn] = counts.get(asn, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=counts.get)
+
+
+def as_type_breakdown(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    as_of: ASLookup,
+    registry: ASRegistry,
+) -> dict[ASType, float]:
+    """Table 2: certificate share per CAIDA-style AS type."""
+    counts: dict[ASType, int] = {t: 0 for t in ASType}
+    total = 0
+    for fingerprint in fingerprints:
+        asn = _primary_as(dataset, fingerprint, as_of)
+        as_type = registry.classify(asn) if asn is not None else ASType.UNKNOWN
+        counts[as_type] += 1
+        total += 1
+    return {t: count / total if total else 0.0 for t, count in counts.items()}
+
+
+def top_hosting_ases(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    as_of: ASLookup,
+    registry: ASRegistry,
+    n: int = 5,
+) -> list[tuple[int, str, str, int]]:
+    """Table 3: (ASN, name, country, certificates) of the top hosts."""
+    counts: dict[int, int] = {}
+    for fingerprint in fingerprints:
+        asn = _primary_as(dataset, fingerprint, as_of)
+        if asn is not None:
+            counts[asn] = counts.get(asn, 0) + 1
+    rows = []
+    for asn, count in sorted(counts.items(), key=lambda kv: kv[1], reverse=True)[:n]:
+        info = registry.get(asn)
+        name = info.name if info else f"AS{asn}"
+        record = info.org_at(dataset.scans[0].day) if info else None
+        country = record.country if record else "???"
+        rows.append((asn, name, country, count))
+    return rows
+
+
+#: Issuer-CN pattern → Table 4 device class.  This mirrors the paper's
+#: *manual* classification of the top-50 issuers (looking up model numbers
+#: and loading device pages); extend it as new vendors appear.
+DEVICE_TYPE_RULES: tuple[tuple[str, str], ...] = (
+    # Specific needles first: 'enterprise-firewall-site-3 CA' must match
+    # 'firewall' before the generic '-site-' → VPN rule, and
+    # 'enterprise-gateway-site-3 CA' must match '-site-' before 'gateway'.
+    ("fw-", "Firewall"),
+    ("firewall", "Firewall"),
+    ("fortigate", "Firewall"),
+    ("managed", "Remote administration"),
+    ("vpn", "VPN"),
+    ("-site-", "VPN"),
+    ("lancom", "Home router/cable modem"),
+    ("fritz", "Home router/cable modem"),
+    ("gateway", "Home router/cable modem"),
+    ("cpe", "Home router/cable modem"),
+    ("vigor", "Home router/cable modem"),
+    ("remotewd", "Remote storage"),
+    ("wd2go", "Remote storage"),
+    ("vmware", "Remote administration"),
+    ("mgmt", "Remote administration"),
+    ("managed services", "Remote administration"),
+    ("camera", "IP camera"),
+    ("web server", "Other (IPTV, IP phone, Alternate CA, Printer)"),
+    ("appliance", "Other (IPTV, IP phone, Alternate CA, Printer)"),
+)
+
+
+def classify_issuer_device_type(issuer_cn: Optional[str]) -> str:
+    """Best-effort device class for one issuer Common Name."""
+    if not issuer_cn:
+        return "Unknown"
+    lowered = issuer_cn.lower()
+    if looks_like_ipv4(issuer_cn) and is_private(str_to_ip(issuer_cn)):
+        return "Home router/cable modem"
+    for needle, device_type in DEVICE_TYPE_RULES:
+        if needle in lowered:
+            return device_type
+    return "Unknown"
+
+
+def device_type_breakdown(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    top_n_issuers: int = 50,
+) -> dict[str, float]:
+    """Table 4: device-type shares over the top-N issuers' certificates."""
+    issuer_counts: dict[Optional[str], int] = {}
+    for fingerprint in fingerprints:
+        cn = dataset.certificate(fingerprint).issuer_cn
+        issuer_counts[cn] = issuer_counts.get(cn, 0) + 1
+    top_issuers = {
+        cn
+        for cn, _ in sorted(
+            issuer_counts.items(), key=lambda kv: kv[1], reverse=True
+        )[:top_n_issuers]
+    }
+    type_counts: dict[str, int] = {}
+    total = 0
+    for cn in top_issuers:
+        count = issuer_counts[cn]
+        device_type = classify_issuer_device_type(cn)
+        type_counts[device_type] = type_counts.get(device_type, 0) + count
+        total += count
+    return {
+        device_type: count / total for device_type, count in type_counts.items()
+    }

@@ -1,0 +1,197 @@
+"""§4.1 + §4.2 corpus-level analyses (Figures 1 and 2).
+
+* :func:`per_scan_counts` — valid/invalid certificate counts per scan and
+  campaign (Figure 2), plus the per-scan invalid-fraction summary
+  (59.6–73.7 %, 65.0 % average in the paper).
+* :func:`scan_discrepancy` — for a day both campaigns scanned, the
+  fraction of hosts unique to each scan per /8 network (Figure 1).
+* :func:`blacklist_attribution` — the §4.1 investigation: group the
+  missing hosts by announced prefix, find prefixes *always* missing from
+  one campaign, and measure how much of the discrepancy they explain
+  (74.0 % / 62.6 % in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ...net.bgp import PrefixTable
+from ...net.ip import Prefix, slash8
+from ...scanner.dataset import ScanDataset
+from ..validation import ValidationReport
+
+__all__ = [
+    "ScanCount",
+    "per_scan_counts",
+    "invalid_fraction_summary",
+    "SlashEightDiscrepancy",
+    "scan_discrepancy",
+    "BlacklistAttribution",
+    "blacklist_attribution",
+]
+
+
+@dataclass(frozen=True)
+class ScanCount:
+    """One point of Figure 2."""
+
+    day: int
+    source: str
+    n_valid: int
+    n_invalid: int
+
+    @property
+    def invalid_fraction(self) -> float:
+        total = self.n_valid + self.n_invalid
+        return self.n_invalid / total if total else 0.0
+
+
+def per_scan_counts(
+    dataset: ScanDataset, report: ValidationReport
+) -> list[ScanCount]:
+    """Distinct valid/invalid certificates in every scan (Figure 2)."""
+    counts = []
+    for scan in dataset.scans:
+        fingerprints = scan.fingerprints()
+        n_invalid = sum(1 for fp in fingerprints if fp in report.invalid)
+        n_valid = sum(1 for fp in fingerprints if fp in report.valid)
+        counts.append(
+            ScanCount(day=scan.day, source=scan.source,
+                      n_valid=n_valid, n_invalid=n_invalid)
+        )
+    return counts
+
+
+def invalid_fraction_summary(counts: list[ScanCount]) -> tuple[float, float, float]:
+    """(min, mean, max) per-scan invalid fraction."""
+    fractions = [count.invalid_fraction for count in counts]
+    return min(fractions), sum(fractions) / len(fractions), max(fractions)
+
+
+@dataclass(frozen=True)
+class SlashEightDiscrepancy:
+    """One /8's bar in Figure 1."""
+
+    network: int              # the /8's top octet
+    unique_to_a_fraction: float
+    unique_to_b_fraction: float
+    hosts_a: int
+    hosts_b: int
+
+
+def scan_discrepancy(
+    dataset: ScanDataset, day: int, source_a: str = "umich", source_b: str = "rapid7"
+) -> list[SlashEightDiscrepancy]:
+    """Figure 1: per /8, the fraction of hosts unique to each campaign."""
+    scans_a = [s for s in dataset.scans if s.day == day and s.source == source_a]
+    scans_b = [s for s in dataset.scans if s.day == day and s.source == source_b]
+    if not scans_a or not scans_b:
+        raise ValueError(f"day {day} lacks scans from both campaigns")
+    ips_a = scans_a[0].ips()
+    ips_b = scans_b[0].ips()
+
+    by_network: dict[int, tuple[set[int], set[int]]] = {}
+    for ip in ips_a:
+        by_network.setdefault(slash8(ip), (set(), set()))[0].add(ip)
+    for ip in ips_b:
+        by_network.setdefault(slash8(ip), (set(), set()))[1].add(ip)
+
+    rows = []
+    for network in sorted(by_network):
+        hosts_a, hosts_b = by_network[network]
+        rows.append(
+            SlashEightDiscrepancy(
+                network=network,
+                unique_to_a_fraction=(
+                    len(hosts_a - hosts_b) / len(hosts_a) if hosts_a else 0.0
+                ),
+                unique_to_b_fraction=(
+                    len(hosts_b - hosts_a) / len(hosts_b) if hosts_b else 0.0
+                ),
+                hosts_a=len(hosts_a),
+                hosts_b=len(hosts_b),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BlacklistAttribution:
+    """§4.1's explanation of the two-corpus discrepancy."""
+
+    overlap_days: tuple[int, ...]
+    prefixes_covered_by_both: int
+    prefixes_always_missing_from_a: int
+    prefixes_always_missing_from_b: int
+    #: Mean per-day hosts present in one corpus but not the other.
+    mean_hosts_only_in_a: float
+    mean_hosts_only_in_b: float
+    #: Share of those hosts inside the never-covered prefixes.
+    fraction_explained_a: float   # of hosts only in A, in B's blind spots
+    fraction_explained_b: float
+
+
+def blacklist_attribution(
+    dataset: ScanDataset,
+    prefix_of: Callable[[int], Optional[Prefix]],
+    source_a: str = "umich",
+    source_b: str = "rapid7",
+) -> BlacklistAttribution:
+    """Test the blacklisting hypothesis on every both-campaign day.
+
+    ``prefix_of`` maps an address to its announced BGP prefix (the
+    RouteViews role); :class:`~repro.net.bgp.PrefixTable` provides it via
+    ``lambda ip: table.lookup(ip).prefix``.
+    """
+    days_a = {scan.day for scan in dataset.scans if scan.source == source_a}
+    days_b = {scan.day for scan in dataset.scans if scan.source == source_b}
+    overlap = tuple(sorted(days_a & days_b))
+    if not overlap:
+        raise ValueError("campaigns share no scan day")
+
+    per_day: list[tuple[set, set]] = []   # (prefixes seen by A, by B)
+    only_a_hosts: list[set[int]] = []
+    only_b_hosts: list[set[int]] = []
+    for day in overlap:
+        ips_a = next(
+            s for s in dataset.scans if s.day == day and s.source == source_a
+        ).ips()
+        ips_b = next(
+            s for s in dataset.scans if s.day == day and s.source == source_b
+        ).ips()
+        prefixes_a = {prefix_of(ip) for ip in ips_a} - {None}
+        prefixes_b = {prefix_of(ip) for ip in ips_b} - {None}
+        per_day.append((prefixes_a, prefixes_b))
+        only_a_hosts.append(ips_a - ips_b)
+        only_b_hosts.append(ips_b - ips_a)
+
+    all_prefixes_a = set.union(*(pair[0] for pair in per_day))
+    all_prefixes_b = set.union(*(pair[1] for pair in per_day))
+    always_missing_from_a = set.intersection(
+        *(pair[1] - pair[0] for pair in per_day)
+    )
+    always_missing_from_b = set.intersection(
+        *(pair[0] - pair[1] for pair in per_day)
+    )
+
+    def explained(host_sets: list[set[int]], blind_spots: set) -> float:
+        total = explained_count = 0
+        for hosts in host_sets:
+            for ip in hosts:
+                total += 1
+                prefix = prefix_of(ip)
+                if prefix in blind_spots:
+                    explained_count += 1
+        return explained_count / total if total else 0.0
+
+    return BlacklistAttribution(
+        overlap_days=overlap,
+        prefixes_covered_by_both=len(all_prefixes_a & all_prefixes_b),
+        prefixes_always_missing_from_a=len(always_missing_from_a),
+        prefixes_always_missing_from_b=len(always_missing_from_b),
+        mean_hosts_only_in_a=sum(map(len, only_a_hosts)) / len(overlap),
+        mean_hosts_only_in_b=sum(map(len, only_b_hosts)) / len(overlap),
+        fraction_explained_a=explained(only_a_hosts, always_missing_from_b),
+        fraction_explained_b=explained(only_b_hosts, always_missing_from_a),
+    )

@@ -1,0 +1,114 @@
+"""§5.4's closing forecast, quantified.
+
+The paper: *"we anticipate that, as these devices become increasingly
+popular — and particularly with the growing trend towards an Internet of
+Things — the number of invalid certificates will continue to grow."*
+
+This module fits per-scan certificate counts with ordinary least squares
+and extrapolates, giving the growth-rate comparison (invalid counts grow
+faster than valid) and a forecast horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .scans import ScanCount
+
+__all__ = ["GrowthFit", "fit_growth", "growth_comparison"]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """A least-squares linear fit of counts over scan days."""
+
+    slope_per_day: float
+    intercept: float
+    r_squared: float
+    first_day: int
+    last_day: int
+
+    @property
+    def slope_per_year(self) -> float:
+        return self.slope_per_day * 365.0
+
+    def predict(self, day: int) -> float:
+        """Extrapolated count on ``day``."""
+        return self.intercept + self.slope_per_day * day
+
+    def doubling_days(self) -> float:
+        """Days for the count to double from the last observed level.
+
+        ``inf`` for flat or shrinking populations.
+        """
+        current = self.predict(self.last_day)
+        if self.slope_per_day <= 0 or current <= 0:
+            return float("inf")
+        return current / self.slope_per_day
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return 0.0, mean_y, 0.0
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    ss_residual = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(xs, ys)
+    )
+    r_squared = 1.0 - ss_residual / ss_total if ss_total else 1.0
+    return slope, intercept, r_squared
+
+
+def fit_growth(counts: Sequence[ScanCount], population: str = "invalid") -> GrowthFit:
+    """Fit one population's per-scan counts over time."""
+    if len(counts) < 2:
+        raise ValueError("need at least two scans to fit a trend")
+    xs = [float(count.day) for count in counts]
+    if population == "invalid":
+        ys = [float(count.n_invalid) for count in counts]
+    elif population == "valid":
+        ys = [float(count.n_valid) for count in counts]
+    else:
+        raise ValueError(f"unknown population {population!r}")
+    slope, intercept, r_squared = _least_squares(xs, ys)
+    return GrowthFit(
+        slope_per_day=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+        first_day=int(xs[0]),
+        last_day=int(xs[-1]),
+    )
+
+
+@dataclass(frozen=True)
+class GrowthComparison:
+    """Invalid vs valid growth, the §5.4 forecast input."""
+
+    invalid: GrowthFit
+    valid: GrowthFit
+
+    @property
+    def invalid_grows_faster(self) -> bool:
+        return self.invalid.slope_per_day > self.valid.slope_per_day
+
+    def invalid_share_at(self, day: int) -> float:
+        """Extrapolated invalid share of per-scan certificates on ``day``."""
+        invalid = max(0.0, self.invalid.predict(day))
+        valid = max(0.0, self.valid.predict(day))
+        total = invalid + valid
+        return invalid / total if total else 0.0
+
+
+def growth_comparison(counts: Sequence[ScanCount]) -> GrowthComparison:
+    """Fit both populations."""
+    return GrowthComparison(
+        invalid=fit_growth(counts, "invalid"),
+        valid=fit_growth(counts, "valid"),
+    )

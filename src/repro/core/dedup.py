@@ -1,0 +1,69 @@
+"""§6.2 — Scan duplicates and the two-address uniqueness rule.
+
+Scans take hours and probe addresses in random order, so a device that
+changes address mid-scan can legitimately appear at two addresses in one
+scan.  Three or more addresses in one scan, however, almost certainly means
+the certificate is shared across devices (dynamic leases last days, §6.2).
+
+The rule, verbatim from the paper:
+
+* a certificate seen at **no more than two** addresses in *every* scan is
+  declared unique to one device;
+* seen at more than two addresses in *any* scan → non-unique;
+* **exception** — seen at *exactly two* addresses in *every* scan: since
+  probe order re-randomizes per scan, a mid-scan mover would sometimes be
+  caught once; a constant two strongly suggests two devices, so the
+  certificate is declared non-unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..scanner.dataset import ScanDataset
+
+__all__ = ["DedupResult", "classify_unique_certificates"]
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Partition of certificates into device-unique and shared."""
+
+    unique: frozenset[bytes]
+    non_unique: frozenset[bytes]
+
+    @property
+    def excluded_fraction(self) -> float:
+        """Share of certificates the linking stage must drop (paper: 1.6 %)."""
+        total = len(self.unique) + len(self.non_unique)
+        return len(self.non_unique) / total if total else 0.0
+
+
+def classify_unique_certificates(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    max_ips_per_scan: int = 2,
+) -> DedupResult:
+    """Apply the §6.2 uniqueness rule.
+
+    ``max_ips_per_scan`` is the paper's threshold of two; the ablation
+    benchmark sweeps it.
+    """
+    unique: set[bytes] = set()
+    non_unique: set[bytes] = set()
+    for fingerprint in fingerprints:
+        by_scan = dataset.ips_by_scan(fingerprint)
+        sizes = [len(ips) for ips in by_scan.values()]
+        if max(sizes) > max_ips_per_scan:
+            non_unique.add(fingerprint)
+        elif (
+            max_ips_per_scan >= 2
+            and len(sizes) > 1
+            and all(size == max_ips_per_scan for size in sizes)
+        ):
+            # The every-scan-exactly-two exception.
+            non_unique.add(fingerprint)
+        else:
+            unique.add(fingerprint)
+    return DedupResult(unique=frozenset(unique), non_unique=frozenset(non_unique))

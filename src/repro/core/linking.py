@@ -1,0 +1,132 @@
+"""§6.3.2 — Linking certificates across scans.
+
+The paper's central methodology: group certificates by a shared field
+value, then accept the group as "one device's reissue chain" only if no
+two member certificates' observed lifetimes overlap by more than a single
+scan.  (One scan of overlap is allowed because a device that changes
+address mid-scan may expose both its old and new certificate in the same
+sweep — Figure 9's PK2 case.  Two or more overlapping scans mean two
+devices serving distinct certificates simultaneously — the PK3 case — and
+the whole group is rejected for that field.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence
+
+from ..scanner.dataset import ScanDataset
+from ..x509.certificate import Certificate
+from .features import Feature, linkable_value
+
+__all__ = ["LinkedGroup", "LinkResult", "group_by_feature", "link_on_feature"]
+
+
+@dataclass(frozen=True)
+class LinkedGroup:
+    """Certificates linked as one device's reissue chain via one field."""
+
+    feature: Feature
+    value: Hashable
+    fingerprints: tuple[bytes, ...]
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+
+@dataclass
+class LinkResult:
+    """Outcome of linking one feature over a certificate population."""
+
+    feature: Feature
+    groups: list[LinkedGroup]
+    rejected_values: int          # candidate values rejected for overlap
+    singleton_values: int         # values carried by only one certificate
+
+    @property
+    def linked_fingerprints(self) -> set[bytes]:
+        """Every certificate placed into some group."""
+        return {
+            fingerprint
+            for group in self.groups
+            for fingerprint in group.fingerprints
+        }
+
+    @property
+    def total_linked(self) -> int:
+        """Total certificates linked by this field (Table 6, row 1)."""
+        return sum(len(group) for group in self.groups)
+
+
+def group_by_feature(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    feature: Feature,
+) -> dict[Hashable, list[bytes]]:
+    """Bucket certificates by their (linkable) value of one field."""
+    buckets: dict[Hashable, list[bytes]] = {}
+    for fingerprint in fingerprints:
+        value = linkable_value(dataset.certificate(fingerprint), feature)
+        if value is None:
+            continue
+        buckets.setdefault(value, []).append(fingerprint)
+    return buckets
+
+
+def _max_pairwise_overlap(intervals: Sequence[tuple[int, int]]) -> int:
+    """Largest lifetime overlap (in scans) between any pair of intervals.
+
+    With intervals sorted by start, the worst overlap for interval *i* is
+    against the earlier interval with the greatest end; tracking that
+    running maximum end makes the check O(n log n) instead of O(n²).
+    """
+    ordered = sorted(intervals)
+    worst = 0
+    running_max_end: Optional[int] = None
+    for start, end in ordered:
+        if running_max_end is not None:
+            overlap = min(running_max_end, end) - start + 1
+            worst = max(worst, overlap)
+        if running_max_end is None or end > running_max_end:
+            running_max_end = end
+    return worst
+
+
+def link_on_feature(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    feature: Feature,
+    overlap_allowance: int = 1,
+) -> LinkResult:
+    """Link one feature with the lifetime-overlap rule.
+
+    ``overlap_allowance`` is the number of scans two member lifetimes may
+    share (the paper allows exactly one); the ablation benchmark sweeps it.
+    """
+    buckets = group_by_feature(dataset, fingerprints, feature)
+    groups: list[LinkedGroup] = []
+    rejected = singletons = 0
+    for value, members in buckets.items():
+        if len(members) < 2:
+            singletons += 1
+            continue
+        intervals = []
+        for fingerprint in members:
+            scan_idxs = dataset.scan_indexes_of(fingerprint)
+            intervals.append((scan_idxs[0], scan_idxs[-1]))
+        if _max_pairwise_overlap(intervals) > overlap_allowance:
+            rejected += 1
+            continue
+        groups.append(
+            LinkedGroup(
+                feature=feature,
+                value=value,
+                fingerprints=tuple(sorted(members)),
+            )
+        )
+    return LinkResult(
+        feature=feature,
+        groups=groups,
+        rejected_values=rejected,
+        singleton_values=singletons,
+    )

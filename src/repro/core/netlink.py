@@ -1,0 +1,165 @@
+"""Network-fingerprint-augmented linking — the paper's §6.3 future work.
+
+The paper: *"We would ideally like to link using both features of the
+certificate (e.g., the Common Name) and features that can be observed from
+the network connection used to collect the certificate (e.g., the initial
+TCP window size).  Unfortunately, the certificate scan data contains only
+the certificates themselves; thus ... we focus on using only features from
+certificates and leave other features to future work."*
+
+This module implements that future work over corpora collected with
+``collect_handshakes=True``: every certificate carries a *stack
+fingerprint* (TLS version ceiling, initial TCP window, initial TTL — all
+firmware constants, per Greenwald & Thomas able to identify the device
+*family* though not the individual device), and linked groups are refined
+by partitioning them per fingerprint.  Cross-vendor coincidences — two
+unrelated devices that happen to share a Not Before stamp — end up in
+different partitions and can no longer be linked together, while the
+plain methodology's lifetime-overlap safety net stays fully in force.
+
+Also here: the §5.2/footnote-10 PFS analysis (Lancom's shared-key devices
+negotiate non-forward-secure ciphers, so one leaked key decrypts the
+fleet's historic traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..scanner.dataset import ScanDataset
+from ..tls.ciphers import suite
+from .features import Feature
+from .linking import LinkResult, LinkedGroup, link_on_feature
+
+__all__ = [
+    "stack_fingerprints",
+    "link_on_feature_with_fingerprint",
+    "PFSReport",
+    "pfs_support",
+]
+
+
+def stack_fingerprints(
+    dataset: ScanDataset, fingerprints: Iterable[bytes]
+) -> dict[bytes, Optional[tuple]]:
+    """certificate → stack fingerprint, in one pass over the corpus.
+
+    A certificate observed without handshake data maps to None; if a
+    certificate was (anomalously) served by stacks with different traits,
+    the first fingerprint wins — real analyses would flag these.
+    """
+    wanted = set(fingerprints)
+    result: dict[bytes, Optional[tuple]] = {}
+    for scan in dataset.scans:
+        for obs in scan.observations:
+            if obs.fingerprint in wanted and obs.fingerprint not in result:
+                result[obs.fingerprint] = (
+                    obs.handshake.stack_fingerprint()
+                    if obs.handshake is not None
+                    else None
+                )
+    for fingerprint in wanted - set(result):
+        result[fingerprint] = None
+    return result
+
+
+def link_on_feature_with_fingerprint(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    feature: Feature,
+    overlap_allowance: int = 1,
+    fingerprint_index: Optional[dict[bytes, Optional[tuple]]] = None,
+) -> LinkResult:
+    """§6.3.2 linking refined by the stack fingerprint.
+
+    A *conservative refinement* of
+    :func:`repro.core.linking.link_on_feature`: the plain methodology runs
+    first (including its lifetime-overlap safety net), and each accepted
+    group is then partitioned by stack fingerprint, discarding the
+    cross-family pairs.  Splitting only ever removes pairs, so precision
+    can never drop below certificate-only linking.
+
+    (The naive alternative — bucketing on ``(value, fingerprint)`` up
+    front — is strictly worse: it resurrects shared values that the
+    overlap rule rejected, because each per-family slice of a popular
+    value can look overlap-free on its own.)
+
+    Certificates without handshake data share a ``None`` fingerprint and
+    therefore stay grouped as plain linking grouped them.
+    """
+    fingerprints = list(fingerprints)
+    if fingerprint_index is None:
+        fingerprint_index = stack_fingerprints(dataset, fingerprints)
+
+    plain = link_on_feature(dataset, fingerprints, feature, overlap_allowance)
+    groups: list[LinkedGroup] = []
+    split_singletons = 0
+    for group in plain.groups:
+        by_stack: dict[Optional[tuple], list[bytes]] = {}
+        for fingerprint in group.fingerprints:
+            by_stack.setdefault(
+                fingerprint_index.get(fingerprint), []
+            ).append(fingerprint)
+        for members in by_stack.values():
+            if len(members) < 2:
+                split_singletons += 1
+                continue
+            groups.append(
+                LinkedGroup(
+                    feature=feature,
+                    value=group.value,
+                    fingerprints=tuple(sorted(members)),
+                )
+            )
+    return LinkResult(
+        feature=feature,
+        groups=groups,
+        rejected_values=plain.rejected_values,
+        singleton_values=plain.singleton_values + split_singletons,
+    )
+
+
+@dataclass(frozen=True)
+class PFSReport:
+    """Forward-secrecy posture of one certificate population."""
+
+    n_with_handshake: int
+    pfs_fraction: float
+    #: Certificates that both lack PFS and share their key with others —
+    #: the Lancom double-jeopardy of footnote 10.
+    shared_key_without_pfs: int
+
+
+def pfs_support(
+    dataset: ScanDataset, fingerprints: Iterable[bytes]
+) -> PFSReport:
+    """§5.2/footnote 10: who negotiates forward-secure ciphers?"""
+    fingerprints = list(fingerprints)
+    key_counts: dict = {}
+    handshakes: dict[bytes, object] = {}
+    for fingerprint in fingerprints:
+        key = dataset.certificate(fingerprint).public_key
+        key_counts[key] = key_counts.get(key, 0) + 1
+    for scan in dataset.scans:
+        for obs in scan.observations:
+            if obs.handshake is not None and obs.fingerprint not in handshakes:
+                handshakes[obs.fingerprint] = obs.handshake
+
+    observed = [fp for fp in fingerprints if fp in handshakes]
+    if not observed:
+        return PFSReport(0, 0.0, 0)
+    pfs = 0
+    shared_no_pfs = 0
+    for fingerprint in observed:
+        record = handshakes[fingerprint]
+        forward_secure = suite(record.cipher).forward_secure
+        if forward_secure:
+            pfs += 1
+        elif key_counts[dataset.certificate(fingerprint).public_key] > 1:
+            shared_no_pfs += 1
+    return PFSReport(
+        n_with_handshake=len(observed),
+        pfs_fraction=pfs / len(observed),
+        shared_key_without_pfs=shared_no_pfs,
+    )

@@ -1,0 +1,228 @@
+"""§6.4 — The full linking pipeline and its evaluation.
+
+Three stages, mirroring the paper:
+
+1. :func:`evaluate_all_features` — link *every* candidate field
+   independently over the deduplicated invalid population and score each
+   with IP-/24-/AS-level consistency (Table 6), including the
+   "uniquely linked" row (certificates only that field can link).
+2. :func:`iterative_link` — §6.4.3: consider the usable fields (AS-level
+   consistency above a threshold, excluding Not Before / Not After /
+   Issuer+Serial when they fall below it) in decreasing AS-consistency
+   order; link with field 1, remove the linked certificates, continue with
+   field 2, and so on.  Produces the final device groups of Figure 10.
+3. :func:`lifetime_improvement` — §6.4.4: how linking changes the apparent
+   population: single-scan fraction drops (61 % → 50.7 % in the paper) and
+   mean lifetime rises (95.4 → 132.3 days) once each linked group is
+   treated as one device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..scanner.dataset import ScanDataset
+from ..stats.cdf import CDF
+from .consistency import ASLookup, ConsistencyReport, evaluate_link_result
+from .features import Feature
+from .linking import LinkedGroup, LinkResult, link_on_feature
+
+__all__ = [
+    "FeatureEvaluation",
+    "evaluate_all_features",
+    "PipelineResult",
+    "iterative_link",
+    "LifetimeImprovement",
+    "lifetime_improvement",
+    "DEFAULT_CONSISTENCY_THRESHOLD",
+]
+
+#: §6.4.3: fields below 90 % AS-level consistency are not used for linking.
+DEFAULT_CONSISTENCY_THRESHOLD = 0.90
+
+#: Evaluation order of Table 6 (columns left to right).
+TABLE6_FEATURES: tuple[Feature, ...] = (
+    Feature.PUBLIC_KEY,
+    Feature.NOT_BEFORE,
+    Feature.COMMON_NAME,
+    Feature.NOT_AFTER,
+    Feature.ISSUER_SERIAL,
+    Feature.SAN_LIST,
+    Feature.CRL,
+    Feature.AIA,
+    Feature.OCSP,
+    Feature.OID,
+)
+
+
+@dataclass
+class FeatureEvaluation:
+    """One Table 6 column: linking plus its consistency scores."""
+
+    feature: Feature
+    result: LinkResult
+    consistency: ConsistencyReport
+    uniquely_linked: int = 0
+
+    @property
+    def total_linked(self) -> int:
+        return self.result.total_linked
+
+
+def evaluate_all_features(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    as_of: ASLookup,
+    features: Sequence[Feature] = TABLE6_FEATURES,
+    overlap_allowance: int = 1,
+) -> dict[Feature, FeatureEvaluation]:
+    """Produce Table 6: every field linked and scored independently."""
+    fingerprints = list(fingerprints)
+    evaluations: dict[Feature, FeatureEvaluation] = {}
+    for feature in features:
+        result = link_on_feature(dataset, fingerprints, feature, overlap_allowance)
+        consistency = evaluate_link_result(dataset, result, as_of)
+        evaluations[feature] = FeatureEvaluation(feature, result, consistency)
+    # "Uniquely linked": certificates linked by exactly one field.
+    membership: dict[bytes, list[Feature]] = {}
+    for feature, evaluation in evaluations.items():
+        for fingerprint in evaluation.result.linked_fingerprints:
+            membership.setdefault(fingerprint, []).append(feature)
+    for feature, evaluation in evaluations.items():
+        evaluation.uniquely_linked = sum(
+            1 for linked_by in membership.values() if linked_by == [feature]
+        )
+    return evaluations
+
+
+@dataclass
+class PipelineResult:
+    """Final device groups from the iterative §6.4.3 linking."""
+
+    groups: list[LinkedGroup]
+    field_order: tuple[Feature, ...]
+    #: Fields excluded for insufficient AS-level consistency.
+    excluded: tuple[Feature, ...] = ()
+    input_size: int = 0
+
+    @property
+    def linked_certificates(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def linked_fraction(self) -> float:
+        """Paper: 39.4 % of invalid certificates end up linked."""
+        return self.linked_certificates / self.input_size if self.input_size else 0.0
+
+    def linked_fingerprints(self) -> set[bytes]:
+        return {fp for group in self.groups for fp in group.fingerprints}
+
+    def group_size_cdf(self, feature: Optional[Feature] = None) -> CDF:
+        """Figure 10: distribution of group sizes, overall or per field."""
+        sizes = [
+            len(group)
+            for group in self.groups
+            if feature is None or group.feature is feature
+        ]
+        return CDF.of(sizes)
+
+    def groups_of(self, feature: Feature) -> list[LinkedGroup]:
+        return [group for group in self.groups if group.feature is feature]
+
+
+def iterative_link(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    as_of: ASLookup,
+    evaluations: Optional[dict[Feature, FeatureEvaluation]] = None,
+    threshold: float = DEFAULT_CONSISTENCY_THRESHOLD,
+    overlap_allowance: int = 1,
+    field_order: Optional[Sequence[Feature]] = None,
+) -> PipelineResult:
+    """§6.4.3: link fields in decreasing AS-consistency order.
+
+    ``field_order`` overrides the computed order (used by the field-order
+    ablation); otherwise the order comes from ``evaluations`` (computed
+    here when not supplied), keeping only fields at or above ``threshold``.
+    """
+    fingerprints = list(fingerprints)
+    excluded: tuple[Feature, ...] = ()
+    if field_order is None:
+        if evaluations is None:
+            evaluations = evaluate_all_features(
+                dataset, fingerprints, as_of, overlap_allowance=overlap_allowance
+            )
+        usable = [
+            evaluation
+            for evaluation in evaluations.values()
+            if evaluation.consistency.as_level >= threshold
+            and evaluation.total_linked > 0
+        ]
+        usable.sort(key=lambda e: e.consistency.as_level, reverse=True)
+        field_order = [evaluation.feature for evaluation in usable]
+        excluded = tuple(
+            feature for feature in evaluations if feature not in field_order
+        )
+
+    remaining = set(fingerprints)
+    groups: list[LinkedGroup] = []
+    for feature in field_order:
+        result = link_on_feature(dataset, remaining, feature, overlap_allowance)
+        groups.extend(result.groups)
+        remaining -= result.linked_fingerprints
+    return PipelineResult(
+        groups=groups,
+        field_order=tuple(field_order),
+        excluded=excluded,
+        input_size=len(fingerprints),
+    )
+
+
+@dataclass(frozen=True)
+class LifetimeImprovement:
+    """§6.4.4: apparent-population statistics before vs after linking."""
+
+    single_scan_fraction_before: float
+    single_scan_fraction_after: float
+    mean_lifetime_before: float
+    mean_lifetime_after: float
+
+
+def lifetime_improvement(
+    dataset: ScanDataset,
+    pipeline: PipelineResult,
+    fingerprints: Iterable[bytes],
+) -> LifetimeImprovement:
+    """Treat each linked group as one device and recompute lifetimes.
+
+    'Before' is per certificate; 'after' replaces each group's members with
+    a single unit spanning from the group's first to last sighting, while
+    unlinked certificates keep their own lifetimes.
+    """
+    fingerprints = list(fingerprints)
+    before = [dataset.lifetime_days(fp) for fp in fingerprints]
+    before_single = [len(dataset.scan_indexes_of(fp)) == 1 for fp in fingerprints]
+
+    linked = pipeline.linked_fingerprints()
+    after: list[int] = []
+    after_single: list[bool] = []
+    for fingerprint in fingerprints:
+        if fingerprint not in linked:
+            after.append(dataset.lifetime_days(fingerprint))
+            after_single.append(len(dataset.scan_indexes_of(fingerprint)) == 1)
+    for group in pipeline.groups:
+        scan_idxs = sorted(
+            {idx for fp in group.fingerprints for idx in dataset.scan_indexes_of(fp)}
+        )
+        first_day = dataset.scans[scan_idxs[0]].day
+        last_day = dataset.scans[scan_idxs[-1]].day
+        after.append(last_day - first_day + 1)
+        after_single.append(len(scan_idxs) == 1)
+
+    return LifetimeImprovement(
+        single_scan_fraction_before=sum(before_single) / len(before_single),
+        single_scan_fraction_after=sum(after_single) / len(after_single),
+        mean_lifetime_before=sum(before) / len(before),
+        mean_lifetime_after=sum(after) / len(after),
+    )

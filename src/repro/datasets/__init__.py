@@ -1,0 +1,5 @@
+"""Synthetic dataset presets."""
+
+from .synthetic import SyntheticDataset, generate, paper, small, tiny
+
+__all__ = ["SyntheticDataset", "generate", "paper", "small", "tiny"]

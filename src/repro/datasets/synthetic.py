@@ -1,0 +1,86 @@
+"""Ready-made synthetic datasets at three scales.
+
+* :func:`tiny` — seconds to build; unit/integration tests.
+* :func:`small` — tens of seconds; examples and quick experiments.
+* :func:`paper` — the full 222-scan replica schedule; benchmark harness.
+
+Each returns a :class:`SyntheticDataset` bundling the world, the campaigns,
+and the collected :class:`~repro.scanner.dataset.ScanDataset`, so callers
+can reach both the observations (what the paper had) and the ground truth
+(what the paper wished it had).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..internet.population import World, WorldConfig, build_world
+from ..scanner.campaign import ScanCampaign, make_campaigns
+from ..scanner.dataset import ScanDataset
+
+__all__ = ["SyntheticDataset", "generate", "tiny", "small", "paper"]
+
+
+@dataclass
+class SyntheticDataset:
+    """A built world plus everything scanned out of it."""
+
+    world: World
+    campaigns: tuple[ScanCampaign, ScanCampaign]
+    scans: ScanDataset
+
+
+def generate(
+    config: WorldConfig,
+    scan_stride: int = 1,
+    collect_handshakes: bool = False,
+) -> SyntheticDataset:
+    """Build a world and scan it with both campaigns."""
+    world = build_world(config)
+    announced = world.routing.table_at(0).routes()
+    # Only the generic tails may be blacklisted; the paper's named ISPs
+    # (Deutsche Telekom, Comcast, GoDaddy, ...) stay visible to both
+    # operators so the Table 3 populations survive.
+    generic_asns = {bp.asn for bp in world.blueprints if bp.asn >= 39000}
+    campaigns = make_campaigns(
+        [route.prefix for route in announced],
+        stride=scan_stride,
+        blacklistable=[r.prefix for r in announced if r.asn in generic_asns],
+    )
+    scans = ScanDataset.collect(
+        world, campaigns, collect_handshakes=collect_handshakes
+    )
+    return SyntheticDataset(world=world, campaigns=campaigns, scans=scans)
+
+
+def tiny(seed: int = 2016) -> SyntheticDataset:
+    """Small world, sparse schedule — for tests."""
+    config = WorldConfig(
+        seed=seed,
+        n_devices=220,
+        n_websites=75,
+        n_generic_access=30,
+        n_enterprise=8,
+        n_hosting=6,
+        unused_roots=5,
+    )
+    return generate(config, scan_stride=8)
+
+
+def small(seed: int = 2016) -> SyntheticDataset:
+    """Medium world, half-density schedule — for examples."""
+    config = WorldConfig(
+        seed=seed,
+        n_devices=900,
+        n_websites=310,
+        n_generic_access=60,
+        n_enterprise=15,
+        n_hosting=10,
+    )
+    return generate(config, scan_stride=3)
+
+
+def paper(seed: int = 2016) -> SyntheticDataset:
+    """Full-fidelity replica schedule — for the benchmark harness."""
+    config = WorldConfig(seed=seed, n_devices=2500, n_websites=850)
+    return generate(config, scan_stride=1)

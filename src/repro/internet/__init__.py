@@ -1,0 +1,43 @@
+"""The simulated Internet: devices, vendors, websites, DHCP, population."""
+
+from .devices import Device, Location, PrivateCA
+from .dhcp import AddressPool, PeriodicReassignment, StaticAssignment
+from .population import ASBlueprint, World, WorldConfig, build_world, standard_topology
+from .vendors import (
+    DeviceType,
+    IssuerScheme,
+    KeyPolicy,
+    NotBeforeMode,
+    SerialPolicy,
+    SubjectScheme,
+    ValidityChoice,
+    VendorProfile,
+    standard_catalog,
+)
+from .websites import CAHierarchy, CommercialCA, Website
+
+__all__ = [
+    "Device",
+    "Location",
+    "PrivateCA",
+    "AddressPool",
+    "PeriodicReassignment",
+    "StaticAssignment",
+    "ASBlueprint",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "standard_topology",
+    "DeviceType",
+    "IssuerScheme",
+    "KeyPolicy",
+    "NotBeforeMode",
+    "SerialPolicy",
+    "SubjectScheme",
+    "ValidityChoice",
+    "VendorProfile",
+    "standard_catalog",
+    "CAHierarchy",
+    "CommercialCA",
+    "Website",
+]

@@ -1,0 +1,367 @@
+"""Device state machines.
+
+A :class:`Device` is one Internet-connected box (router, NAS, camera, …)
+that serves an HTTPS endpoint on port 443.  Its certificate behaviour is
+fully determined by its :class:`~repro.internet.vendors.VendorProfile`, its
+identity, and the world seed — so the same world always regenerates
+byte-identical certificates, and the scanner can ask for "the certificate
+this device served on day D" without storing anything.
+
+Reissue model: a device with ``reissue_period_days = k`` replaces its
+certificate every ``k`` days (with a small per-device phase offset so whole
+fleets do not reissue in lockstep).  This is the mechanism behind the
+paper's headline observation that most invalid certificates are ephemeral —
+seen in exactly one scan — and behind the 87.9 %-of-all-certificates figure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..seeding import stable_rng
+from ..x509.builder import CertificateBuilder
+from ..x509.certificate import Certificate
+from ..x509.keys import KeyPair, generate_keypair
+from ..x509.name import Name
+from ..x509.oid import OID
+from .vendors import (
+    IssuerScheme,
+    KeyPolicy,
+    NotBeforeMode,
+    SerialPolicy,
+    SubjectScheme,
+    VendorProfile,
+)
+
+__all__ = ["Location", "PrivateCA", "Device", "DEFAULT_KEY_BITS"]
+
+#: Small-but-real RSA moduli keep whole-world simulation fast.
+DEFAULT_KEY_BITS = 128
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a device lives from ``from_day`` onward."""
+
+    from_day: int
+    asn: int
+    subscriber: int
+
+
+@dataclass(frozen=True)
+class PrivateCA:
+    """An untrusted per-site CA that signs enterprise device certificates."""
+
+    name: Name
+    keypair: KeyPair
+
+    @property
+    def key_id(self) -> bytes:
+        """Key identifier used in the AKI extension of issued leaves."""
+        return self.keypair.public.fingerprint[:20]
+
+
+class Device:
+    """One simulated end-user device."""
+
+    def __init__(
+        self,
+        device_id: int,
+        profile: VendorProfile,
+        world_seed: int,
+        active_from: int,
+        active_until: int,
+        locations: list[Location],
+        shared_keypair: Optional[KeyPair] = None,
+        private_ca: Optional[PrivateCA] = None,
+        firmware_epoch_day: int = 0,
+        key_bits: int = DEFAULT_KEY_BITS,
+        cert_scope: Optional[int] = None,
+    ) -> None:
+        if not locations:
+            raise ValueError("device needs at least one location")
+        if profile.key_policy is KeyPolicy.VENDOR_SHARED and shared_keypair is None:
+            raise ValueError(f"profile {profile.name} needs a shared keypair")
+        if profile.issuer_scheme is IssuerScheme.PRIVATE_CA and private_ca is None:
+            raise ValueError(f"profile {profile.name} needs a private CA")
+        self.device_id = device_id
+        self.profile = profile
+        self.active_from = active_from
+        self.active_until = active_until
+        self.locations = sorted(locations, key=lambda loc: loc.from_day)
+        self._world_seed = world_seed
+        self._shared_keypair = shared_keypair
+        self.private_ca = private_ca
+        self._firmware_epoch_day = firmware_epoch_day
+        self._key_bits = key_bits
+        #: When set, certificate material derives from the batch, not the
+        #: device — every device of the batch serves identical certificates.
+        self.cert_scope = cert_scope
+        self._cert_cache: dict[int, Certificate] = {}
+        self._stable_key: Optional[KeyPair] = None
+        # Device-stable identity facts derive from a dedicated RNG stream.
+        identity_rng = self._rng("identity")
+        self.mac = ":".join(f"{identity_rng.randrange(256):02X}" for _ in range(6))
+        self._private_ip = (
+            f"192.168.{identity_rng.randrange(256)}.{identity_rng.randrange(1, 255)}"
+        )
+        self._device_token = f"{identity_rng.randrange(10 ** 6):06d}"
+        self._dyndns_style = identity_rng.random()
+        self._has_per_device_san = (
+            identity_rng.random() < profile.san_per_device_fraction
+        )
+        self._rtc_failed = identity_rng.random() < profile.rtc_failure_fraction
+        self._has_crl = identity_rng.random() < profile.crl_fraction
+        self._has_aia = identity_rng.random() < profile.aia_fraction
+        self._has_ocsp = identity_rng.random() < profile.ocsp_fraction
+        self._has_policy = identity_rng.random() < profile.policy_fraction
+        self._constant_serial = identity_rng.getrandbits(48)
+        #: Phase offset so a fleet does not reissue in lockstep — except
+        #: within a certificate batch, which rotates together.
+        phase_rng = self._cert_rng("phase") if cert_scope is not None else identity_rng
+        period = profile.reissue_period_days
+        self._reissue_phase = phase_rng.randrange(period) if period else 0
+        #: Hour-of-day at which a reissue takes effect.  Consumer devices
+        #: regenerate during the nightly reconnect window (early morning),
+        #: so reissues landing on a scan day leave the old certificate
+        #: visible early in the sweep and the new one late — the
+        #: single-scan overlap §6.3.2 tolerates.
+        self._reissue_hour = phase_rng.random() * 6.0
+
+    # --- location ---------------------------------------------------------------
+
+    def is_active(self, day: int) -> bool:
+        """Is the device online (responding to scans) on ``day``?"""
+        return self.active_from <= day <= self.active_until
+
+    def location_at(self, day: int) -> Location:
+        """The device's location on ``day`` (the latest one started)."""
+        current = self.locations[0]
+        for location in self.locations:
+            if location.from_day <= day:
+                current = location
+            else:
+                break
+        return current
+
+    # --- certificate lifecycle ----------------------------------------------------
+
+    def reissue_epoch(self, day: int) -> int:
+        """Index of the certificate generation in force on ``day``."""
+        period = self.profile.reissue_period_days
+        if not period:
+            return 0
+        age = day - self.active_from + self._reissue_phase
+        return max(0, age // period)
+
+    def issue_day_of_epoch(self, epoch: int) -> int:
+        """Day the certificate of ``epoch`` was generated."""
+        period = self.profile.reissue_period_days
+        if not period or epoch == 0:
+            return self.active_from
+        return self.active_from - self._reissue_phase + epoch * period
+
+    def certificate_on(self, day: int) -> Certificate:
+        """The certificate the device serves on ``day`` (end of day)."""
+        return self.certificate_for_epoch(self.reissue_epoch(day))
+
+    def reissue_hour_on(self, day: int) -> float:
+        """Hour at which the certificate changes on ``day`` (-1 if it does not)."""
+        epoch = self.reissue_epoch(day)
+        if epoch > 0 and self.issue_day_of_epoch(epoch) == day:
+            return self._reissue_hour
+        return -1.0
+
+    def certificate_at(self, day: int, hour: float) -> Certificate:
+        """The certificate in force at an exact instant within ``day``."""
+        epoch = self.reissue_epoch(day)
+        flip_hour = self.reissue_hour_on(day)
+        if flip_hour >= 0.0 and hour < flip_hour:
+            epoch -= 1
+        return self.certificate_for_epoch(epoch)
+
+    def certificate_for_epoch(self, epoch: int) -> Certificate:
+        """Deterministically (re)generate the certificate of one epoch."""
+        cached = self._cert_cache.get(epoch)
+        if cached is None:
+            cached = self._build_certificate(epoch)
+            self._cert_cache[epoch] = cached
+        return cached
+
+    # --- internals ------------------------------------------------------------------
+
+    def _rng(self, *scope) -> random.Random:
+        return stable_rng(self._world_seed, "device", self.device_id, *scope)
+
+    def _cert_rng(self, *scope) -> random.Random:
+        """RNG stream for certificate material: per batch when scoped."""
+        if self.cert_scope is not None:
+            return stable_rng(
+                self._world_seed, "cert-batch", self.profile.name,
+                self.cert_scope, *scope,
+            )
+        return self._rng(*scope)
+
+    def _keypair_for_epoch(self, epoch: int) -> KeyPair:
+        policy = self.profile.key_policy
+        if policy is KeyPolicy.VENDOR_SHARED:
+            assert self._shared_keypair is not None
+            return self._shared_keypair
+        if policy is KeyPolicy.DEVICE_STABLE:
+            if self._stable_key is None:
+                self._stable_key = generate_keypair(
+                    self._cert_rng("key"), self._key_bits
+                )
+            return self._stable_key
+        return generate_keypair(self._cert_rng("key", epoch), self._key_bits)
+
+    def _subject_name(self, epoch: int) -> Name:
+        profile = self.profile
+        scheme = profile.subject_scheme
+        if scheme is SubjectScheme.FIXED:
+            return Name.common_name(profile.subject_text)
+        if scheme is SubjectScheme.EMPTY:
+            return Name.empty()
+        if scheme is SubjectScheme.PRIVATE_IP_SHARED:
+            return Name.common_name("192.168.1.1")
+        if scheme is SubjectScheme.PRIVATE_IP_PER_DEVICE:
+            return Name.common_name(self._private_ip)
+        if scheme is SubjectScheme.PER_DEVICE:
+            return Name.common_name(
+                profile.subject_text.format(device=self._device_token, mac=self.mac)
+            )
+        if scheme is SubjectScheme.PER_REISSUE:
+            return Name.common_name(
+                profile.subject_text.format(
+                    device=self._device_token, mac=self.mac, epoch=epoch
+                )
+            )
+        if scheme is SubjectScheme.DYNDNS:
+            # FRITZ!Box-style: most boxes use the plain 'fritz.box' name, a
+            # sizeable minority carry dynamic-DNS Common Names (§6.4.2 finds
+            # 16 % myfritz.net plus 8 % containing 'dyndns'/'selfhost').
+            if self._dyndns_style < 0.25:
+                return Name.common_name(f"box{self._device_token}.myfritz.net")
+            if self._dyndns_style < 0.33:
+                return Name.common_name(f"host{self._device_token}.dyndns.org")
+            if self._dyndns_style < 0.37:
+                return Name.common_name(f"unit{self._device_token}.selfhost.de")
+            return Name.common_name("fritz.box")
+        raise AssertionError(f"unhandled subject scheme {scheme}")
+
+    def _issuer_name(self, subject: Name) -> Name:
+        profile = self.profile
+        scheme = profile.issuer_scheme
+        if scheme is IssuerScheme.FIXED:
+            return Name.common_name(profile.issuer_text)
+        if scheme is IssuerScheme.EMPTY:
+            return Name.empty()
+        if scheme is IssuerScheme.PRIVATE_IP:
+            return Name.common_name("192.168.1.1")
+        if scheme is IssuerScheme.PER_DEVICE:
+            return Name.common_name(
+                profile.issuer_text.format(
+                    device=self._device_token,
+                    mac=self.mac,
+                    build=self._firmware_epoch_day,
+                )
+            )
+        if scheme is IssuerScheme.SAME_AS_SUBJECT:
+            return subject
+        if scheme is IssuerScheme.PRIVATE_CA:
+            assert self.private_ca is not None
+            return self.private_ca.name
+        raise AssertionError(f"unhandled issuer scheme {scheme}")
+
+    def _serial(self, epoch: int) -> int:
+        policy = self.profile.serial_policy
+        if policy is SerialPolicy.DEVICE_CONSTANT:
+            return self._constant_serial
+        if policy is SerialPolicy.VENDOR_CONSTANT:
+            return 1
+        return self._cert_rng("serial", epoch).getrandbits(63)
+
+    def _not_before(self, epoch: int, rng: random.Random) -> tuple[int, int]:
+        """(day, seconds-in-day) of the certificate's Not Before.
+
+        AT_ISSUE devices stamp the actual generation instant — second
+        resolution, so cross-device collisions are rare.  FIRMWARE_EPOCH
+        devices stamp the firmware build time, shared across the build.
+        """
+        issue_day = self.issue_day_of_epoch(epoch)
+        if self._rtc_failed:
+            # Dead clock: the stack stamps its epoch default, 2000-01-01
+            # 00:00:00 — day 0 of simulated time, shared across vendors.
+            return 0, 0
+        if self.profile.not_before_mode is NotBeforeMode.FIRMWARE_EPOCH:
+            return self._firmware_epoch_day, 0
+        # Device clocks are mostly right (Figure 5: ~70 % within 4 days of
+        # first sighting) but a few run ahead, yielding Not Before dates
+        # *after* the first scan that saw the certificate (2.9 %).
+        seconds = rng.randrange(86400)
+        if rng.random() < 0.04:
+            return issue_day + rng.randrange(1, 30), seconds
+        # Most devices stamp the generation day itself; a minority carry a
+        # small lag (cert generated at provisioning, deployed days later).
+        offset = 0 if rng.random() < 0.75 else rng.randrange(1, 4)
+        return issue_day - offset, seconds
+
+    def _build_certificate(self, epoch: int) -> Certificate:
+        profile = self.profile
+        cert_rng = self._cert_rng("cert", epoch)
+        keypair = self._keypair_for_epoch(epoch)
+        subject = self._subject_name(epoch)
+        issuer = self._issuer_name(subject)
+        not_before, nb_secs = self._not_before(epoch, cert_rng)
+        validity_days = profile.picks_validity(cert_rng)
+
+        builder = (
+            CertificateBuilder()
+            .version(profile.version, strict=False)
+            .serial(self._serial(epoch))
+            .subject(subject)
+            .issuer(issuer)
+            .validity(
+                not_before, not_before + validity_days,
+                not_before_secs=nb_secs, not_after_secs=nb_secs,
+            )
+            .keypair(keypair)
+        )
+        if profile.version == 3:
+            self._attach_extensions(builder)
+        if profile.issuer_scheme is IssuerScheme.PRIVATE_CA:
+            assert self.private_ca is not None
+            builder.authority_key_id(self.private_ca.key_id)
+            return builder.sign_with(
+                self.private_ca.name, self.private_ca.keypair.private
+            )
+        return builder.self_sign(keypair.private)
+
+    def _attach_extensions(self, builder: CertificateBuilder) -> None:
+        profile = self.profile
+        sans = list(profile.san_shared)
+        if self._has_per_device_san and profile.san_per_device:
+            sans.append(profile.san_per_device.format(device=self._device_token))
+        builder.subject_alt_names(sans)
+        if self._has_crl:
+            builder.crl_uris(
+                [f"http://crl.{profile.name}.example/{self._device_token}.crl"]
+            )
+        if self._has_aia or self._has_ocsp:
+            ocsp = (
+                [f"http://ocsp.{profile.name}.example/{self._device_token}"]
+                if self._has_ocsp
+                else []
+            )
+            ca_issuers = (
+                [f"http://ca.{profile.name}.example/{self._device_token}.crt"]
+                if self._has_aia
+                else []
+            )
+            builder.aia(ocsp=ocsp, ca_issuers=ca_issuers)
+        if self._has_policy:
+            builder.policies(
+                [OID.parse(f"1.3.6.1.4.1.54321.{int(self._device_token)}")]
+            )

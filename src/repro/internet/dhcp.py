@@ -1,0 +1,203 @@
+"""IP address assignment policies.
+
+Models how access ISPs hand addresses to subscribers, which drives two of
+the paper's central phenomena:
+
+* **scan duplicates** (§6.2) — a device whose address changes mid-scan can
+  be observed at two addresses in one scan;
+* **IP-level vs AS-level linking consistency** (§6.4) — German access ISPs
+  (Deutsche Telekom, Vodafone, Telefonica) force daily reassignment, so
+  linking on stable certificate features shows low IP-level but high
+  AS-level consistency;
+* **reassignment-policy inference** (§7.4 / Figure 11) — most ASes are
+  nearly fully static, a few are nearly fully dynamic.
+
+Assignments are *collision-free by construction*: each AS owns an
+:class:`AddressPool`, and each policy maps (subscriber, epoch) to a pool
+position through an affine permutation, so no two subscribers of one AS
+ever share an address at the same instant.  Everything is deterministic
+from the pool and policy parameters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..net.ip import Prefix
+
+__all__ = [
+    "AddressPool",
+    "AssignmentPolicy",
+    "StaticAssignment",
+    "PeriodicReassignment",
+    "HOURS_PER_DAY",
+]
+
+HOURS_PER_DAY = 24.0
+
+
+class AddressPool:
+    """The address space one AS assigns subscribers from.
+
+    Positions ``0..size-1`` map onto the concatenation of the pool's
+    prefixes in order.
+    """
+
+    def __init__(self, prefixes: Sequence[Prefix]) -> None:
+        if not prefixes:
+            raise ValueError("address pool needs at least one prefix")
+        self._prefixes = tuple(prefixes)
+        self._offsets: list[int] = []
+        total = 0
+        for prefix in self._prefixes:
+            self._offsets.append(total)
+            total += prefix.size
+        self._size = total
+
+    @property
+    def size(self) -> int:
+        """Total number of assignable addresses."""
+        return self._size
+
+    @property
+    def prefixes(self) -> tuple[Prefix, ...]:
+        return self._prefixes
+
+    def address_at(self, position: int) -> int:
+        """Map a pool position to a concrete IPv4 address."""
+        if not 0 <= position < self._size:
+            raise IndexError(f"pool position {position} out of range")
+        # Linear scan: pools hold a handful of prefixes.
+        for prefix, offset in zip(reversed(self._prefixes), reversed(self._offsets)):
+            if position >= offset:
+                return prefix.first + (position - offset)
+        raise AssertionError("unreachable")
+
+    def contains(self, ip: int) -> bool:
+        """Is the address part of this pool?"""
+        return any(prefix.contains(ip) for prefix in self._prefixes)
+
+
+def _coprime_stride(rng: random.Random, size: int) -> int:
+    """A stride coprime to ``size`` so the affine map permutes positions."""
+    if size == 1:
+        return 1
+    while True:
+        stride = rng.randrange(1, size)
+        if math.gcd(stride, size) == 1:
+            return stride
+
+
+@dataclass(frozen=True)
+class StaticAssignment:
+    """Every subscriber keeps one address forever."""
+
+    pool: AddressPool
+    stride: int
+    offset: int
+
+    @classmethod
+    def create(cls, pool: AddressPool, rng: random.Random) -> "StaticAssignment":
+        return cls(pool, _coprime_stride(rng, pool.size), rng.randrange(pool.size))
+
+    @property
+    def capacity(self) -> int:
+        """Collision-free subscriber capacity (the whole pool)."""
+        return self.pool.size
+
+    def epoch(self, day: int, hour: float = 0.0) -> int:
+        """Static pools have a single eternal epoch."""
+        return 0
+
+    def address(self, subscriber: int, day: int, hour: float = 0.0) -> int:
+        """The subscriber's (permanent) address."""
+        position = (subscriber * self.stride + self.offset) % self.pool.size
+        return self.pool.address_at(position)
+
+    def reassignment_hour(self, subscriber: int, day: int) -> float:
+        """Static pools never reassign mid-day."""
+        return -1.0
+
+
+@dataclass(frozen=True)
+class PeriodicReassignment:
+    """Subscribers receive a fresh address every ``period_days``.
+
+    Models forced-reconnect ISPs (period 1 ≈ Deutsche Telekom's daily
+    churn) as well as slower lease-rollover regimes.  Each subscriber's
+    reassignment lands at a per-subscriber pseudo-random hour of the day,
+    which is what makes mid-scan address changes (scan duplicates) possible.
+
+    Within an epoch, addresses come from an affine permutation; adjacent
+    epochs draw from *disjoint pool halves* (by epoch parity), so even
+    while a flip is in progress — some subscribers on the old epoch, some
+    on the new — no two subscribers ever hold the same address.
+    """
+
+    pool: AddressPool
+    period_days: int
+    stride: int
+    epoch_stride: int
+    offset: int
+    hour_salt: int
+
+    @classmethod
+    def create(
+        cls, pool: AddressPool, period_days: int, rng: random.Random
+    ) -> "PeriodicReassignment":
+        if period_days < 1:
+            raise ValueError(f"period must be >= 1 day, got {period_days}")
+        if pool.size < 2:
+            raise ValueError("periodic pools need at least two addresses")
+        half = pool.size // 2
+        return cls(
+            pool=pool,
+            period_days=period_days,
+            stride=_coprime_stride(rng, half),
+            epoch_stride=rng.randrange(1, max(2, half)),
+            offset=rng.randrange(half),
+            hour_salt=rng.getrandbits(32),
+        )
+
+    def reassignment_hour(self, subscriber: int, day: int) -> float:
+        """Hour-of-day at which this subscriber's address flips on ``day``.
+
+        Returns -1.0 when no reassignment happens on that day.
+        """
+        if day % self.period_days != 0:
+            return -1.0
+        mixed = (subscriber * 2654435761 + self.hour_salt) & 0xFFFFFFFF
+        return (mixed / 0x100000000) * HOURS_PER_DAY
+
+    def epoch(self, day: int, hour: float = 0.0, subscriber: int = 0) -> int:
+        """The reassignment epoch in force for ``subscriber`` at (day, hour)."""
+        base_epoch = day // self.period_days
+        flip_hour = self.reassignment_hour(subscriber, day)
+        if flip_hour >= 0.0 and hour < flip_hour:
+            # The flip to this epoch has not happened yet today.
+            return base_epoch - 1
+        return base_epoch
+
+    @property
+    def capacity(self) -> int:
+        """Collision-free subscriber capacity (half the pool)."""
+        return self.pool.size // 2
+
+    def address(self, subscriber: int, day: int, hour: float = 0.0) -> int:
+        """Address held by the subscriber at the given instant."""
+        if subscriber >= self.capacity:
+            raise ValueError(
+                f"subscriber {subscriber} exceeds pool capacity {self.capacity}"
+            )
+        epoch = self.epoch(day, hour, subscriber)
+        half = self.capacity
+        position = (
+            subscriber * self.stride + epoch * self.epoch_stride + self.offset
+        ) % half
+        return self.pool.address_at(position + (epoch % 2) * half)
+
+
+AssignmentPolicy = StaticAssignment | PeriodicReassignment

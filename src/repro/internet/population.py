@@ -1,0 +1,552 @@
+"""World assembly: ASes, prefixes, policies, devices, and websites.
+
+:func:`build_world` turns a :class:`WorldConfig` into a fully wired
+:class:`World`:
+
+* an AS topology with the named ISPs of Table 3 (Deutsche Telekom, Comcast,
+  Vodafone, Telefonica Germany, Korea Telecom on the invalid side; GoDaddy,
+  Unified Layer, Amazon, SoftLayer on the valid side) plus configurable
+  long tails of generic access, enterprise, and hosting ASes;
+* a BGP routing history, including the §7.3-style bulk prefix transfer
+  (Verizon hands a prefix to MCI mid-dataset);
+* per-AS address-assignment policies — the German consumer ISPs force
+  daily reassignment, most others are static (Figure 11's bimodality);
+* a device fleet drawn from the vendor catalog with per-profile AS
+  affinities (FRITZ!Boxes overwhelmingly in German churn ISPs, PlayBooks
+  behind mobile carriers, CRL-bearing gateways in static ASes);
+* a website fleet in hosting/content ASes with static addresses.
+
+Everything is deterministic from ``config.seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..net.asn import ASInfo, ASRegistry, ASType, OrgRecord
+from ..net.bgp import PrefixTable, Route, RoutingHistory
+from ..net.ip import Prefix
+from ..seeding import stable_rng
+from ..x509.keys import generate_keypair
+from ..x509.name import Name
+from ..x509.truststore import TrustStore
+from .devices import DEFAULT_KEY_BITS, Device, Location, PrivateCA
+from .dhcp import AddressPool, AssignmentPolicy, PeriodicReassignment, StaticAssignment
+from .vendors import IssuerScheme, VendorProfile, standard_catalog
+from .websites import CAHierarchy, CommercialCA, Website
+
+__all__ = ["ASBlueprint", "WorldConfig", "World", "build_world", "standard_topology"]
+
+
+@dataclass(frozen=True)
+class ASBlueprint:
+    """Specification for one AS before it is wired into the world."""
+
+    asn: int
+    name: str
+    org: str
+    country: str
+    as_type: ASType
+    group: str                 # placement tag, e.g. 'german-churn'
+    policy: str                # 'static' or 'periodic'
+    period_days: int = 1
+    prefix_length: int = 18    # one pool prefix of this length
+    weight: float = 1.0        # share of group placement
+
+
+def standard_topology(
+    n_generic_access: int = 120,
+    n_enterprise: int = 25,
+    n_hosting: int = 16,
+) -> list[ASBlueprint]:
+    """The default AS topology, headlined by the paper's named networks."""
+    t = ASType.TRANSIT_ACCESS
+    blueprints = [
+        # German consumer ISPs: huge FRITZ!Box fleets, daily reassignment.
+        ASBlueprint(3320, "Deutsche Telekom AG", "Deutsche Telekom AG", "DEU", t,
+                    "german-churn", "periodic", 1, 16, weight=4.0),
+        ASBlueprint(3209, "Vodafone GmbH", "Vodafone GmbH", "DEU", t,
+                    "german-churn", "periodic", 1, 17, weight=1.5),
+        ASBlueprint(6805, "Telefonica Germany GmbH", "Telefonica Germany", "DEU", t,
+                    "german-churn", "periodic", 1, 17, weight=1.2),
+        # Large mostly-static consumer ISPs.
+        ASBlueprint(7922, "Comcast Cable Communications, Inc.", "Comcast", "USA", t,
+                    "us-static", "static", 1, 16, weight=3.0),
+        ASBlueprint(7018, "AT&T Internet Services", "AT&T", "USA", t,
+                    "us-static", "static", 1, 17, weight=1.5),
+        ASBlueprint(4766, "Korea Telecom", "Korea Telecom", "KOR", t,
+                    "asia-static", "static", 1, 16, weight=2.0),
+        # The prefix-transfer pair of §7.3.
+        ASBlueprint(19262, "Verizon Online LLC", "Verizon", "USA", t,
+                    "us-static", "static", 1, 17, weight=1.0),
+        ASBlueprint(701, "MCI Communications Services", "Verizon", "USA", t,
+                    "us-static", "static", 1, 18, weight=0.3),
+        # Mobile carriers (PlayBook homes), heavily dynamic.
+        ASBlueprint(23300, "BlackBerry Carrier Net", "BlackBerry", "CAN", t,
+                    "mobile", "periodic", 1, 18, weight=1.0),
+        ASBlueprint(22394, "Cellco Partnership", "Verizon Wireless", "USA", t,
+                    "mobile", "periodic", 1, 18, weight=1.0),
+        # Highly dynamic international access ISPs (§7.4's examples).
+        ASBlueprint(8048, "CANTV Servicios Venezuela", "Telefonica Venezolana", "VEN", t,
+                    "latam-churn", "periodic", 1, 18, weight=1.0),
+        ASBlueprint(26599, "TIM Celular S.A.", "Tim Celular", "BRA", t,
+                    "latam-churn", "periodic", 1, 18, weight=0.7),
+        ASBlueprint(45477, "BSES TeleCom Limited", "BSES TeleCom", "IND", t,
+                    "asia-churn", "periodic", 1, 19, weight=0.5),
+        # Hosting / content networks of Table 3's valid side.
+        ASBlueprint(26496, "GoDaddy.com, LLC", "GoDaddy", "USA", ASType.CONTENT,
+                    "hosting", "static", 1, 17, weight=3.0),
+        ASBlueprint(46606, "Unified Layer", "Unified Layer", "USA", ASType.CONTENT,
+                    "hosting", "static", 1, 18, weight=1.5),
+        ASBlueprint(14618, "Amazon, Inc.", "Amazon", "USA", ASType.CONTENT,
+                    "hosting", "static", 1, 17, weight=1.3),
+        ASBlueprint(36351, "SoftLayer Technologies", "SoftLayer", "USA", ASType.CONTENT,
+                    "hosting", "static", 1, 18, weight=1.2),
+        ASBlueprint(16509, "Amazon, Inc.", "Amazon", "USA", ASType.CONTENT,
+                    "hosting", "static", 1, 18, weight=1.1),
+    ]
+
+    countries = ("USA", "DEU", "GBR", "FRA", "JPN", "KOR", "BRA", "RUS",
+                 "ITA", "ESP", "NLD", "POL", "CAN", "AUS", "TUR", "MEX")
+    for index in range(n_generic_access):
+        rng = stable_rng("topology-access", index)
+        country = countries[index % len(countries)]
+        # Most access ASes are static; a minority churn (Figure 11).
+        if index % 7 == 0:
+            policy, period = "periodic", rng.choice((1, 7, 30))
+        else:
+            policy, period = "static", 1
+        blueprints.append(
+            ASBlueprint(
+                60000 + index, f"Access ISP {index}", f"Access Org {index}",
+                country, t, "generic-access", policy, period, 20,
+                weight=0.2 + rng.random(),
+            )
+        )
+    for index in range(n_enterprise):
+        blueprints.append(
+            ASBlueprint(
+                64600 + index, f"Enterprise Net {index}", f"Enterprise {index}",
+                countries[index % len(countries)], ASType.ENTERPRISE,
+                "enterprise", "static", 1, 22, weight=1.0,
+            )
+        )
+    for index in range(n_hosting):
+        blueprints.append(
+            ASBlueprint(
+                39000 + index, f"Hosting Provider {index}", f"Hosting {index}",
+                "USA" if index % 3 else "NLD", ASType.CONTENT,
+                "hosting", "static", 1, 20, weight=0.4,
+            )
+        )
+    return blueprints
+
+
+#: Per-profile placement affinity: vendor name → {AS group: weight}.
+_PROFILE_AFFINITY: dict[str, dict[str, float]] = {
+    "fritzbox": {"german-churn": 0.85, "generic-access": 0.15},
+    "budget-router": {"generic-access": 0.50, "asia-churn": 0.20,
+                      "latam-churn": 0.20, "asia-static": 0.10},
+    "dvr": {"asia-static": 0.40, "generic-access": 0.35, "asia-churn": 0.25},
+    "lancom": {"german-churn": 0.45, "generic-access": 0.45, "enterprise": 0.10},
+    "generic-router": {"us-static": 0.40, "generic-access": 0.40,
+                       "asia-static": 0.12, "latam-churn": 0.05, "asia-churn": 0.03},
+    "wd-mycloud": {"us-static": 0.55, "generic-access": 0.45},
+    "vmware": {"enterprise": 0.55, "us-static": 0.25, "generic-access": 0.20},
+    "playbook": {"mobile": 0.95, "generic-access": 0.05},
+    "empty-issuer": {"generic-access": 0.60, "us-static": 0.25, "asia-static": 0.15},
+    "enterprise-gateway": {"enterprise": 0.60, "us-static": 0.20, "generic-access": 0.20},
+    "vpn-concentrator": {"enterprise": 0.70, "us-static": 0.30},
+    "enterprise-firewall": {"enterprise": 0.70, "generic-access": 0.30},
+    "ip-camera": {"generic-access": 0.50, "asia-static": 0.30, "us-static": 0.20},
+    "legacy-v1": {"generic-access": 0.50, "us-static": 0.30, "asia-static": 0.20},
+    "misc-appliance": {"generic-access": 0.60, "enterprise": 0.40},
+    "firmware-baked": {"generic-access": 0.55, "asia-static": 0.25, "us-static": 0.20},
+    "broken-version": {"generic-access": 0.60, "asia-static": 0.40},
+    "cpe-fleet": {"us-static": 0.50, "generic-access": 0.30, "asia-static": 0.20},
+    "managed-gateway": {"us-static": 0.60, "enterprise": 0.40},
+}
+
+
+@dataclass
+class WorldConfig:
+    """Tunable knobs of the synthetic world."""
+
+    seed: int = 2016
+    n_devices: int = 1200
+    n_websites: int = 410
+    #: Day range the simulation must cover (scan campaigns live inside it).
+    start_day: int = 4500
+    end_day: int = 5600
+    #: Fraction of devices already online at ``start_day``; the rest arrive
+    #: uniformly over the window (invalid certificates grow over time).
+    initially_active: float = 0.45
+    #: Fraction of devices that switch access ISP once (§7.3 movement).
+    mover_fraction: float = 0.10
+    #: Fraction of movers whose new ISP is in a different country.
+    cross_country_fraction: float = 0.08
+    #: Day the Verizon→MCI prefix transfer happens (None disables it).
+    prefix_transfer_day: Optional[int] = 5000
+    #: Day of a Heartbleed-style disclosure (None disables the event).
+    #: Vulnerable websites reissue out of schedule within weeks; 4.1 % of
+    #: those emergency reissues keep the exposed key (Zhang et al., §5.2).
+    heartbleed_day: Optional[int] = None
+    #: Fraction of websites running a vulnerable stack when it is enabled.
+    heartbleed_vulnerable_fraction: float = 0.30
+    n_generic_access: int = 120
+    n_enterprise: int = 25
+    n_hosting: int = 16
+    #: Pad the trust store with roots that sign nothing.
+    unused_roots: int = 40
+    key_bits: int = DEFAULT_KEY_BITS
+    catalog: tuple[VendorProfile, ...] = field(default_factory=standard_catalog)
+
+
+class World:
+    """The assembled simulated Internet."""
+
+    def __init__(
+        self,
+        config: WorldConfig,
+        registry: ASRegistry,
+        routing: RoutingHistory,
+        policies: dict[int, AssignmentPolicy],
+        devices: list[Device],
+        websites: list[Website],
+        hierarchy: CAHierarchy,
+        trust_store: TrustStore,
+        blueprints: list[ASBlueprint],
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        self.routing = routing
+        self.policies = policies
+        self.devices = devices
+        self.websites = websites
+        self.hierarchy = hierarchy
+        self.trust_store = trust_store
+        self.blueprints = blueprints
+
+    # --- ground-truth address resolution -----------------------------------
+
+    def device_ip(self, device: Device, day: int, hour: float = 0.0) -> int:
+        """The address a device holds at a given instant."""
+        location = device.location_at(day)
+        policy = self.policies[location.asn]
+        return policy.address(location.subscriber, day, hour)
+
+    def device_reassignment_hour(self, device: Device, day: int) -> float:
+        """Hour the device's address flips on ``day`` (-1 if it does not)."""
+        location = device.location_at(day)
+        policy = self.policies[location.asn]
+        return policy.reassignment_hour(location.subscriber, day)
+
+    def origin_as(self, ip: int, day: int) -> Optional[int]:
+        """Routing-table AS lookup, as the analysis layer performs it."""
+        return self.routing.origin_as(ip, day)
+
+
+def build_world(config: WorldConfig) -> World:
+    """Assemble a deterministic world from the configuration."""
+    blueprints = standard_topology(
+        config.n_generic_access, config.n_enterprise, config.n_hosting
+    )
+    registry, routing, policies, pools, server_pools = _wire_networks(
+        config, blueprints
+    )
+    hierarchy = CAHierarchy(config.seed, epoch_day=config.start_day)
+    trust_store = hierarchy.trust_store(extra_unused_roots=config.unused_roots)
+    devices = _build_devices(config, blueprints)
+    websites = _build_websites(config, blueprints, hierarchy, server_pools)
+    return World(
+        config, registry, routing, policies, devices, websites,
+        hierarchy, trust_store, blueprints,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Network wiring
+# ---------------------------------------------------------------------------
+
+_USABLE_SLASH8 = [
+    top for top in range(1, 224)
+    if top not in (10, 100, 127, 169, 172, 192)
+]
+
+
+def _wire_networks(config, blueprints):
+    registry = ASRegistry()
+    table = PrefixTable()
+    policies: dict[int, AssignmentPolicy] = {}
+    pools: dict[int, AddressPool] = {}
+    #: Statically-addressed server blocks, one small prefix per AS, kept
+    #: disjoint from the subscriber pools so hosted websites never collide
+    #: with DHCP assignments.
+    server_pools: dict[int, AddressPool] = {}
+
+    block_cursor = 0  # cursor over successive /16 blocks in usable space
+
+    def take_prefix(length: int) -> Prefix:
+        nonlocal block_cursor
+        # Allocate from consecutive /16 blocks; prefixes of length >= 16
+        # each consume one block (keeps allocation simple and collision-free).
+        if length < 16:
+            raise ValueError("topology prefixes must be /16 or smaller pools")
+        # Stride across /8s so allocations spread over the address space
+        # the way real assignments do (Figure 1 plots per-/8 behaviour).
+        top = _USABLE_SLASH8[block_cursor % len(_USABLE_SLASH8)]
+        second = (block_cursor // len(_USABLE_SLASH8)) % 256
+        block_cursor += 1
+        return Prefix((top << 24) | (second << 16), length)
+
+    for blueprint in blueprints:
+        registry.add(
+            ASInfo(
+                asn=blueprint.asn,
+                name=blueprint.name,
+                as_type=blueprint.as_type,
+                org_history=[
+                    OrgRecord(config.start_day - 200, blueprint.org, blueprint.country),
+                    OrgRecord(config.start_day + 400, blueprint.org, blueprint.country),
+                ],
+            )
+        )
+        prefix = take_prefix(blueprint.prefix_length)
+        table.add(Route(prefix, blueprint.asn))
+        pool = AddressPool([prefix])
+        pools[blueprint.asn] = pool
+        server_prefix = take_prefix(22)
+        table.add(Route(server_prefix, blueprint.asn))
+        server_pools[blueprint.asn] = AddressPool([server_prefix])
+        rng = stable_rng(config.seed, "policy", blueprint.asn)
+        if blueprint.policy == "periodic":
+            policies[blueprint.asn] = PeriodicReassignment.create(
+                pool, blueprint.period_days, rng
+            )
+        else:
+            policies[blueprint.asn] = StaticAssignment.create(pool, rng)
+
+    # The §7.3 bulk transfer: Verizon re-originates half its pool via MCI.
+    if config.prefix_transfer_day is not None:
+        verizon_prefix = table.prefixes_of(19262)[0]
+        moved = Prefix(verizon_prefix.network, verizon_prefix.length + 1)
+        after = table.copy()
+        after.add(Route(moved, 701))
+        routing = RoutingHistory(
+            [(0, table), (config.prefix_transfer_day, after)]
+        )
+    else:
+        routing = RoutingHistory.constant(table)
+    return registry, routing, policies, pools, server_pools
+
+
+# ---------------------------------------------------------------------------
+# Device fleet
+# ---------------------------------------------------------------------------
+
+def _group_members(blueprints, group):
+    members = [bp for bp in blueprints if bp.group == group]
+    if not members:
+        raise ValueError(f"no ASes in group {group!r}")
+    return members
+
+
+def _build_devices(config, blueprints):
+    rng = stable_rng(config.seed, "fleet")
+    catalog = config.catalog
+    subscriber_counters: dict[int, int] = {}
+    private_cas: dict[tuple[str, int], PrivateCA] = {}
+    devices: list[Device] = []
+
+    def next_subscriber(asn: int) -> int:
+        index = subscriber_counters.get(asn, 0)
+        subscriber_counters[asn] = index + 1
+        return index
+
+    def pick_as(profile_name: str) -> int:
+        affinity = _PROFILE_AFFINITY[profile_name]
+        group = rng.choices(list(affinity), weights=list(affinity.values()), k=1)[0]
+        members = _group_members(blueprints, group)
+        chosen = rng.choices(members, weights=[bp.weight for bp in members], k=1)[0]
+        return chosen.asn
+
+    def private_ca_for(profile: VendorProfile, device_index: int) -> PrivateCA:
+        if profile.ca_scope == "vendor":
+            ca_index = 0
+            name = Name.common_name(profile.issuer_text or f"{profile.name} CA")
+        else:
+            ca_index = device_index // profile.devices_per_ca
+            name = Name.build(
+                CN=f"{profile.name}-site-{ca_index} CA", O=f"Site {ca_index}"
+            )
+        key = (profile.name, ca_index)
+        existing = private_cas.get(key)
+        if existing is None:
+            ca_rng = stable_rng(config.seed, "private-ca", profile.name, ca_index)
+            existing = PrivateCA(
+                name=name,
+                keypair=generate_keypair(ca_rng, config.key_bits),
+            )
+            private_cas[key] = existing
+        return existing
+
+    shared_keys = {
+        profile.name: generate_keypair(
+            stable_rng(config.seed, "vendor-key", profile.name), config.key_bits
+        )
+        for profile in catalog
+    }
+
+    profile_choices = rng.choices(
+        catalog, weights=[p.weight for p in catalog], k=config.n_devices
+    )
+    span = config.end_day - config.start_day
+    per_profile_counter: dict[str, int] = {}
+
+    # Firmware build dates are shared across a product line (a handful of
+    # builds per vendor), so FIRMWARE_EPOCH Not Before values collide
+    # massively across devices — as in the real invalid-cert population.
+    firmware_builds = {
+        profile.name: [
+            config.start_day - stable_rng(config.seed, "fw", profile.name, i).randrange(1000, 4000)
+            for i in range(profile.firmware_build_count)
+        ]
+        for profile in catalog
+    }
+
+    for device_id, profile in enumerate(profile_choices):
+        device_index = per_profile_counter.get(profile.name, 0)
+        per_profile_counter[profile.name] = device_index + 1
+
+        if rng.random() < config.initially_active:
+            active_from = config.start_day - rng.randrange(30, 700)
+        else:
+            active_from = config.start_day + rng.randrange(span)
+        active_until = config.end_day + 100
+        if rng.random() < 0.06:  # a few devices retire mid-dataset
+            active_until = active_from + rng.randrange(60, span)
+
+        cert_scope = None
+        if profile.cert_batch_size > 1:
+            # Shared-certificate batches rotate together, so the whole
+            # batch must agree on its provisioning day.
+            cert_scope = device_index // profile.cert_batch_size
+            batch_rng = stable_rng(config.seed, "batch", profile.name, cert_scope)
+            active_from = config.start_day - batch_rng.randrange(30, 700)
+            active_until = config.end_day + 100
+
+        home_asn = pick_as(profile.name)
+        locations = [Location(active_from, home_asn, next_subscriber(home_asn))]
+
+        if profile.name == "playbook":
+            # Mobile: hop between carriers every few months.
+            hop_day = active_from
+            while True:
+                hop_day += rng.randrange(60, 200)
+                if hop_day >= config.end_day:
+                    break
+                asn = pick_as(profile.name)
+                locations.append(Location(hop_day, asn, next_subscriber(asn)))
+        elif rng.random() < config.mover_fraction:
+            move_day = config.start_day + rng.randrange(span)
+            if rng.random() < config.cross_country_fraction:
+                # Force a different-country AS by resampling.
+                home_country = _country_of(blueprints, home_asn)
+                for _ in range(20):
+                    asn = pick_as(profile.name)
+                    if _country_of(blueprints, asn) != home_country:
+                        break
+            else:
+                asn = pick_as(profile.name)
+            if asn != home_asn:
+                locations.append(Location(move_day, asn, next_subscriber(asn)))
+
+        firmware_epoch = rng.choice(firmware_builds[profile.name])
+        devices.append(
+            Device(
+                device_id=device_id,
+                profile=profile,
+                world_seed=config.seed,
+                active_from=active_from,
+                active_until=active_until,
+                locations=locations,
+                shared_keypair=shared_keys[profile.name],
+                private_ca=(
+                    private_ca_for(profile, device_index)
+                    if profile.issuer_scheme is IssuerScheme.PRIVATE_CA
+                    else None
+                ),
+                firmware_epoch_day=firmware_epoch,
+                key_bits=config.key_bits,
+                cert_scope=cert_scope,
+            )
+        )
+    return devices
+
+
+def _country_of(blueprints, asn):
+    for blueprint in blueprints:
+        if blueprint.asn == asn:
+            return blueprint.country
+    raise KeyError(asn)
+
+
+# ---------------------------------------------------------------------------
+# Website fleet
+# ---------------------------------------------------------------------------
+
+#: Where websites live: mostly hosting/content networks, with a meaningful
+#: share on access and enterprise ASes (Table 2: valid certificates split
+#: ~47 % transit/access vs ~43 % content).
+_WEBSITE_GROUP_WEIGHTS = {
+    "hosting": 0.55,
+    "generic-access": 0.25,
+    "enterprise": 0.12,
+    "us-static": 0.05,
+    "asia-static": 0.03,
+}
+
+
+def _build_websites(config, blueprints, hierarchy, server_pools):
+    rng = stable_rng(config.seed, "websites")
+    host_cursor: dict[int, int] = {}
+    websites: list[Website] = []
+
+    def take_ips(asn: int, count: int) -> list[int]:
+        pool = server_pools[asn]
+        start = host_cursor.get(asn, 0)
+        host_cursor[asn] = start + count
+        return [pool.address_at((start + i) % pool.size) for i in range(count)]
+
+    groups = list(_WEBSITE_GROUP_WEIGHTS)
+    group_weights = list(_WEBSITE_GROUP_WEIGHTS.values())
+    for website_id in range(config.n_websites):
+        group = rng.choices(groups, weights=group_weights, k=1)[0]
+        members = _group_members(blueprints, group)
+        blueprint = rng.choices(members, weights=[bp.weight for bp in members], k=1)[0]
+        # Replication factor: overwhelmingly single-host with a CDN tail.
+        roll = rng.random()
+        if roll < 0.88:
+            replicas = 1
+        elif roll < 0.97:
+            replicas = rng.randrange(2, 6)
+        else:
+            replicas = rng.randrange(10, 40)
+        active_from = config.start_day - rng.randrange(0, 600)
+        websites.append(
+            Website(
+                website_id=website_id,
+                domain=f"site{website_id:04d}.example.com",
+                ca=hierarchy.choose_issuer(rng),
+                world_seed=config.seed,
+                active_from=active_from,
+                active_until=config.end_day + 100,
+                host_ips=take_ips(blueprint.asn, replicas),
+                asn=blueprint.asn,
+                heartbleed_day=config.heartbleed_day,
+                vulnerable=rng.random() < config.heartbleed_vulnerable_fraction,
+            )
+        )
+    return websites

@@ -1,0 +1,477 @@
+"""Vendor behaviour profiles.
+
+Each :class:`VendorProfile` encodes how one family of Internet-connected
+devices generates its SSL certificate: who the issuer claims to be, how the
+subject Common Name is formed, whether the key pair is shared vendor-wide /
+stable per device / fresh per reissue, how often the firmware reissues, and
+which extensions appear.  The catalog in :func:`standard_catalog` is
+calibrated to the populations the paper names:
+
+* **Lancom Systems** — one vendor-wide key pair shared by every device
+  (4.59M certificates, 6.5 % of all invalid ones, share a single key);
+  issuer ``www.lancom-systems.de`` is the top invalid issuer of Table 1.
+* **FRITZ!Box (AVM)** — per-device stable keys, frequent reissue, SAN
+  ``fritz.fonwlan.box`` (+ a per-device ``myfritz.net`` dyndns name on
+  many units), deployed overwhelmingly in German daily-churn ISPs — the
+  population behind the public-key linking case study of §6.4.2.
+* **Generic home routers** — subject *and* issuer ``192.168.1.1`` (the
+  2.44M-certificate Common Name of Table 1).
+* **Western Digital My Cloud** — issuer ``remotewd.com``, per-device stable
+  ``WD2GO <id>`` Common Names (the paper's CN-linking example).
+* **BlackBerry PlayBook** — issuer ``PlayBook: <MAC>`` with a constant
+  per-device serial, behind mobile carriers (the IN+SN case study).
+* **Enterprise gateways** — leaves signed by per-site private CAs, the
+  11.99 % "signed by another untrusted certificate" class with its 1.7M
+  distinct parent keys.
+* plus empty-issuer devices, version-1 legacy devices, IP cameras,
+  printers/IPTV/IP-phones, and a small CRL/AIA/OCSP/policy-bearing class
+  that drives the rarely-populated rows of Tables 5 and 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "DeviceType",
+    "IssuerScheme",
+    "SubjectScheme",
+    "KeyPolicy",
+    "SerialPolicy",
+    "NotBeforeMode",
+    "ValidityChoice",
+    "VendorProfile",
+    "standard_catalog",
+]
+
+
+class DeviceType(enum.Enum):
+    """Device classes of Table 4."""
+
+    HOME_ROUTER = "Home router/cable modem"
+    UNKNOWN = "Unknown"
+    VPN = "VPN"
+    REMOTE_STORAGE = "Remote storage"
+    REMOTE_ADMIN = "Remote administration"
+    FIREWALL = "Firewall"
+    IP_CAMERA = "IP camera"
+    OTHER = "Other (IPTV, IP phone, Alternate CA, Printer)"
+
+
+class IssuerScheme(enum.Enum):
+    """How the issuer name is formed."""
+
+    FIXED = "fixed"              # vendor-wide constant string
+    EMPTY = "empty"              # the empty-string issuer of Table 1
+    PRIVATE_IP = "private-ip"    # e.g. 192.168.1.1
+    PER_DEVICE = "per-device"    # e.g. "PlayBook: <MAC>"
+    SAME_AS_SUBJECT = "same-as-subject"
+    PRIVATE_CA = "private-ca"    # signed by an untrusted per-site CA
+
+
+class SubjectScheme(enum.Enum):
+    """How the subject Common Name is formed."""
+
+    FIXED = "fixed"                  # vendor-wide constant
+    EMPTY = "empty"
+    PRIVATE_IP_SHARED = "private-ip-shared"    # everyone is 192.168.1.1
+    PRIVATE_IP_PER_DEVICE = "private-ip-per-device"
+    PER_DEVICE = "per-device"        # stable unique CN, e.g. WD2GO <id>
+    PER_REISSUE = "per-reissue"      # CN changes on every reissue
+    DYNDNS = "dyndns"                # <id>.<dyndns-domain>
+
+
+class KeyPolicy(enum.Enum):
+    """Key-pair lifecycle."""
+
+    VENDOR_SHARED = "vendor-shared"   # one key pair for the whole fleet
+    DEVICE_STABLE = "device-stable"   # unique per device, kept across reissues
+    PER_REISSUE = "per-reissue"       # regenerated with every certificate
+
+
+class SerialPolicy(enum.Enum):
+    """Serial-number lifecycle."""
+
+    RANDOM = "random"                 # fresh random serial per certificate
+    DEVICE_CONSTANT = "device-constant"  # firmware bakes in one serial
+    VENDOR_CONSTANT = "vendor-constant"  # the whole fleet shares one serial
+
+
+class NotBeforeMode(enum.Enum):
+    """Where the Not Before date comes from (drives Figure 5's bimodality)."""
+
+    AT_ISSUE = "at-issue"             # device clock is right: NB ≈ issue day
+    FIRMWARE_EPOCH = "firmware-epoch" # device clock reset to firmware build
+
+
+@dataclass(frozen=True)
+class ValidityChoice:
+    """One weighted option for a profile's validity period."""
+
+    days: int
+    weight: float
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Full behavioural description of one device family."""
+
+    name: str
+    device_type: DeviceType
+    weight: float                       # share of the device population
+
+    issuer_scheme: IssuerScheme
+    subject_scheme: SubjectScheme
+    key_policy: KeyPolicy
+    serial_policy: SerialPolicy = SerialPolicy.RANDOM
+    not_before_mode: NotBeforeMode = NotBeforeMode.AT_ISSUE
+
+    issuer_text: str = ""               # for FIXED / PER_DEVICE format
+    subject_text: str = ""              # for FIXED / PER_DEVICE / DYNDNS format
+    version: int = 3
+
+    #: Days between reissues; None means the certificate is never reissued.
+    reissue_period_days: Optional[int] = None
+
+    validity_choices: tuple[ValidityChoice, ...] = (
+        ValidityChoice(days=7300, weight=1.0),   # 20 years, the invalid median
+    )
+
+    #: SAN entries shared by the whole fleet (e.g. fritz.fonwlan.box).
+    san_shared: tuple[str, ...] = ()
+    #: Format string for a per-device SAN entry ('{device}' placeholder).
+    san_per_device: str = ""
+    #: Fraction of devices of this profile that get the per-device SAN.
+    san_per_device_fraction: float = 0.0
+
+    #: Rarely-used extensions (Table 5: >99 % of invalid certs lack these).
+    crl_fraction: float = 0.0           # per-device CRL distribution point
+    aia_fraction: float = 0.0           # per-device AIA (caIssuers)
+    ocsp_fraction: float = 0.0          # OCSP responder inside AIA
+    policy_fraction: float = 0.0        # certificatePolicies OID
+
+    #: For PRIVATE_CA profiles: devices per private CA (parent-key diversity).
+    devices_per_ca: int = 3
+    #: Fraction of devices whose real-time clock is dead: their Not Before
+    #: collapses to the classic no-RTC default (2000-01-01 00:00:00), a
+    #: value *shared across vendors* — the cross-stack coincidence class
+    #: that network-fingerprint linking exists to split.
+    rtc_failure_fraction: float = 0.0
+    #: Devices per shared-certificate batch.  >1 models ISP-managed CPE
+    #: fleets provisioned with one certificate per batch (rotated together),
+    #: so the certificate appears at several addresses in every scan — the
+    #: §6.2 non-unique population.
+    cert_batch_size: int = 1
+    #: Number of distinct firmware builds for FIRMWARE_EPOCH profiles.  A
+    #: whole product line shares a handful of build dates, so Not Before
+    #: values collide massively *across* devices — which is why the paper
+    #: finds Not Before/Not After unusable for linking.
+    firmware_build_count: int = 6
+    #: PRIVATE_CA scope: 'site' creates one CA per ``devices_per_ca`` devices
+    #: (the 1.7M-distinct-parent-keys pattern of §5.3); 'vendor' shares one
+    #: CA across the whole fleet (the remotewd.com pattern of Table 1).
+    ca_scope: str = "site"
+
+    def picks_validity(self, rng) -> int:
+        """Sample a validity period for one certificate."""
+        choices = self.validity_choices
+        total = sum(choice.weight for choice in choices)
+        point = rng.random() * total
+        for choice in choices:
+            point -= choice.weight
+            if point <= 0:
+                return choice.days
+        return choices[-1].days
+
+
+def standard_catalog() -> tuple[VendorProfile, ...]:
+    """The calibrated device-family catalog (weights sum to 1).
+
+    Calibration targets (checked by the test suite and benchmarks):
+
+    * a small fast-reissuing cohort (FRITZ!Box at ~3 days, a firmware-epoch
+      budget router at ~2 days, PlayBooks at ~7) supplies the ~60 % of
+      invalid certificates with single-scan lifetimes;
+    * the slow majority reissues every 4–10 months or never, keeping the
+      per-device certificate count — and hence the 87.9 % overall invalid
+      share — in the paper's proportions;
+    * self-signed ≈ 88 % / untrusted-CA-signed ≈ 12 % of invalid
+      certificates, with parent-key diversity dominated by per-site CAs.
+    """
+    twenty_years = ValidityChoice(days=7300, weight=0.80)
+    twenty_five_years = ValidityChoice(days=9125, weight=0.10)
+    negative = ValidityChoice(days=-365, weight=0.06)
+    millennium = ValidityChoice(days=360_000, weight=0.04)
+    common_validity = (twenty_years, twenty_five_years, negative, millennium)
+
+    return (
+        # --- the fast, ephemeral cohort -----------------------------------
+        VendorProfile(
+            name="fritzbox",
+            device_type=DeviceType.HOME_ROUTER,
+            weight=0.035,
+            issuer_scheme=IssuerScheme.SAME_AS_SUBJECT,
+            subject_scheme=SubjectScheme.DYNDNS,
+            subject_text="myfritz.net",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=2,
+            san_shared=("fritz.fonwlan.box",),
+            san_per_device="{device}.myfritz.net",
+            san_per_device_fraction=0.55,
+            validity_choices=(ValidityChoice(days=7300, weight=1.0),),
+        ),
+        VendorProfile(
+            # Ephemeral AND unlinkable: fresh key, shared subject, and a
+            # per-device issuer with random serials — no field survives.
+            name="budget-router",
+            device_type=DeviceType.HOME_ROUTER,
+            weight=0.012,
+            issuer_scheme=IssuerScheme.PER_DEVICE,
+            issuer_text="Residential Gateway fw{build}",
+            rtc_failure_fraction=0.25,
+            subject_scheme=SubjectScheme.FIXED,
+            subject_text="192.168.0.1",
+            key_policy=KeyPolicy.PER_REISSUE,
+            reissue_period_days=2,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            # The firmware-epoch mode of Figure 5's long tail: Not Before
+            # stuck thousands of days in the past.
+            name="dvr",
+            device_type=DeviceType.UNKNOWN,
+            weight=0.007,
+            issuer_scheme=IssuerScheme.PER_DEVICE,
+            issuer_text="DVR fw{build}",
+            rtc_failure_fraction=0.30,
+            subject_scheme=SubjectScheme.FIXED,
+            subject_text="dvrdvs",
+            key_policy=KeyPolicy.PER_REISSUE,
+            reissue_period_days=2,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            name="playbook",
+            device_type=DeviceType.UNKNOWN,
+            weight=0.010,
+            issuer_scheme=IssuerScheme.PER_DEVICE,
+            issuer_text="PlayBook: {mac}",
+            subject_scheme=SubjectScheme.PER_REISSUE,
+            subject_text="playbook-{device}-{epoch}",
+            key_policy=KeyPolicy.PER_REISSUE,
+            serial_policy=SerialPolicy.DEVICE_CONSTANT,
+            reissue_period_days=7,
+            validity_choices=(ValidityChoice(days=7300, weight=1.0),),
+        ),
+        # --- the slow majority ---------------------------------------------
+        VendorProfile(
+            name="lancom",
+            device_type=DeviceType.HOME_ROUTER,
+            weight=0.15,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="www.lancom-systems.de",
+            subject_scheme=SubjectScheme.FIXED,
+            subject_text="www.lancom-systems.de",
+            key_policy=KeyPolicy.VENDOR_SHARED,
+            reissue_period_days=200,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            validity_choices=(ValidityChoice(days=9125, weight=1.0),),
+        ),
+        VendorProfile(
+            name="generic-router",
+            device_type=DeviceType.HOME_ROUTER,
+            weight=0.20,
+            issuer_scheme=IssuerScheme.PRIVATE_IP,
+            subject_scheme=SubjectScheme.PRIVATE_IP_SHARED,
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            reissue_period_days=350,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            name="wd-mycloud",
+            device_type=DeviceType.REMOTE_STORAGE,
+            weight=0.06,
+            issuer_scheme=IssuerScheme.PRIVATE_CA,
+            ca_scope="vendor",
+            issuer_text="remotewd.com",
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="WD2GO {device}",
+            key_policy=KeyPolicy.PER_REISSUE,
+            reissue_period_days=250,
+            validity_choices=(ValidityChoice(days=3650, weight=1.0),),
+        ),
+        VendorProfile(
+            name="vmware",
+            device_type=DeviceType.REMOTE_ADMIN,
+            weight=0.06,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="VMware",
+            subject_scheme=SubjectScheme.PER_REISSUE,
+            subject_text="vmware-host-{device}-{epoch}",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=400,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            name="empty-issuer",
+            device_type=DeviceType.UNKNOWN,
+            weight=0.079,
+            issuer_scheme=IssuerScheme.EMPTY,
+            subject_scheme=SubjectScheme.EMPTY,
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=400,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            name="enterprise-gateway",
+            device_type=DeviceType.VPN,
+            weight=0.08,
+            issuer_scheme=IssuerScheme.PRIVATE_CA,
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="vpn-{device}.corp.internal",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=300,
+            devices_per_ca=3,
+            validity_choices=(ValidityChoice(days=1825, weight=1.0),),
+        ),
+        VendorProfile(
+            # Vendor-CA-signed SSL-VPN concentrators: one big VPN-classed
+            # issuer, the Table 4 VPN population at vendor scale.
+            name="vpn-concentrator",
+            device_type=DeviceType.VPN,
+            weight=0.02,
+            issuer_scheme=IssuerScheme.PRIVATE_CA,
+            ca_scope="vendor",
+            issuer_text="SSL-VPN Gateway CA",
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="sslvpn-{device}.corp.example",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=250,
+            validity_choices=(ValidityChoice(days=1825, weight=1.0),),
+        ),
+        VendorProfile(
+            name="enterprise-firewall",
+            device_type=DeviceType.FIREWALL,
+            weight=0.03,
+            issuer_scheme=IssuerScheme.PRIVATE_CA,
+            ca_scope="vendor",
+            issuer_text="FortiGate Firewall CA",
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="fw-{device}.corp.internal",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=350,
+            validity_choices=(ValidityChoice(days=1825, weight=1.0),),
+        ),
+        VendorProfile(
+            name="ip-camera",
+            device_type=DeviceType.IP_CAMERA,
+            weight=0.05,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="IP Camera",
+            subject_scheme=SubjectScheme.PRIVATE_IP_PER_DEVICE,
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            reissue_period_days=300,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            name="legacy-v1",
+            device_type=DeviceType.UNKNOWN,
+            weight=0.072,
+            issuer_scheme=IssuerScheme.PRIVATE_IP,
+            subject_scheme=SubjectScheme.PRIVATE_IP_SHARED,
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            rtc_failure_fraction=0.10,
+            version=1,
+            reissue_period_days=None,
+            validity_choices=(ValidityChoice(days=3650, weight=1.0),),
+        ),
+        VendorProfile(
+            # ISP-managed CPE: the operator provisions one certificate per
+            # batch of subscriber boxes and rotates it for the whole batch,
+            # so each certificate is served from several addresses in every
+            # scan — the §6.2 dedup rule must exclude these.
+            name="cpe-fleet",
+            device_type=DeviceType.HOME_ROUTER,
+            weight=0.025,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="ISP Managed CPE",
+            subject_scheme=SubjectScheme.FIXED,
+            subject_text="cpe.isp.example",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            serial_policy=SerialPolicy.RANDOM,
+            reissue_period_days=45,
+            cert_batch_size=5,
+            validity_choices=(ValidityChoice(days=7300, weight=1.0),),
+        ),
+        VendorProfile(
+            # The certificate is baked into the firmware image: every
+            # device of a build serves byte-identical bytes, so one
+            # certificate shows up at many addresses per scan — the
+            # population the §6.2 dedup rule exists to exclude.
+            name="firmware-baked",
+            device_type=DeviceType.HOME_ROUTER,
+            weight=0.02,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="Vigor Router",
+            subject_scheme=SubjectScheme.FIXED,
+            subject_text="Vigor Router",
+            key_policy=KeyPolicy.VENDOR_SHARED,
+            serial_policy=SerialPolicy.VENDOR_CONSTANT,
+            not_before_mode=NotBeforeMode.FIRMWARE_EPOCH,
+            reissue_period_days=None,
+            firmware_build_count=4,
+            validity_choices=(ValidityChoice(days=7300, weight=1.0),),
+        ),
+        VendorProfile(
+            name="misc-appliance",
+            device_type=DeviceType.OTHER,
+            weight=0.065,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="Embedded Web Server",
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="appliance-{device}.local",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            reissue_period_days=None,
+            validity_choices=common_validity,
+        ),
+        VendorProfile(
+            # Broken firmware claiming a nonsense X.509 version — the
+            # 89,667 version-2/4/13 certificates the paper disregards
+            # (footnote 5).  The validation layer classifies these as
+            # malformed and removes them before any analysis.
+            name="broken-version",
+            device_type=DeviceType.UNKNOWN,
+            weight=0.005,
+            issuer_scheme=IssuerScheme.FIXED,
+            issuer_text="SSL Server",
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="host-{device}",
+            key_policy=KeyPolicy.DEVICE_STABLE,
+            version=4,
+            reissue_period_days=None,
+            validity_choices=(ValidityChoice(days=3650, weight=1.0),),
+        ),
+        VendorProfile(
+            name="managed-gateway",
+            device_type=DeviceType.REMOTE_ADMIN,
+            weight=0.02,
+            issuer_scheme=IssuerScheme.PRIVATE_CA,
+            subject_scheme=SubjectScheme.PER_DEVICE,
+            subject_text="mgmt-{device}.example.net",
+            key_policy=KeyPolicy.PER_REISSUE,
+            reissue_period_days=120,
+            devices_per_ca=4,
+            crl_fraction=0.55,
+            aia_fraction=0.45,
+            ocsp_fraction=0.06,
+            policy_fraction=0.05,
+            validity_choices=(ValidityChoice(days=1825, weight=1.0),),
+        ),
+    )

@@ -1,0 +1,282 @@
+"""The valid side of the ecosystem: commercial CAs and the websites they sign.
+
+The paper's comparisons need a realistic *valid* population next to the
+invalid one:
+
+* a concentrated CA market — five signing keys cover half of all valid
+  certificates (§5.3), with GoDaddy/RapidSSL/PositiveSSL/GeoTrust at the
+  top of Table 1;
+* leaf certificates with ~1.1-year median validity and 274-day median
+  observed lifetime (Figures 3 and 4), CRL/AIA/OCSP present on ~95 %;
+* hosting concentrated in US content/hosting ASes (Tables 2 and 3);
+* a small set of certificates replicated across many hosts (Figure 7's
+  valid tail — CDN-style replication and intermediate CA certificates
+  served by every customer host).
+
+Websites reissue on certificate expiry, and roughly half of reissues keep
+the old key pair (Zhang et al.'s finding, quoted in §5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..seeding import stable_rng
+from ..x509.builder import CertificateBuilder
+from ..x509.certificate import Certificate
+from ..x509.keys import KeyPair, generate_keypair
+from ..x509.name import Name
+from ..x509.truststore import TrustStore
+
+__all__ = ["CommercialCA", "CAHierarchy", "Website", "STANDARD_CA_MARKET"]
+
+_KEY_BITS = 128
+
+#: (intermediate CA common name, market share) — Table 1's top issuers plus
+#: a long tail.  Shares are calibrated so ~5 keys span half the leaves.
+STANDARD_CA_MARKET: tuple[tuple[str, float], ...] = (
+    ("Go Daddy Secure Certification Authority", 0.220),
+    ("RapidSSL CA", 0.120),
+    ("PositiveSSL CA 2", 0.065),
+    ("Go Daddy Secure Certificate Authority - G2", 0.055),
+    ("GeoTrust DV SSL CA", 0.050),
+) + tuple((f"Commercial CA {i:02d}", 0.49 / 25) for i in range(25))
+
+
+@dataclass(frozen=True)
+class CommercialCA:
+    """One CA: a root (self-signed, trusted) or an intermediate."""
+
+    name: Name
+    keypair: KeyPair
+    certificate: Certificate
+    is_root: bool
+
+    @property
+    def key_id(self) -> bytes:
+        return self.keypair.public.fingerprint[:20]
+
+
+class CAHierarchy:
+    """Roots plus intermediates, with a weighted issuance market."""
+
+    def __init__(
+        self,
+        world_seed: int,
+        market: Sequence[tuple[str, float]] = STANDARD_CA_MARKET,
+        root_count: int = 8,
+        epoch_day: int = 0,
+    ) -> None:
+        self._world_seed = world_seed
+        self.roots: list[CommercialCA] = []
+        for index in range(root_count):
+            rng = stable_rng(world_seed, "ca-root", index)
+            keypair = generate_keypair(rng, _KEY_BITS)
+            name = Name.build(CN=f"Trusted Root CA {index}", O="Root Trust Co")
+            cert = (
+                CertificateBuilder()
+                .subject(name)
+                .validity(epoch_day - 3650, epoch_day + 9125)
+                .keypair(keypair)
+                .serial(rng.getrandbits(63))
+                .ca()
+                .self_sign()
+            )
+            self.roots.append(CommercialCA(name, keypair, cert, is_root=True))
+
+        self.intermediates: list[CommercialCA] = []
+        self._weights: list[float] = []
+        for index, (cn, weight) in enumerate(market):
+            rng = stable_rng(world_seed, "ca-int", index)
+            root = self.roots[index % len(self.roots)]
+            keypair = generate_keypair(rng, _KEY_BITS)
+            name = Name.build(CN=cn, O="Commercial CA Co")
+            cert = (
+                CertificateBuilder()
+                .subject(name)
+                .validity(epoch_day - 1825, epoch_day + 7300)
+                .keypair(keypair)
+                .serial(rng.getrandbits(63))
+                .ca()
+                .authority_key_id(root.key_id)
+                .sign_with(root.name, root.keypair.private)
+            )
+            self.intermediates.append(CommercialCA(name, keypair, cert, is_root=False))
+            self._weights.append(weight)
+
+    def trust_store(self, extra_unused_roots: int = 0) -> TrustStore:
+        """The root store (optionally padded with never-used roots, the way
+        real stores carry hundreds of roots that sign nothing)."""
+        store = TrustStore(root.certificate for root in self.roots)
+        for index in range(extra_unused_roots):
+            rng = stable_rng(self._world_seed, "ca-unused", index)
+            keypair = generate_keypair(rng, _KEY_BITS)
+            name = Name.build(CN=f"Dormant Root {index}", O="Legacy Trust")
+            store.add(
+                CertificateBuilder()
+                .subject(name)
+                .validity(-3650, 12000)
+                .keypair(keypair)
+                .serial(rng.getrandbits(63))
+                .ca()
+                .self_sign()
+            )
+        return store
+
+    def choose_issuer(self, rng: random.Random) -> CommercialCA:
+        """Market-share-weighted choice of issuing intermediate."""
+        return rng.choices(self.intermediates, weights=self._weights, k=1)[0]
+
+
+class Website:
+    """One HTTPS website holding a valid certificate.
+
+    Hosted at fixed addresses (hosting providers assign static IPs), with
+    the whole presented chain advertised from every host — which is how
+    intermediate CA certificates end up observed at enormous numbers of
+    addresses (Figure 7's valid tail).
+    """
+
+    #: Epoch numbers at or above this mark the post-incident timeline.
+    EMERGENCY_EPOCH_BASE = 1000
+
+    def __init__(
+        self,
+        website_id: int,
+        domain: str,
+        ca: CommercialCA,
+        world_seed: int,
+        active_from: int,
+        active_until: int,
+        host_ips: Sequence[int],
+        asn: int,
+        heartbleed_day: Optional[int] = None,
+        vulnerable: bool = False,
+    ) -> None:
+        if not host_ips:
+            raise ValueError("website needs at least one host address")
+        self.website_id = website_id
+        self.domain = domain
+        self.ca = ca
+        self.active_from = active_from
+        self.active_until = active_until
+        self.host_ips = tuple(host_ips)
+        self.asn = asn
+        self._world_seed = world_seed
+        site_rng = self._rng("site")
+        #: Per-site fixed validity period, ~1.1-year median with a 3-year tail.
+        self._validity_days = site_rng.choices(
+            (398, 730, 1125), weights=(0.60, 0.25, 0.15), k=1
+        )[0]
+        #: Sites renew shortly before expiry.
+        self._reissue_interval = self._validity_days - 30
+        self._keys: dict[int, KeyPair] = {}
+        self._cert_cache: dict[int, Certificate] = {}
+        #: Heartbleed-style incident response (Zhang et al., quoted in
+        #: §5.2): a vulnerable site reissues out of schedule within weeks
+        #: of the disclosure, and — insecurely — 4.1 % of those emergency
+        #: reissues keep the potentially-exposed key pair.
+        self._emergency_day: Optional[int] = None
+        if (
+            heartbleed_day is not None
+            and vulnerable
+            and active_from < heartbleed_day < active_until
+        ):
+            self._emergency_day = heartbleed_day + site_rng.randrange(0, 21)
+
+    def is_active(self, day: int) -> bool:
+        """Does the site respond on ``day``?"""
+        return self.active_from <= day <= self.active_until
+
+    def reissue_epoch(self, day: int) -> int:
+        """Which renewal generation is live on ``day``.
+
+        Epochs at or above :attr:`EMERGENCY_EPOCH_BASE` belong to the
+        post-incident timeline that starts at the emergency reissue.
+        """
+        if self._emergency_day is not None and day >= self._emergency_day:
+            return (
+                self.EMERGENCY_EPOCH_BASE
+                + (day - self._emergency_day) // self._reissue_interval
+            )
+        return max(0, (day - self.active_from) // self._reissue_interval)
+
+    @property
+    def emergency_day(self) -> Optional[int]:
+        """Day of the out-of-schedule incident reissue, if any."""
+        return self._emergency_day
+
+    def _issue_day(self, epoch: int) -> int:
+        if epoch >= self.EMERGENCY_EPOCH_BASE:
+            assert self._emergency_day is not None
+            return (
+                self._emergency_day
+                + (epoch - self.EMERGENCY_EPOCH_BASE) * self._reissue_interval
+            )
+        return self.active_from + epoch * self._reissue_interval
+
+    def certificate_on(self, day: int) -> Certificate:
+        """The leaf certificate served on ``day``."""
+        return self.certificate_for_epoch(self.reissue_epoch(day))
+
+    def chain_on(self, day: int) -> tuple[Certificate, ...]:
+        """Leaf plus the intermediate, as presented during the handshake."""
+        return (self.certificate_on(day), self.ca.certificate)
+
+    def certificate_for_epoch(self, epoch: int) -> Certificate:
+        """Deterministically build the certificate of one renewal epoch."""
+        cached = self._cert_cache.get(epoch)
+        if cached is None:
+            cached = self._build(epoch)
+            self._cert_cache[epoch] = cached
+        return cached
+
+    # --- internals -----------------------------------------------------------
+
+    def _rng(self, *scope) -> random.Random:
+        return stable_rng(self._world_seed, "website", self.website_id, *scope)
+
+    def _key_for_epoch(self, epoch: int) -> KeyPair:
+        """Half of renewals keep the previous key (§5.2 / Zhang et al.) —
+        except the emergency reissue, where keeping the possibly-leaked key
+        is the 4.1 % insecure minority."""
+        cached = self._keys.get(epoch)
+        if cached is not None:
+            return cached
+        if epoch == self.EMERGENCY_EPOCH_BASE:
+            assert self._emergency_day is not None
+            previous_epoch = max(
+                0, (self._emergency_day - 1 - self.active_from)
+                // self._reissue_interval
+            )
+            if self._rng("rekey", epoch).random() < 0.041:
+                key = self._key_for_epoch(previous_epoch)
+            else:
+                key = generate_keypair(self._rng("key", epoch), _KEY_BITS)
+        elif epoch == 0 or self._rng("rekey", epoch).random() < 0.5:
+            key = generate_keypair(self._rng("key", epoch), _KEY_BITS)
+        else:
+            key = self._key_for_epoch(epoch - 1)
+        self._keys[epoch] = key
+        return key
+
+    def _build(self, epoch: int) -> Certificate:
+        issue_day = self._issue_day(epoch)
+        rng = self._rng("cert", epoch)
+        return (
+            CertificateBuilder()
+            .subject(Name.build(CN=self.domain, O=f"{self.domain} Inc"))
+            .serial(rng.getrandbits(63))
+            .validity(issue_day, issue_day + self._validity_days)
+            .keypair(self._key_for_epoch(epoch))
+            .subject_alt_names([self.domain, f"www.{self.domain}"])
+            .authority_key_id(self.ca.key_id)
+            .crl_uris([f"http://crl.ca.example/{self.ca.name.cn}.crl"])
+            .aia(
+                ocsp=["http://ocsp.ca.example"],
+                ca_issuers=[f"http://ca.example/{self.ca.name.cn}.crt"],
+            )
+            .sign_with(self.ca.name, self.ca.keypair.private)
+        )

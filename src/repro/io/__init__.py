@@ -1,0 +1,13 @@
+"""Corpus and environment serialization (.rpz / .rpe archives)."""
+
+from .environment import AnalysisEnvironment, load_environment, save_environment
+from .store import FORMAT_VERSION, load_dataset, save_dataset
+
+__all__ = [
+    "AnalysisEnvironment",
+    "load_environment",
+    "save_environment",
+    "FORMAT_VERSION",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,133 @@
+"""Scan-corpus serialization.
+
+The paper published its code and data (securepki.org); this module is the
+equivalent facility: a :class:`~repro.scanner.dataset.ScanDataset` round-
+trips through a single ``.rpz`` file (a ZIP archive) containing
+
+* ``manifest.json`` — format version and corpus statistics;
+* ``certificates.der`` — every unique certificate as length-prefixed DER
+  (parseable without this library: each record is a 4-byte big-endian
+  length followed by a standard X.509 DER blob);
+* ``scans.jsonl`` — one JSON object per scan, observations referencing
+  certificates by index.
+
+DER is the ground-truth encoding: loading re-parses every certificate
+through :meth:`Certificate.from_der`, so a stored corpus exercises exactly
+the same parse path a real scan corpus would.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+import zipfile
+from typing import Union
+
+from ..scanner.dataset import ScanDataset
+from ..scanner.records import Observation, Scan
+from ..tls.handshake import HandshakeRecord
+from ..x509.certificate import Certificate
+
+__all__ = ["save_dataset", "load_dataset", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+_LENGTH = struct.Struct(">I")
+
+
+def _pack_certificates(dataset: ScanDataset) -> tuple[bytes, dict[bytes, int]]:
+    blob = bytearray()
+    index: dict[bytes, int] = {}
+    for position, (fingerprint, cert) in enumerate(
+        sorted(dataset.certificates.items())
+    ):
+        der = cert.to_der()
+        blob += _LENGTH.pack(len(der))
+        blob += der
+        index[fingerprint] = position
+    return bytes(blob), index
+
+
+def _unpack_certificates(blob: bytes) -> list[Certificate]:
+    certificates = []
+    offset = 0
+    while offset < len(blob):
+        (length,) = _LENGTH.unpack_from(blob, offset)
+        offset += _LENGTH.size
+        certificates.append(Certificate.from_der(blob[offset:offset + length]))
+        offset += length
+    return certificates
+
+
+def _observation_row(obs: Observation, cert_index: dict[bytes, int]) -> list:
+    handshake = list(obs.handshake) if obs.handshake is not None else None
+    return [obs.ip, cert_index[obs.fingerprint], obs.entity, handshake]
+
+
+def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> None:
+    """Write the corpus to one ``.rpz`` archive (overwrites)."""
+    blob, cert_index = _pack_certificates(dataset)
+    manifest = {
+        "format": FORMAT_VERSION,
+        "n_scans": len(dataset.scans),
+        "n_certificates": len(dataset.certificates),
+        "n_observations": dataset.n_observations,
+    }
+    scan_lines = []
+    for scan in dataset.scans:
+        scan_lines.append(
+            json.dumps(
+                {
+                    "day": scan.day,
+                    "source": scan.source,
+                    "observations": [
+                        _observation_row(obs, cert_index)
+                        for obs in scan.observations
+                    ],
+                },
+                separators=(",", ":"),
+            )
+        )
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("manifest.json", json.dumps(manifest, indent=2))
+        archive.writestr("certificates.der", blob)
+        archive.writestr("scans.jsonl", "\n".join(scan_lines))
+
+
+def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
+    """Load a corpus written by :func:`save_dataset`."""
+    with zipfile.ZipFile(path) as archive:
+        manifest = json.loads(archive.read("manifest.json"))
+        if manifest.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported corpus format {manifest.get('format')!r}"
+            )
+        certificates = _unpack_certificates(archive.read("certificates.der"))
+        scan_lines = archive.read("scans.jsonl").decode("utf-8").splitlines()
+
+    by_index = certificates
+    scans = []
+    for line in scan_lines:
+        record = json.loads(line)
+        observations = []
+        for ip, cert_idx, entity, handshake in record["observations"]:
+            observations.append(
+                Observation(
+                    ip=ip,
+                    fingerprint=by_index[cert_idx].fingerprint,
+                    entity=entity,
+                    handshake=(
+                        HandshakeRecord(*handshake) if handshake is not None else None
+                    ),
+                )
+            )
+        scans.append(
+            Scan(day=record["day"], source=record["source"], observations=observations)
+        )
+    dataset = ScanDataset(
+        scans, {cert.fingerprint: cert for cert in certificates}
+    )
+    if len(dataset.certificates) != manifest["n_certificates"]:
+        raise ValueError("corpus corrupt: certificate count mismatch")
+    return dataset

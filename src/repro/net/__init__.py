@@ -1,0 +1,40 @@
+"""Network substrate: IPv4 math, BGP prefix tables, and the AS registry."""
+
+from .asn import ASInfo, ASRegistry, ASType, OrgRecord
+from .bgp import PrefixTable, Route, RoutingHistory
+from .ip import (
+    IPV4_SPACE,
+    Prefix,
+    RESERVED_PREFIXES,
+    ip_to_str,
+    is_private,
+    is_reserved,
+    looks_like_ipv4,
+    slash8,
+    slash16,
+    slash24,
+    str_to_ip,
+    summarize_slash8,
+)
+
+__all__ = [
+    "ASInfo",
+    "ASRegistry",
+    "ASType",
+    "OrgRecord",
+    "PrefixTable",
+    "Route",
+    "RoutingHistory",
+    "IPV4_SPACE",
+    "Prefix",
+    "RESERVED_PREFIXES",
+    "ip_to_str",
+    "is_private",
+    "is_reserved",
+    "looks_like_ipv4",
+    "slash8",
+    "slash16",
+    "slash24",
+    "str_to_ip",
+    "summarize_slash8",
+]

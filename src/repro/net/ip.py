@@ -1,0 +1,219 @@
+"""IPv4 address and prefix arithmetic.
+
+The whole simulation stores IPv4 addresses as plain ``int`` in
+``[0, 2**32)``.  This module provides the conversions and prefix math that
+the rest of the library builds on: dotted-quad parsing/formatting,
+CIDR prefixes with containment tests, and the /8, /16, /24 groupings the
+paper uses (per-/8 scan-discrepancy plots, /24-level linking consistency).
+
+Everything here is pure and allocation-light; these helpers sit on the hot
+path of the scanner and the consistency evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+IPV4_SPACE = 2 ** 32
+
+__all__ = [
+    "IPV4_SPACE",
+    "ip_to_str",
+    "str_to_ip",
+    "slash8",
+    "slash16",
+    "slash24",
+    "Prefix",
+    "RESERVED_PREFIXES",
+    "is_reserved",
+    "is_private",
+]
+
+
+def ip_to_str(ip: int) -> str:
+    """Format an integer IPv4 address as a dotted quad.
+
+    >>> ip_to_str(3232235777)
+    '192.168.1.1'
+    """
+    if not 0 <= ip < IPV4_SPACE:
+        raise ValueError(f"IPv4 address out of range: {ip!r}")
+    return f"{(ip >> 24) & 0xFF}.{(ip >> 16) & 0xFF}.{(ip >> 8) & 0xFF}.{ip & 0xFF}"
+
+
+def str_to_ip(text: str) -> int:
+    """Parse a dotted quad into an integer IPv4 address.
+
+    >>> str_to_ip('192.168.1.1')
+    3232235777
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def slash8(ip: int) -> int:
+    """Return the /8 network number (top octet) of an address."""
+    return (ip >> 24) & 0xFF
+
+
+def slash16(ip: int) -> int:
+    """Return the address truncated to its /16 network."""
+    return ip & 0xFFFF0000
+
+
+def slash24(ip: int) -> int:
+    """Return the address truncated to its /24 network."""
+    return ip & 0xFFFFFF00
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix, e.g. ``Prefix.parse('10.0.0.0/8')``.
+
+    Stored as (network, length) with the network address already masked.
+    Instances are hashable and totally ordered (by network, then length),
+    which lets sorted prefix lists be binary-searched.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"prefix length out of range: {self.length}")
+        if self.network & ~self.netmask() & 0xFFFFFFFF:
+            raise ValueError(
+                f"host bits set in network {ip_to_str(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``'a.b.c.d/len'`` notation."""
+        try:
+            net_text, len_text = text.split("/")
+        except ValueError:
+            raise ValueError(f"not CIDR notation: {text!r}") from None
+        length = int(len_text)
+        network = str_to_ip(net_text)
+        mask = _mask(length)
+        if network & ~mask & 0xFFFFFFFF:
+            raise ValueError(f"host bits set in {text!r}")
+        return cls(network, length)
+
+    @classmethod
+    def of(cls, ip: int, length: int) -> "Prefix":
+        """Build the prefix of the given length that contains ``ip``."""
+        return cls(ip & _mask(length), length)
+
+    def netmask(self) -> int:
+        """Return the integer netmask for this prefix."""
+        return _mask(self.length)
+
+    def contains(self, ip: int) -> bool:
+        """Return True if ``ip`` falls inside this prefix."""
+        return (ip & self.netmask()) == self.network
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """Return True if ``other`` is equal to or nested inside this prefix."""
+        return other.length >= self.length and self.contains(other.network)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by this prefix."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        """Lowest address in the prefix (the network address)."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Highest address in the prefix (the broadcast address)."""
+        return self.network | (~self.netmask() & 0xFFFFFFFF)
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate every address in the prefix (including network/broadcast).
+
+        The simulator treats all addresses as assignable; real-world
+        network/broadcast conventions do not matter for scan analysis.
+        """
+        return iter(range(self.first, self.last + 1))
+
+    def __str__(self) -> str:
+        return f"{ip_to_str(self.network)}/{self.length}"
+
+
+def _mask(length: int) -> int:
+    if not 0 <= length <= 32:
+        raise ValueError(f"prefix length out of range: {length}")
+    if length == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+
+#: Prefixes that are never routed on the public Internet.  The scanner
+#: skips these and the population builder never places devices in them —
+#: but *certificates* frequently name addresses from the private blocks
+#: (the paper's 192.168.1.1 Common Names).
+RESERVED_PREFIXES: tuple[Prefix, ...] = (
+    Prefix.parse("0.0.0.0/8"),
+    Prefix.parse("10.0.0.0/8"),
+    Prefix.parse("100.64.0.0/10"),   # carrier-grade NAT
+    Prefix.parse("127.0.0.0/8"),
+    Prefix.parse("169.254.0.0/16"),
+    Prefix.parse("172.16.0.0/12"),
+    Prefix.parse("192.168.0.0/16"),
+    Prefix.parse("224.0.0.0/4"),     # multicast
+    Prefix.parse("240.0.0.0/4"),     # future use
+)
+
+_PRIVATE_PREFIXES: tuple[Prefix, ...] = (
+    Prefix.parse("10.0.0.0/8"),
+    Prefix.parse("172.16.0.0/12"),
+    Prefix.parse("192.168.0.0/16"),
+)
+
+
+def is_reserved(ip: int) -> bool:
+    """Return True if the address lies in a non-routable block."""
+    return any(prefix.contains(ip) for prefix in RESERVED_PREFIXES)
+
+
+def is_private(ip: int) -> bool:
+    """Return True if the address is RFC 1918 private space."""
+    return any(prefix.contains(ip) for prefix in _PRIVATE_PREFIXES)
+
+
+def looks_like_ipv4(text: str) -> bool:
+    """Return True if ``text`` parses as a dotted-quad IPv4 address.
+
+    The linking evaluation (§6.4.1) discards certificates whose Common Name
+    is an IP address before linking on Common Name; this is the predicate
+    it uses.
+    """
+    try:
+        str_to_ip(text)
+    except ValueError:
+        return False
+    return True
+
+
+def summarize_slash8(ips: Iterable[int]) -> dict[int, int]:
+    """Count addresses per /8 network.  Used by the Figure 1 analysis."""
+    counts: dict[int, int] = {}
+    for ip in ips:
+        top = slash8(ip)
+        counts[top] = counts.get(top, 0) + 1
+    return counts

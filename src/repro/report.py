@@ -1,0 +1,193 @@
+"""One-shot markdown study report.
+
+:func:`write_report` runs the full pipeline over a corpus and renders a
+self-contained markdown document — every §4–§7 headline in one place, the
+shape a measurement-group tech report would take.  Exposed as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+from .core.analysis.fleet import turnover
+from .core.analysis.issuers import self_signed_fraction, top_issuers
+from .core.analysis.keys import key_sharing
+from .core.analysis.longevity import (
+    ephemeral_fingerprints,
+    lifetimes,
+    reissue_gap,
+    validity_periods,
+)
+from .core.analysis.scans import invalid_fraction_summary, per_scan_counts
+from .core.analysis.trends import growth_comparison
+from .simtime import format_day
+from .stats.tables import format_count, format_pct
+from .study import Study
+
+__all__ = ["render_report", "write_report"]
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render_report(study: Study, title: str = "Invalid-certificate study") -> str:
+    """Run every stage and render the markdown report."""
+    dataset = study.dataset
+    validation = study.validation()
+    sections: list[str] = [f"# {title}", ""]
+
+    # --- corpus -----------------------------------------------------------
+    first, last = dataset.scans[0].day, dataset.scans[-1].day
+    sections += [
+        "## Corpus",
+        "",
+        _md_table(
+            ["scans", "window", "observations", "certificates"],
+            [[
+                len(dataset.scans),
+                f"{format_day(first)} .. {format_day(last)}",
+                format_count(dataset.n_observations),
+                format_count(len(dataset.certificates)),
+            ]],
+        ),
+        "",
+    ]
+
+    # --- validation ---------------------------------------------------------
+    counts = per_scan_counts(dataset, validation)
+    low, mean, high = invalid_fraction_summary(counts)
+    growth = growth_comparison(counts)
+    sections += [
+        "## Validation (§4.2)",
+        "",
+        f"* invalid: **{format_pct(validation.invalid_fraction)}** of the corpus"
+        f" ({format_pct(mean)} per scan, range {format_pct(low)}–{format_pct(high)})",
+        f"* self-signed share of invalid: "
+        f"{format_pct(self_signed_fraction(dataset, study.invalid))}",
+        f"* invalid growth: {growth.invalid.slope_per_year:+.0f}/year vs "
+        f"{growth.valid.slope_per_year:+.0f}/year valid",
+        "",
+    ]
+
+    # --- comparison -----------------------------------------------------------
+    invalid_validity = validity_periods(dataset, study.invalid)
+    valid_validity = validity_periods(dataset, study.valid)
+    invalid_life = lifetimes(dataset, study.invalid)
+    valid_life = lifetimes(dataset, study.valid)
+    invalid_keys = key_sharing(dataset, study.invalid)
+    valid_keys = key_sharing(dataset, study.valid)
+    sections += [
+        "## Invalid vs valid (§5)",
+        "",
+        _md_table(
+            ["statistic", "valid", "invalid"],
+            [
+                ["validity period (median)",
+                 f"{valid_validity.median / 365:.1f}y",
+                 f"{invalid_validity.median / 365:.1f}y"],
+                ["observed lifetime (median)",
+                 f"{valid_life.median_days:.0f}d",
+                 f"{invalid_life.median_days:.0f}d"],
+                ["single-scan share",
+                 format_pct(valid_life.single_scan_fraction),
+                 format_pct(invalid_life.single_scan_fraction)],
+                ["certificates sharing keys",
+                 format_pct(valid_keys.shared_fraction),
+                 format_pct(invalid_keys.shared_fraction)],
+            ],
+        ),
+        "",
+        "Top invalid issuers:",
+        "",
+        _md_table(
+            ["issuer", "certificates"],
+            [[cn, format_count(count)]
+             for cn, count in top_issuers(dataset, study.invalid)],
+        ),
+        "",
+    ]
+    ephemerals = ephemeral_fingerprints(dataset, study.invalid)
+    if ephemerals:
+        gap = reissue_gap(dataset, ephemerals)
+        sections += [
+            f"Reissue gap over {format_count(len(ephemerals))} ephemeral "
+            f"certificates: {format_pct(gap.within_four_days_fraction)} within"
+            f" 4 days, {format_pct(gap.over_1000_days_fraction)} beyond 1,000"
+            f" days (firmware clocks).",
+            "",
+        ]
+
+    # --- linking -----------------------------------------------------------------
+    pipeline = study.pipeline()
+    improvement = study.lifetime_improvement()
+    sections += [
+        "## Linking (§6)",
+        "",
+        f"* deduplication excluded "
+        f"{format_pct(study.dedup().excluded_fraction)} of invalid certificates",
+        f"* linked **{format_count(pipeline.linked_certificates)}** certificates "
+        f"({format_pct(pipeline.linked_fraction)}) into "
+        f"{format_count(len(pipeline.groups))} device chains",
+        f"* field order: {', '.join(f.value for f in pipeline.field_order)}",
+        f"* excluded fields: "
+        f"{', '.join(f.value for f in pipeline.excluded) or '(none)'}",
+        f"* single-scan unit share: "
+        f"{format_pct(improvement.single_scan_fraction_before)} → "
+        f"{format_pct(improvement.single_scan_fraction_after)}",
+        f"* mean unit lifetime: {improvement.mean_lifetime_before:.1f}d → "
+        f"{improvement.mean_lifetime_after:.1f}d",
+        "",
+    ]
+
+    # --- tracking --------------------------------------------------------------------
+    trackable = study.trackable()
+    movement = study.movement()
+    sections += [
+        "## Tracking (§7)",
+        "",
+        f"* trackable devices: {format_count(trackable.trackable_without_linking)}"
+        f" without linking → {format_count(trackable.trackable_with_linking)}"
+        f" with (+{format_pct(trackable.improvement_fraction)})",
+        f"* {format_count(movement.devices_changing_as)} devices changed AS"
+        f" ({format_pct(movement.single_change_fraction)} exactly once);"
+        f" {format_count(movement.country_moves)} cross-country moves",
+    ]
+    for transfer in movement.bulk_transfers[:3]:
+        sections.append(
+            f"* bulk transfer: AS{transfer.from_asn} → AS{transfer.to_asn}, "
+            f"{transfer.device_count} devices around {format_day(transfer.day)}"
+        )
+    try:
+        reassignment = study.reassignment()
+        sections.append(
+            f"* {format_pct(reassignment.fraction_of_ases_mostly_static())} of"
+            f" measurable ASes assign ≥90% static addresses;"
+            f" {len(reassignment.highly_dynamic_ases)} ASes are near-fully dynamic"
+        )
+    except ValueError:
+        sections.append("* reassignment inference: too few tracked devices per AS")
+    devices = study.tracked_devices()
+    if devices:
+        churn = turnover(devices, first, last)
+        sections.append(
+            f"* fleet churn: {churn.arrivals_per_month:.1f} arrivals vs "
+            f"{churn.departures_per_month:.1f} departures per month"
+        )
+    sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(
+    study: Study,
+    path: Union[str, pathlib.Path],
+    title: str = "Invalid-certificate study",
+) -> None:
+    """Render and write the report to ``path``."""
+    pathlib.Path(path).write_text(render_report(study, title))

@@ -1,0 +1,18 @@
+"""Scanner substrate: zmap-like engine, campaign schedules, scan corpus."""
+
+from .campaign import ScanCampaign, make_campaigns, rapid7_schedule, umich_schedule
+from .dataset import ScanDataset
+from .engine import SCAN_DURATION_HOURS, ScanEngine
+from .records import Observation, Scan
+
+__all__ = [
+    "ScanCampaign",
+    "make_campaigns",
+    "rapid7_schedule",
+    "umich_schedule",
+    "ScanDataset",
+    "SCAN_DURATION_HOURS",
+    "ScanEngine",
+    "Observation",
+    "Scan",
+]

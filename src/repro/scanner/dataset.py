@@ -1,0 +1,149 @@
+"""The collected scan corpus and its indexes.
+
+:class:`ScanDataset` is the hand-off point between the substrate (scanner
+over a simulated world — or, in principle, a loader over real scan files)
+and the paper's analysis pipeline.  Downstream code sees only scans,
+observations, and certificates; nothing about the simulator leaks through
+except the ground-truth ``entity`` tags that the test suite (and nothing
+else) consumes.
+
+The class maintains the indexes the analyses in §§4–7 need constantly:
+per-certificate appearance lists, first/last sighting, inclusive lifetimes
+(a certificate seen in one scan has a one-day lifetime, §5.1), and
+per-scan address sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..internet.population import World
+from ..x509.certificate import Certificate
+from .campaign import ScanCampaign
+from .engine import ScanEngine
+from .records import Observation, Scan
+
+__all__ = ["ScanDataset"]
+
+
+class ScanDataset:
+    """An ordered collection of scans plus the certificate table."""
+
+    def __init__(
+        self, scans: Sequence[Scan], certificates: dict[bytes, Certificate]
+    ) -> None:
+        self.scans: list[Scan] = sorted(scans, key=lambda s: (s.day, s.source))
+        self.certificates = certificates
+        self._appearance_index: Optional[dict[bytes, list[tuple[int, int]]]] = None
+
+    @classmethod
+    def collect(
+        cls,
+        world: World,
+        campaigns: Iterable[ScanCampaign],
+        collect_handshakes: bool = False,
+    ) -> "ScanDataset":
+        """Run every campaign over the world and gather the corpus.
+
+        ``collect_handshakes`` stores TLS/transport traits with each
+        observation — richer than the paper's corpora, enabling the
+        network-fingerprint linking extension.
+        """
+        engine = ScanEngine(world, collect_handshakes=collect_handshakes)
+        scans: list[Scan] = []
+        for campaign in campaigns:
+            scans.extend(engine.run_campaign(campaign))
+        return cls(scans, engine.certificate_store)
+
+    def handshake_of(self, fingerprint: bytes) -> Optional[object]:
+        """A handshake record observed with the certificate, if collected."""
+        for scan in self.scans:
+            for obs in scan.observations:
+                if obs.fingerprint == fingerprint and obs.handshake is not None:
+                    return obs.handshake
+        return None
+
+    # --- basic shape -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.scans)
+
+    @property
+    def n_observations(self) -> int:
+        """Total sightings across all scans."""
+        return sum(len(scan) for scan in self.scans)
+
+    def scans_from(self, source: str) -> list[Scan]:
+        """All scans of one campaign, in day order."""
+        return [scan for scan in self.scans if scan.source == source]
+
+    def scan_days(self) -> list[int]:
+        """Distinct scan days, sorted."""
+        return sorted({scan.day for scan in self.scans})
+
+    def certificate(self, fingerprint: bytes) -> Certificate:
+        """Resolve a fingerprint to its certificate."""
+        return self.certificates[fingerprint]
+
+    # --- per-certificate indexes --------------------------------------------------
+
+    def _index(self) -> dict[bytes, list[tuple[int, int]]]:
+        """fingerprint → [(scan index, ip), …] in scan order (built once)."""
+        if self._appearance_index is None:
+            index: dict[bytes, list[tuple[int, int]]] = {}
+            for scan_idx, scan in enumerate(self.scans):
+                for obs in scan.observations:
+                    index.setdefault(obs.fingerprint, []).append((scan_idx, obs.ip))
+            self._appearance_index = index
+        return self._appearance_index
+
+    def appearances(self, fingerprint: bytes) -> list[tuple[int, int]]:
+        """(scan index, ip) sightings of one certificate."""
+        return self._index().get(fingerprint, [])
+
+    def scan_indexes_of(self, fingerprint: bytes) -> list[int]:
+        """Sorted distinct scan indexes where the certificate appeared."""
+        return sorted({scan_idx for scan_idx, _ in self.appearances(fingerprint)})
+
+    def first_last_day(self, fingerprint: bytes) -> tuple[int, int]:
+        """Days of the first and last sighting."""
+        sightings = self.appearances(fingerprint)
+        if not sightings:
+            raise KeyError(f"certificate never observed: {fingerprint.hex()[:12]}")
+        scan_idxs = [scan_idx for scan_idx, _ in sightings]
+        return self.scans[min(scan_idxs)].day, self.scans[max(scan_idxs)].day
+
+    def lifetime_days(self, fingerprint: bytes) -> int:
+        """Inclusive observed lifetime: one scan → one day (§5.1)."""
+        first, last = self.first_last_day(fingerprint)
+        return last - first + 1
+
+    def ips_by_scan(self, fingerprint: bytes) -> dict[int, set[int]]:
+        """scan index → set of addresses advertising the certificate."""
+        result: dict[int, set[int]] = {}
+        for scan_idx, ip in self.appearances(fingerprint):
+            result.setdefault(scan_idx, set()).add(ip)
+        return result
+
+    def mean_ips_per_scan(self, fingerprint: bytes) -> float:
+        """Average distinct advertising addresses per scan it appears in."""
+        by_scan = self.ips_by_scan(fingerprint)
+        return sum(len(ips) for ips in by_scan.values()) / len(by_scan)
+
+    def max_ips_in_any_scan(self, fingerprint: bytes) -> int:
+        """Peak simultaneous advertising addresses (the §6.2 dedup input)."""
+        return max(len(ips) for ips in self.ips_by_scan(fingerprint).values())
+
+    # --- ground truth (test-suite only) ---------------------------------------------
+
+    def entities_of(self, fingerprint: bytes) -> set[str]:
+        """Ground-truth entities that served the certificate.
+
+        For simulator validation only — the analysis layer never calls this.
+        """
+        entities: set[str] = set()
+        for scan in self.scans:
+            for obs in scan.observations:
+                if obs.fingerprint == fingerprint and obs.entity:
+                    entities.add(obs.entity)
+        return entities

@@ -1,0 +1,58 @@
+"""Scan data model.
+
+An :class:`Observation` is one (address, certificate) sighting inside one
+scan; a :class:`Scan` is everything one campaign collected on one day.
+This is exactly the schema the paper's pipeline consumed from the
+University of Michigan and Rapid7 corpora.
+
+Observations also carry an ``entity`` tag — the simulator's ground-truth
+identity of whatever served the certificate.  **The analysis layer never
+reads it**; it exists so the test suite can validate the linking
+methodology against truth, the validation the paper itself says it lacked
+(§8: "we lack a ground truth against which to validate our techniques").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple, Optional
+
+from ..tls.handshake import HandshakeRecord
+
+__all__ = ["Observation", "Scan"]
+
+
+class Observation(NamedTuple):
+    """One certificate sighting at one address during one scan."""
+
+    ip: int
+    fingerprint: bytes
+    #: Ground-truth tag, e.g. ``'device:123'`` — off-limits to analysis code.
+    entity: str = ""
+    #: Handshake traits, when the scan collected them (the paper's corpora
+    #: did not: "the certificate scan data contains only the certificates
+    #: themselves", §6.3 — enable via ScanEngine(collect_handshakes=True)).
+    handshake: Optional[HandshakeRecord] = None
+
+
+@dataclass
+class Scan:
+    """One full-IPv4 sweep by one campaign."""
+
+    day: int
+    source: str
+    observations: list[Observation]
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self.observations)
+
+    def ips(self) -> set[int]:
+        """Distinct responding addresses in this scan."""
+        return {obs.ip for obs in self.observations}
+
+    def fingerprints(self) -> set[bytes]:
+        """Distinct certificates advertised in this scan."""
+        return {obs.fingerprint for obs in self.observations}

@@ -1,0 +1,27 @@
+"""Deterministic RNG derivation.
+
+``random.Random(some_tuple)`` seeds from ``hash()``, which Python randomizes
+per process for strings — a silent reproducibility killer.  Every component
+of the simulator instead derives child RNGs through :func:`stable_rng`,
+which hashes the scope parts with SHA-256, so a world seed produces
+identical certificates, addresses, and schedules across runs, machines, and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["stable_seed", "stable_rng"]
+
+
+def stable_seed(*parts: object) -> int:
+    """Collapse arbitrary scope parts into a 64-bit deterministic seed."""
+    material = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(material).digest()[:8], "big")
+
+
+def stable_rng(*parts: object) -> random.Random:
+    """A fresh ``random.Random`` seeded stably from the scope parts."""
+    return random.Random(stable_seed(*parts))

@@ -1,0 +1,69 @@
+"""Simulated-time base.
+
+All simulation timestamps are integer *day indices*, with day 0 anchored at
+2000-01-01 UTC.  Certificates, scan schedules, DHCP leases, and the analysis
+layer all speak day indices; conversion to calendar dates happens only at
+the DER-encoding boundary and in human-facing output.
+
+Using plain ints keeps arithmetic exact and fast, supports the paper's
+pathological values (Not After in the year 3000+, Not After *before*
+Not Before), and keeps wall-clock time entirely out of the simulation.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+__all__ = [
+    "EPOCH",
+    "MIN_DAY",
+    "MAX_DAY",
+    "day_to_date",
+    "date_to_day",
+    "day_to_datetime",
+    "datetime_to_day",
+    "format_day",
+    "UMICH_FIRST_SCAN_DAY",
+    "RAPID7_FIRST_SCAN_DAY",
+]
+
+#: Day 0 of simulated time.
+EPOCH = datetime.date(2000, 1, 1)
+
+#: Smallest day index representable as a ``datetime.date`` (year 1).
+MIN_DAY = (datetime.date.min - EPOCH).days
+#: Largest day index representable as a ``datetime.date`` (year 9999).
+MAX_DAY = (datetime.date.max - EPOCH).days
+
+#: 2012-06-10, the first University of Michigan scan in the paper.
+UMICH_FIRST_SCAN_DAY = (datetime.date(2012, 6, 10) - EPOCH).days
+#: 2013-10-30, the first Rapid7 scan in the paper.
+RAPID7_FIRST_SCAN_DAY = (datetime.date(2013, 10, 30) - EPOCH).days
+
+
+def day_to_date(day: int) -> datetime.date:
+    """Convert a day index to a calendar date."""
+    if not MIN_DAY <= day <= MAX_DAY:
+        raise ValueError(f"day {day} outside representable calendar range")
+    return EPOCH + datetime.timedelta(days=day)
+
+
+def date_to_day(when: datetime.date) -> int:
+    """Convert a calendar date to a day index."""
+    return (when - EPOCH).days
+
+
+def day_to_datetime(day: int) -> datetime.datetime:
+    """Day index → naive UTC datetime at midnight (DER boundary helper)."""
+    date = day_to_date(day)
+    return datetime.datetime(date.year, date.month, date.day)
+
+
+def datetime_to_day(when: datetime.datetime) -> int:
+    """Naive UTC datetime → day index (time-of-day truncated)."""
+    return date_to_day(when.date())
+
+
+def format_day(day: int) -> str:
+    """ISO date string for human-facing output."""
+    return day_to_date(day).isoformat()

@@ -1,0 +1,6 @@
+"""Shared statistics utilities."""
+
+from .cdf import CDF
+from .tables import format_count, format_pct, render_table
+
+__all__ = ["CDF", "format_count", "format_pct", "render_table"]

@@ -1,0 +1,88 @@
+"""Terminal-friendly chart rendering.
+
+The benchmark harness and examples print CDFs and time series the way the
+paper plots them, without any plotting dependency: a fixed-size character
+grid with axis labels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .cdf import CDF
+
+__all__ = ["render_cdf", "render_series"]
+
+
+def render_series(
+    points: Sequence[tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    marker: str = "*",
+) -> str:
+    """Plot (x, y) points on a character grid with min/max axis labels."""
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        label = ""
+        if index == 0:
+            label = f"{y_hi:.2f}"
+        elif index == height - 1:
+            label = f"{y_lo:.2f}"
+        lines.append(f"{label:>8s} |{''.join(row)}")
+    lines.append(f"{'':>8s} +{'-' * width}")
+    lines.append(f"{'':>10s}{x_lo:<.6g}{'':>{max(1, width - 14)}}{x_hi:.6g}")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    cdf: CDF,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    log_x: bool = False,
+    points: Optional[int] = None,
+) -> str:
+    """Plot an empirical CDF, optionally with a log-scaled x axis.
+
+    ``log_x`` mirrors the paper's Figures 3, 5, and 8; non-positive values
+    are clamped to the smallest positive sample.
+    """
+    import math
+
+    points = points or width
+    lo, hi = cdf.min, cdf.max
+    if log_x:
+        positive = [value for value in cdf.values if value > 0]
+        if not positive:
+            raise ValueError("log-x CDF needs positive samples")
+        lo = positive[0]
+        hi = max(hi, lo)
+        xs = [
+            lo * (hi / lo) ** (i / (points - 1)) if points > 1 else lo
+            for i in range(points)
+        ]
+        plotted = [(math.log10(x), cdf.at(x)) for x in xs]
+    else:
+        span = (hi - lo) or 1.0
+        xs = [lo + span * i / (points - 1) if points > 1 else lo for i in range(points)]
+        plotted = [(x, cdf.at(x)) for x in xs]
+    label = f"{title} (x: log10)" if log_x and title else (title or "")
+    return render_series(plotted, width=width, height=height, title=label)

@@ -1,0 +1,71 @@
+"""Empirical CDF utility.
+
+Every distributional figure in the paper (3, 4, 5, 6, 7, 8, 10, 11) is a
+CDF; :class:`CDF` is the shared representation the analysis layer returns
+and the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["CDF"]
+
+
+@dataclass(frozen=True)
+class CDF:
+    """An empirical cumulative distribution over numeric samples."""
+
+    values: tuple[float, ...]  # sorted
+
+    @classmethod
+    def of(cls, samples: Iterable[float]) -> "CDF":
+        """Build from raw samples."""
+        values = tuple(sorted(samples))
+        if not values:
+            raise ValueError("CDF needs at least one sample")
+        return cls(values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """Fraction of samples ≤ x."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1] (nearest-rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if q == 0.0:
+            return self.values[0]
+        rank = max(0, min(len(self.values) - 1, int(q * len(self.values)) - (q == 1.0)))
+        index = min(len(self.values) - 1, int(round(q * (len(self.values) - 1))))
+        return self.values[index] if rank is not None else self.values[rank]
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(0.5)
+
+    @property
+    def min(self) -> float:
+        return self.values[0]
+
+    @property
+    def max(self) -> float:
+        return self.values[-1]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    def fraction_below(self, x: float) -> float:
+        """Fraction of samples strictly less than x."""
+        return bisect.bisect_left(self.values, x) / len(self.values)
+
+    def series(self, points: Sequence[float]) -> list[tuple[float, float]]:
+        """(x, F(x)) pairs for plotting/printing at the given x points."""
+        return [(x, self.at(x)) for x in points]

@@ -1,0 +1,29 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_count", "format_pct"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table (headers + separator + rows)."""
+    table = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_count(value: int) -> str:
+    """Thousands-separated integer."""
+    return f"{value:,}"
+
+
+def format_pct(fraction: float, digits: int = 1) -> str:
+    """Fraction → percentage string."""
+    return f"{100.0 * fraction:.{digits}f}%"

@@ -1,0 +1,174 @@
+"""End-to-end study facade.
+
+:class:`Study` wires the full paper pipeline over one scan corpus:
+
+    scans → validation (§4.2) → comparison analyses (§5)
+          → dedup (§6.2) → per-field linking + consistency (§6.3–6.4)
+          → iterative pipeline (§6.4.3) → device tracking (§7)
+
+Each stage is computed once and cached; downstream stages pull upstream
+ones automatically, so ``study.movement()`` alone runs everything it
+needs.  Construct from a synthetic dataset with :meth:`from_synthetic`,
+or from any :class:`~repro.scanner.dataset.ScanDataset` plus a trust
+store, AS lookup, and registry for real scan corpora.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .core.consistency import ASLookup
+from .core.dedup import DedupResult, classify_unique_certificates
+from .core.features import Feature
+from .core.pipeline import (
+    FeatureEvaluation,
+    LifetimeImprovement,
+    PipelineResult,
+    evaluate_all_features,
+    iterative_link,
+    lifetime_improvement,
+)
+from .core.tracking import (
+    MovementReport,
+    ReassignmentReport,
+    TrackableReport,
+    TrackedDevice,
+    analyze_movement,
+    build_tracked_devices,
+    infer_reassignment_policies,
+    trackable_devices,
+)
+from .core.validation import ValidationReport, validate_dataset
+from .datasets.synthetic import SyntheticDataset
+from .net.asn import ASRegistry
+from .scanner.dataset import ScanDataset
+from .x509.truststore import TrustStore
+
+__all__ = ["Study"]
+
+
+class Study:
+    """One full reproduction run over a scan corpus."""
+
+    def __init__(
+        self,
+        dataset: ScanDataset,
+        trust_store: TrustStore,
+        as_of: ASLookup,
+        registry: Optional[ASRegistry] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.trust_store = trust_store
+        self.as_of = as_of
+        self.registry = registry
+        self._validation: Optional[ValidationReport] = None
+        self._dedup: Optional[DedupResult] = None
+        self._evaluations: Optional[dict[Feature, FeatureEvaluation]] = None
+        self._pipeline: Optional[PipelineResult] = None
+        self._devices: Optional[list[TrackedDevice]] = None
+
+    @classmethod
+    def from_synthetic(cls, synthetic: SyntheticDataset) -> "Study":
+        """Wire a study over a generated dataset."""
+        world = synthetic.world
+        return cls(
+            dataset=synthetic.scans,
+            trust_store=world.trust_store,
+            as_of=world.routing.origin_as,
+            registry=world.registry,
+        )
+
+    # --- §4.2 ------------------------------------------------------------------
+
+    def validation(self) -> ValidationReport:
+        """Classify every certificate (cached)."""
+        if self._validation is None:
+            self._validation = validate_dataset(self.dataset, self.trust_store)
+        return self._validation
+
+    @property
+    def invalid(self) -> set[bytes]:
+        """Fingerprints of the invalid certificates."""
+        return self.validation().invalid
+
+    @property
+    def valid(self) -> set[bytes]:
+        """Fingerprints of the valid certificates."""
+        return self.validation().valid
+
+    # --- §6.2 -------------------------------------------------------------------
+
+    def dedup(self) -> DedupResult:
+        """Apply the two-address uniqueness rule to the invalid population."""
+        if self._dedup is None:
+            self._dedup = classify_unique_certificates(self.dataset, self.invalid)
+        return self._dedup
+
+    @property
+    def unique_invalid(self) -> Iterable[bytes]:
+        """Invalid certificates attributable to single devices."""
+        return self.dedup().unique
+
+    # --- §6.3–6.4 ------------------------------------------------------------------
+
+    def feature_evaluations(self) -> dict[Feature, FeatureEvaluation]:
+        """Table 6: per-field linking and consistency (cached)."""
+        if self._evaluations is None:
+            self._evaluations = evaluate_all_features(
+                self.dataset, self.unique_invalid, self.as_of
+            )
+        return self._evaluations
+
+    def pipeline(self) -> PipelineResult:
+        """The iterative §6.4.3 linking (cached)."""
+        if self._pipeline is None:
+            self._pipeline = iterative_link(
+                self.dataset,
+                self.unique_invalid,
+                self.as_of,
+                evaluations=self.feature_evaluations(),
+            )
+        return self._pipeline
+
+    def lifetime_improvement(self) -> LifetimeImprovement:
+        """§6.4.4: population statistics before vs after linking."""
+        return lifetime_improvement(
+            self.dataset, self.pipeline(), self.unique_invalid
+        )
+
+    # --- §7 -----------------------------------------------------------------------
+
+    def tracked_devices(self) -> list[TrackedDevice]:
+        """The inferred device population (cached)."""
+        if self._devices is None:
+            self._devices = build_tracked_devices(
+                self.dataset, self.pipeline(), self.unique_invalid
+            )
+        return self._devices
+
+    def trackable(self, min_days: int = 365) -> TrackableReport:
+        """§7.2: trackable-device counts with/without linking."""
+        return trackable_devices(
+            self.dataset, self.tracked_devices(), self.unique_invalid, min_days
+        )
+
+    def movement(self, bulk_threshold: int = 10, min_days: int = 365) -> MovementReport:
+        """§7.3: AS transitions, bulk transfers, country moves."""
+        return analyze_movement(
+            self.tracked_devices(),
+            self.as_of,
+            registry=self.registry,
+            bulk_threshold=bulk_threshold,
+            min_days=min_days,
+        )
+
+    def reassignment(
+        self, min_devices_per_as: int = 10, min_days: int = 365
+    ) -> ReassignmentReport:
+        """§7.4: per-AS static-assignment inference (Figure 11)."""
+        return infer_reassignment_policies(
+            self.tracked_devices(),
+            self.as_of,
+            min_devices_per_as=min_devices_per_as,
+            min_days=min_days,
+        )

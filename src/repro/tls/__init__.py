@@ -1,0 +1,20 @@
+"""TLS substrate: cipher suites, handshake negotiation, stack profiles."""
+
+from .ciphers import REGISTRY, ZGRAB_OFFER, CipherSuite, KeyExchange, suite
+from .handshake import HandshakeRecord, ServerProfile, TLSVersion, negotiate
+from .profiles import VENDOR_TLS_PROFILES, WEBSITE_TLS_PROFILE, tls_profile_for
+
+__all__ = [
+    "REGISTRY",
+    "ZGRAB_OFFER",
+    "CipherSuite",
+    "KeyExchange",
+    "suite",
+    "HandshakeRecord",
+    "ServerProfile",
+    "TLSVersion",
+    "negotiate",
+    "VENDOR_TLS_PROFILES",
+    "WEBSITE_TLS_PROFILE",
+    "tls_profile_for",
+]

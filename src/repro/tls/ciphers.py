@@ -1,0 +1,81 @@
+"""TLS cipher-suite registry.
+
+A compact model of the cipher suites the 2012–2015 scan era actually saw,
+with the one property the paper cares about (§5.2, footnote 10): whether
+the key exchange provides **Perfect Forward Secrecy**.  The paper observed
+that Lancom devices — the ones sharing a single RSA key fleet-wide — also
+negotiated non-PFS ciphers, leaving their historic traffic decryptable if
+that one key ever leaks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["KeyExchange", "CipherSuite", "REGISTRY", "suite", "ZGRAB_OFFER"]
+
+
+class KeyExchange(enum.Enum):
+    """Key-exchange families; ephemeral DH variants provide PFS."""
+
+    RSA = "rsa"
+    DHE = "dhe"
+    ECDHE = "ecdhe"
+
+    @property
+    def forward_secure(self) -> bool:
+        return self in (KeyExchange.DHE, KeyExchange.ECDHE)
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """One negotiable suite."""
+
+    code: int
+    name: str
+    key_exchange: KeyExchange
+
+    @property
+    def forward_secure(self) -> bool:
+        """Does the suite provide Perfect Forward Secrecy?"""
+        return self.key_exchange.forward_secure
+
+
+_SUITES = (
+    CipherSuite(0x002F, "TLS_RSA_WITH_AES_128_CBC_SHA", KeyExchange.RSA),
+    CipherSuite(0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA", KeyExchange.RSA),
+    CipherSuite(0x000A, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", KeyExchange.RSA),
+    CipherSuite(0x0005, "TLS_RSA_WITH_RC4_128_SHA", KeyExchange.RSA),
+    CipherSuite(0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KeyExchange.DHE),
+    CipherSuite(0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", KeyExchange.DHE),
+    CipherSuite(0xC013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", KeyExchange.ECDHE),
+    CipherSuite(0xC014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", KeyExchange.ECDHE),
+    CipherSuite(0xC02F, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", KeyExchange.ECDHE),
+)
+
+#: code → suite.
+REGISTRY: dict[int, CipherSuite] = {s.code: s for s in _SUITES}
+
+
+def suite(code: int) -> CipherSuite:
+    """Look up a suite by code."""
+    try:
+        return REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown cipher suite 0x{code:04x}") from None
+
+
+#: The permissive offer a zgrab-style scanner sends: everything, PFS first.
+ZGRAB_OFFER: tuple[int, ...] = (
+    0xC02F, 0xC014, 0xC013, 0x0039, 0x0033, 0x0035, 0x002F, 0x000A, 0x0005,
+)
+
+
+def forward_secure_fraction(codes: Iterable[int]) -> float:
+    """Share of negotiated suites that provide PFS."""
+    codes = list(codes)
+    if not codes:
+        return 0.0
+    return sum(1 for code in codes if suite(code).forward_secure) / len(codes)

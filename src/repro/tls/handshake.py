@@ -1,0 +1,98 @@
+"""Server-side TLS negotiation and network fingerprints.
+
+A :class:`ServerProfile` captures the handshake-visible behaviour of one
+firmware stack: supported suites in preference order, maximum TLS version,
+and the transport traits (initial TCP window, IP TTL) the paper names as
+candidate linking features it had to leave to future work (§6.3: "features
+that can be observed from the network connection used to collect the
+certificate (e.g., the initial TCP window size)").
+
+:func:`negotiate` implements server-preference selection, as embedded
+stacks overwhelmingly do, and yields the :class:`HandshakeRecord` a
+scanner stores next to the certificate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Sequence
+
+from .ciphers import ZGRAB_OFFER, suite
+
+__all__ = ["TLSVersion", "ServerProfile", "HandshakeRecord", "negotiate"]
+
+
+class TLSVersion(enum.IntEnum):
+    """Protocol versions of the scan era."""
+
+    SSL3 = 0x0300
+    TLS1_0 = 0x0301
+    TLS1_1 = 0x0302
+    TLS1_2 = 0x0303
+
+    def label(self) -> str:
+        return {"SSL3": "SSLv3", "TLS1_0": "TLSv1.0",
+                "TLS1_1": "TLSv1.1", "TLS1_2": "TLSv1.2"}[self.name]
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Handshake behaviour of one firmware stack."""
+
+    #: Suites the stack supports, in *server* preference order.
+    suites: tuple[int, ...]
+    max_version: TLSVersion = TLSVersion.TLS1_0
+    #: Initial TCP window the SYN-ACK advertises (a stack constant).
+    tcp_window: int = 14600
+    #: Initial IP TTL (another stack constant: 64 Linux, 255 VxWorks...).
+    ip_ttl: int = 64
+
+    def supports_pfs(self) -> bool:
+        """Can the stack ever negotiate a forward-secure suite?"""
+        return any(suite(code).forward_secure for code in self.suites)
+
+
+class HandshakeRecord(NamedTuple):
+    """What one handshake reveals: protocol, cipher, transport traits.
+
+    Hashable — the network-fingerprint linking extension uses records
+    (minus the negotiated cipher, which depends on the client offer) as
+    grouping keys.
+    """
+
+    version: int
+    cipher: int
+    tcp_window: int
+    ip_ttl: int
+
+    @property
+    def forward_secure(self) -> bool:
+        return suite(self.cipher).forward_secure
+
+    def stack_fingerprint(self) -> tuple[int, int, int]:
+        """The client-independent traits: (version, window, ttl)."""
+        return (self.version, self.tcp_window, self.ip_ttl)
+
+
+def negotiate(
+    profile: ServerProfile,
+    client_offer: Sequence[int] = ZGRAB_OFFER,
+    client_max_version: TLSVersion = TLSVersion.TLS1_2,
+) -> Optional[HandshakeRecord]:
+    """Run one handshake; None when no suite is mutually supported.
+
+    Server-preference selection: the first server suite the client also
+    offers wins (embedded stacks rarely honour client preference).
+    """
+    offered = set(client_offer)
+    chosen = next((code for code in profile.suites if code in offered), None)
+    if chosen is None:
+        return None
+    version = min(profile.max_version, client_max_version)
+    return HandshakeRecord(
+        version=int(version),
+        cipher=chosen,
+        tcp_window=profile.tcp_window,
+        ip_ttl=profile.ip_ttl,
+    )

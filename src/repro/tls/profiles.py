@@ -1,0 +1,62 @@
+"""Per-vendor TLS stack profiles.
+
+Maps each device family of the vendor catalog to the handshake behaviour
+of its firmware stack.  The calibration hooks into two of the paper's
+observations:
+
+* **Lancom devices do not support PFS** (footnote 10) — combined with the
+  fleet-wide shared RSA key, their historic traffic is decryptable;
+* embedded stacks expose *stack-constant* transport traits (TCP window,
+  TTL, protocol ceiling) that identify the firmware family — usable to
+  split cross-vendor coincidence groups during linking (the paper's §6.3
+  future work).
+
+Websites run mainstream server stacks with modern suites.
+"""
+
+from __future__ import annotations
+
+from .handshake import ServerProfile, TLSVersion
+
+__all__ = ["VENDOR_TLS_PROFILES", "WEBSITE_TLS_PROFILE", "tls_profile_for"]
+
+_RSA_ONLY = (0x002F, 0x0035, 0x000A)
+_RSA_RC4 = (0x0005, 0x002F, 0x000A)
+_DHE_CAPABLE = (0x0033, 0x0039, 0x002F, 0x0035)
+_MODERN = (0xC02F, 0xC013, 0xC014, 0x0033, 0x002F, 0x0035)
+
+#: vendor-profile name → stack behaviour.
+VENDOR_TLS_PROFILES: dict[str, ServerProfile] = {
+    # Lancom: RSA-only — no PFS, per the paper's footnote 10.
+    "lancom": ServerProfile(_RSA_ONLY, TLSVersion.TLS1_0, tcp_window=5840, ip_ttl=64),
+    "fritzbox": ServerProfile(_DHE_CAPABLE, TLSVersion.TLS1_2, tcp_window=14600, ip_ttl=64),
+    "budget-router": ServerProfile(_RSA_RC4, TLSVersion.SSL3, tcp_window=5792, ip_ttl=64),
+    "dvr": ServerProfile(_RSA_RC4, TLSVersion.TLS1_0, tcp_window=8192, ip_ttl=255),
+    "playbook": ServerProfile(_MODERN, TLSVersion.TLS1_2, tcp_window=65535, ip_ttl=128),
+    "generic-router": ServerProfile(_RSA_ONLY, TLSVersion.TLS1_0, tcp_window=5840, ip_ttl=64),
+    "wd-mycloud": ServerProfile(_DHE_CAPABLE, TLSVersion.TLS1_1, tcp_window=14600, ip_ttl=64),
+    "vmware": ServerProfile(_MODERN, TLSVersion.TLS1_2, tcp_window=29200, ip_ttl=64),
+    "empty-issuer": ServerProfile(_RSA_ONLY, TLSVersion.SSL3, tcp_window=4380, ip_ttl=64),
+    "enterprise-gateway": ServerProfile(_DHE_CAPABLE, TLSVersion.TLS1_2, tcp_window=29200, ip_ttl=64),
+    "vpn-concentrator": ServerProfile(_MODERN, TLSVersion.TLS1_2, tcp_window=29200, ip_ttl=255),
+    "enterprise-firewall": ServerProfile(_DHE_CAPABLE, TLSVersion.TLS1_2, tcp_window=29200, ip_ttl=255),
+    "ip-camera": ServerProfile(_RSA_RC4, TLSVersion.TLS1_0, tcp_window=8192, ip_ttl=64),
+    "legacy-v1": ServerProfile(_RSA_RC4, TLSVersion.SSL3, tcp_window=4096, ip_ttl=32),
+    "cpe-fleet": ServerProfile(_RSA_ONLY, TLSVersion.TLS1_0, tcp_window=5840, ip_ttl=64),
+    "firmware-baked": ServerProfile(_RSA_ONLY, TLSVersion.TLS1_0, tcp_window=5840, ip_ttl=64),
+    "misc-appliance": ServerProfile(_RSA_ONLY, TLSVersion.TLS1_0, tcp_window=8760, ip_ttl=64),
+    "broken-version": ServerProfile(_RSA_RC4, TLSVersion.SSL3, tcp_window=2048, ip_ttl=64),
+    "managed-gateway": ServerProfile(_MODERN, TLSVersion.TLS1_2, tcp_window=29200, ip_ttl=64),
+}
+
+#: Mainstream web-server stack.
+WEBSITE_TLS_PROFILE = ServerProfile(
+    _MODERN, TLSVersion.TLS1_2, tcp_window=29200, ip_ttl=64
+)
+
+_FALLBACK = ServerProfile(_RSA_ONLY, TLSVersion.TLS1_0)
+
+
+def tls_profile_for(vendor_name: str) -> ServerProfile:
+    """Stack profile for a vendor; RSA-only fallback for unknown names."""
+    return VENDOR_TLS_PROFILES.get(vendor_name, _FALLBACK)

@@ -1,0 +1,48 @@
+"""From-scratch X.509 substrate: DER, RSA, certificates, chains, trust."""
+
+from .builder import CertificateBuilder
+from .certificate import Certificate
+from .chain import ChainVerifier, VerifyResult, VerifyStatus
+from .extensions import (
+    AuthorityInfoAccess,
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    CRLDistributionPoints,
+    CertificatePolicies,
+    Extensions,
+    KeyUsage,
+    RawExtension,
+    SubjectAltName,
+    SubjectKeyIdentifier,
+)
+from .keys import KeyPair, PrivateKey, PublicKey, generate_keypair
+from .name import Name
+from .oid import OID, RSA_ENCRYPTION, SIG_SHA256_RSA
+from .truststore import TrustStore
+
+__all__ = [
+    "CertificateBuilder",
+    "Certificate",
+    "ChainVerifier",
+    "VerifyResult",
+    "VerifyStatus",
+    "AuthorityInfoAccess",
+    "AuthorityKeyIdentifier",
+    "BasicConstraints",
+    "CRLDistributionPoints",
+    "CertificatePolicies",
+    "Extensions",
+    "KeyUsage",
+    "RawExtension",
+    "SubjectAltName",
+    "SubjectKeyIdentifier",
+    "KeyPair",
+    "PrivateKey",
+    "PublicKey",
+    "generate_keypair",
+    "Name",
+    "OID",
+    "RSA_ENCRYPTION",
+    "SIG_SHA256_RSA",
+    "TrustStore",
+]

@@ -1,0 +1,237 @@
+"""Fluent certificate builder.
+
+Used by every certificate-producing actor in the simulation: real CAs
+issuing valid leaves, intermediate CAs, and — most importantly — device
+firmware generating the self-signed certificates the paper studies.  The
+builder accepts deliberately broken inputs (inverted validity windows,
+empty subjects, far-future expiries) because the invalid-certificate
+population depends on them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..simtime import MAX_DAY, MIN_DAY
+from .certificate import Certificate
+from .extensions import (
+    AuthorityInfoAccess,
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    CRLDistributionPoints,
+    CertificatePolicies,
+    Extensions,
+    KeyUsage,
+    SubjectAltName,
+    SubjectKeyIdentifier,
+    TypedExtension,
+)
+from .keys import KeyPair, generate_keypair
+from .name import Name
+from .oid import OID
+
+__all__ = ["CertificateBuilder"]
+
+
+class CertificateBuilder:
+    """Accumulates certificate fields, then signs.
+
+    Example — a device's self-signed certificate::
+
+        cert = (
+            CertificateBuilder()
+            .subject(Name.common_name('192.168.1.1'))
+            .validity(day, day + 7300)
+            .public_key(keypair.public)
+            .self_sign(keypair.private)
+        )
+    """
+
+    def __init__(self) -> None:
+        self._version = 3
+        self._serial: Optional[int] = None
+        self._subject: Optional[Name] = None
+        self._issuer: Optional[Name] = None
+        self._not_before: Optional[int] = None
+        self._not_after: Optional[int] = None
+        self._not_before_secs = 0
+        self._not_after_secs = 0
+        self._keypair: Optional[KeyPair] = None
+        self._extensions: list[TypedExtension] = []
+
+    # --- field setters --------------------------------------------------------
+
+    def version(self, version: int, strict: bool = True) -> "CertificateBuilder":
+        """X.509 version, 1 or 3 (v1 certificates carry no extensions).
+
+        ``strict=False`` accepts the nonsense version numbers broken
+        firmware emits (2, 4, 13 in the paper's corpus, footnote 5); the
+        validation layer classifies such certificates as malformed.
+        """
+        if strict and version not in (1, 3):
+            raise ValueError(f"unsupported version {version}")
+        if version < 1:
+            raise ValueError(f"version must be positive, got {version}")
+        self._version = version
+        return self
+
+    def serial(self, serial: int) -> "CertificateBuilder":
+        """Serial number; random if never set."""
+        self._serial = serial
+        return self
+
+    def subject(self, name: Name) -> "CertificateBuilder":
+        """Subject distinguished name."""
+        self._subject = name
+        return self
+
+    def issuer(self, name: Name) -> "CertificateBuilder":
+        """Issuer name; defaults to the subject for self-signed builds."""
+        self._issuer = name
+        return self
+
+    def validity(
+        self,
+        not_before: int,
+        not_after: int,
+        not_before_secs: int = 0,
+        not_after_secs: int = 0,
+    ) -> "CertificateBuilder":
+        """Validity window in day indices plus optional seconds-in-day.
+
+        Inverted windows (``not_after < not_before``) are accepted: 5.38 %
+        of the paper's invalid certificates have negative validity periods.
+        """
+        for day in (not_before, not_after):
+            if not MIN_DAY <= day <= MAX_DAY:
+                raise ValueError(f"day {day} not DER-representable")
+        for secs in (not_before_secs, not_after_secs):
+            if not 0 <= secs < 86400:
+                raise ValueError(f"seconds-in-day out of range: {secs}")
+        self._not_before = not_before
+        self._not_after = not_after
+        self._not_before_secs = not_before_secs
+        self._not_after_secs = not_after_secs
+        return self
+
+    def keypair(self, pair: KeyPair) -> "CertificateBuilder":
+        """Subject key pair (private half needed only for self-signing)."""
+        self._keypair = pair
+        return self
+
+    def public_key(self, key) -> "CertificateBuilder":
+        """Subject public key when the private half is elsewhere."""
+        self._keypair = KeyPair(public=key, private=None)  # type: ignore[arg-type]
+        return self
+
+    # --- extension helpers ------------------------------------------------------
+
+    def add_extension(self, extension: TypedExtension) -> "CertificateBuilder":
+        """Append an already-built extension."""
+        self._extensions.append(extension)
+        return self
+
+    def ca(self, is_ca: bool = True) -> "CertificateBuilder":
+        """Mark as a CA certificate via basicConstraints."""
+        self._extensions.append(BasicConstraints(ca=is_ca))
+        if is_ca:
+            self._extensions.append(KeyUsage(key_cert_sign=True))
+        return self
+
+    def subject_alt_names(self, names: Sequence[str]) -> "CertificateBuilder":
+        """Attach a subjectAltName list."""
+        if names:
+            self._extensions.append(SubjectAltName(tuple(names)))
+        return self
+
+    def authority_key_id(self, key_id: bytes) -> "CertificateBuilder":
+        """Attach the issuer's key identifier."""
+        self._extensions.append(AuthorityKeyIdentifier(key_id))
+        return self
+
+    def subject_key_id(self, key_id: bytes) -> "CertificateBuilder":
+        """Attach this certificate's own key identifier."""
+        self._extensions.append(SubjectKeyIdentifier(key_id))
+        return self
+
+    def crl_uris(self, uris: Sequence[str]) -> "CertificateBuilder":
+        """Attach CRL distribution points."""
+        if uris:
+            self._extensions.append(CRLDistributionPoints(tuple(uris)))
+        return self
+
+    def aia(
+        self, ocsp: Sequence[str] = (), ca_issuers: Sequence[str] = ()
+    ) -> "CertificateBuilder":
+        """Attach authorityInfoAccess (OCSP responders, caIssuers URLs)."""
+        if ocsp or ca_issuers:
+            self._extensions.append(
+                AuthorityInfoAccess(tuple(ocsp), tuple(ca_issuers))
+            )
+        return self
+
+    def policies(self, policy_oids: Sequence[OID]) -> "CertificateBuilder":
+        """Attach certificatePolicies OIDs."""
+        if policy_oids:
+            self._extensions.append(CertificatePolicies(tuple(policy_oids)))
+        return self
+
+    # --- signing -----------------------------------------------------------------
+
+    def self_sign(
+        self, private_key=None, rng: Optional[random.Random] = None
+    ) -> Certificate:
+        """Sign with the subject's own key (issuer defaults to subject)."""
+        pair = self._require_keypair(rng)
+        signer = private_key if private_key is not None else pair.private
+        if signer is None:
+            raise ValueError("self_sign needs the subject private key")
+        issuer = self._issuer if self._issuer is not None else self._subject
+        return self._finish(issuer, signer, rng)
+
+    def sign_with(
+        self,
+        issuer_name: Name,
+        issuer_private_key,
+        rng: Optional[random.Random] = None,
+    ) -> Certificate:
+        """Sign with an issuing CA's name and private key."""
+        self._require_keypair(rng)
+        return self._finish(issuer_name, issuer_private_key, rng)
+
+    # --- internals ------------------------------------------------------------------
+
+    def _require_keypair(self, rng: Optional[random.Random]) -> KeyPair:
+        if self._keypair is None:
+            if rng is None:
+                raise ValueError("no key set and no rng to generate one")
+            self._keypair = generate_keypair(rng)
+        return self._keypair
+
+    def _finish(
+        self, issuer: Optional[Name], signer, rng: Optional[random.Random]
+    ) -> Certificate:
+        if self._subject is None:
+            raise ValueError("subject is required (Name.empty() for blank)")
+        if issuer is None:
+            raise ValueError("issuer is required")
+        if self._not_before is None or self._not_after is None:
+            raise ValueError("validity window is required")
+        serial = self._serial
+        if serial is None:
+            serial = (rng or random.Random()).getrandbits(63)
+        extensions = Extensions(tuple(self._extensions)) if self._version == 3 else Extensions()
+        return Certificate.sign(
+            version=self._version,
+            serial=serial,
+            issuer=issuer,
+            subject=self._subject,
+            not_before=self._not_before,
+            not_after=self._not_after,
+            public_key=self._keypair.public,
+            extensions=extensions,
+            signing_key=signer,
+            not_before_secs=self._not_before_secs,
+            not_after_secs=self._not_after_secs,
+        )

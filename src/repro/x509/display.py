@@ -1,0 +1,105 @@
+"""Human-readable certificate rendering.
+
+``openssl x509 -noout -text``-style output for debugging, examples, and
+incident write-ups.  Purely presentational — nothing in the pipeline
+parses this text.
+"""
+
+from __future__ import annotations
+
+from ..simtime import MAX_DAY, MIN_DAY, format_day
+from .certificate import Certificate
+from .extensions import (
+    AuthorityInfoAccess,
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    CRLDistributionPoints,
+    CertificatePolicies,
+    KeyUsage,
+    RawExtension,
+    SubjectAltName,
+    SubjectKeyIdentifier,
+)
+
+__all__ = ["render_certificate"]
+
+
+def _time(day: int, seconds: int) -> str:
+    if not MIN_DAY <= day <= MAX_DAY:
+        return f"<day {day}>"
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    return f"{format_day(day)} {hours:02d}:{minutes:02d}:{secs:02d} UTC"
+
+
+def _extension_lines(cert: Certificate) -> list[str]:
+    lines: list[str] = []
+    for ext in cert.extensions:
+        if isinstance(ext, SubjectAltName):
+            names = ", ".join(f"DNS:{name}" for name in ext.names)
+            lines += ["X509v3 Subject Alternative Name:", f"    {names}"]
+        elif isinstance(ext, BasicConstraints):
+            lines += ["X509v3 Basic Constraints:",
+                      f"    CA:{'TRUE' if ext.ca else 'FALSE'}"]
+        elif isinstance(ext, KeyUsage):
+            usages = [
+                label for flag, label in (
+                    (ext.digital_signature, "Digital Signature"),
+                    (ext.key_cert_sign, "Certificate Sign"),
+                ) if flag
+            ]
+            lines += ["X509v3 Key Usage:", f"    {', '.join(usages) or '(none)'}"]
+        elif isinstance(ext, AuthorityKeyIdentifier):
+            lines += ["X509v3 Authority Key Identifier:",
+                      f"    keyid:{ext.key_id.hex().upper()}"]
+        elif isinstance(ext, SubjectKeyIdentifier):
+            lines += ["X509v3 Subject Key Identifier:",
+                      f"    {ext.key_id.hex().upper()}"]
+        elif isinstance(ext, CRLDistributionPoints):
+            lines.append("X509v3 CRL Distribution Points:")
+            lines += [f"    URI:{uri}" for uri in ext.uris]
+        elif isinstance(ext, AuthorityInfoAccess):
+            lines.append("Authority Information Access:")
+            lines += [f"    OCSP - URI:{uri}" for uri in ext.ocsp]
+            lines += [f"    CA Issuers - URI:{uri}" for uri in ext.ca_issuers]
+        elif isinstance(ext, CertificatePolicies):
+            lines.append("X509v3 Certificate Policies:")
+            lines += [f"    Policy: {oid.dotted()}" for oid in ext.policy_oids]
+        elif isinstance(ext, RawExtension):
+            lines.append(f"Unknown extension ({ext.raw_oid.dotted()}): "
+                         f"{len(ext.value)} bytes")
+    return lines
+
+
+def render_certificate(cert: Certificate) -> str:
+    """Render one certificate the way ``openssl x509 -text`` would."""
+    lines = [
+        "Certificate:",
+        "    Data:",
+        f"        Version: {cert.version} (0x{cert.version - 1:x})",
+        f"        Serial Number: {cert.serial} (0x{cert.serial:x})",
+        "        Signature Algorithm: sha256WithRSAEncryption",
+        f"        Issuer: {cert.issuer.rfc4514() or '(empty)'}",
+        "        Validity:",
+        f"            Not Before: {_time(cert.not_before, cert.not_before_secs)}",
+        f"            Not After : {_time(cert.not_after, cert.not_after_secs)}",
+        f"        Subject: {cert.subject.rfc4514() or '(empty)'}",
+        "        Subject Public Key Info:",
+        "            Public Key Algorithm: rsaEncryption",
+        f"                RSA Public-Key: ({cert.public_key.bits} bit)",
+        f"                Modulus: {hex(cert.public_key.n)}",
+        f"                Exponent: {cert.public_key.e} "
+        f"(0x{cert.public_key.e:x})",
+    ]
+    extension_lines = _extension_lines(cert)
+    if extension_lines:
+        lines.append("        X509v3 extensions:")
+        lines += [f"            {line}" for line in extension_lines]
+    lines += [
+        "    Signature Algorithm: sha256WithRSAEncryption",
+        f"        {hex(cert.signature)}",
+        f"    SHA-256 Fingerprint: {cert.fingerprint_hex.upper()}",
+    ]
+    if cert.is_self_signed():
+        lines.append("    (self-signed)")
+    return "\n".join(lines)

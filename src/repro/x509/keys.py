@@ -1,0 +1,155 @@
+"""Toy-scale but mathematically real RSA.
+
+The simulated PKI signs and verifies with genuine modular-exponentiation
+RSA over small moduli (default 256-bit), generated deterministically from a
+caller-supplied :class:`random.Random`.  Signatures are
+``sig = H(message)^d mod n`` with SHA-256 as ``H`` — textbook RSA, which is
+exactly enough to make chain validation *real*: a certificate whose issuer
+key does not match fails verification, a self-signed certificate verifies
+under its own key, and tampered bytes break the signature.
+
+Key sizes this small are trivially factorable; that is irrelevant here — no
+secrecy is required, only the verify-under-the-right-key semantics that the
+paper's ``openssl verify`` step depends on.
+
+Keys hash and compare by ``(n, e)``, so the paper's key-sharing analysis
+("one Lancom key on 6.5 % of invalid certificates") is a set operation over
+:attr:`PublicKey.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = ["PublicKey", "PrivateKey", "KeyPair", "generate_keypair"]
+
+_DEFAULT_BITS = 256
+_E = 65537
+
+# Small primes for fast trial division before Miller-Rabin.
+_SMALL_PRIMES = (
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+)
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        """Modulus size in bits."""
+        return self.n.bit_length()
+
+    @property
+    def fingerprint(self) -> bytes:
+        """SHA-256 over the modulus and exponent; stable key identity."""
+        return _fingerprint(self.n, self.e)
+
+    def verify(self, message: bytes, signature: int) -> bool:
+        """Return True if ``signature`` is valid for ``message``."""
+        if not 0 <= signature < self.n:
+            return False
+        expected = _digest_int(message) % self.n
+        return pow(signature, self.e, self.n) == expected
+
+
+@lru_cache(maxsize=65536)
+def _fingerprint(n: int, e: int) -> bytes:
+    material = n.to_bytes((n.bit_length() + 7) // 8 or 1, "big")
+    material += e.to_bytes((e.bit_length() + 7) // 8 or 1, "big")
+    return hashlib.sha256(material).digest()
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key; holds the full parameter set."""
+
+    n: int
+    e: int
+    d: int
+
+    def sign(self, message: bytes) -> int:
+        """Textbook RSA signature over SHA-256(message)."""
+        return pow(_digest_int(message) % self.n, self.d, self.n)
+
+    def public_key(self) -> PublicKey:
+        """The matching public key."""
+        return PublicKey(self.n, self.e)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A generated public/private pair."""
+
+    public: PublicKey
+    private: PrivateKey
+
+
+def _digest_int(message: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(message).digest(), "big")
+
+
+def generate_keypair(rng: random.Random, bits: int = _DEFAULT_BITS) -> KeyPair:
+    """Generate a deterministic RSA key pair from ``rng``.
+
+    ``bits`` is the modulus size; each prime is ``bits // 2`` long.  The
+    same RNG state always yields the same key, which keeps whole-world
+    simulations reproducible from a single seed.
+    """
+    if bits < 32:
+        raise ValueError(f"modulus too small: {bits} bits")
+    half = bits // 2
+    while True:
+        p = _random_prime(rng, half)
+        q = _random_prime(rng, bits - half)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _E == 0:
+            continue
+        d = pow(_E, -1, phi)
+        return KeyPair(PublicKey(n, _E), PrivateKey(n, _E, d))
+
+
+def _random_prime(rng: random.Random, bits: int) -> int:
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+def _is_probable_prime(n: int, rng: random.Random, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if n == prime:
+            return True
+        if n % prime == 0:
+            return False
+    # Miller-Rabin.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True

@@ -1,0 +1,119 @@
+"""Object identifier registry.
+
+A tiny but real OID type (dotted-decimal, DER-encodable arcs) plus the
+registry of every OID the library emits: signature algorithms, distinguished
+name attribute types, and the X.509 v3 extensions the paper's linking
+methodology inspects (SAN, AKI, CRL distribution points, AIA, certificate
+policies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["OID", "SIG_SHA256_RSA", "RSA_ENCRYPTION"]
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """An ASN.1 object identifier, stored as a tuple of integer arcs."""
+
+    arcs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.arcs) < 2:
+            raise ValueError("OID needs at least two arcs")
+        if self.arcs[0] > 2 or self.arcs[0] < 0:
+            raise ValueError(f"first OID arc out of range: {self.arcs[0]}")
+        if self.arcs[0] < 2 and self.arcs[1] > 39:
+            raise ValueError(f"second OID arc out of range: {self.arcs[1]}")
+        if any(arc < 0 for arc in self.arcs):
+            raise ValueError("negative OID arc")
+
+    @classmethod
+    def parse(cls, dotted: str) -> "OID":
+        """Parse dotted-decimal notation, e.g. ``'2.5.4.3'``."""
+        try:
+            arcs = tuple(int(part) for part in dotted.split("."))
+        except ValueError:
+            raise ValueError(f"not a dotted OID: {dotted!r}") from None
+        return cls(arcs)
+
+    def dotted(self) -> str:
+        """Dotted-decimal representation."""
+        return ".".join(str(arc) for arc in self.arcs)
+
+    def __str__(self) -> str:
+        return self.dotted()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.arcs)
+
+
+# --- Algorithm identifiers -------------------------------------------------
+
+#: rsaEncryption — SubjectPublicKeyInfo algorithm.
+RSA_ENCRYPTION = OID.parse("1.2.840.113549.1.1.1")
+#: sha256WithRSAEncryption — the only signature algorithm the toy PKI emits.
+SIG_SHA256_RSA = OID.parse("1.2.840.113549.1.1.11")
+
+# --- Distinguished-name attribute types ------------------------------------
+
+CN = OID.parse("2.5.4.3")
+COUNTRY = OID.parse("2.5.4.6")
+LOCALITY = OID.parse("2.5.4.7")
+STATE = OID.parse("2.5.4.8")
+ORG = OID.parse("2.5.4.10")
+ORG_UNIT = OID.parse("2.5.4.11")
+SERIAL_NUMBER_ATTR = OID.parse("2.5.4.5")
+EMAIL = OID.parse("1.2.840.113549.1.9.1")
+
+#: Attribute-type OID → short RFC 4514 name, for Name string rendering.
+DN_SHORT_NAMES: dict[OID, str] = {
+    CN: "CN",
+    COUNTRY: "C",
+    LOCALITY: "L",
+    STATE: "ST",
+    ORG: "O",
+    ORG_UNIT: "OU",
+    SERIAL_NUMBER_ATTR: "serialNumber",
+    EMAIL: "emailAddress",
+}
+
+_SHORT_NAME_TO_OID = {name: oid for oid, name in DN_SHORT_NAMES.items()}
+
+
+def attribute_oid(short_name: str) -> OID:
+    """Look up a DN attribute OID by its short name (``'CN'``, ``'O'``, …)."""
+    try:
+        return _SHORT_NAME_TO_OID[short_name]
+    except KeyError:
+        raise KeyError(f"unknown DN attribute {short_name!r}") from None
+
+
+# --- X.509 v3 extensions ----------------------------------------------------
+
+SUBJECT_KEY_ID = OID.parse("2.5.29.14")
+KEY_USAGE = OID.parse("2.5.29.15")
+SUBJECT_ALT_NAME = OID.parse("2.5.29.17")
+BASIC_CONSTRAINTS = OID.parse("2.5.29.19")
+CRL_DISTRIBUTION_POINTS = OID.parse("2.5.29.31")
+CERTIFICATE_POLICIES = OID.parse("2.5.29.32")
+AUTHORITY_KEY_ID = OID.parse("2.5.29.35")
+AUTHORITY_INFO_ACCESS = OID.parse("1.3.6.1.5.5.7.1.1")
+
+#: AccessDescription access methods inside AIA.
+AIA_OCSP = OID.parse("1.3.6.1.5.5.7.48.1")
+AIA_CA_ISSUERS = OID.parse("1.3.6.1.5.5.7.48.2")
+
+EXTENSION_NAMES: dict[OID, str] = {
+    SUBJECT_KEY_ID: "subjectKeyIdentifier",
+    KEY_USAGE: "keyUsage",
+    SUBJECT_ALT_NAME: "subjectAltName",
+    BASIC_CONSTRAINTS: "basicConstraints",
+    CRL_DISTRIBUTION_POINTS: "cRLDistributionPoints",
+    CERTIFICATE_POLICIES: "certificatePolicies",
+    AUTHORITY_KEY_ID: "authorityKeyIdentifier",
+    AUTHORITY_INFO_ACCESS: "authorityInfoAccess",
+}

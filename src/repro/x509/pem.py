@@ -1,0 +1,57 @@
+"""PEM armor for certificates.
+
+Standard RFC 7468 encoding so certificates produced by this library can be
+fed to external tools (``openssl x509 -in cert.pem -text``) and
+certificates from PEM sources can enter the pipeline.
+"""
+
+from __future__ import annotations
+
+import base64
+import textwrap
+
+from .certificate import Certificate
+
+__all__ = ["encode_pem", "decode_pem", "decode_pem_many"]
+
+_HEADER = "-----BEGIN CERTIFICATE-----"
+_FOOTER = "-----END CERTIFICATE-----"
+
+
+def encode_pem(cert: Certificate) -> str:
+    """Encode one certificate as a PEM block (64-column base64)."""
+    body = base64.b64encode(cert.to_der()).decode("ascii")
+    wrapped = "\n".join(textwrap.wrap(body, 64))
+    return f"{_HEADER}\n{wrapped}\n{_FOOTER}\n"
+
+
+def decode_pem(text: str) -> Certificate:
+    """Decode the first PEM certificate block in ``text``."""
+    certificates = decode_pem_many(text)
+    if not certificates:
+        raise ValueError("no CERTIFICATE block found")
+    return certificates[0]
+
+
+def decode_pem_many(text: str) -> list[Certificate]:
+    """Decode every PEM certificate block in ``text`` (e.g. a CA bundle)."""
+    certificates = []
+    lines = text.splitlines()
+    collecting = False
+    chunk: list[str] = []
+    for line in lines:
+        stripped = line.strip()
+        if stripped == _HEADER:
+            collecting = True
+            chunk = []
+        elif stripped == _FOOTER:
+            if not collecting:
+                raise ValueError("END without BEGIN")
+            der = base64.b64decode("".join(chunk), validate=True)
+            certificates.append(Certificate.from_der(der))
+            collecting = False
+        elif collecting:
+            chunk.append(stripped)
+    if collecting:
+        raise ValueError("unterminated CERTIFICATE block")
+    return certificates

@@ -1,0 +1,64 @@
+"""Root trust store.
+
+The paper validates against the 222 root CA certificates shipped in the
+OS X 10.9.2 root store.  :class:`TrustStore` is the simulated equivalent:
+a fixed set of self-signed root certificates, indexed by subject name and
+by public-key fingerprint so chain construction can terminate quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .certificate import Certificate
+from .name import Name
+
+__all__ = ["TrustStore"]
+
+
+class TrustStore:
+    """An immutable-after-construction set of trusted roots."""
+
+    def __init__(self, roots: Iterable[Certificate] = ()) -> None:
+        self._by_fingerprint: dict[bytes, Certificate] = {}
+        self._by_subject: dict[Name, list[Certificate]] = {}
+        self._by_key: dict[bytes, list[Certificate]] = {}
+        for root in roots:
+            self.add(root)
+
+    def add(self, root: Certificate) -> None:
+        """Trust a root certificate.
+
+        Roots are conventionally self-signed, but the store does not force
+        it — some historic root stores contained oddities, and trusting is
+        a policy decision, not a structural one.
+        """
+        if root.fingerprint in self._by_fingerprint:
+            return
+        self._by_fingerprint[root.fingerprint] = root
+        self._by_subject.setdefault(root.subject, []).append(root)
+        self._by_key.setdefault(root.public_key.fingerprint, []).append(root)
+
+    def __contains__(self, cert: Certificate) -> bool:
+        return cert.fingerprint in self._by_fingerprint
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __iter__(self) -> Iterator[Certificate]:
+        return iter(self._by_fingerprint.values())
+
+    def trusts_key(self, key_fingerprint: bytes) -> bool:
+        """Is any root's public key this one?"""
+        return key_fingerprint in self._by_key
+
+    def roots_named(self, subject: Name) -> list[Certificate]:
+        """Roots whose subject matches (issuer-name candidate lookup)."""
+        return list(self._by_subject.get(subject, ()))
+
+    def find_issuer(self, cert: Certificate) -> Optional[Certificate]:
+        """A trusted root that actually signed ``cert``, if any."""
+        for root in self._by_subject.get(cert.issuer, ()):
+            if cert.verify_signature(root.public_key):
+                return root
+        return None

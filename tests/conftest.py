@@ -1,0 +1,18 @@
+"""Shared fixtures: the tiny synthetic dataset, built once per session."""
+
+import pytest
+
+from repro.datasets.synthetic import tiny
+from repro.study import Study
+
+
+@pytest.fixture(scope="session")
+def tiny_synthetic():
+    """The tiny synthetic dataset (world + campaigns + scans)."""
+    return tiny(seed=2016)
+
+
+@pytest.fixture(scope="session")
+def tiny_study(tiny_synthetic):
+    """A Study over the tiny dataset, with all stages cached."""
+    return Study.from_synthetic(tiny_synthetic)

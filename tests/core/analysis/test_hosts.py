@@ -1,0 +1,180 @@
+"""Tests for §5.4 host-diversity analyses (Figures 7-8, Tables 2-4)."""
+
+import pytest
+
+from repro.core.analysis.hosts import (
+    as_diversity,
+    as_type_breakdown,
+    classify_issuer_device_type,
+    device_type_breakdown,
+    ip_diversity,
+    top_hosting_ases,
+)
+from repro.net.asn import ASInfo, ASRegistry, ASType, OrgRecord
+
+from ..helpers import DAY0, make_cert, make_dataset
+
+
+def build_population():
+    single = make_cert(cn="single", key_seed=1)
+    replicated = make_cert(cn="cdn", key_seed=2)
+    dataset = make_dataset(
+        [
+            (DAY0, [(1, single), (10, replicated), (11, replicated), (12, replicated)]),
+            (DAY0 + 7, [(1, single), (10, replicated)]),
+        ]
+    )
+    return dataset, single, replicated
+
+
+def registry():
+    return ASRegistry.from_infos(
+        [
+            ASInfo(10, "Access ISP", ASType.TRANSIT_ACCESS, [OrgRecord(0, "A", "USA")]),
+            ASInfo(20, "Hosting Co", ASType.CONTENT, [OrgRecord(0, "H", "DEU")]),
+        ]
+    )
+
+
+class TestIPDiversity:
+    def test_mean_ips(self):
+        dataset, single, replicated = build_population()
+        result = ip_diversity(dataset, [single.fingerprint, replicated.fingerprint])
+        # single: 1 IP both scans; replicated: (3 + 1) / 2 = 2.
+        assert sorted(result.cdf.values) == [1.0, 2.0]
+        assert result.max_mean_ips == 2.0
+
+
+class TestASDiversity:
+    def test_counts(self):
+        dataset, single, replicated = build_population()
+        as_of = lambda ip, day: 10 if ip < 10 else 20
+        result = as_diversity(
+            dataset, [single.fingerprint, replicated.fingerprint], as_of
+        )
+        assert sorted(result.ases_per_cert_cdf.values) == [1, 1]
+        assert result.largest_as_share == 0.5
+        assert result.n_ases == 2
+
+    def test_concentration(self):
+        dataset, single, replicated = build_population()
+        as_of = lambda ip, day: 10  # everything one AS
+        result = as_diversity(
+            dataset, [single.fingerprint, replicated.fingerprint], as_of
+        )
+        assert result.largest_as_share == 1.0
+        assert result.ases_for_70pct == 1
+
+
+class TestASTypeBreakdown:
+    def test_attribution(self):
+        dataset, single, replicated = build_population()
+        as_of = lambda ip, day: 10 if ip < 10 else 20
+        breakdown = as_type_breakdown(
+            dataset,
+            [single.fingerprint, replicated.fingerprint],
+            as_of,
+            registry(),
+        )
+        assert breakdown[ASType.TRANSIT_ACCESS] == 0.5
+        assert breakdown[ASType.CONTENT] == 0.5
+
+    def test_unknown_as(self):
+        dataset, single, _ = build_population()
+        breakdown = as_type_breakdown(
+            dataset, [single.fingerprint], lambda ip, day: None, registry()
+        )
+        assert breakdown[ASType.UNKNOWN] == 1.0
+
+
+class TestTopHostingASes:
+    def test_rows(self):
+        dataset, single, replicated = build_population()
+        as_of = lambda ip, day: 10 if ip < 10 else 20
+        rows = top_hosting_ases(
+            dataset,
+            [single.fingerprint, replicated.fingerprint],
+            as_of,
+            registry(),
+            n=2,
+        )
+        assert {row[0] for row in rows} == {10, 20}
+        names = {row[0]: row[1] for row in rows}
+        assert names[20] == "Hosting Co"
+        countries = {row[0]: row[2] for row in rows}
+        assert countries[20] == "DEU"
+
+
+class TestDeviceTypeClassification:
+    @pytest.mark.parametrize(
+        "issuer,expected",
+        [
+            ("www.lancom-systems.de", "Home router/cable modem"),
+            ("192.168.1.1", "Home router/cable modem"),
+            ("remotewd.com", "Remote storage"),
+            ("VMware", "Remote administration"),
+            ("enterprise-gateway-site-3 CA", "VPN"),
+            ("fw-0001.corp.internal", "Firewall"),
+            ("IP Camera", "IP camera"),
+            ("", "Unknown"),
+            (None, "Unknown"),
+            ("PlayBook: AA:BB:CC", "Unknown"),
+        ],
+    )
+    def test_rules(self, issuer, expected):
+        assert classify_issuer_device_type(issuer) == expected
+
+    def test_breakdown_over_top_issuers(self):
+        certs = (
+            [make_cert(cn=f"l{i}", key_seed=i, issuer_cn="www.lancom-systems.de")
+             for i in range(4)]
+            + [make_cert(cn=f"w{i}", key_seed=10 + i, issuer_cn="remotewd.com")
+               for i in range(2)]
+        )
+        dataset = make_dataset([(DAY0, [(i, c) for i, c in enumerate(certs)])])
+        breakdown = device_type_breakdown(
+            dataset, [c.fingerprint for c in certs], top_n_issuers=2
+        )
+        assert breakdown["Home router/cable modem"] == pytest.approx(4 / 6)
+        assert breakdown["Remote storage"] == pytest.approx(2 / 6)
+
+
+class TestPaperShapes:
+    def test_invalid_served_by_fewer_hosts(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        invalid = ip_diversity(dataset, tiny_study.invalid)
+        valid = ip_diversity(dataset, tiny_study.valid)
+        # Figure 7: invalid overwhelmingly single-host (p99 ≈ 2 in the
+        # paper; the shared-cert CPE batches stretch ours slightly), while
+        # valid certificates reach far larger replication.
+        assert invalid.cdf.median == 1.0
+        assert invalid.p99 <= 5.0
+        assert valid.max_mean_ips > invalid.max_mean_ips
+
+    def test_invalid_mostly_transit_access(self, tiny_synthetic, tiny_study):
+        # Table 2: 94.1 % of invalid certificates from transit/access ASes.
+        world = tiny_synthetic.world
+        breakdown = as_type_breakdown(
+            tiny_synthetic.scans,
+            tiny_study.invalid,
+            world.routing.origin_as,
+            world.registry,
+        )
+        assert breakdown[ASType.TRANSIT_ACCESS] > 0.75
+        # Valid certificates come heavily from content networks.
+        valid_breakdown = as_type_breakdown(
+            tiny_synthetic.scans,
+            tiny_study.valid,
+            world.routing.origin_as,
+            world.registry,
+        )
+        assert valid_breakdown[ASType.CONTENT] > breakdown[ASType.CONTENT]
+
+    def test_table4_dominated_by_home_routers(self, tiny_synthetic, tiny_study):
+        breakdown = device_type_breakdown(
+            tiny_synthetic.scans, tiny_study.invalid, top_n_issuers=50
+        )
+        # Table 4: home routers/cable modems are the largest class.
+        top_class = max(breakdown, key=breakdown.get)
+        assert top_class in ("Home router/cable modem", "Unknown")
+        assert breakdown.get("Home router/cable modem", 0) > 0.2

@@ -1,0 +1,97 @@
+"""Tests for §5.3 issuer-diversity analyses (Table 1)."""
+
+from repro.core.analysis.issuers import (
+    private_ip_issuer_count,
+    self_signed_fraction,
+    signing_key_concentration,
+    top_issuers,
+)
+
+from ..helpers import DAY0, make_cert, make_dataset
+
+
+def build_population():
+    lancom = [
+        make_cert(cn=f"l{i}", key_seed=i, issuer_cn="www.lancom-systems.de")
+        for i in range(3)
+    ]
+    router = [make_cert(cn=f"r{i}", key_seed=10 + i, issuer_cn="192.168.1.1")
+              for i in range(2)]
+    empty = make_cert(cn="e", key_seed=20, issuer_cn="")
+    certs = lancom + router + [empty]
+    dataset = make_dataset([(DAY0, [(i, c) for i, c in enumerate(certs)])])
+    return dataset, certs
+
+
+class TestTopIssuers:
+    def test_ranking(self):
+        dataset, certs = build_population()
+        rows = top_issuers(dataset, [c.fingerprint for c in certs], n=3)
+        assert rows[0] == ("www.lancom-systems.de", 3)
+        assert rows[1] == ("192.168.1.1", 2)
+
+    def test_empty_issuer_labelled(self):
+        dataset, certs = build_population()
+        rows = top_issuers(dataset, [c.fingerprint for c in certs], n=10)
+        labels = dict(rows)
+        assert labels.get("(Empty string)") == 1
+
+    def test_private_ip_issuer_count(self):
+        dataset, certs = build_population()
+        assert private_ip_issuer_count(dataset, [c.fingerprint for c in certs]) == 2
+
+
+class TestSelfSignedFraction:
+    def test_all_helper_certs_self_signed(self):
+        dataset, certs = build_population()
+        assert self_signed_fraction(dataset, [c.fingerprint for c in certs]) == 1.0
+
+    def test_empty_population(self):
+        dataset, _ = build_population()
+        assert self_signed_fraction(dataset, []) == 0.0
+
+
+class TestKeyConcentration:
+    def test_aki_required_mode_skips_bare_certs(self):
+        dataset, certs = build_population()
+        result = signing_key_concentration(
+            dataset, [c.fingerprint for c in certs], require_aki=True
+        )
+        assert result.n_certificates == 0
+
+    def test_fallback_to_own_key(self):
+        dataset, certs = build_population()
+        result = signing_key_concentration(
+            dataset, [c.fingerprint for c in certs], require_aki=False
+        )
+        assert result.n_certificates == len(certs)
+        assert result.n_parent_keys == len(certs)  # all distinct keys
+
+
+class TestPaperShape:
+    def test_table1_issuers_present(self, tiny_synthetic, tiny_study):
+        rows = top_issuers(tiny_synthetic.scans, tiny_study.invalid, n=8)
+        labels = [label for label, _ in rows]
+        # Table 1's invalid side: Lancom and 192.168.1.1 near the top.
+        assert "www.lancom-systems.de" in labels
+        assert "192.168.1.1" in labels
+
+    def test_valid_issuers_are_cas(self, tiny_synthetic, tiny_study):
+        rows = top_issuers(tiny_synthetic.scans, tiny_study.valid, n=5)
+        labels = " ".join(label for label, _ in rows)
+        assert "CA" in labels or "Authority" in labels or "Root" in labels
+
+    def test_most_invalid_self_signed(self, tiny_synthetic, tiny_study):
+        fraction = self_signed_fraction(tiny_synthetic.scans, tiny_study.invalid)
+        assert fraction > 0.75   # paper: 88.0 %
+
+    def test_valid_concentration_beats_invalid_diversity(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        valid = signing_key_concentration(dataset, tiny_study.valid)
+        # Paper: five signing keys span half the valid certificates.
+        assert valid.keys_for_half <= 8
+        invalid = signing_key_concentration(dataset, tiny_study.invalid)
+        # Invalid AKI-bearing certs come from multiple distinct parent keys
+        # even at tiny scale (per-site CAs).
+        if invalid.n_certificates:
+            assert invalid.n_parent_keys >= 3

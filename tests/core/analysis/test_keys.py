@@ -1,0 +1,69 @@
+"""Tests for §5.2 key-sharing analysis (Figure 6)."""
+
+import pytest
+
+from repro.core.analysis.keys import key_sharing
+
+from ..helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def build_population():
+    lancom_key = make_keypair(1)
+    shared = [
+        make_cert(cn=f"lancom-{i}", keypair=lancom_key) for i in range(3)
+    ]
+    unique = [make_cert(cn=f"solo-{i}", key_seed=10 + i) for i in range(2)]
+    certs = shared + unique
+    dataset = make_dataset([(DAY0, [(i, c) for i, c in enumerate(certs)])])
+    return dataset, certs
+
+
+class TestKeySharing:
+    def test_counts(self):
+        dataset, certs = build_population()
+        report = key_sharing(dataset, [c.fingerprint for c in certs])
+        assert report.n_certificates == 5
+        assert report.n_keys == 3
+        assert report.shared_fraction == pytest.approx(3 / 5)
+        assert report.top_key_fraction == pytest.approx(3 / 5)
+
+    def test_coverage_curve_monotone_and_complete(self):
+        dataset, certs = build_population()
+        report = key_sharing(dataset, [c.fingerprint for c in certs])
+        xs = [x for x, _ in report.coverage_curve]
+        ys = [y for _, y in report.coverage_curve]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert report.coverage_curve[-1] == (1.0, 1.0)
+
+    def test_curve_above_diagonal(self):
+        # y >= x always (a certificate carries at most one key).
+        dataset, certs = build_population()
+        report = key_sharing(dataset, [c.fingerprint for c in certs])
+        for x, y in report.coverage_curve:
+            assert y >= x
+
+    def test_coverage_lookup(self):
+        dataset, certs = build_population()
+        report = key_sharing(dataset, [c.fingerprint for c in certs])
+        # The top 1/3 of keys covers 3/5 of certificates.
+        assert report.certificates_covered_by(1 / 3) == pytest.approx(3 / 5)
+
+    def test_empty_population_rejected(self):
+        dataset, _ = build_population()
+        with pytest.raises(ValueError):
+            key_sharing(dataset, [])
+
+
+class TestPaperShape:
+    def test_invalid_shares_keys_more_than_valid(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        invalid = key_sharing(dataset, tiny_study.invalid)
+        valid = key_sharing(dataset, tiny_study.valid)
+        # Paper: 47 % of invalid certificates share keys — far above valid.
+        assert invalid.shared_fraction > valid.shared_fraction
+
+    def test_lancom_style_key_dominates(self, tiny_synthetic, tiny_study):
+        # Paper: one Lancom key appears on 6.5 % of invalid certificates.
+        report = key_sharing(tiny_synthetic.scans, tiny_study.invalid)
+        assert report.top_key_fraction > 0.02

@@ -1,0 +1,109 @@
+"""Tests for §5.1 longevity analyses (Figures 3, 4, 5)."""
+
+import pytest
+
+from repro.core.analysis.longevity import (
+    ephemeral_fingerprints,
+    lifetimes,
+    reissue_gap,
+    validity_periods,
+)
+
+from ..helpers import DAY0, make_cert, make_dataset
+
+
+def build_population():
+    short = make_cert(cn="valid-ish", key_seed=1, days=398)
+    long_lived = make_cert(cn="router", key_seed=2, days=7300)
+    negative = make_cert(cn="broken", key_seed=3, days=-365)
+    dataset = make_dataset(
+        [
+            (DAY0, [(1, short), (2, long_lived), (3, negative)]),
+            (DAY0 + 7, [(1, short)]),
+        ]
+    )
+    return dataset, (short, long_lived, negative)
+
+
+class TestValidityPeriods:
+    def test_cdf_values(self):
+        dataset, certs = build_population()
+        cdf = validity_periods(dataset, [c.fingerprint for c in certs])
+        assert sorted(cdf.values) == [-365, 398, 7300]
+
+    def test_negative_fraction_visible(self):
+        dataset, certs = build_population()
+        cdf = validity_periods(dataset, [c.fingerprint for c in certs])
+        # Figure 3's non-zero start: the CDF at zero equals the negative share.
+        assert cdf.at(0) == pytest.approx(1 / 3)
+
+
+class TestLifetimes:
+    def test_single_scan_is_one_day(self):
+        dataset, certs = build_population()
+        summary = lifetimes(dataset, [c.fingerprint for c in certs])
+        # long_lived and negative each seen once → 1 day; short seen twice
+        # a week apart → 8 days (§5.1's inclusive definition).
+        assert sorted(summary.cdf.values) == [1, 1, 8]
+        assert summary.single_scan_fraction == pytest.approx(2 / 3)
+
+    def test_ephemeral_selection(self):
+        dataset, certs = build_population()
+        ephemerals = ephemeral_fingerprints(
+            dataset, [c.fingerprint for c in certs]
+        )
+        assert certs[0].fingerprint not in ephemerals
+        assert len(ephemerals) == 2
+
+
+class TestReissueGap:
+    def test_gap_modes(self):
+        fresh = make_cert(cn="fresh", key_seed=1, nb=DAY0 - 1)       # 1 day
+        same_day = make_cert(cn="today", key_seed=2, nb=DAY0)        # 0 days
+        firmware = make_cert(cn="old", key_seed=3, nb=DAY0 - 2000)   # >1000
+        clock_ahead = make_cert(cn="future", key_seed=4, nb=DAY0 + 5)
+        dataset = make_dataset(
+            [(DAY0, [(1, fresh), (2, same_day), (3, firmware), (4, clock_ahead)])]
+        )
+        fps = [c.fingerprint for c in (fresh, same_day, firmware, clock_ahead)]
+        gap = reissue_gap(dataset, fps)
+        assert gap.same_day_fraction == 0.25
+        assert gap.within_four_days_fraction == 0.5
+        assert gap.over_1000_days_fraction == 0.25
+        assert gap.negative_fraction == 0.25
+
+    def test_empty_population_rejected(self):
+        dataset, _ = build_population()
+        with pytest.raises(ValueError):
+            reissue_gap(dataset, [])
+
+
+class TestPaperShapes:
+    """Figures 3–5 on the tiny synthetic corpus."""
+
+    def test_invalid_validity_much_longer_than_valid(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        invalid_cdf = validity_periods(dataset, tiny_study.invalid)
+        valid_cdf = validity_periods(dataset, tiny_study.valid)
+        # Paper: valid median 1.1y, invalid median 20y.
+        assert valid_cdf.median < 800
+        assert invalid_cdf.median > 5000
+
+    def test_some_invalid_validity_negative(self, tiny_synthetic, tiny_study):
+        cdf = validity_periods(tiny_synthetic.scans, tiny_study.invalid)
+        assert 0.0 < cdf.at(0) < 0.20    # paper: 5.38 %
+
+    def test_invalid_lifetimes_shorter(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        invalid = lifetimes(dataset, tiny_study.invalid)
+        valid = lifetimes(dataset, tiny_study.valid)
+        assert invalid.median_days < valid.median_days
+        assert invalid.single_scan_fraction > 0.3
+
+    def test_reissue_gap_bimodal(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        ephemerals = ephemeral_fingerprints(dataset, tiny_study.invalid)
+        gap = reissue_gap(dataset, ephemerals)
+        # Figure 5: most gaps are tiny, a solid tail exceeds 1000 days.
+        assert gap.within_four_days_fraction > 0.4
+        assert gap.over_1000_days_fraction > 0.05

@@ -1,0 +1,152 @@
+"""Tests for valid-side reissue mining and incident forensics."""
+
+import pytest
+
+from repro.core.analysis.reissues import incident_window, valid_reissues
+
+from ..helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def build_chain(cn, days, same_key_pairs=()):
+    """Certificates for one CN first-seen on the given days."""
+    certs = []
+    shared = make_keypair(hash(cn) % 1000)
+    for index, day in enumerate(days):
+        if index in same_key_pairs:
+            cert = make_cert(cn=cn, keypair=shared, nb=day)
+        else:
+            cert = make_cert(cn=cn, key_seed=hash((cn, index)) % 10**6, nb=day)
+        certs.append((day, cert))
+    return certs
+
+
+class TestValidReissues:
+    def test_chain_detection(self):
+        chain = build_chain("site.example", [DAY0, DAY0 + 100, DAY0 + 200])
+        dataset = make_dataset([(day, [(1, cert)]) for day, cert in chain])
+        fps = [cert.fingerprint for _, cert in chain]
+        reissues = valid_reissues(dataset, fps)
+        assert len(reissues) == 2
+        assert reissues[0].predecessor_age_days == 100
+        assert all(r.common_name == "site.example" for r in reissues)
+
+    def test_key_retention_flag(self):
+        keypair = make_keypair(7)
+        old = make_cert(cn="keep.example", keypair=keypair, nb=DAY0)
+        new = make_cert(cn="keep.example", keypair=keypair, nb=DAY0 + 90)
+        rekeyed = make_cert(cn="keep.example", key_seed=42, nb=DAY0 + 180)
+        dataset = make_dataset(
+            [(DAY0, [(1, old)]), (DAY0 + 90, [(1, new)]), (DAY0 + 180, [(1, rekeyed)])]
+        )
+        reissues = valid_reissues(
+            dataset, [old.fingerprint, new.fingerprint, rekeyed.fingerprint]
+        )
+        assert [r.same_key for r in reissues] == [True, False]
+
+    def test_single_cert_chains_ignored(self):
+        cert = make_cert(cn="solo.example")
+        dataset = make_dataset([(DAY0, [(1, cert)])])
+        assert valid_reissues(dataset, [cert.fingerprint]) == []
+
+    def test_cn_less_certs_ignored(self):
+        from repro.x509.builder import CertificateBuilder
+        from repro.x509.name import Name
+
+        blank = (
+            CertificateBuilder()
+            .subject(Name.empty())
+            .validity(DAY0, DAY0 + 100)
+            .self_sign(rng=__import__("random").Random(1))
+        )
+        dataset = make_dataset([(DAY0, [(1, blank)])])
+        assert valid_reissues(dataset, [blank.fingerprint]) == []
+
+
+class TestIncidentWindow:
+    def build_reissues(self):
+        # Baseline: one reissue every 100 days across 10 sites; event: a
+        # burst of rekeyed reissues right after day DAY0+500.
+        scans = {}
+        certs = []
+        for site in range(10):
+            chain = build_chain(
+                f"s{site}.example",
+                [DAY0, DAY0 + 300, DAY0 + 505 + site, DAY0 + 800],
+            )
+            for day, cert in chain:
+                scans.setdefault(day, []).append((site + 1, cert))
+                certs.append(cert)
+        dataset = make_dataset(sorted(scans.items()))
+        return valid_reissues(dataset, [c.fingerprint for c in certs])
+
+    def test_spike_detection(self):
+        reissues = self.build_reissues()
+        window = incident_window(
+            reissues, DAY0 + 500, window_days=30,
+            first_day=DAY0, last_day=DAY0 + 800,
+        )
+        assert window.reissues_in_window == 10
+        assert window.spike_factor > 3.0
+
+    def test_quiet_window(self):
+        reissues = self.build_reissues()
+        window = incident_window(
+            reissues, DAY0 + 100, window_days=30,
+            first_day=DAY0, last_day=DAY0 + 800,
+        )
+        assert window.reissues_in_window == 0
+        assert window.spike_factor == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            incident_window([], DAY0)
+
+
+class TestHeartbleedWorld:
+    def test_vulnerable_sites_reissue_out_of_schedule(self):
+        from repro.internet.websites import CAHierarchy, Website
+
+        hierarchy = CAHierarchy(1, epoch_day=5000)
+        site = Website(
+            website_id=1, domain="hb.example", ca=hierarchy.intermediates[0],
+            world_seed=1, active_from=5000, active_until=6000,
+            host_ips=[9], asn=26496,
+            heartbleed_day=5400, vulnerable=True,
+        )
+        assert site.emergency_day is not None
+        before = site.certificate_on(site.emergency_day - 1)
+        after = site.certificate_on(site.emergency_day)
+        assert before.fingerprint != after.fingerprint
+        assert after.not_before >= site.emergency_day - 1
+
+    def test_invulnerable_sites_unaffected(self):
+        from repro.internet.websites import CAHierarchy, Website
+
+        hierarchy = CAHierarchy(1, epoch_day=5000)
+        site = Website(
+            website_id=2, domain="ok.example", ca=hierarchy.intermediates[0],
+            world_seed=1, active_from=5000, active_until=6000,
+            host_ips=[9], asn=26496,
+            heartbleed_day=5400, vulnerable=False,
+        )
+        assert site.emergency_day is None
+
+    def test_emergency_reissues_mostly_rekey(self):
+        from repro.internet.websites import CAHierarchy, Website
+
+        hierarchy = CAHierarchy(1, epoch_day=5000)
+        kept = total = 0
+        for website_id in range(60):
+            site = Website(
+                website_id=website_id, domain=f"v{website_id}.example",
+                ca=hierarchy.intermediates[0], world_seed=1,
+                active_from=5000, active_until=6000, host_ips=[9], asn=26496,
+                heartbleed_day=5400, vulnerable=True,
+            )
+            before = site.certificate_on(site.emergency_day - 1)
+            after = site.certificate_on(site.emergency_day)
+            total += 1
+            if before.public_key == after.public_key:
+                kept += 1
+        # 4.1% expected retention: a 60-site sample should be far below half.
+        assert kept / total < 0.2

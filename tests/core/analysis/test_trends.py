@@ -1,0 +1,73 @@
+"""Tests for the §5.4 growth-trend analysis."""
+
+import pytest
+
+from repro.core.analysis.scans import ScanCount, per_scan_counts
+from repro.core.analysis.trends import fit_growth, growth_comparison
+
+
+def counts_from(series):
+    """[(day, valid, invalid), ...] → ScanCounts."""
+    return [
+        ScanCount(day=day, source="test", n_valid=valid, n_invalid=invalid)
+        for day, valid, invalid in series
+    ]
+
+
+class TestFitGrowth:
+    def test_perfect_linear_fit(self):
+        counts = counts_from([(0, 10, 100), (100, 10, 200), (200, 10, 300)])
+        fit = fit_growth(counts, "invalid")
+        assert fit.slope_per_day == pytest.approx(1.0)
+        assert fit.intercept == pytest.approx(100.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(300) == pytest.approx(400.0)
+
+    def test_slope_per_year(self):
+        counts = counts_from([(0, 0, 0), (365, 0, 365)])
+        fit = fit_growth(counts, "invalid")
+        assert fit.slope_per_year == pytest.approx(365.0)
+
+    def test_flat_population(self):
+        counts = counts_from([(0, 50, 7), (100, 50, 7), (200, 50, 7)])
+        fit = fit_growth(counts, "valid")
+        assert fit.slope_per_day == pytest.approx(0.0)
+        assert fit.doubling_days() == float("inf")
+
+    def test_doubling_days(self):
+        counts = counts_from([(0, 0, 100), (100, 0, 200)])
+        fit = fit_growth(counts, "invalid")
+        # At day 100 the level is 200, growing 1/day → 200 days to double.
+        assert fit.doubling_days() == pytest.approx(200.0)
+
+    def test_requires_two_scans(self):
+        with pytest.raises(ValueError):
+            fit_growth(counts_from([(0, 1, 1)]))
+
+    def test_unknown_population(self):
+        with pytest.raises(ValueError):
+            fit_growth(counts_from([(0, 1, 1), (1, 1, 1)]), "revoked")
+
+
+class TestGrowthComparison:
+    def test_invalid_grows_faster(self):
+        counts = counts_from([(0, 100, 100), (100, 110, 200), (200, 120, 300)])
+        comparison = growth_comparison(counts)
+        assert comparison.invalid_grows_faster
+        assert comparison.invalid.slope_per_day > comparison.valid.slope_per_day
+
+    def test_share_extrapolation(self):
+        counts = counts_from([(0, 100, 100), (100, 100, 300)])
+        comparison = growth_comparison(counts)
+        # Share keeps rising into the future.
+        now = comparison.invalid_share_at(100)
+        later = comparison.invalid_share_at(1000)
+        assert later > now > 0.5
+
+    def test_synthetic_corpus_shows_iot_growth(self, tiny_synthetic, tiny_study):
+        # §5.4's forecast on the simulated corpus: invalid counts rise
+        # faster than valid ones.
+        counts = per_scan_counts(tiny_synthetic.scans, tiny_study.validation())
+        comparison = growth_comparison(counts)
+        assert comparison.invalid_grows_faster
+        assert comparison.invalid.slope_per_year > 0

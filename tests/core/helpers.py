@@ -1,0 +1,80 @@
+"""Hand-built certificates and scan corpora for core-pipeline tests.
+
+These helpers let tests construct exactly the observation patterns the
+paper's figures describe (e.g. Figure 9's PK1/PK2/PK3 timeline) without
+going through the world simulator.
+"""
+
+import random
+
+from repro.seeding import stable_rng
+from repro.scanner.dataset import ScanDataset
+from repro.scanner.records import Observation, Scan
+from repro.x509.builder import CertificateBuilder
+from repro.x509.keys import generate_keypair
+from repro.x509.name import Name
+
+DAY0 = 5000
+
+
+def make_keypair(seed):
+    return generate_keypair(random.Random(seed), 128)
+
+
+def make_cert(
+    cn="device.local",
+    key_seed=1,
+    serial=None,
+    nb=DAY0 - 100,
+    days=7300,
+    nb_secs=None,
+    issuer_cn=None,
+    sans=(),
+    crl=(),
+    keypair=None,
+):
+    """One self-signed certificate with the given linkable features.
+
+    ``nb_secs`` defaults to a per-(cn, key_seed) pseudo-random value so two
+    test certificates never share a Not Before stamp by accident; pass an
+    explicit value to create deliberate collisions.
+    """
+    keypair = keypair or make_keypair(key_seed)
+    if nb_secs is None:
+        nb_secs = stable_rng("nb-secs", cn, key_seed).randrange(86400)
+    builder = (
+        CertificateBuilder()
+        .subject(Name.common_name(cn))
+        .serial(serial if serial is not None else stable_rng(cn, nb, key_seed).getrandbits(48))
+        .validity(nb, nb + days, not_before_secs=nb_secs, not_after_secs=nb_secs)
+        .keypair(keypair)
+    )
+    if issuer_cn is not None:
+        builder.issuer(Name.common_name(issuer_cn))
+    if sans:
+        builder.subject_alt_names(list(sans))
+    if crl:
+        builder.crl_uris(list(crl))
+    return builder.self_sign()
+
+
+def make_dataset(scan_specs):
+    """Build a ScanDataset from [(day, [(ip, cert), ...]), ...].
+
+    Scan sources default to 'test'; pass (day, source, observations) for
+    multi-campaign corpora.
+    """
+    scans = []
+    certificates = {}
+    for spec in scan_specs:
+        if len(spec) == 3:
+            day, source, rows = spec
+        else:
+            day, rows = spec
+            source = "test"
+        observations = []
+        for ip, cert in rows:
+            certificates[cert.fingerprint] = cert
+            observations.append(Observation(ip=ip, fingerprint=cert.fingerprint))
+        scans.append(Scan(day=day, source=source, observations=observations))
+    return ScanDataset(scans, certificates)

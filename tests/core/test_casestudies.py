@@ -1,0 +1,132 @@
+"""Tests for the §6.4.2 case-study mechanics."""
+
+import pytest
+
+from repro.core.casestudies import (
+    common_name_domains,
+    fritzbox_predicate,
+    playbook_predicate,
+    split_consistency,
+)
+from repro.core.features import Feature
+from repro.core.linking import link_on_feature
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def flat_as(ip, day):
+    return 1
+
+
+class TestPredicates:
+    def test_fritzbox_detected_by_san(self):
+        keypair = make_keypair(1)
+        fritz = [
+            make_cert(cn=f"fritz-{i}", keypair=keypair,
+                      sans=("fritz.fonwlan.box",))
+            for i in range(2)
+        ]
+        dataset = make_dataset([(DAY0, [(1, fritz[0])]), (DAY0 + 7, [(1, fritz[1])])])
+        result = link_on_feature(
+            dataset, [c.fingerprint for c in fritz], Feature.PUBLIC_KEY
+        )
+        assert fritzbox_predicate(dataset, result.groups[0])
+
+    def test_playbook_detected_by_issuer(self):
+        certs = [
+            make_cert(cn=f"pb-{i}", key_seed=10 + i, serial=99,
+                      issuer_cn="PlayBook: AA:BB:CC:DD:EE:FF")
+            for i in range(2)
+        ]
+        dataset = make_dataset([(DAY0, [(1, certs[0])]), (DAY0 + 7, [(1, certs[1])])])
+        result = link_on_feature(
+            dataset, [c.fingerprint for c in certs], Feature.ISSUER_SERIAL
+        )
+        assert result.groups
+        assert playbook_predicate(dataset, result.groups[0])
+
+    def test_ordinary_groups_not_flagged(self):
+        keypair = make_keypair(2)
+        certs = [make_cert(cn=f"plain-{i}", keypair=keypair) for i in range(2)]
+        dataset = make_dataset([(DAY0, [(1, certs[0])]), (DAY0 + 7, [(1, certs[1])])])
+        result = link_on_feature(
+            dataset, [c.fingerprint for c in certs], Feature.PUBLIC_KEY
+        )
+        assert not fritzbox_predicate(dataset, result.groups[0])
+        assert not playbook_predicate(dataset, result.groups[0])
+
+
+class TestSplitConsistency:
+    def test_partition_and_scores(self):
+        roaming = make_keypair(3)      # FRITZ-like: moves every scan
+        stable = make_keypair(4)
+        fritz = [
+            make_cert(cn=f"f{i}", keypair=roaming, sans=("fritz.fonwlan.box",))
+            for i in range(2)
+        ]
+        plain = [make_cert(cn=f"p{i}", keypair=stable) for i in range(2)]
+        dataset = make_dataset(
+            [
+                (DAY0, [(10, fritz[0]), (50, plain[0])]),
+                (DAY0 + 7, [(20, fritz[1]), (50, plain[1])]),
+            ]
+        )
+        fps = [c.fingerprint for c in fritz + plain]
+        result = link_on_feature(dataset, fps, Feature.PUBLIC_KEY)
+        split = split_consistency(dataset, result, fritzbox_predicate, flat_as)
+        assert split.matching_certificates == 2
+        assert split.matching_fraction == 0.5
+        assert split.matching_ip == 0.5     # two scans, two addresses
+        assert split.rest_ip == 1.0         # stable address
+        assert split.matching_as == 1.0
+
+    def test_empty_sides(self):
+        keypair = make_keypair(5)
+        certs = [make_cert(cn=f"x{i}", keypair=keypair) for i in range(2)]
+        dataset = make_dataset([(DAY0, [(1, certs[0])]), (DAY0 + 7, [(1, certs[1])])])
+        result = link_on_feature(
+            dataset, [c.fingerprint for c in certs], Feature.PUBLIC_KEY
+        )
+        split = split_consistency(dataset, result, fritzbox_predicate, flat_as)
+        assert split.matching_certificates == 0
+        assert split.matching_ip == 0.0
+        assert split.rest_ip == 1.0
+
+
+class TestCommonNameDomains:
+    def test_breakdown(self):
+        wd = [
+            make_cert(cn="WD2GO 7", key_seed=20, nb=DAY0 - 30),
+            make_cert(cn="WD2GO 7", key_seed=21, nb=DAY0 + 3),
+        ]
+        myfritz = [
+            make_cert(cn="box1.myfritz.net", key_seed=22, nb=DAY0 - 30),
+            make_cert(cn="box1.myfritz.net", key_seed=23, nb=DAY0 + 3),
+        ]
+        dyndns = [
+            make_cert(cn="h.dyndns.org", key_seed=24, nb=DAY0 - 30),
+            make_cert(cn="h.dyndns.org", key_seed=25, nb=DAY0 + 3),
+        ]
+        dataset = make_dataset(
+            [
+                (DAY0, [(1, wd[0]), (2, myfritz[0]), (3, dyndns[0])]),
+                (DAY0 + 7, [(1, wd[1]), (2, myfritz[1]), (3, dyndns[1])]),
+            ]
+        )
+        fps = [c.fingerprint for c in wd + myfritz + dyndns]
+        result = link_on_feature(dataset, fps, Feature.COMMON_NAME)
+        domains = common_name_domains(dataset, result)
+        assert domains.linked_certificates == 6
+        assert domains.url_formatted == 4          # myfritz + dyndns
+        assert domains.url_fraction == pytest.approx(4 / 6)
+        assert domains.by_second_level["myfritz.net"] == 2
+        assert domains.by_second_level["dyndns.org"] == 2
+        assert domains.dyndns_certificates == 2
+
+    def test_empty_result(self):
+        cert = make_cert(cn="solo", key_seed=30)
+        dataset = make_dataset([(DAY0, [(1, cert)])])
+        result = link_on_feature(dataset, [cert.fingerprint], Feature.COMMON_NAME)
+        domains = common_name_domains(dataset, result)
+        assert domains.linked_certificates == 0
+        assert domains.url_fraction == 0.0

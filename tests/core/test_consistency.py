@@ -1,0 +1,130 @@
+"""Tests for §6.4.1 consistency, including the paper's PK2 worked example."""
+
+from repro.core.consistency import evaluate_link_result, group_consistency
+from repro.core.features import Feature
+from repro.core.linking import link_on_feature
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def as_lookup_from(table):
+    """Build an (ip, day) → asn lookup from {ip: asn}."""
+    return lambda ip, day: table.get(ip)
+
+
+class TestWorkedExample:
+    """§6.4.1's PK2 example: IP 0.5, /24 0.75, AS 1.0."""
+
+    def build(self):
+        keypair = make_keypair(2)
+        c3 = make_cert(cn="cert3", keypair=keypair)
+        c4 = make_cert(cn="cert4", keypair=keypair)
+        c5 = make_cert(cn="cert5", keypair=keypair)
+        # IPs 2 and 3 share a /24; all three share an AS.
+        ip1 = 0x0A000001          # 10.0.0.1
+        ip2 = 0x0A000101          # 10.0.1.1
+        ip3 = 0x0A000102          # 10.0.1.2
+        dataset = make_dataset(
+            [
+                (DAY0, [(ip2, c3)]),
+                (DAY0 + 7, [(ip2, c3), (ip3, c4)]),
+                (DAY0 + 14, [(ip3, c4)]),
+                (DAY0 + 21, [(ip1, c5)]),
+            ]
+        )
+        as_of = as_lookup_from({ip1: 100, ip2: 100, ip3: 100})
+        return dataset, (c3, c4, c5), as_of
+
+    def test_ip_level(self):
+        dataset, certs, _ = self.build()
+        fps = [c.fingerprint for c in certs]
+        # Most common IP appears in 2 of the 4 observation scans.
+        assert group_consistency(dataset, fps, "ip") == 0.5
+
+    def test_slash24_level(self):
+        dataset, certs, _ = self.build()
+        fps = [c.fingerprint for c in certs]
+        # Most common /24 appears in 3 of the 4 scans.
+        assert group_consistency(dataset, fps, "/24") == 0.75
+
+    def test_as_level(self):
+        dataset, certs, as_of = self.build()
+        fps = [c.fingerprint for c in certs]
+        assert group_consistency(dataset, fps, "as", as_of) == 1.0
+
+
+class TestConsistencyMechanics:
+    def test_perfect_ip_consistency(self):
+        keypair = make_keypair(4)
+        a = make_cert(cn="a", keypair=keypair)
+        b = make_cert(cn="b", keypair=keypair)
+        dataset = make_dataset([(DAY0, [(7, a)]), (DAY0 + 7, [(7, b)])])
+        assert group_consistency(dataset, [a.fingerprint, b.fingerprint], "ip") == 1.0
+
+    def test_zero_scans_gives_zero(self):
+        dataset = make_dataset([(DAY0, [])])
+        assert group_consistency(dataset, [b"\x00" * 32], "ip") == 0.0
+
+    def test_as_level_requires_lookup(self):
+        keypair = make_keypair(5)
+        cert = make_cert(cn="x", keypair=keypair)
+        dataset = make_dataset([(DAY0, [(1, cert)])])
+        try:
+            group_consistency(dataset, [cert.fingerprint], "as", None)
+        except AssertionError:
+            pass
+        else:
+            raise AssertionError("expected an assertion about the missing lookup")
+
+    def test_unknown_level_rejected(self):
+        cert = make_cert()
+        dataset = make_dataset([(DAY0, [(1, cert)])])
+        try:
+            group_consistency(dataset, [cert.fingerprint], "/12")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError for unknown level")
+
+    def test_slash16_level(self):
+        keypair = make_keypair(8)
+        a = make_cert(cn="s16-a", keypair=keypair)
+        b = make_cert(cn="s16-b", keypair=keypair)
+        # 10.0.1.1 and 10.0.200.1 share a /16 but not a /24.
+        dataset = make_dataset(
+            [(DAY0, [(0x0A000101, a)]), (DAY0 + 7, [(0x0A00C801, b)])]
+        )
+        fps = [a.fingerprint, b.fingerprint]
+        assert group_consistency(dataset, fps, "/24") == 0.5
+        assert group_consistency(dataset, fps, "/16") == 1.0
+
+    def test_evaluate_link_result_weights_by_certificates(self):
+        stable = make_keypair(6)
+        roaming = make_keypair(7)
+        # Group A: 2 certs, same IP (consistency 1.0).
+        a1 = make_cert(cn="a1", keypair=stable)
+        a2 = make_cert(cn="a2", keypair=stable)
+        # Group B: 2 certs, different IPs in different ASes (0.5).
+        b1 = make_cert(cn="b1", keypair=roaming)
+        b2 = make_cert(cn="b2", keypair=roaming)
+        dataset = make_dataset(
+            [
+                (DAY0, [(1, a1), (100, b1)]),
+                (DAY0 + 7, [(1, a2), (200, b2)]),
+            ]
+        )
+        fps = {c.fingerprint for c in (a1, a2, b1, b2)}
+        result = link_on_feature(dataset, fps, Feature.PUBLIC_KEY)
+        as_of = as_lookup_from({1: 10, 100: 20, 200: 30})
+        report = evaluate_link_result(dataset, result, as_of)
+        assert report.total_linked == 4
+        assert report.ip_level == 0.75       # (1.0 * 2 + 0.5 * 2) / 4
+        assert report.as_level == 0.75
+
+    def test_empty_result(self):
+        cert = make_cert()
+        dataset = make_dataset([(DAY0, [(1, cert)])])
+        result = link_on_feature(dataset, [cert.fingerprint], Feature.PUBLIC_KEY)
+        report = evaluate_link_result(dataset, result, lambda ip, day: 1)
+        assert report.total_linked == 0
+        assert report.as_level == 0.0

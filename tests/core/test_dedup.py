@@ -1,0 +1,110 @@
+"""Tests for the §6.2 scan-duplicate rule."""
+
+from repro.core.dedup import classify_unique_certificates
+
+from .helpers import DAY0, make_cert, make_dataset
+
+
+def classify(dataset, **kwargs):
+    fps = set()
+    for scan in dataset.scans:
+        fps |= scan.fingerprints()
+    return classify_unique_certificates(dataset, fps, **kwargs)
+
+
+class TestUniquenessRule:
+    def test_single_ip_is_unique(self):
+        cert = make_cert()
+        dataset = make_dataset([(DAY0, [(100, cert)]), (DAY0 + 7, [(100, cert)])])
+        result = classify(dataset)
+        assert cert.fingerprint in result.unique
+
+    def test_two_ips_once_is_unique(self):
+        # A mid-scan mover: two addresses in one scan, one in the next.
+        cert = make_cert()
+        dataset = make_dataset(
+            [(DAY0, [(100, cert), (200, cert)]), (DAY0 + 7, [(300, cert)])]
+        )
+        result = classify(dataset)
+        assert cert.fingerprint in result.unique
+
+    def test_three_ips_in_any_scan_is_non_unique(self):
+        cert = make_cert()
+        dataset = make_dataset(
+            [
+                (DAY0, [(100, cert), (200, cert), (300, cert)]),
+                (DAY0 + 7, [(100, cert)]),
+            ]
+        )
+        result = classify(dataset)
+        assert cert.fingerprint in result.non_unique
+
+    def test_exactly_two_ips_every_scan_is_non_unique(self):
+        # §6.2's exception: probe order re-randomizes, so a constant two
+        # addresses means two devices, not one mover.
+        cert = make_cert()
+        dataset = make_dataset(
+            [
+                (DAY0, [(100, cert), (200, cert)]),
+                (DAY0 + 7, [(100, cert), (200, cert)]),
+                (DAY0 + 14, [(100, cert), (200, cert)]),
+            ]
+        )
+        result = classify(dataset)
+        assert cert.fingerprint in result.non_unique
+
+    def test_two_ips_in_single_scan_dataset_is_unique(self):
+        # With only one scan there is no every-scan evidence; keep it.
+        cert = make_cert()
+        dataset = make_dataset([(DAY0, [(100, cert), (200, cert)])])
+        result = classify(dataset)
+        assert cert.fingerprint in result.unique
+
+    def test_excluded_fraction(self):
+        shared = make_cert(cn="shared", key_seed=1)
+        solo = make_cert(cn="solo", key_seed=2)
+        dataset = make_dataset(
+            [(DAY0, [(1, shared), (2, shared), (3, shared), (9, solo)])]
+        )
+        result = classify(dataset)
+        assert result.excluded_fraction == 0.5
+
+    def test_threshold_parameter(self):
+        # The ablation knob: with threshold 3, three addresses pass.
+        cert = make_cert()
+        dataset = make_dataset(
+            [(DAY0, [(100, cert), (200, cert), (300, cert)])]
+        )
+        strict = classify(dataset, max_ips_per_scan=2)
+        loose = classify(dataset, max_ips_per_scan=3)
+        assert cert.fingerprint in strict.non_unique
+        assert cert.fingerprint in loose.unique
+
+    def test_threshold_one_disables_exception(self):
+        cert = make_cert()
+        dataset = make_dataset(
+            [(DAY0, [(100, cert)]), (DAY0 + 7, [(100, cert)])]
+        )
+        result = classify(dataset, max_ips_per_scan=1)
+        assert cert.fingerprint in result.unique
+
+
+class TestGroundTruth:
+    def test_simulator_shared_certs_are_caught(self, tiny_synthetic, tiny_study):
+        # Every certificate the simulator served from 3+ devices in one
+        # scan must land in the non-unique set.  (The converse does not
+        # hold: the every-scan-exactly-two exception deliberately
+        # sacrifices some single movers, as the paper accepts.)
+        dataset = tiny_synthetic.scans
+        result = tiny_study.dedup()
+        caught = 0
+        for fingerprint in tiny_study.invalid:
+            max_ips = dataset.max_ips_in_any_scan(fingerprint)
+            if max_ips > 2:
+                assert fingerprint in result.non_unique
+                caught += 1
+        assert caught > 0, "simulator produced no shared certificates"
+
+    def test_most_invalid_certs_survive(self, tiny_study):
+        # Paper: only 1.6 % of invalid certificates are excluded.
+        assert tiny_study.dedup().excluded_fraction < 0.10

@@ -1,0 +1,111 @@
+"""Tests for feature extraction and the Table 5 census."""
+
+from repro.core.features import (
+    Feature,
+    absence_rates,
+    extract,
+    linkable_value,
+    non_uniqueness_census,
+)
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+class TestExtract:
+    def test_not_before_includes_seconds(self):
+        cert = make_cert(nb=100, nb_secs=4242)
+        assert extract(cert, Feature.NOT_BEFORE) == (100, 4242)
+
+    def test_not_after(self):
+        cert = make_cert(nb=100, days=50, nb_secs=7)
+        assert extract(cert, Feature.NOT_AFTER) == (150, 7)
+
+    def test_common_name(self):
+        assert extract(make_cert(cn="fritz.box"), Feature.COMMON_NAME) == "fritz.box"
+
+    def test_public_key(self):
+        keypair = make_keypair(3)
+        cert = make_cert(keypair=keypair)
+        assert extract(cert, Feature.PUBLIC_KEY) == keypair.public
+
+    def test_san_list(self):
+        cert = make_cert(sans=("a.example", "b.example"))
+        assert extract(cert, Feature.SAN_LIST) == ("a.example", "b.example")
+
+    def test_issuer_serial(self):
+        cert = make_cert(cn="sub", issuer_cn="PlayBook: AA:BB", serial=42)
+        issuer, serial = extract(cert, Feature.ISSUER_SERIAL)
+        assert issuer.cn == "PlayBook: AA:BB"
+        assert serial == 42
+
+    def test_crl(self):
+        cert = make_cert(crl=("http://crl.example/x.crl",))
+        assert extract(cert, Feature.CRL) == ("http://crl.example/x.crl",)
+
+    def test_absent_features_are_none(self):
+        cert = make_cert()
+        for feature in (Feature.SAN_LIST, Feature.CRL, Feature.AIA,
+                        Feature.OCSP, Feature.OID):
+            assert extract(cert, feature) is None
+
+
+class TestLinkableValue:
+    def test_ip_literal_cn_dropped(self):
+        cert = make_cert(cn="192.168.1.1")
+        assert extract(cert, Feature.COMMON_NAME) == "192.168.1.1"
+        assert linkable_value(cert, Feature.COMMON_NAME) is None
+
+    def test_domain_cn_kept(self):
+        cert = make_cert(cn="box1.myfritz.net")
+        assert linkable_value(cert, Feature.COMMON_NAME) == "box1.myfritz.net"
+
+    def test_other_features_unaffected(self):
+        cert = make_cert(cn="192.168.1.1", nb=7, nb_secs=5)
+        assert linkable_value(cert, Feature.NOT_BEFORE) == (7, 5)
+
+
+class TestCensus:
+    def build(self):
+        shared_key = make_keypair(1)
+        a = make_cert(cn="same", keypair=shared_key, nb=DAY0 - 10)
+        b = make_cert(cn="same", key_seed=2, nb=DAY0 - 20)
+        c = make_cert(cn="other", keypair=shared_key, nb=DAY0 - 30,
+                      crl=("http://crl/1",))
+        dataset = make_dataset([(DAY0, [(1, a), (2, b), (3, c)])])
+        return dataset, (a, b, c)
+
+    def test_non_uniqueness(self):
+        dataset, certs = self.build()
+        fps = [cert.fingerprint for cert in certs]
+        census = non_uniqueness_census(dataset, fps)
+        assert census[Feature.COMMON_NAME] == 2 / 3   # 'same' shared by two
+        assert census[Feature.PUBLIC_KEY] == 2 / 3    # shared key on a and c
+        assert census[Feature.NOT_BEFORE] == 0.0      # all distinct stamps
+        assert census[Feature.CRL] == 0.0             # one carrier, unique
+
+    def test_absence_rates(self):
+        dataset, certs = self.build()
+        fps = [cert.fingerprint for cert in certs]
+        rates = absence_rates(dataset, fps)
+        assert rates[Feature.CRL] == 2 / 3
+        assert rates[Feature.COMMON_NAME] == 0.0
+        assert rates[Feature.OID] == 1.0
+
+    def test_empty_population(self):
+        dataset, _ = self.build()
+        census = non_uniqueness_census(dataset, [])
+        assert all(value == 0.0 for value in census.values())
+
+
+class TestPaperShape:
+    def test_rare_extensions_mostly_absent(self, tiny_synthetic, tiny_study):
+        # Paper: >99 % of invalid certificates lack CRL/AIA/OCSP/OID.
+        rates = absence_rates(tiny_synthetic.scans, tiny_study.invalid)
+        for feature in (Feature.CRL, Feature.AIA, Feature.OCSP, Feature.OID):
+            assert rates[feature] > 0.95
+
+    def test_issuer_serial_least_shared(self, tiny_synthetic, tiny_study):
+        # Table 5's ordering: IN+SN is by far the least shared feature.
+        census = non_uniqueness_census(tiny_synthetic.scans, tiny_study.invalid)
+        assert census[Feature.ISSUER_SERIAL] < census[Feature.COMMON_NAME]
+        assert census[Feature.ISSUER_SERIAL] < census[Feature.PUBLIC_KEY]

@@ -1,0 +1,155 @@
+"""Tests for §6.3.2 linking, including the Figure 9 reconstruction."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.features import Feature
+from repro.core.linking import _max_pairwise_overlap, link_on_feature
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def link(dataset, feature=Feature.PUBLIC_KEY, **kwargs):
+    fps = set()
+    for scan in dataset.scans:
+        fps |= scan.fingerprints()
+    return link_on_feature(dataset, fps, feature, **kwargs)
+
+
+class TestOverlapHelper:
+    def test_disjoint(self):
+        assert _max_pairwise_overlap([(0, 1), (2, 3)]) == 0
+
+    def test_touching_one_scan(self):
+        assert _max_pairwise_overlap([(0, 2), (2, 4)]) == 1
+
+    def test_two_scan_overlap(self):
+        assert _max_pairwise_overlap([(0, 3), (2, 4)]) == 2
+
+    def test_containment(self):
+        assert _max_pairwise_overlap([(0, 10), (3, 5)]) == 3
+
+    def test_worst_pair_not_adjacent_in_start_order(self):
+        # The worst pair is (0, 9) vs (5, 6) — overlap 2 — even though
+        # (4, 4) sits between them in start order.
+        assert _max_pairwise_overlap([(0, 9), (4, 4), (5, 6)]) == 2
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ).map(lambda pair: (min(pair), max(pair))),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_matches_brute_force(self, intervals):
+        brute = max(
+            min(e1, e2) - max(s1, s2) + 1
+            for i, (s1, e1) in enumerate(intervals)
+            for (s2, e2) in intervals[i + 1:]
+        )
+        assert _max_pairwise_overlap(intervals) == max(0, brute)
+
+
+class TestFigure9:
+    """The paper's worked example: PK1 and PK2 link, PK3 does not."""
+
+    def build(self):
+        pk1 = make_keypair(1)
+        pk2 = make_keypair(2)
+        pk3 = make_keypair(3)
+        cert = lambda name, kp: make_cert(cn=name, keypair=kp)
+        c1, c2 = cert("cert1", pk1), cert("cert2", pk1)
+        c3, c4, c5 = cert("cert3", pk2), cert("cert4", pk2), cert("cert5", pk2)
+        c6, c7, c8 = cert("cert6", pk3), cert("cert7", pk3), cert("cert8", pk3)
+        scans = [
+            (DAY0, [(1, c1), (3, c3), (5, c6)]),
+            (DAY0 + 7, [(1, c2), (3, c3), (2, c4), (5, c6), (6, c7)]),
+            (DAY0 + 14, [(2, c4), (5, c7)]),  # PK3: cert6/cert7 overlap 2 scans
+            (DAY0 + 21, [(1, c2), (3, c5), (6, c8)]),
+        ]
+        # Adjust: cert6 must also appear in scan 3 to overlap cert7 twice.
+        scans[2] = (DAY0 + 14, [(2, c4), (5, c7), (4, c6)])
+        return make_dataset(scans), (c1, c2, c3, c4, c5, c6, c7, c8)
+
+    def test_pk1_links(self):
+        dataset, certs = self.build()
+        result = link(dataset)
+        groups = {g.value: set(g.fingerprints) for g in result.groups}
+        c1, c2 = certs[0], certs[1]
+        assert {c1.fingerprint, c2.fingerprint} in groups.values()
+
+    def test_pk2_links_despite_single_scan_overlap(self):
+        # cert3 and cert4 overlap on exactly one scan (the mid-scan IP
+        # change) — still linkable.
+        dataset, certs = self.build()
+        result = link(dataset)
+        linked = result.linked_fingerprints
+        for cert in certs[2:5]:
+            assert cert.fingerprint in linked
+
+    def test_pk3_rejected_for_two_scan_overlap(self):
+        dataset, certs = self.build()
+        result = link(dataset)
+        linked = result.linked_fingerprints
+        for cert in certs[5:8]:
+            assert cert.fingerprint not in linked
+        assert result.rejected_values >= 1
+
+
+class TestLinkMechanics:
+    def test_singletons_not_grouped(self):
+        a = make_cert(cn="a", key_seed=1)
+        b = make_cert(cn="b", key_seed=2)
+        dataset = make_dataset([(DAY0, [(1, a), (2, b)])])
+        result = link(dataset)
+        assert result.groups == []
+        assert result.singleton_values == 2
+
+    def test_common_name_links(self):
+        a = make_cert(cn="WD2GO 293822", key_seed=1, nb=DAY0 - 10)
+        b = make_cert(cn="WD2GO 293822", key_seed=2, nb=DAY0 + 5)
+        dataset = make_dataset([(DAY0, [(1, a)]), (DAY0 + 7, [(1, b)])])
+        result = link(dataset, Feature.COMMON_NAME)
+        assert result.total_linked == 2
+
+    def test_ip_literal_common_names_not_linked(self):
+        # §6.4.1: IP-address Common Names are excluded from CN linking.
+        a = make_cert(cn="192.168.1.1", key_seed=1)
+        b = make_cert(cn="192.168.1.1", key_seed=2)
+        dataset = make_dataset([(DAY0, [(1, a)]), (DAY0 + 7, [(1, b)])])
+        result = link(dataset, Feature.COMMON_NAME)
+        assert result.total_linked == 0
+
+    def test_overlap_allowance_parameter(self):
+        keypair = make_keypair(9)
+        a = make_cert(cn="a", keypair=keypair)
+        b = make_cert(cn="b", keypair=keypair)
+        dataset = make_dataset(
+            [
+                (DAY0, [(1, a)]),
+                (DAY0 + 7, [(1, a), (2, b)]),
+                (DAY0 + 14, [(1, a), (2, b)]),  # two overlapping scans
+            ]
+        )
+        strict = link(dataset, overlap_allowance=1)
+        loose = link(dataset, overlap_allowance=2)
+        assert strict.total_linked == 0
+        assert loose.total_linked == 2
+
+    def test_crl_linking(self):
+        a = make_cert(cn="a", key_seed=1, crl=["http://crl.x/1.crl"], nb=DAY0 - 9)
+        b = make_cert(cn="b", key_seed=2, crl=["http://crl.x/1.crl"], nb=DAY0 + 5)
+        dataset = make_dataset([(DAY0, [(1, a)]), (DAY0 + 7, [(1, b)])])
+        result = link(dataset, Feature.CRL)
+        assert result.total_linked == 2
+
+    def test_not_before_links_same_stamp(self):
+        a = make_cert(cn="a", key_seed=1, nb=DAY0 - 50, nb_secs=1234)
+        b = make_cert(cn="b", key_seed=2, nb=DAY0 - 50, nb_secs=1234)
+        c = make_cert(cn="c", key_seed=3, nb=DAY0 - 50, nb_secs=9999)
+        dataset = make_dataset([(DAY0, [(1, a)]), (DAY0 + 7, [(2, b), (3, c)])])
+        result = link(dataset, Feature.NOT_BEFORE)
+        assert result.total_linked == 2
+        assert c.fingerprint not in result.linked_fingerprints

@@ -1,0 +1,164 @@
+"""Tests for network-fingerprint-augmented linking (§6.3 future work)."""
+
+import pytest
+
+from repro.core.features import Feature
+from repro.core.linking import link_on_feature
+from repro.core.netlink import (
+    link_on_feature_with_fingerprint,
+    pfs_support,
+    stack_fingerprints,
+)
+from repro.scanner.dataset import ScanDataset
+from repro.scanner.records import Observation, Scan
+from repro.tls.handshake import HandshakeRecord
+
+from .helpers import DAY0, make_cert, make_keypair
+
+ROUTER_STACK = HandshakeRecord(version=0x0301, cipher=0x002F, tcp_window=5840, ip_ttl=64)
+CAMERA_STACK = HandshakeRecord(version=0x0301, cipher=0x0005, tcp_window=8192, ip_ttl=255)
+PFS_STACK = HandshakeRecord(version=0x0303, cipher=0xC013, tcp_window=29200, ip_ttl=64)
+
+
+def make_dataset_with_handshakes(scan_specs):
+    """[(day, [(ip, cert, handshake), ...]), ...] → ScanDataset."""
+    scans = []
+    certificates = {}
+    for day, rows in scan_specs:
+        observations = []
+        for ip, cert, handshake in rows:
+            certificates[cert.fingerprint] = cert
+            observations.append(
+                Observation(ip=ip, fingerprint=cert.fingerprint, handshake=handshake)
+            )
+        scans.append(Scan(day=day, source="test", observations=observations))
+    return ScanDataset(scans, certificates)
+
+
+class TestStackFingerprints:
+    def test_index(self):
+        a = make_cert(cn="a", key_seed=1)
+        b = make_cert(cn="b", key_seed=2)
+        dataset = make_dataset_with_handshakes(
+            [(DAY0, [(1, a, ROUTER_STACK), (2, b, None)])]
+        )
+        index = stack_fingerprints(dataset, [a.fingerprint, b.fingerprint])
+        assert index[a.fingerprint] == ROUTER_STACK.stack_fingerprint()
+        assert index[b.fingerprint] is None
+
+    def test_unobserved_certificate(self):
+        a = make_cert(cn="a", key_seed=1)
+        dataset = make_dataset_with_handshakes([(DAY0, [])])
+        index = stack_fingerprints(dataset, [a.fingerprint])
+        assert index[a.fingerprint] is None
+
+
+class TestFingerprintLinking:
+    def test_splits_cross_stack_coincidences(self):
+        # Two devices with the SAME Not Before stamp (a coincidence the
+        # plain §6.3.2 method would link) but different firmware stacks.
+        router = make_cert(cn="r", key_seed=1, nb=DAY0 - 50, nb_secs=777)
+        camera = make_cert(cn="c", key_seed=2, nb=DAY0 - 50, nb_secs=777)
+        dataset = make_dataset_with_handshakes(
+            [
+                (DAY0, [(1, router, ROUTER_STACK)]),
+                (DAY0 + 7, [(2, camera, CAMERA_STACK)]),
+            ]
+        )
+        fps = [router.fingerprint, camera.fingerprint]
+        plain = link_on_feature(dataset, fps, Feature.NOT_BEFORE)
+        augmented = link_on_feature_with_fingerprint(
+            dataset, fps, Feature.NOT_BEFORE
+        )
+        assert plain.total_linked == 2          # the false positive
+        assert augmented.total_linked == 0      # split by fingerprint
+
+    def test_same_stack_chains_still_link(self):
+        keypair = make_keypair(5)
+        a = make_cert(cn="gen-a", keypair=keypair)
+        b = make_cert(cn="gen-b", keypair=keypair)
+        dataset = make_dataset_with_handshakes(
+            [(DAY0, [(1, a, ROUTER_STACK)]), (DAY0 + 7, [(1, b, ROUTER_STACK)])]
+        )
+        result = link_on_feature_with_fingerprint(
+            dataset, [a.fingerprint, b.fingerprint], Feature.PUBLIC_KEY
+        )
+        assert result.total_linked == 2
+
+    def test_missing_handshakes_fall_back_to_plain_bucketing(self):
+        keypair = make_keypair(6)
+        a = make_cert(cn="x-a", keypair=keypair)
+        b = make_cert(cn="x-b", keypair=keypair)
+        dataset = make_dataset_with_handshakes(
+            [(DAY0, [(1, a, None)]), (DAY0 + 7, [(1, b, None)])]
+        )
+        result = link_on_feature_with_fingerprint(
+            dataset, [a.fingerprint, b.fingerprint], Feature.PUBLIC_KEY
+        )
+        assert result.total_linked == 2
+
+    def test_overlap_rule_still_applies(self):
+        keypair = make_keypair(7)
+        a = make_cert(cn="o-a", keypair=keypair)
+        b = make_cert(cn="o-b", keypair=keypair)
+        dataset = make_dataset_with_handshakes(
+            [
+                (DAY0, [(1, a, ROUTER_STACK), (2, b, ROUTER_STACK)]),
+                (DAY0 + 7, [(1, a, ROUTER_STACK), (2, b, ROUTER_STACK)]),
+            ]
+        )
+        result = link_on_feature_with_fingerprint(
+            dataset, [a.fingerprint, b.fingerprint], Feature.PUBLIC_KEY
+        )
+        assert result.total_linked == 0
+        assert result.rejected_values == 1
+
+
+class TestPFS:
+    def test_report(self):
+        shared = make_keypair(1)
+        lancom_a = make_cert(cn="l-a", keypair=shared)
+        lancom_b = make_cert(cn="l-b", keypair=shared)
+        fritz = make_cert(cn="f", key_seed=9)
+        dataset = make_dataset_with_handshakes(
+            [
+                (DAY0, [(1, lancom_a, ROUTER_STACK), (2, lancom_b, ROUTER_STACK),
+                        (3, fritz, PFS_STACK)]),
+            ]
+        )
+        report = pfs_support(
+            dataset, [lancom_a.fingerprint, lancom_b.fingerprint, fritz.fingerprint]
+        )
+        assert report.n_with_handshake == 3
+        assert report.pfs_fraction == pytest.approx(1 / 3)
+        # Both Lancom certs share a key AND lack PFS — footnote 10.
+        assert report.shared_key_without_pfs == 2
+
+    def test_no_handshakes(self):
+        cert = make_cert()
+        dataset = make_dataset_with_handshakes([(DAY0, [(1, cert, None)])])
+        report = pfs_support(dataset, [cert.fingerprint])
+        assert report.n_with_handshake == 0
+        assert report.pfs_fraction == 0.0
+
+
+class TestEndToEnd:
+    def test_synthetic_collection(self):
+        from repro.datasets.synthetic import generate
+        from repro.internet.population import WorldConfig
+
+        config = WorldConfig(seed=3, n_devices=60, n_websites=15,
+                             n_generic_access=10, n_enterprise=4,
+                             n_hosting=4, unused_roots=0)
+        synthetic = generate(config, scan_stride=20, collect_handshakes=True)
+        dataset = synthetic.scans
+        with_handshake = sum(
+            1 for scan in dataset.scans for obs in scan.observations
+            if obs.handshake is not None
+        )
+        assert with_handshake == dataset.n_observations
+
+    def test_default_collection_has_no_handshakes(self, tiny_synthetic):
+        # The paper's corpora contained only certificates; default matches.
+        for scan in tiny_synthetic.scans.scans[:2]:
+            assert all(obs.handshake is None for obs in scan.observations)

@@ -1,0 +1,141 @@
+"""Tests for the §6.4 pipeline: Table 6 evaluation, iterative linking,
+and the §6.4.4 lifetime improvement."""
+
+from repro.core.features import Feature
+from repro.core.pipeline import (
+    evaluate_all_features,
+    iterative_link,
+    lifetime_improvement,
+)
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def flat_as(ip, day):
+    """Everything in one AS."""
+    return 1
+
+
+def build_small_population():
+    """Two PK-linkable chains, one CN-linkable chain, one loner."""
+    device_a = make_keypair(1)
+    device_b = make_keypair(2)
+    a1 = make_cert(cn="a-0", keypair=device_a)
+    a2 = make_cert(cn="a-1", keypair=device_a)
+    b1 = make_cert(cn="WD2GO 7", key_seed=10, nb=DAY0 - 30)
+    b2 = make_cert(cn="WD2GO 7", key_seed=11, nb=DAY0 + 3)
+    lone = make_cert(cn="lonely", key_seed=20)
+    c1 = make_cert(cn="c-0", keypair=device_b)
+    c2 = make_cert(cn="c-1", keypair=device_b)
+    dataset = make_dataset(
+        [
+            (DAY0, [(1, a1), (2, b1), (3, lone), (4, c1)]),
+            (DAY0 + 7, [(1, a2), (2, b1), (4, c1)]),
+            (DAY0 + 14, [(2, b2), (4, c2)]),
+        ]
+    )
+    fps = {c.fingerprint for c in (a1, a2, b1, b2, lone, c1, c2)}
+    return dataset, fps
+
+
+class TestEvaluateAllFeatures:
+    def test_linked_and_unique_counts(self):
+        dataset, fps = build_small_population()
+        evaluations = evaluate_all_features(dataset, fps, flat_as)
+        pk = evaluations[Feature.PUBLIC_KEY]
+        cn = evaluations[Feature.COMMON_NAME]
+        assert pk.total_linked == 4          # the two PK chains
+        assert cn.total_linked == 2          # the WD2GO chain
+        # PK chains are linked by nothing else; same for the CN chain.
+        assert pk.uniquely_linked == 4
+        assert cn.uniquely_linked == 2
+
+    def test_consistency_populated(self):
+        dataset, fps = build_small_population()
+        evaluations = evaluate_all_features(dataset, fps, flat_as)
+        assert evaluations[Feature.PUBLIC_KEY].consistency.as_level == 1.0
+        assert evaluations[Feature.PUBLIC_KEY].consistency.ip_level == 1.0
+
+
+class TestIterativeLink:
+    def test_links_with_default_order(self):
+        dataset, fps = build_small_population()
+        result = iterative_link(dataset, fps, flat_as)
+        assert result.linked_certificates == 6
+        assert result.input_size == 7
+        assert 0.8 < result.linked_fraction < 0.9
+
+    def test_certs_linked_once_only(self):
+        dataset, fps = build_small_population()
+        result = iterative_link(dataset, fps, flat_as)
+        seen = []
+        for group in result.groups:
+            seen.extend(group.fingerprints)
+        assert len(seen) == len(set(seen))
+
+    def test_explicit_field_order(self):
+        dataset, fps = build_small_population()
+        result = iterative_link(
+            dataset, fps, flat_as, field_order=[Feature.COMMON_NAME]
+        )
+        assert result.field_order == (Feature.COMMON_NAME,)
+        assert result.linked_certificates == 2
+
+    def test_threshold_excludes_low_consistency_fields(self):
+        # Split the WD2GO chain across two ASes: CN's AS-consistency drops
+        # to 2/3 < 0.9 and the field is excluded from the pipeline.
+        device_a = make_keypair(1)
+        a1 = make_cert(cn="a-0", keypair=device_a)
+        a2 = make_cert(cn="a-1", keypair=device_a)
+        b1 = make_cert(cn="WD2GO 7", key_seed=10, nb=DAY0 - 30)
+        b2 = make_cert(cn="WD2GO 7", key_seed=11, nb=DAY0 + 3)
+        dataset = make_dataset(
+            [
+                (DAY0, [(1, a1), (100, b1)]),
+                (DAY0 + 7, [(1, a2), (100, b1)]),
+                (DAY0 + 14, [(200, b2)]),
+            ]
+        )
+        fps = {c.fingerprint for c in (a1, a2, b1, b2)}
+        as_of = lambda ip, day: 1 if ip < 100 else (2 if ip == 100 else 3)
+        result = iterative_link(dataset, fps, as_of)
+        assert Feature.COMMON_NAME in result.excluded
+        assert result.linked_certificates == 2  # only the PK chain
+
+    def test_group_size_cdf(self):
+        dataset, fps = build_small_population()
+        result = iterative_link(dataset, fps, flat_as)
+        cdf = result.group_size_cdf()
+        assert cdf.min == 2
+        assert cdf.max == 2
+        pk_cdf = result.group_size_cdf(Feature.PUBLIC_KEY)
+        assert len(pk_cdf) == len(result.groups_of(Feature.PUBLIC_KEY))
+
+
+class TestLifetimeImprovement:
+    def test_linking_merges_ephemerals(self):
+        # One device reissuing per scan: three single-scan certificates
+        # merge into one 15-day unit.
+        device = make_keypair(1)
+        certs = [make_cert(cn=f"gen-{i}", keypair=device) for i in range(3)]
+        loner = make_cert(cn="loner", key_seed=50)
+        dataset = make_dataset(
+            [
+                (DAY0, [(1, certs[0]), (9, loner)]),
+                (DAY0 + 7, [(1, certs[1])]),
+                (DAY0 + 14, [(1, certs[2])]),
+            ]
+        )
+        fps = {c.fingerprint for c in certs} | {loner.fingerprint}
+        pipeline = iterative_link(dataset, fps, flat_as)
+        improvement = lifetime_improvement(dataset, pipeline, fps)
+        assert improvement.single_scan_fraction_before == 1.0
+        # After: units are the merged group (15 days) and the loner.
+        assert improvement.single_scan_fraction_after == 0.5
+        assert improvement.mean_lifetime_before == 1.0
+        assert improvement.mean_lifetime_after == (15 + 1) / 2
+
+    def test_tiny_dataset_improvement_direction(self, tiny_synthetic, tiny_study):
+        improvement = tiny_study.lifetime_improvement()
+        # §6.4.4's headline: linking lengthens apparent lifetimes.
+        assert improvement.mean_lifetime_after > improvement.mean_lifetime_before

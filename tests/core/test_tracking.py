@@ -1,0 +1,196 @@
+"""Tests for §7 device tracking: trackability, movement, reassignment."""
+
+import pytest
+
+from repro.core.features import Feature
+from repro.core.pipeline import iterative_link
+from repro.core.tracking import (
+    TrackedDevice,
+    analyze_movement,
+    build_tracked_devices,
+    infer_reassignment_policies,
+    trackable_devices,
+)
+from repro.net.asn import ASInfo, ASRegistry, ASType, OrgRecord
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+YEAR = 365
+
+
+def device_of(key, sightings):
+    return TrackedDevice(
+        device_key=key,
+        fingerprints=(b"\x00" * 32,),
+        sightings=tuple(sightings),
+    )
+
+
+class TestTrackedDevice:
+    def test_span_and_trackability(self):
+        device = device_of("d", [(0, DAY0, 1), (5, DAY0 + 400, 1)])
+        assert device.span_days == 401
+        assert device.is_trackable()
+        short = device_of("s", [(0, DAY0, 1), (1, DAY0 + 100, 1)])
+        assert not short.is_trackable()
+
+    def test_as_path_last_sighting_wins(self):
+        as_of = lambda ip, day: {1: 10, 2: 20}[ip]
+        device = device_of(
+            "d", [(0, DAY0, 1), (0, DAY0, 2), (1, DAY0 + 7, 2)]
+        )
+        path = device.as_path(as_of)
+        assert path == [(DAY0, 20), (DAY0 + 7, 20)]
+
+    def test_ip_path(self):
+        device = device_of("d", [(0, DAY0, 5), (1, DAY0 + 7, 6)])
+        assert device.ip_path() == [(DAY0, 5), (DAY0 + 7, 6)]
+
+
+class TestBuildTrackedDevices:
+    def test_groups_and_singletons(self):
+        keypair = make_keypair(1)
+        a = make_cert(cn="a", keypair=keypair)
+        b = make_cert(cn="b", keypair=keypair)
+        lone = make_cert(cn="lone", key_seed=9)
+        dataset = make_dataset(
+            [(DAY0, [(1, a), (2, lone)]), (DAY0 + 7, [(1, b)])]
+        )
+        fps = {a.fingerprint, b.fingerprint, lone.fingerprint}
+        pipeline = iterative_link(dataset, fps, lambda ip, day: 1)
+        devices = build_tracked_devices(dataset, pipeline, fps)
+        assert len(devices) == 2
+        keys = {device.device_key.split(":")[0] for device in devices}
+        assert keys == {"group", "cert"}
+
+    def test_trackable_report(self):
+        keypair = make_keypair(1)
+        a = make_cert(cn="a", keypair=keypair)
+        b = make_cert(cn="b", keypair=keypair)
+        dataset = make_dataset(
+            [(DAY0, [(1, a)]), (DAY0 + 400, [(1, b)])]
+        )
+        fps = {a.fingerprint, b.fingerprint}
+        pipeline = iterative_link(dataset, fps, lambda ip, day: 1)
+        devices = build_tracked_devices(dataset, pipeline, fps)
+        report = trackable_devices(dataset, devices, fps)
+        # Neither certificate alone spans a year; the linked group does.
+        assert report.trackable_without_linking == 0
+        assert report.trackable_with_linking == 1
+
+
+class TestMovement:
+    def registry(self):
+        return ASRegistry.from_infos(
+            [
+                ASInfo(10, "A", ASType.TRANSIT_ACCESS,
+                       [OrgRecord(0, "OrgA", "USA")]),
+                ASInfo(20, "B", ASType.TRANSIT_ACCESS,
+                       [OrgRecord(0, "OrgB", "DEU")]),
+            ]
+        )
+
+    def test_transitions_counted(self):
+        as_of = lambda ip, day: 10 if ip < 100 else 20
+        devices = [
+            device_of("d1", [(0, DAY0, 1), (1, DAY0 + 200, 1), (2, DAY0 + 400, 150)]),
+            device_of("d2", [(0, DAY0, 2), (1, DAY0 + 400, 2)]),
+        ]
+        report = analyze_movement(devices, as_of, self.registry(), bulk_threshold=5)
+        assert report.tracked_devices == 2
+        assert report.devices_changing_as == 1
+        assert report.total_transitions == 1
+        assert report.single_change_fraction == 1.0
+        assert report.country_moves == 1    # USA → DEU
+
+    def test_bulk_transfer_detection(self):
+        as_of = lambda ip, day: 10 if day < DAY0 + 300 else 20
+        devices = [
+            device_of(f"d{i}", [(0, DAY0, i), (1, DAY0 + 400, i)])
+            for i in range(6)
+        ]
+        report = analyze_movement(devices, as_of, self.registry(), bulk_threshold=5)
+        assert len(report.bulk_transfers) == 1
+        transfer = report.bulk_transfers[0]
+        assert (transfer.from_asn, transfer.to_asn) == (10, 20)
+        assert transfer.device_count == 6
+
+    def test_short_lived_devices_ignored(self):
+        as_of = lambda ip, day: 10
+        devices = [device_of("d", [(0, DAY0, 1), (1, DAY0 + 30, 2)])]
+        report = analyze_movement(devices, as_of, self.registry())
+        assert report.tracked_devices == 0
+
+
+class TestReassignment:
+    def test_static_fraction(self):
+        as_of = lambda ip, day: 10
+        static = [
+            device_of(f"s{i}", [(0, DAY0, i), (1, DAY0 + 400, i)])
+            for i in range(8)
+        ]
+        dynamic = [
+            device_of(f"m{i}", [(0, DAY0, 100 + i), (1, DAY0 + 400, 200 + i)])
+            for i in range(2)
+        ]
+        report = infer_reassignment_policies(
+            static + dynamic, as_of, min_devices_per_as=5
+        )
+        assert report.static_fraction_by_as[10] == 0.8
+
+    def test_highly_dynamic_detection(self):
+        as_of = lambda ip, day: 10
+        movers = [
+            device_of(
+                f"m{i}",
+                [(s, DAY0 + s * 100, 1000 * i + s) for s in range(5)],
+            )
+            for i in range(10)
+        ]
+        report = infer_reassignment_policies(movers, as_of, min_devices_per_as=5)
+        assert report.highly_dynamic_ases == (10,)
+        assert report.static_fraction_by_as[10] == 0.0
+
+    def test_min_devices_filter(self):
+        as_of = lambda ip, day: 10
+        devices = [device_of("d", [(0, DAY0, 1), (1, DAY0 + 400, 1)])]
+        with pytest.raises(ValueError):
+            infer_reassignment_policies(devices, as_of, min_devices_per_as=5)
+
+    def test_cdf_shape(self):
+        as_of = lambda ip, day: 10 if day < 0 else 10
+        devices = [
+            device_of(f"s{i}", [(0, DAY0, i), (1, DAY0 + 400, i)])
+            for i in range(12)
+        ]
+        report = infer_reassignment_policies(devices, as_of, min_devices_per_as=10)
+        assert report.cdf.max == 1.0
+        assert report.fraction_of_ases_mostly_static() == 1.0
+
+
+class TestSyntheticTracking:
+    def test_linking_increases_trackable_devices(self, tiny_study):
+        report = tiny_study.trackable()
+        assert report.trackable_with_linking > report.trackable_without_linking
+
+    def test_some_devices_move(self, tiny_study):
+        report = tiny_study.movement(bulk_threshold=3)
+        assert report.devices_changing_as > 0
+        assert report.total_transitions >= report.devices_changing_as
+
+    def test_german_isps_inferred_dynamic(self, tiny_synthetic, tiny_study):
+        # Deutsche Telekom (AS3320) forces daily reassignment; the §7.4
+        # inference must classify it as having ~no static addresses.
+        report = tiny_study.reassignment(min_devices_per_as=3)
+        fraction = report.static_fraction_by_as.get(3320)
+        if fraction is None:
+            pytest.skip("too few tracked devices in AS3320 at tiny scale")
+        assert fraction < 0.2
+
+    def test_static_isps_inferred_static(self, tiny_study):
+        # Comcast (AS7922) assigns statically.
+        report = tiny_study.reassignment(min_devices_per_as=3)
+        fraction = report.static_fraction_by_as.get(7922)
+        if fraction is None:
+            pytest.skip("too few tracked devices in AS7922 at tiny scale")
+        assert fraction > 0.8

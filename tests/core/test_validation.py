@@ -1,0 +1,129 @@
+"""Tests for the §4.2 validation pipeline."""
+
+import random
+
+from repro.core.validation import ValidationReport, validate_dataset
+from repro.scanner.records import Observation, Scan
+from repro.scanner.dataset import ScanDataset
+from repro.x509.builder import CertificateBuilder
+from repro.x509.chain import VerifyStatus
+from repro.x509.keys import generate_keypair
+from repro.x509.name import Name
+from repro.x509.truststore import TrustStore
+
+from .helpers import DAY0, make_cert
+
+
+def build_pki():
+    root_pair = generate_keypair(random.Random(1), 128)
+    root_name = Name.build(CN="Root", O="RootCo")
+    root = (
+        CertificateBuilder()
+        .subject(root_name).validity(DAY0 - 3650, DAY0 + 3650)
+        .keypair(root_pair).ca().self_sign()
+    )
+    intermediate_pair = generate_keypair(random.Random(2), 128)
+    intermediate_name = Name.build(CN="Sub", O="RootCo")
+    intermediate = (
+        CertificateBuilder()
+        .subject(intermediate_name).validity(DAY0 - 1000, DAY0 + 1000)
+        .keypair(intermediate_pair).ca()
+        .sign_with(root_name, root_pair.private)
+    )
+    leaf = (
+        CertificateBuilder()
+        .subject(Name.common_name("good.example"))
+        .validity(DAY0, DAY0 + 365)
+        .keypair(generate_keypair(random.Random(3), 128))
+        .sign_with(intermediate_name, intermediate_pair.private)
+    )
+    return root, intermediate, leaf
+
+
+def dataset_of(certs, day=DAY0):
+    observations = [
+        Observation(ip=index + 1, fingerprint=cert.fingerprint)
+        for index, cert in enumerate(certs)
+    ]
+    return ScanDataset(
+        [Scan(day=day, source="test", observations=observations)],
+        {cert.fingerprint: cert for cert in certs},
+    )
+
+
+class TestValidateDataset:
+    def test_classification(self):
+        root, intermediate, leaf = build_pki()
+        selfsigned = make_cert(cn="192.168.1.1")
+        dataset = dataset_of([leaf, intermediate, selfsigned])
+        report = validate_dataset(dataset, TrustStore([root]))
+        assert leaf.fingerprint in report.valid
+        assert intermediate.fingerprint in report.valid
+        assert selfsigned.fingerprint in report.invalid
+        assert report.invalid_fraction == 1 / 3
+
+    def test_transvalid_via_pool(self):
+        # The leaf validates even though its scan never saw a chain — the
+        # intermediate observed elsewhere in the corpus completes it.
+        root, intermediate, leaf = build_pki()
+        observations_a = [Observation(ip=1, fingerprint=leaf.fingerprint)]
+        observations_b = [Observation(ip=2, fingerprint=intermediate.fingerprint)]
+        dataset = ScanDataset(
+            [
+                Scan(day=DAY0, source="a", observations=observations_a),
+                Scan(day=DAY0 + 30, source="a", observations=observations_b),
+            ],
+            {leaf.fingerprint: leaf, intermediate.fingerprint: intermediate},
+        )
+        report = validate_dataset(dataset, TrustStore([root]))
+        assert leaf.fingerprint in report.valid
+
+    def test_reason_breakdown(self):
+        root, _, _ = build_pki()
+        selfsigned = make_cert(cn="device-a", key_seed=5)
+        other_pair = generate_keypair(random.Random(9), 128)
+        untrusted_issuer = (
+            CertificateBuilder()
+            .subject(Name.common_name("corp.internal"))
+            .validity(DAY0, DAY0 + 100)
+            .keypair(generate_keypair(random.Random(10), 128))
+            .sign_with(Name.common_name("Corp CA"), other_pair.private)
+        )
+        dataset = dataset_of([selfsigned, untrusted_issuer])
+        report = validate_dataset(dataset, TrustStore([root]))
+        breakdown = report.reason_breakdown()
+        assert breakdown[VerifyStatus.SELF_SIGNED] == 0.5
+        assert breakdown[VerifyStatus.UNTRUSTED_ISSUER] == 0.5
+
+    def test_is_invalid_predicate(self):
+        root, intermediate, leaf = build_pki()
+        selfsigned = make_cert()
+        dataset = dataset_of([leaf, intermediate, selfsigned])
+        report = validate_dataset(dataset, TrustStore([root]))
+        assert report.is_invalid(selfsigned.fingerprint)
+        assert not report.is_invalid(leaf.fingerprint)
+
+    def test_status_of(self):
+        root, _, _ = build_pki()
+        selfsigned = make_cert()
+        dataset = dataset_of([selfsigned])
+        report = validate_dataset(dataset, TrustStore([root]))
+        assert report.status_of(selfsigned.fingerprint) is VerifyStatus.SELF_SIGNED
+
+
+class TestSyntheticValidation:
+    def test_invalid_fraction_in_paper_band(self, tiny_study):
+        # Paper: 87.9 % of the corpus is invalid; per-scan 59.6–73.7 %.
+        fraction = tiny_study.validation().invalid_fraction
+        assert 0.75 <= fraction <= 0.96
+
+    def test_self_signed_dominates_invalid(self, tiny_study):
+        # Paper: 88.0 % self-signed, 11.99 % untrusted issuer.
+        breakdown = tiny_study.validation().reason_breakdown()
+        assert breakdown[VerifyStatus.SELF_SIGNED] > 0.75
+        assert 0.0 < breakdown.get(VerifyStatus.UNTRUSTED_ISSUER, 0.0) < 0.25
+
+    def test_valid_and_invalid_partition(self, tiny_study):
+        report = tiny_study.validation()
+        assert not report.valid & report.invalid
+        assert report.considered == len(report.valid) + len(report.invalid)

@@ -1,0 +1,49 @@
+"""Tests for the synthetic dataset presets."""
+
+from repro.datasets.synthetic import generate, tiny
+from repro.internet.population import WorldConfig
+
+
+class TestTinyPreset:
+    def test_structure(self, tiny_synthetic):
+        assert len(tiny_synthetic.world.devices) == 220
+        assert len(tiny_synthetic.world.websites) == 75
+        assert len(tiny_synthetic.campaigns) == 2
+        assert len(tiny_synthetic.scans.scans) > 10
+
+    def test_both_campaigns_ran(self, tiny_synthetic):
+        sources = {scan.source for scan in tiny_synthetic.scans.scans}
+        assert sources == {"umich", "rapid7"}
+
+    def test_deterministic(self, tiny_synthetic):
+        clone = tiny(seed=2016)
+        assert len(clone.scans.scans) == len(tiny_synthetic.scans.scans)
+        for a, b in zip(clone.scans.scans, tiny_synthetic.scans.scans):
+            assert a.day == b.day
+            assert a.observations == b.observations
+
+    def test_different_seed_differs(self):
+        other = tiny(seed=7)
+        base = tiny(seed=2016)
+        assert (
+            sorted(other.scans.certificates)
+            != sorted(base.scans.certificates)
+        )
+
+    def test_certificates_resolve(self, tiny_synthetic):
+        dataset = tiny_synthetic.scans
+        for scan in dataset.scans[:3]:
+            for obs in scan.observations:
+                cert = dataset.certificate(obs.fingerprint)
+                assert cert.fingerprint == obs.fingerprint
+
+
+class TestGenerate:
+    def test_custom_config(self):
+        config = WorldConfig(
+            seed=1, n_devices=30, n_websites=10, n_generic_access=8,
+            n_enterprise=3, n_hosting=3, unused_roots=0,
+        )
+        synthetic = generate(config, scan_stride=20)
+        assert len(synthetic.world.devices) == 30
+        assert synthetic.scans.n_observations > 0

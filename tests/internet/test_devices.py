@@ -1,0 +1,289 @@
+"""Tests for device certificate behaviour."""
+
+import random
+
+import pytest
+
+from repro.internet.devices import Device, Location, PrivateCA
+from repro.internet.vendors import (
+    DeviceType,
+    IssuerScheme,
+    KeyPolicy,
+    NotBeforeMode,
+    SerialPolicy,
+    SubjectScheme,
+    ValidityChoice,
+    VendorProfile,
+    standard_catalog,
+)
+from repro.x509.keys import generate_keypair
+from repro.x509.name import Name
+
+SEED = 99
+DAY = 4600
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="test-vendor",
+        device_type=DeviceType.HOME_ROUTER,
+        weight=1.0,
+        issuer_scheme=IssuerScheme.SAME_AS_SUBJECT,
+        subject_scheme=SubjectScheme.PER_DEVICE,
+        subject_text="unit-{device}",
+        key_policy=KeyPolicy.DEVICE_STABLE,
+        reissue_period_days=10,
+    )
+    base.update(overrides)
+    return VendorProfile(**base)
+
+
+def make_device(profile=None, device_id=1, shared=None, ca=None, **kwargs):
+    profile = profile or make_profile()
+    defaults = dict(
+        device_id=device_id,
+        profile=profile,
+        world_seed=SEED,
+        active_from=DAY,
+        active_until=DAY + 1000,
+        locations=[Location(DAY, 3320, 0)],
+        shared_keypair=shared,
+        private_ca=ca,
+        firmware_epoch_day=DAY - 2000,
+    )
+    defaults.update(kwargs)
+    return Device(**defaults)
+
+
+class TestLifecycle:
+    def test_activity_window(self):
+        device = make_device()
+        assert device.is_active(DAY)
+        assert device.is_active(DAY + 1000)
+        assert not device.is_active(DAY - 1)
+        assert not device.is_active(DAY + 1001)
+
+    def test_location_selection(self):
+        device = make_device(
+            locations=[Location(DAY, 3320, 0), Location(DAY + 100, 7922, 5)]
+        )
+        assert device.location_at(DAY).asn == 3320
+        assert device.location_at(DAY + 99).asn == 3320
+        assert device.location_at(DAY + 100).asn == 7922
+        assert device.location_at(DAY + 5000).asn == 7922
+
+    def test_reissue_epoch_progression(self):
+        device = make_device()
+        epochs = [device.reissue_epoch(DAY + offset) for offset in range(0, 50, 10)]
+        assert epochs == sorted(epochs)
+        assert epochs[-1] > epochs[0]
+
+    def test_no_reissue_profile_stays_epoch_zero(self):
+        device = make_device(make_profile(reissue_period_days=None))
+        assert device.reissue_epoch(DAY) == 0
+        assert device.reissue_epoch(DAY + 900) == 0
+        assert device.certificate_on(DAY) == device.certificate_on(DAY + 900)
+
+    def test_missing_location_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(locations=[])
+
+
+class TestDeterminism:
+    def test_same_device_same_certs(self):
+        a = make_device()
+        b = make_device()
+        for epoch in (0, 1, 5):
+            assert (
+                a.certificate_for_epoch(epoch).fingerprint
+                == b.certificate_for_epoch(epoch).fingerprint
+            )
+
+    def test_different_devices_differ(self):
+        a = make_device(device_id=1)
+        b = make_device(device_id=2)
+        assert a.certificate_on(DAY).fingerprint != b.certificate_on(DAY).fingerprint
+
+    def test_reissue_produces_new_cert(self):
+        device = make_device()
+        first = device.certificate_for_epoch(0)
+        second = device.certificate_for_epoch(1)
+        assert first.fingerprint != second.fingerprint
+
+
+class TestKeyPolicies:
+    def test_device_stable_key_survives_reissue(self):
+        device = make_device()
+        keys = {device.certificate_for_epoch(e).public_key for e in range(4)}
+        assert len(keys) == 1
+
+    def test_per_reissue_key_changes(self):
+        device = make_device(make_profile(key_policy=KeyPolicy.PER_REISSUE))
+        keys = {device.certificate_for_epoch(e).public_key for e in range(4)}
+        assert len(keys) == 4
+
+    def test_vendor_shared_key(self):
+        shared = generate_keypair(random.Random(5), 128)
+        profile = make_profile(key_policy=KeyPolicy.VENDOR_SHARED)
+        a = make_device(profile, device_id=1, shared=shared)
+        b = make_device(profile, device_id=2, shared=shared)
+        assert a.certificate_on(DAY).public_key == b.certificate_on(DAY).public_key
+        assert a.certificate_on(DAY).public_key == shared.public
+
+    def test_vendor_shared_requires_keypair(self):
+        profile = make_profile(key_policy=KeyPolicy.VENDOR_SHARED)
+        with pytest.raises(ValueError):
+            make_device(profile, shared=None)
+
+
+class TestNamingSchemes:
+    def test_per_device_cn_stable_across_reissues(self):
+        device = make_device()
+        cns = {device.certificate_for_epoch(e).subject_cn for e in range(3)}
+        assert len(cns) == 1
+        assert next(iter(cns)).startswith("unit-")
+
+    def test_per_reissue_cn_changes(self):
+        profile = make_profile(
+            subject_scheme=SubjectScheme.PER_REISSUE, subject_text="r-{device}-{epoch}"
+        )
+        device = make_device(profile)
+        cns = {device.certificate_for_epoch(e).subject_cn for e in range(3)}
+        assert len(cns) == 3
+
+    def test_private_ip_shared(self):
+        profile = make_profile(
+            issuer_scheme=IssuerScheme.PRIVATE_IP,
+            subject_scheme=SubjectScheme.PRIVATE_IP_SHARED,
+        )
+        a = make_device(profile, device_id=1)
+        b = make_device(profile, device_id=2)
+        assert a.certificate_on(DAY).subject_cn == "192.168.1.1"
+        assert b.certificate_on(DAY).issuer_cn == "192.168.1.1"
+
+    def test_private_ip_per_device(self):
+        profile = make_profile(subject_scheme=SubjectScheme.PRIVATE_IP_PER_DEVICE)
+        cns = {
+            make_device(profile, device_id=i).certificate_on(DAY).subject_cn
+            for i in range(6)
+        }
+        assert len(cns) == 6
+        assert all(cn.startswith("192.168.") for cn in cns)
+
+    def test_empty_names(self):
+        profile = make_profile(
+            issuer_scheme=IssuerScheme.EMPTY, subject_scheme=SubjectScheme.EMPTY
+        )
+        cert = make_device(profile).certificate_on(DAY)
+        assert cert.subject.is_empty()
+        assert cert.issuer.is_empty()
+
+    def test_per_device_issuer_mac(self):
+        profile = make_profile(
+            issuer_scheme=IssuerScheme.PER_DEVICE, issuer_text="PlayBook: {mac}"
+        )
+        device = make_device(profile)
+        issuer_cn = device.certificate_on(DAY).issuer_cn
+        assert issuer_cn.startswith("PlayBook: ")
+        assert issuer_cn == device.certificate_for_epoch(3).issuer_cn
+
+
+class TestSignatures:
+    def test_self_signed_profiles_verify_under_own_key(self):
+        cert = make_device().certificate_on(DAY)
+        assert cert.is_self_signed()
+
+    def test_private_ca_signing(self):
+        ca = PrivateCA(
+            name=Name.build(CN="Site 1 CA", O="Site 1"),
+            keypair=generate_keypair(random.Random(7), 128),
+        )
+        profile = make_profile(issuer_scheme=IssuerScheme.PRIVATE_CA)
+        cert = make_device(profile, ca=ca).certificate_on(DAY)
+        assert not cert.is_self_signed()
+        assert cert.verify_signature(ca.keypair.public)
+        assert cert.issuer == ca.name
+        assert cert.extensions.authority_key_id == ca.key_id
+
+    def test_private_ca_required(self):
+        profile = make_profile(issuer_scheme=IssuerScheme.PRIVATE_CA)
+        with pytest.raises(ValueError):
+            make_device(profile, ca=None)
+
+
+class TestSerials:
+    def test_random_serials_differ_per_epoch(self):
+        device = make_device()
+        serials = {device.certificate_for_epoch(e).serial for e in range(4)}
+        assert len(serials) == 4
+
+    def test_device_constant_serial(self):
+        profile = make_profile(serial_policy=SerialPolicy.DEVICE_CONSTANT)
+        device = make_device(profile)
+        serials = {device.certificate_for_epoch(e).serial for e in range(4)}
+        assert len(serials) == 1
+
+
+class TestNotBefore:
+    def test_firmware_epoch_mode(self):
+        profile = make_profile(not_before_mode=NotBeforeMode.FIRMWARE_EPOCH)
+        device = make_device(profile, firmware_epoch_day=DAY - 2000)
+        for epoch in range(3):
+            assert device.certificate_for_epoch(epoch).not_before == DAY - 2000
+
+    def test_at_issue_mode_tracks_issue_day(self):
+        device = make_device()
+        cert = device.certificate_for_epoch(2)
+        issue_day = device.issue_day_of_epoch(2)
+        assert abs(cert.not_before - issue_day) <= 30
+
+
+class TestMidScanReissue:
+    def test_certificate_at_flips_on_reissue_day(self):
+        device = make_device()
+        # Find a day on which an actual reissue lands.
+        reissue_day = next(
+            day
+            for day in range(DAY + 1, DAY + 40)
+            if device.reissue_hour_on(day) >= 0.0
+        )
+        flip = device.reissue_hour_on(reissue_day)
+        before = device.certificate_at(reissue_day, max(0.0, flip - 0.01))
+        after = device.certificate_at(reissue_day, flip)
+        assert before.fingerprint != after.fingerprint
+        # And on a non-reissue day the certificate is constant.
+        quiet_day = reissue_day + 1
+        assert device.reissue_hour_on(quiet_day) == -1.0
+        assert (
+            device.certificate_at(quiet_day, 0.0).fingerprint
+            == device.certificate_at(quiet_day, 23.9).fingerprint
+        )
+
+
+class TestStandardCatalog:
+    def test_weights_sum_to_one(self):
+        total = sum(profile.weight for profile in standard_catalog())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_names_unique(self):
+        names = [profile.weight and profile.name for profile in standard_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_validity_sampling_covers_choices(self):
+        profile = make_profile(
+            validity_choices=(
+                ValidityChoice(days=100, weight=0.5),
+                ValidityChoice(days=-5, weight=0.5),
+            )
+        )
+        rng = random.Random(3)
+        seen = {profile.picks_validity(rng) for _ in range(100)}
+        assert seen == {100, -5}
+
+    def test_device_types_cover_table4_classes(self):
+        types = {profile.device_type for profile in standard_catalog()}
+        assert DeviceType.HOME_ROUTER in types
+        assert DeviceType.VPN in types
+        assert DeviceType.REMOTE_STORAGE in types
+        assert DeviceType.IP_CAMERA in types
+        assert DeviceType.FIREWALL in types

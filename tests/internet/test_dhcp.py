@@ -1,0 +1,143 @@
+"""Tests for address pools and assignment policies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.internet.dhcp import AddressPool, PeriodicReassignment, StaticAssignment
+from repro.net.ip import Prefix, str_to_ip
+
+
+def make_pool(*cidrs):
+    return AddressPool([Prefix.parse(c) for c in cidrs])
+
+
+class TestAddressPool:
+    def test_size_and_addressing_single_prefix(self):
+        pool = make_pool("10.0.0.0/24")
+        assert pool.size == 256
+        assert pool.address_at(0) == str_to_ip("10.0.0.0")
+        assert pool.address_at(255) == str_to_ip("10.0.0.255")
+
+    def test_multi_prefix_concatenation(self):
+        pool = make_pool("10.0.0.0/30", "192.0.2.0/30")
+        assert pool.size == 8
+        assert pool.address_at(3) == str_to_ip("10.0.0.3")
+        assert pool.address_at(4) == str_to_ip("192.0.2.0")
+        assert pool.address_at(7) == str_to_ip("192.0.2.3")
+
+    def test_out_of_range_rejected(self):
+        pool = make_pool("10.0.0.0/30")
+        with pytest.raises(IndexError):
+            pool.address_at(4)
+        with pytest.raises(IndexError):
+            pool.address_at(-1)
+
+    def test_contains(self):
+        pool = make_pool("10.0.0.0/24")
+        assert pool.contains(str_to_ip("10.0.0.9"))
+        assert not pool.contains(str_to_ip("10.0.1.0"))
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPool([])
+
+
+class TestStaticAssignment:
+    def test_address_never_changes(self):
+        policy = StaticAssignment.create(make_pool("10.0.0.0/24"), random.Random(1))
+        first = policy.address(7, day=0)
+        for day in (1, 100, 5000):
+            assert policy.address(7, day) == first
+
+    def test_no_mid_day_reassignment(self):
+        policy = StaticAssignment.create(make_pool("10.0.0.0/24"), random.Random(1))
+        assert policy.reassignment_hour(3, day=17) == -1.0
+
+    def test_subscribers_never_collide(self):
+        policy = StaticAssignment.create(make_pool("10.0.0.0/24"), random.Random(2))
+        addresses = [policy.address(i, day=0) for i in range(256)]
+        assert len(set(addresses)) == 256
+
+    def test_addresses_stay_in_pool(self):
+        pool = make_pool("10.0.0.0/26")
+        policy = StaticAssignment.create(pool, random.Random(3))
+        for subscriber in range(pool.size):
+            assert pool.contains(policy.address(subscriber, day=0))
+
+
+class TestPeriodicReassignment:
+    def make(self, period=1, seed=1, cidr="10.0.0.0/24"):
+        return PeriodicReassignment.create(
+            make_pool(cidr), period, random.Random(seed)
+        )
+
+    def test_daily_churn_changes_address(self):
+        policy = self.make(period=1)
+        a = policy.address(5, day=10, hour=23.0)
+        b = policy.address(5, day=11, hour=23.0)
+        assert a != b
+
+    def test_weekly_period_stable_within_period(self):
+        policy = self.make(period=7)
+        # Days 1..6 are within the same epoch (flips happen on day % 7 == 0).
+        addresses = {policy.address(5, day, hour=23.0) for day in range(1, 7)}
+        assert len(addresses) == 1
+
+    def test_reassignment_hour_only_on_period_days(self):
+        policy = self.make(period=7)
+        assert policy.reassignment_hour(3, day=14) >= 0.0
+        assert policy.reassignment_hour(3, day=15) == -1.0
+
+    def test_address_flips_at_reassignment_hour(self):
+        policy = self.make(period=1)
+        day = 50
+        flip = policy.reassignment_hour(9, day)
+        assert 0.0 <= flip < 24.0
+        before = policy.address(9, day, hour=max(0.0, flip - 0.01))
+        after = policy.address(9, day, hour=flip)
+        assert before != after
+        # Before the flip, the subscriber still holds yesterday's address.
+        assert before == policy.address(9, day - 1, hour=23.99)
+
+    def test_subscribers_never_collide_same_instant(self):
+        # Even mid-flip (some subscribers on the new epoch, some still on
+        # the old one) no two subscribers may hold the same address.
+        policy = self.make(period=1, cidr="10.0.0.0/25")
+        for hour in (0.0, 6.0, 12.0, 18.0, 23.9):
+            addresses = [
+                policy.address(i, day=33, hour=hour)
+                for i in range(policy.capacity)
+            ]
+            assert len(set(addresses)) == len(addresses)
+
+    def test_capacity_enforced(self):
+        policy = self.make(period=1, cidr="10.0.0.0/28")
+        assert policy.capacity == 8
+        with pytest.raises(ValueError):
+            policy.address(8, day=0)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(period=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        subscriber=st.integers(min_value=0, max_value=127),
+        day=st.integers(min_value=0, max_value=3000),
+        hour=st.floats(min_value=0.0, max_value=23.99),
+    )
+    def test_addresses_always_in_pool(self, subscriber, day, hour):
+        policy = self.make(period=3)  # /24 pool → capacity 128
+        assert policy.pool.contains(policy.address(subscriber, day, hour))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        day=st.integers(min_value=0, max_value=1000),
+        hour=st.floats(min_value=0.0, max_value=23.99),
+    )
+    def test_determinism(self, day, hour):
+        a = self.make(period=1, seed=7)
+        b = self.make(period=1, seed=7)
+        assert a.address(4, day, hour) == b.address(4, day, hour)

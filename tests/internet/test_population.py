@@ -1,0 +1,192 @@
+"""Tests for world assembly."""
+
+import pytest
+
+from repro.internet.population import (
+    WorldConfig,
+    build_world,
+    standard_topology,
+)
+from repro.internet.vendors import IssuerScheme, KeyPolicy
+from repro.net.asn import ASType
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = WorldConfig(
+        seed=7,
+        n_devices=150,
+        n_websites=40,
+        n_generic_access=20,
+        n_enterprise=6,
+        n_hosting=5,
+        unused_roots=3,
+    )
+    return build_world(config)
+
+
+class TestTopology:
+    def test_named_ases_present(self):
+        blueprints = standard_topology()
+        asns = {bp.asn for bp in blueprints}
+        # The paper's headline networks.
+        for asn in (3320, 7922, 3209, 6805, 4766, 26496, 14618, 19262, 701):
+            assert asn in asns
+
+    def test_german_isps_are_daily_churn(self):
+        blueprints = standard_topology()
+        for asn in (3320, 3209, 6805):
+            blueprint = next(bp for bp in blueprints if bp.asn == asn)
+            assert blueprint.policy == "periodic"
+            assert blueprint.period_days == 1
+
+    def test_hosting_is_content_type(self):
+        blueprints = standard_topology()
+        godaddy = next(bp for bp in blueprints if bp.asn == 26496)
+        assert godaddy.as_type is ASType.CONTENT
+
+    def test_counts_scale_with_arguments(self):
+        small = standard_topology(10, 5, 4)
+        large = standard_topology(50, 10, 8)
+        assert len(large) > len(small)
+
+
+class TestWorldWiring:
+    def test_every_as_has_registry_entry_and_policy(self, world):
+        for blueprint in world.blueprints:
+            assert blueprint.asn in world.registry
+            assert blueprint.asn in world.policies
+
+    def test_no_prefix_overlaps(self, world):
+        routes = world.routing.table_at(0).routes()
+        # Pairwise containment check (excluding the deliberate transfer split).
+        prefixes = [route.prefix for route in routes]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not (a.contains_prefix(b) or b.contains_prefix(a)), (a, b)
+
+    def test_routing_resolves_device_ips(self, world):
+        day = world.config.start_day + 50
+        for device in world.devices[:40]:
+            if not device.is_active(day):
+                continue
+            ip = world.device_ip(device, day)
+            asn = world.origin_as(ip, day)
+            assert asn == device.location_at(day).asn
+
+    def test_prefix_transfer_changes_origin(self, world):
+        transfer_day = world.config.prefix_transfer_day
+        moved = [
+            route.prefix
+            for route in world.routing.table_at(transfer_day).routes()
+            if route.asn == 701
+        ]
+        # MCI originates its own pool + server block, plus the transferred
+        # Verizon block.
+        assert len(moved) == 3
+        transferred = next(p for p in moved if world.routing.origin_as(p.first, 0) == 19262)
+        assert world.routing.origin_as(transferred.first, transfer_day) == 701
+
+    def test_trust_store_padded(self, world):
+        # 8 hierarchy roots + 3 unused.
+        assert len(world.trust_store) == 11
+
+
+class TestFleet:
+    def test_device_count(self, world):
+        assert len(world.devices) == 150
+
+    def test_fritzbox_mostly_in_german_isps(self, world):
+        fritz = [d for d in world.devices if d.profile.name == "fritzbox"]
+        if not fritz:
+            pytest.skip("no fritzbox devices at this scale")
+        german = sum(
+            1 for d in fritz if d.locations[0].asn in (3320, 3209, 6805)
+        )
+        assert german / len(fritz) > 0.5
+
+    def test_shared_key_devices_share(self, world):
+        lancom = [d for d in world.devices if d.profile.name == "lancom"]
+        assert len(lancom) >= 2
+        keys = {d.certificate_for_epoch(0).public_key for d in lancom}
+        assert len(keys) == 1
+
+    def test_private_ca_devices_have_cas(self, world):
+        for device in world.devices:
+            if device.profile.issuer_scheme is IssuerScheme.PRIVATE_CA:
+                assert device.private_ca is not None
+
+    def test_vendor_scope_ca_shared(self, world):
+        wd = [d for d in world.devices if d.profile.name == "wd-mycloud"]
+        if len(wd) < 2:
+            pytest.skip("not enough wd devices at this scale")
+        cas = {d.private_ca.keypair.public for d in wd}
+        assert len(cas) == 1
+        assert wd[0].private_ca.name.cn == "remotewd.com"
+
+    def test_site_scope_cas_distinct(self, world):
+        gateways = [d for d in world.devices if d.profile.name == "enterprise-gateway"]
+        if len(gateways) < 8:
+            pytest.skip("not enough gateways at this scale")
+        cas = {d.private_ca.name for d in gateways}
+        assert len(cas) > 1
+
+    def test_subscribers_unique_per_as(self, world):
+        seen = set()
+        for device in world.devices:
+            for location in device.locations:
+                key = (location.asn, location.subscriber)
+                assert key not in seen, f"duplicate subscriber {key}"
+                seen.add(key)
+
+    def test_playbooks_move(self, world):
+        playbooks = [d for d in world.devices if d.profile.name == "playbook"]
+        if not playbooks:
+            pytest.skip("no playbooks at this scale")
+        assert any(len(d.locations) > 2 for d in playbooks)
+
+    def test_determinism(self):
+        config = WorldConfig(seed=11, n_devices=40, n_websites=10,
+                             n_generic_access=10, n_enterprise=4, n_hosting=4)
+        a = build_world(config)
+        b = build_world(config)
+        for device_a, device_b in zip(a.devices, b.devices):
+            assert (
+                device_a.certificate_for_epoch(0).fingerprint
+                == device_b.certificate_for_epoch(0).fingerprint
+            )
+
+
+class TestWebsites:
+    def test_website_count(self, world):
+        assert len(world.websites) == 40
+
+    def test_hosting_split_matches_table2(self, world):
+        # Valid certificates split between content and transit/access ASes
+        # (Table 2); content must dominate but not monopolize.
+        types = [world.registry.classify(w.asn) for w in world.websites]
+        content = sum(1 for t in types if t is ASType.CONTENT)
+        assert content / len(types) > 0.35
+        assert content < len(types)          # some websites off-content
+
+    def test_websites_never_collide_with_device_pools(self, world):
+        day = world.config.start_day + 50
+        device_ips = {
+            world.device_ip(device, day)
+            for device in world.devices
+            if device.is_active(day)
+        }
+        website_ips = {ip for w in world.websites for ip in w.host_ips}
+        assert not device_ips & website_ips
+
+    def test_host_ips_unique_across_sites(self, world):
+        all_ips = [ip for website in world.websites for ip in website.host_ips]
+        assert len(all_ips) == len(set(all_ips))
+
+    def test_replication_tail_exists(self):
+        config = WorldConfig(seed=5, n_devices=20, n_websites=200,
+                             n_generic_access=10, n_enterprise=4, n_hosting=6)
+        world = build_world(config)
+        replicas = sorted(len(w.host_ips) for w in world.websites)
+        assert replicas[0] == 1
+        assert replicas[-1] >= 10

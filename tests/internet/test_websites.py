@@ -1,0 +1,132 @@
+"""Tests for the CA hierarchy and website certificate lifecycle."""
+
+import random
+
+from repro.internet.websites import CAHierarchy, STANDARD_CA_MARKET, Website
+from repro.x509.chain import ChainVerifier, VerifyStatus
+
+SEED = 4242
+DAY = 4600
+
+
+def make_hierarchy():
+    return CAHierarchy(SEED, epoch_day=DAY)
+
+
+def make_website(hierarchy, website_id=1, active_from=DAY, replicas=1):
+    return Website(
+        website_id=website_id,
+        domain=f"site{website_id}.example.com",
+        ca=hierarchy.intermediates[0],
+        world_seed=SEED,
+        active_from=active_from,
+        active_until=DAY + 2000,
+        host_ips=list(range(100, 100 + replicas)),
+        asn=26496,
+    )
+
+
+class TestCAHierarchy:
+    def test_roots_are_self_signed_and_trusted(self):
+        hierarchy = make_hierarchy()
+        store = hierarchy.trust_store()
+        for root in hierarchy.roots:
+            assert root.certificate.is_self_signed()
+            assert root.certificate in store
+
+    def test_intermediates_chain_to_roots(self):
+        hierarchy = make_hierarchy()
+        verifier = ChainVerifier(hierarchy.trust_store())
+        for ca in hierarchy.intermediates:
+            assert verifier.verify(ca.certificate).status is VerifyStatus.VALID
+
+    def test_market_share_concentration(self):
+        # Five CAs should take roughly half the market (§5.3).
+        hierarchy = make_hierarchy()
+        rng = random.Random(1)
+        counts = {}
+        for _ in range(4000):
+            ca = hierarchy.choose_issuer(rng)
+            counts[ca.name.cn] = counts.get(ca.name.cn, 0) + 1
+        top5 = sum(sorted(counts.values(), reverse=True)[:5])
+        assert 0.33 <= top5 / 4000 <= 0.55
+
+    def test_unused_roots_pad_store(self):
+        hierarchy = make_hierarchy()
+        base = len(hierarchy.trust_store())
+        padded = len(hierarchy.trust_store(extra_unused_roots=10))
+        assert padded == base + 10
+
+    def test_deterministic(self):
+        a = make_hierarchy()
+        b = make_hierarchy()
+        assert a.roots[0].certificate.fingerprint == b.roots[0].certificate.fingerprint
+
+    def test_market_matches_table1_names(self):
+        names = [cn for cn, _ in STANDARD_CA_MARKET[:5]]
+        assert "Go Daddy Secure Certification Authority" in names
+        assert "RapidSSL CA" in names
+
+
+class TestWebsite:
+    def test_leaf_validates_through_chain(self):
+        hierarchy = make_hierarchy()
+        website = make_website(hierarchy)
+        verifier = ChainVerifier(
+            hierarchy.trust_store(), [ca.certificate for ca in hierarchy.intermediates]
+        )
+        leaf = website.certificate_on(DAY + 10)
+        assert verifier.verify(leaf).status is VerifyStatus.VALID
+
+    def test_chain_contains_leaf_and_intermediate(self):
+        hierarchy = make_hierarchy()
+        website = make_website(hierarchy)
+        leaf, intermediate = website.chain_on(DAY + 10)
+        assert leaf.subject_cn == website.domain
+        assert intermediate == website.ca.certificate
+
+    def test_reissue_on_expiry(self):
+        hierarchy = make_hierarchy()
+        website = make_website(hierarchy)
+        first = website.certificate_on(DAY)
+        later = website.certificate_on(DAY + 1300)
+        assert first.fingerprint != later.fingerprint
+        # Each cert covers the days it is served on.
+        assert first.valid_on(DAY)
+        assert later.valid_on(DAY + 1300)
+
+    def test_validity_period_is_realistic(self):
+        hierarchy = make_hierarchy()
+        periods = {
+            make_website(hierarchy, website_id=i).certificate_on(DAY).validity_period_days
+            for i in range(30)
+        }
+        assert periods <= {398, 730, 1125}
+        assert 398 in periods  # the ~1.1-year median option dominates
+
+    def test_some_renewals_keep_keys(self):
+        # §5.2: about half of valid reissues reuse the key pair.
+        hierarchy = make_hierarchy()
+        kept = changed = 0
+        for website_id in range(40):
+            website = make_website(hierarchy, website_id=website_id)
+            a = website.certificate_for_epoch(0)
+            b = website.certificate_for_epoch(1)
+            if a.public_key == b.public_key:
+                kept += 1
+            else:
+                changed += 1
+        assert kept > 5
+        assert changed > 5
+
+    def test_deterministic_certs(self):
+        hierarchy = make_hierarchy()
+        a = make_website(hierarchy).certificate_on(DAY)
+        b = make_website(hierarchy).certificate_on(DAY)
+        assert a.fingerprint == b.fingerprint
+
+    def test_activity(self):
+        hierarchy = make_hierarchy()
+        website = make_website(hierarchy)
+        assert website.is_active(DAY)
+        assert not website.is_active(DAY - 1)

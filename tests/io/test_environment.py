@@ -1,0 +1,60 @@
+"""Tests for analysis-environment serialization."""
+
+from repro.io.environment import (
+    AnalysisEnvironment,
+    load_environment,
+    save_environment,
+)
+from repro.net.asn import ASType
+
+
+class TestEnvironmentRoundTrip:
+    def test_trust_store_survives(self, tmp_path, tiny_synthetic):
+        environment = AnalysisEnvironment.of_world(tiny_synthetic.world)
+        path = tmp_path / "env.rpe"
+        save_environment(environment, path)
+        loaded = load_environment(path)
+        original = {c.fingerprint for c in environment.trust_store}
+        restored = {c.fingerprint for c in loaded.trust_store}
+        assert restored == original
+
+    def test_routing_survives(self, tmp_path, tiny_synthetic):
+        world = tiny_synthetic.world
+        environment = AnalysisEnvironment.of_world(world)
+        path = tmp_path / "env.rpe"
+        save_environment(environment, path)
+        loaded = load_environment(path)
+        assert loaded.routing.snapshot_days() == world.routing.snapshot_days()
+        # Spot-check origin lookups across the transfer boundary.
+        day = world.config.start_day + 50
+        for device in world.devices[:25]:
+            if not device.is_active(day):
+                continue
+            ip = world.device_ip(device, day)
+            for when in (day, world.config.prefix_transfer_day + 10):
+                assert loaded.routing.origin_as(ip, when) == world.routing.origin_as(ip, when)
+
+    def test_registry_survives(self, tmp_path, tiny_synthetic):
+        world = tiny_synthetic.world
+        path = tmp_path / "env.rpe"
+        save_environment(AnalysisEnvironment.of_world(world), path)
+        loaded = load_environment(path)
+        assert len(loaded.registry) == len(world.registry)
+        deutsche_telekom = loaded.registry.get(3320)
+        assert deutsche_telekom is not None
+        assert deutsche_telekom.as_type is ASType.TRANSIT_ACCESS
+        assert deutsche_telekom.country_at(5000) == "DEU"
+
+    def test_study_over_loaded_environment(self, tmp_path, tiny_synthetic, tiny_study):
+        from repro.study import Study
+
+        path = tmp_path / "env.rpe"
+        save_environment(AnalysisEnvironment.of_world(tiny_synthetic.world), path)
+        loaded = load_environment(path)
+        study = Study(
+            dataset=tiny_synthetic.scans,
+            trust_store=loaded.trust_store,
+            as_of=loaded.routing.origin_as,
+            registry=loaded.registry,
+        )
+        assert study.validation().invalid == tiny_study.invalid

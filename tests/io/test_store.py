@@ -1,0 +1,130 @@
+"""Tests for corpus serialization."""
+
+import json
+import zipfile
+
+import pytest
+
+from repro.io.store import FORMAT_VERSION, load_dataset, save_dataset
+from repro.scanner.dataset import ScanDataset
+from repro.scanner.records import Observation, Scan
+from repro.tls.handshake import HandshakeRecord
+
+from ..core.helpers import DAY0, make_cert, make_dataset
+
+
+def small_dataset():
+    a = make_cert(cn="a", key_seed=1)
+    b = make_cert(cn="b", key_seed=2, sans=("x.example",), crl=("http://crl/1",))
+    return make_dataset(
+        [
+            (DAY0, "umich", [(100, a), (200, b)]),
+            (DAY0 + 7, "rapid7", [(101, a)]),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_basic(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "corpus.rpz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded.scans) == len(dataset.scans)
+        assert set(loaded.certificates) == set(dataset.certificates)
+        for original, restored in zip(dataset.scans, loaded.scans):
+            assert restored.day == original.day
+            assert restored.source == original.source
+            assert restored.observations == original.observations
+
+    def test_certificates_reparse_identically(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "corpus.rpz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        for fingerprint, cert in dataset.certificates.items():
+            restored = loaded.certificates[fingerprint]
+            assert restored == cert
+            assert restored.to_der() == cert.to_der()
+
+    def test_handshakes_survive(self, tmp_path):
+        cert = make_cert(cn="hs", key_seed=3)
+        handshake = HandshakeRecord(version=0x0303, cipher=0xC013,
+                                    tcp_window=29200, ip_ttl=64)
+        scan = Scan(
+            day=DAY0, source="test",
+            observations=[Observation(1, cert.fingerprint, "device:7", handshake)],
+        )
+        dataset = ScanDataset([scan], {cert.fingerprint: cert})
+        path = tmp_path / "hs.rpz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        obs = loaded.scans[0].observations[0]
+        assert obs.handshake == handshake
+        assert obs.entity == "device:7"
+
+    def test_entities_survive(self, tmp_path):
+        cert = make_cert(cn="e", key_seed=4)
+        scan = Scan(
+            day=DAY0, source="test",
+            observations=[Observation(1, cert.fingerprint, "device:42")],
+        )
+        dataset = ScanDataset([scan], {cert.fingerprint: cert})
+        path = tmp_path / "e.rpz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.entities_of(cert.fingerprint) == {"device:42"}
+
+    def test_synthetic_round_trip(self, tmp_path, tiny_synthetic, tiny_study):
+        path = tmp_path / "tiny.rpz"
+        save_dataset(tiny_synthetic.scans, path)
+        loaded = load_dataset(path)
+        assert loaded.n_observations == tiny_synthetic.scans.n_observations
+        # Analyses produce identical results on the restored corpus.
+        from repro.core.validation import validate_dataset
+
+        report = validate_dataset(loaded, tiny_synthetic.world.trust_store)
+        assert report.invalid == tiny_study.invalid
+
+
+class TestFormat:
+    def test_manifest_contents(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "m.rpz"
+        save_dataset(dataset, path)
+        with zipfile.ZipFile(path) as archive:
+            manifest = json.loads(archive.read("manifest.json"))
+        assert manifest["format"] == FORMAT_VERSION
+        assert manifest["n_scans"] == 2
+        assert manifest["n_certificates"] == 2
+        assert manifest["n_observations"] == 3
+
+    def test_der_blobs_standalone_parseable(self, tmp_path):
+        import struct
+
+        from repro.x509.certificate import Certificate
+
+        dataset = small_dataset()
+        path = tmp_path / "der.rpz"
+        save_dataset(dataset, path)
+        with zipfile.ZipFile(path) as archive:
+            blob = archive.read("certificates.der")
+        (first_len,) = struct.unpack_from(">I", blob, 0)
+        cert = Certificate.from_der(blob[4:4 + first_len])
+        assert cert.fingerprint in dataset.certificates
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.rpz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("manifest.json", json.dumps({"format": 99}))
+            archive.writestr("certificates.der", b"")
+            archive.writestr("scans.jsonl", "")
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_overwrite(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "o.rpz"
+        save_dataset(dataset, path)
+        save_dataset(dataset, path)  # second write must not raise
+        assert load_dataset(path).n_observations == 3

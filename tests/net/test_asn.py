@@ -1,0 +1,81 @@
+"""Tests for the AS registry."""
+
+import pytest
+
+from repro.net.asn import ASInfo, ASRegistry, ASType, OrgRecord
+
+
+def make_as(asn=3320, as_type=ASType.TRANSIT_ACCESS):
+    return ASInfo(
+        asn=asn,
+        name=f"AS{asn}",
+        as_type=as_type,
+        org_history=[
+            OrgRecord(valid_from=0, org_name="Deutsche Telekom AG", country="DEU"),
+            OrgRecord(valid_from=400, org_name="Deutsche Telekom AG", country="DEU"),
+        ],
+    )
+
+
+class TestASInfo:
+    def test_org_at_picks_closest_snapshot(self):
+        info = ASInfo(
+            asn=1,
+            name="AS1",
+            as_type=ASType.CONTENT,
+            org_history=[
+                OrgRecord(0, "Old Org", "USA"),
+                OrgRecord(300, "New Org", "DEU"),
+            ],
+        )
+        # Closest, not most-recent-before: mirrors CAIDA's coarse snapshots.
+        assert info.org_at(100).org_name == "Old Org"
+        assert info.org_at(200).org_name == "New Org"
+        assert info.country_at(500) == "DEU"
+
+    def test_org_at_empty_history(self):
+        info = ASInfo(asn=2, name="AS2", as_type=ASType.UNKNOWN)
+        assert info.org_at(10) is None
+        assert info.country_at(10) is None
+
+
+class TestASRegistry:
+    def test_add_get_contains(self):
+        registry = ASRegistry()
+        info = make_as()
+        registry.add(info)
+        assert registry.get(3320) is info
+        assert 3320 in registry
+        assert 9999 not in registry
+        assert registry.get(9999) is None
+        assert len(registry) == 1
+
+    def test_duplicate_registration_rejected(self):
+        registry = ASRegistry()
+        registry.add(make_as())
+        with pytest.raises(ValueError):
+            registry.add(make_as())
+
+    def test_classify(self):
+        registry = ASRegistry.from_infos(
+            [make_as(1, ASType.CONTENT), make_as(2, ASType.ENTERPRISE)]
+        )
+        assert registry.classify(1) is ASType.CONTENT
+        assert registry.classify(2) is ASType.ENTERPRISE
+        assert registry.classify(12345) is ASType.UNKNOWN
+
+    def test_by_type(self):
+        registry = ASRegistry.from_infos(
+            [
+                make_as(1, ASType.CONTENT),
+                make_as(2, ASType.CONTENT),
+                make_as(3, ASType.TRANSIT_ACCESS),
+            ]
+        )
+        assert {info.asn for info in registry.by_type(ASType.CONTENT)} == {1, 2}
+        assert registry.by_type(ASType.UNKNOWN) == []
+
+    def test_iteration(self):
+        infos = [make_as(1), make_as(2), make_as(3)]
+        registry = ASRegistry.from_infos(infos)
+        assert sorted(info.asn for info in registry) == [1, 2, 3]

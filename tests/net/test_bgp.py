@@ -1,0 +1,127 @@
+"""Tests for the BGP prefix-to-AS substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.bgp import PrefixTable, Route, RoutingHistory
+from repro.net.ip import Prefix, str_to_ip
+
+
+def make_table():
+    return PrefixTable(
+        [
+            Route(Prefix.parse("10.0.0.0/8"), 100),
+            Route(Prefix.parse("10.1.0.0/16"), 200),
+            Route(Prefix.parse("10.1.2.0/24"), 300),
+            Route(Prefix.parse("192.0.2.0/24"), 400),
+        ]
+    )
+
+
+class TestPrefixTable:
+    def test_longest_prefix_match(self):
+        table = make_table()
+        assert table.origin_as(str_to_ip("10.1.2.3")) == 300
+        assert table.origin_as(str_to_ip("10.1.9.9")) == 200
+        assert table.origin_as(str_to_ip("10.9.9.9")) == 100
+        assert table.origin_as(str_to_ip("192.0.2.55")) == 400
+
+    def test_unrouted_returns_none(self):
+        table = make_table()
+        assert table.lookup(str_to_ip("8.8.8.8")) is None
+        assert table.origin_as(str_to_ip("8.8.8.8")) is None
+
+    def test_reannounce_replaces(self):
+        table = make_table()
+        table.add(Route(Prefix.parse("10.1.2.0/24"), 999))
+        assert table.origin_as(str_to_ip("10.1.2.3")) == 999
+        assert len(table) == 4
+
+    def test_withdraw(self):
+        table = make_table()
+        assert table.withdraw(Prefix.parse("10.1.2.0/24"))
+        assert table.origin_as(str_to_ip("10.1.2.3")) == 200
+        assert not table.withdraw(Prefix.parse("10.1.2.0/24"))
+        assert len(table) == 3
+
+    def test_prefixes_of(self):
+        table = make_table()
+        table.add(Route(Prefix.parse("10.2.0.0/16"), 100))
+        assert set(map(str, table.prefixes_of(100))) == {"10.0.0.0/8", "10.2.0.0/16"}
+
+    def test_transfer_returns_new_table(self):
+        table = make_table()
+        moved = table.transfer(Prefix.parse("10.1.0.0/16"), 555)
+        assert moved.origin_as(str_to_ip("10.1.9.9")) == 555
+        # The original table is untouched.
+        assert table.origin_as(str_to_ip("10.1.9.9")) == 200
+
+    def test_transfer_of_unannounced_prefix_fails(self):
+        with pytest.raises(KeyError):
+            make_table().transfer(Prefix.parse("172.16.0.0/12"), 1)
+
+    def test_copy_is_independent(self):
+        table = make_table()
+        clone = table.copy()
+        clone.withdraw(Prefix.parse("10.0.0.0/8"))
+        assert table.origin_as(str_to_ip("10.9.9.9")) == 100
+        assert clone.origin_as(str_to_ip("10.9.9.9")) is None
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_lookup_result_always_covers_query(self, ip):
+        table = make_table()
+        route = table.lookup(ip)
+        if route is not None:
+            assert route.prefix.contains(ip)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_lookup_is_most_specific(self, ip):
+        table = make_table()
+        route = table.lookup(ip)
+        if route is not None:
+            covering = [r for r in table if r.prefix.contains(ip)]
+            assert route.prefix.length == max(r.prefix.length for r in covering)
+
+
+class TestRoutingHistory:
+    def test_constant_history(self):
+        history = RoutingHistory.constant(make_table())
+        assert history.origin_as(str_to_ip("10.1.2.3"), 0) == 300
+        assert history.origin_as(str_to_ip("10.1.2.3"), 10_000) == 300
+
+    def test_snapshot_selection(self):
+        before = make_table()
+        after = before.transfer(Prefix.parse("10.1.0.0/16"), 555)
+        history = RoutingHistory([(0, before), (100, after)])
+        assert history.origin_as(str_to_ip("10.1.9.9"), 50) == 200
+        assert history.origin_as(str_to_ip("10.1.9.9"), 100) == 555
+        assert history.origin_as(str_to_ip("10.1.9.9"), 500) == 555
+
+    def test_days_before_first_snapshot_use_first(self):
+        history = RoutingHistory([(100, make_table())])
+        assert history.origin_as(str_to_ip("10.1.2.3"), 0) == 300
+
+    def test_unsorted_input_is_sorted(self):
+        before = make_table()
+        after = before.transfer(Prefix.parse("10.1.0.0/16"), 555)
+        history = RoutingHistory([(100, after), (0, before)])
+        assert history.snapshot_days() == [0, 100]
+        assert history.origin_as(str_to_ip("10.1.9.9"), 10) == 200
+
+    def test_duplicate_days_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            RoutingHistory([(0, table), (0, table)])
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingHistory([])
+
+    def test_add_snapshot(self):
+        before = make_table()
+        history = RoutingHistory([(0, before)])
+        after = before.transfer(Prefix.parse("10.1.0.0/16"), 777)
+        history.add_snapshot(200, after)
+        assert history.origin_as(str_to_ip("10.1.9.9"), 250) == 777
+        with pytest.raises(ValueError):
+            history.add_snapshot(200, after)

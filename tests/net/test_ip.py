@@ -1,0 +1,173 @@
+"""Tests for IPv4 address and prefix arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ip import (
+    IPV4_SPACE,
+    Prefix,
+    ip_to_str,
+    is_private,
+    is_reserved,
+    looks_like_ipv4,
+    slash8,
+    slash16,
+    slash24,
+    str_to_ip,
+    summarize_slash8,
+)
+
+
+class TestConversions:
+    def test_round_trip_known_values(self):
+        assert ip_to_str(0) == "0.0.0.0"
+        assert ip_to_str(IPV4_SPACE - 1) == "255.255.255.255"
+        assert str_to_ip("192.168.1.1") == 0xC0A80101
+        assert ip_to_str(0xC0A80101) == "192.168.1.1"
+
+    @given(st.integers(min_value=0, max_value=IPV4_SPACE - 1))
+    def test_round_trip_property(self, ip):
+        assert str_to_ip(ip_to_str(ip)) == ip
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(ValueError):
+            ip_to_str(IPV4_SPACE)
+        with pytest.raises(ValueError):
+            ip_to_str(-1)
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-4", ""]
+    )
+    def test_bad_strings_rejected(self, bad):
+        with pytest.raises(ValueError):
+            str_to_ip(bad)
+
+    def test_looks_like_ipv4(self):
+        assert looks_like_ipv4("192.168.1.1")
+        assert not looks_like_ipv4("example.com")
+        assert not looks_like_ipv4("192.168.1")
+        assert not looks_like_ipv4("")
+
+
+class TestNetworkTruncation:
+    def test_slash8(self):
+        assert slash8(str_to_ip("10.1.2.3")) == 10
+        assert slash8(str_to_ip("192.168.1.1")) == 192
+
+    def test_slash16(self):
+        assert slash16(str_to_ip("10.1.2.3")) == str_to_ip("10.1.0.0")
+
+    def test_slash24(self):
+        assert slash24(str_to_ip("10.1.2.3")) == str_to_ip("10.1.2.0")
+
+    @given(st.integers(min_value=0, max_value=IPV4_SPACE - 1))
+    def test_truncations_are_idempotent(self, ip):
+        assert slash24(slash24(ip)) == slash24(ip)
+        assert slash16(slash16(ip)) == slash16(ip)
+
+    def test_summarize_slash8(self):
+        ips = [str_to_ip("10.0.0.1"), str_to_ip("10.9.9.9"), str_to_ip("192.0.0.1")]
+        assert summarize_slash8(ips) == {10: 2, 192: 1}
+
+
+class TestPrefix:
+    def test_parse_and_str_round_trip(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert str(prefix) == "10.0.0.0/8"
+        assert prefix.length == 8
+        assert prefix.size == 2 ** 24
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.1/8")
+        with pytest.raises(ValueError):
+            Prefix(str_to_ip("10.0.0.1"), 8)
+
+    def test_of_masks_host_bits(self):
+        prefix = Prefix.of(str_to_ip("10.1.2.3"), 16)
+        assert str(prefix) == "10.1.0.0/16"
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert prefix.contains(str_to_ip("10.255.255.255"))
+        assert not prefix.contains(str_to_ip("11.0.0.0"))
+
+    def test_contains_prefix_nesting(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.1.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_first_last(self):
+        prefix = Prefix.parse("192.168.1.0/24")
+        assert prefix.first == str_to_ip("192.168.1.0")
+        assert prefix.last == str_to_ip("192.168.1.255")
+
+    def test_hosts_iteration(self):
+        prefix = Prefix.parse("192.168.1.0/30")
+        assert list(prefix.hosts()) == [
+            str_to_ip("192.168.1.0"),
+            str_to_ip("192.168.1.1"),
+            str_to_ip("192.168.1.2"),
+            str_to_ip("192.168.1.3"),
+        ]
+
+    def test_zero_length_prefix_covers_everything(self):
+        prefix = Prefix.parse("0.0.0.0/0")
+        assert prefix.contains(0)
+        assert prefix.contains(IPV4_SPACE - 1)
+        assert prefix.size == IPV4_SPACE
+
+    def test_slash32_is_single_host(self):
+        prefix = Prefix.parse("1.2.3.4/32")
+        assert prefix.size == 1
+        assert prefix.contains(str_to_ip("1.2.3.4"))
+        assert not prefix.contains(str_to_ip("1.2.3.5"))
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+        with pytest.raises(ValueError):
+            Prefix(0, -1)
+
+    def test_ordering_and_hashing(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.0.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a < b < c
+        assert len({a, b, c, Prefix.parse("10.0.0.0/8")}) == 3
+
+    @given(
+        st.integers(min_value=0, max_value=IPV4_SPACE - 1),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_of_always_contains_source(self, ip, length):
+        assert Prefix.of(ip, length).contains(ip)
+
+    @given(
+        st.integers(min_value=0, max_value=IPV4_SPACE - 1),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_size_matches_first_last_span(self, ip, length):
+        prefix = Prefix.of(ip, length)
+        assert prefix.last - prefix.first + 1 == prefix.size
+
+
+class TestReservedSpace:
+    def test_private_blocks(self):
+        assert is_private(str_to_ip("192.168.1.1"))
+        assert is_private(str_to_ip("10.20.30.40"))
+        assert is_private(str_to_ip("172.16.0.1"))
+        assert not is_private(str_to_ip("8.8.8.8"))
+
+    def test_reserved_blocks(self):
+        assert is_reserved(str_to_ip("127.0.0.1"))
+        assert is_reserved(str_to_ip("224.0.0.1"))
+        assert is_reserved(str_to_ip("100.64.0.1"))
+        assert not is_reserved(str_to_ip("93.184.216.34"))
+
+    def test_private_implies_reserved(self):
+        for text in ("10.0.0.1", "172.31.255.255", "192.168.0.0"):
+            ip = str_to_ip(text)
+            assert is_private(ip) and is_reserved(ip)

@@ -1,0 +1,93 @@
+"""Tests for scan schedules and campaign blind spots."""
+
+from repro.net.ip import Prefix, str_to_ip
+from repro.scanner.campaign import (
+    ScanCampaign,
+    make_campaigns,
+    rapid7_schedule,
+    umich_schedule,
+)
+from repro.simtime import RAPID7_FIRST_SCAN_DAY, UMICH_FIRST_SCAN_DAY
+
+
+class TestSchedules:
+    def test_umich_starts_on_paper_date(self):
+        assert umich_schedule()[0] == UMICH_FIRST_SCAN_DAY
+
+    def test_rapid7_starts_on_paper_date(self):
+        assert rapid7_schedule()[0] == RAPID7_FIRST_SCAN_DAY
+
+    def test_rapid7_is_weekly(self):
+        days = rapid7_schedule()
+        gaps = {b - a for a, b in zip(days, days[1:])}
+        assert gaps == {7}
+
+    def test_rapid7_count_close_to_paper(self):
+        # The paper has 74 Rapid7 scans over the same window.
+        assert 70 <= len(rapid7_schedule()) <= 78
+
+    def test_umich_count_close_to_paper(self):
+        # The paper has 156 University of Michigan scans.
+        assert 130 <= len(umich_schedule()) <= 180
+
+    def test_umich_irregular_with_daily_streak_and_long_gaps(self):
+        days = umich_schedule()
+        gaps = [b - a for a, b in zip(days, days[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert 3.0 <= mean_gap <= 5.0          # paper: 3.83-day average
+        assert max(gaps) >= 12                  # paper: gaps up to 24 days
+        # The 42-day daily streak.
+        longest_daily = streak = 0
+        for gap in gaps:
+            streak = streak + 1 if gap == 1 else 0
+            longest_daily = max(longest_daily, streak)
+        assert longest_daily >= 30
+
+    def test_schedules_deterministic(self):
+        assert umich_schedule() == umich_schedule()
+
+    def test_stride_subsamples(self):
+        full = umich_schedule()
+        strided = umich_schedule(stride=4)
+        assert len(strided) <= len(full) // 4 + 1
+        assert set(strided) <= set(full)
+
+    def test_campaign_overlap_days_exist(self):
+        # The paper found eight days on which both operators scanned.
+        shared = set(umich_schedule()) & set(rapid7_schedule())
+        assert len(shared) >= 1
+
+
+class TestBlacklists:
+    def test_is_blacklisted(self):
+        campaign = ScanCampaign(
+            name="x",
+            scan_days=(0,),
+            blacklist=(Prefix.parse("10.0.0.0/8"),),
+        )
+        assert campaign.is_blacklisted(str_to_ip("10.1.2.3"))
+        assert not campaign.is_blacklisted(str_to_ip("11.0.0.0"))
+
+    def test_make_campaigns_blacklists_differ(self):
+        prefixes = [Prefix.parse(f"{i}.0.0.0/16") for i in range(1, 90)]
+        umich, rapid7 = make_campaigns(prefixes)
+        assert umich.name == "umich"
+        assert rapid7.name == "rapid7"
+        # Rapid7 persistently misses more prefixes (≈11.6k vs ≈1.9k scaled).
+        assert len(rapid7.blacklist) > len(umich.blacklist)
+
+    def test_blacklists_are_announced_prefixes(self):
+        prefixes = [Prefix.parse(f"{i}.0.0.0/16") for i in range(1, 90)]
+        _, rapid7 = make_campaigns(prefixes)
+        assert set(rapid7.blacklist) <= set(prefixes)
+
+    def test_blacklistable_restriction(self):
+        prefixes = [Prefix.parse(f"{i}.0.0.0/16") for i in range(1, 90)]
+        eligible = prefixes[:10]
+        umich, rapid7 = make_campaigns(prefixes, blacklistable=eligible)
+        assert set(umich.blacklist) <= set(eligible)
+        assert set(rapid7.blacklist) <= set(eligible)
+
+    def test_miss_rates(self):
+        umich, rapid7 = make_campaigns([Prefix.parse("1.0.0.0/16")])
+        assert 0.0 < umich.random_miss_rate < rapid7.random_miss_rate < 0.2

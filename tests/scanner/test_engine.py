@@ -1,0 +1,175 @@
+"""Tests for the zmap-like scan engine."""
+
+import pytest
+
+from repro.internet.population import WorldConfig, build_world
+from repro.net.ip import Prefix
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.dataset import ScanDataset
+from repro.scanner.engine import ScanEngine
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = WorldConfig(
+        seed=21,
+        n_devices=120,
+        n_websites=30,
+        n_generic_access=15,
+        n_enterprise=5,
+        n_hosting=5,
+        unused_roots=0,
+    )
+    return build_world(config)
+
+
+def plain_campaign(world, days, miss=0.0, blacklist=()):
+    return ScanCampaign(
+        name="test", scan_days=tuple(days), blacklist=tuple(blacklist),
+        random_miss_rate=miss,
+    )
+
+
+class TestScanBasics:
+    def test_scan_is_deterministic(self, world):
+        day = world.config.start_day + 100
+        campaign = plain_campaign(world, [day])
+        a = ScanEngine(world).run(campaign, day)
+        b = ScanEngine(world).run(campaign, day)
+        assert a.observations == b.observations
+
+    def test_all_active_devices_observed_unless_mid_scan_movers(self, world):
+        # Without blacklists or random misses, the only legitimate way to
+        # miss an active device is the zmap race: its address flipped after
+        # the old address was probed but before the new one was.
+        day = world.config.start_day + 100
+        campaign = plain_campaign(world, [day])
+        scan = ScanEngine(world).run(campaign, day)
+        observed = {obs.entity for obs in scan if obs.entity.startswith("device:")}
+        active = {
+            f"device:{d.device_id}": d for d in world.devices if d.is_active(day)
+        }
+        assert observed <= set(active)
+        for entity in set(active) - observed:
+            flip = world.device_reassignment_hour(active[entity], day)
+            assert 0.0 <= flip < 10.0, f"{entity} missed without a mid-scan flip"
+
+    def test_websites_contribute_leaf_and_intermediate(self, world):
+        day = world.config.start_day + 100
+        campaign = plain_campaign(world, [day])
+        engine = ScanEngine(world)
+        scan = engine.run(campaign, day)
+        website = next(w for w in world.websites if w.is_active(day))
+        ip = website.host_ips[0]
+        fingerprints = {obs.fingerprint for obs in scan if obs.ip == ip}
+        leaf, intermediate = website.chain_on(day)
+        assert leaf.fingerprint in fingerprints
+        assert intermediate.fingerprint in fingerprints
+
+    def test_certificate_store_covers_observations(self, world):
+        day = world.config.start_day + 100
+        campaign = plain_campaign(world, [day])
+        engine = ScanEngine(world)
+        scan = engine.run(campaign, day)
+        for obs in scan:
+            assert obs.fingerprint in engine.certificate_store
+
+    def test_inactive_devices_not_observed(self, world):
+        day = world.config.start_day - 10_000  # long before anything exists
+        campaign = plain_campaign(world, [day])
+        scan = ScanEngine(world).run(campaign, day)
+        assert not [obs for obs in scan if obs.entity.startswith("device:")]
+
+
+class TestBlindSpots:
+    def test_blacklisted_prefix_never_observed(self, world):
+        day = world.config.start_day + 100
+        # Blacklist Deutsche Telekom's whole pool.
+        dt_prefix = world.routing.table_at(0).prefixes_of(3320)[0]
+        campaign = plain_campaign(world, [day], blacklist=[dt_prefix])
+        scan = ScanEngine(world).run(campaign, day)
+        assert not [obs for obs in scan if dt_prefix.contains(obs.ip)]
+
+    def test_random_misses_reduce_observations(self, world):
+        day = world.config.start_day + 100
+        full = ScanEngine(world).run(plain_campaign(world, [day]), day)
+        lossy = ScanEngine(world).run(plain_campaign(world, [day], miss=0.5), day)
+        assert len(lossy) < len(full)
+
+
+class TestScanDuplicates:
+    def test_churn_devices_sometimes_seen_twice(self, world):
+        # Over several scan days, at least one daily-churn device must be
+        # caught at two addresses in a single scan (§6.2's phenomenon).
+        engine = ScanEngine(world)
+        days = [world.config.start_day + offset for offset in range(80, 130, 4)]
+        campaign = plain_campaign(world, days)
+        twice = 0
+        for day in days:
+            scan = engine.run(campaign, day)
+            per_entity: dict[str, set[int]] = {}
+            for obs in scan:
+                if obs.entity.startswith("device:"):
+                    per_entity.setdefault(obs.entity, set()).add(obs.ip)
+            twice += sum(1 for ips in per_entity.values() if len(ips) == 2)
+        assert twice > 0
+
+    def test_static_devices_never_duplicated(self, world):
+        day = world.config.start_day + 100
+        campaign = plain_campaign(world, [day])
+        scan = ScanEngine(world).run(campaign, day)
+        static_asns = {
+            bp.asn for bp in world.blueprints if bp.policy == "static"
+        }
+        per_entity: dict[str, set[int]] = {}
+        for obs in scan:
+            if not obs.entity.startswith("device:"):
+                continue
+            device = world.devices[int(obs.entity.split(":")[1])]
+            if device.location_at(day).asn in static_asns:
+                per_entity.setdefault(obs.entity, set()).add(obs.ip)
+        assert all(len(ips) == 1 for ips in per_entity.values())
+
+
+class TestDatasetCollection:
+    def test_collect_merges_campaigns(self, world):
+        day_a = world.config.start_day + 100
+        day_b = world.config.start_day + 104
+        camp_a = ScanCampaign("a", (day_a,))
+        camp_b = ScanCampaign("b", (day_b,))
+        dataset = ScanDataset.collect(world, [camp_a, camp_b])
+        assert len(dataset) == 2
+        assert dataset.scans[0].day == day_a
+        assert [scan.source for scan in dataset.scans] == ["a", "b"]
+
+    def test_lifetime_semantics(self, world):
+        day = world.config.start_day + 100
+        dataset = ScanDataset.collect(
+            world, [ScanCampaign("a", (day, day + 7))]
+        )
+        # A certificate seen only on one day has a one-day lifetime (§5.1);
+        # seen on two scans a week apart, an eight-day lifetime.
+        lifetimes = {
+            dataset.lifetime_days(fp)
+            for scan in dataset.scans
+            for fp in scan.fingerprints()
+        }
+        assert lifetimes <= {1, 8}
+        assert 8 in lifetimes
+
+    def test_mean_ips_per_scan(self, world):
+        day = world.config.start_day + 100
+        dataset = ScanDataset.collect(world, [ScanCampaign("a", (day,))])
+        website = next(
+            w for w in world.websites if w.is_active(day) and len(w.host_ips) > 1
+        )
+        leaf = website.certificate_on(day)
+        assert dataset.mean_ips_per_scan(leaf.fingerprint) == len(website.host_ips)
+
+    def test_entities_ground_truth(self, world):
+        day = world.config.start_day + 100
+        dataset = ScanDataset.collect(world, [ScanCampaign("a", (day,))])
+        device = next(d for d in world.devices if d.is_active(day))
+        fp = device.certificate_on(day).fingerprint
+        entities = dataset.entities_of(fp)
+        assert f"device:{device.device_id}" in entities

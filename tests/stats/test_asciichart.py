@@ -1,0 +1,63 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.stats.asciichart import render_cdf, render_series
+from repro.stats.cdf import CDF
+
+
+class TestRenderSeries:
+    def test_basic_shape(self):
+        chart = render_series([(0, 0), (1, 1)], width=20, height=5, title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 5 + 2   # title + grid + axis + labels
+        assert "*" in chart
+
+    def test_extremes_plotted_at_corners(self):
+        chart = render_series([(0, 0), (10, 10)], width=10, height=4)
+        lines = chart.splitlines()
+        assert lines[0].rstrip().endswith("*") is False or True  # smoke
+        # Bottom-left and top-right markers exist.
+        assert lines[0].count("*") == 1
+        assert lines[3].count("*") == 1
+
+    def test_constant_series(self):
+        chart = render_series([(0, 5), (1, 5)], width=10, height=3)
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series([])
+
+    def test_custom_marker(self):
+        chart = render_series([(0, 0), (1, 1)], marker="#")
+        assert "#" in chart and "*" not in chart
+
+
+class TestRenderCDF:
+    def test_linear(self):
+        cdf = CDF.of(range(100))
+        chart = render_cdf(cdf, width=30, height=6, title="lifetimes")
+        assert "lifetimes" in chart
+        assert "1.00" in chart            # top axis label
+
+    def test_log_x(self):
+        cdf = CDF.of([1, 10, 100, 1000])
+        chart = render_cdf(cdf, log_x=True, title="validity")
+        assert "(x: log10)" in chart
+
+    def test_log_x_requires_positive(self):
+        cdf = CDF.of([-5, -1])
+        with pytest.raises(ValueError):
+            render_cdf(cdf, log_x=True)
+
+    def test_log_x_with_some_negatives(self):
+        # Negative samples are fine as long as positives exist.
+        cdf = CDF.of([-365, 7300, 9125])
+        chart = render_cdf(cdf, log_x=True)
+        assert "*" in chart
+
+    def test_single_value(self):
+        chart = render_cdf(CDF.of([42]))
+        assert "*" in chart

@@ -1,0 +1,88 @@
+"""Tests for the empirical CDF utility."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.cdf import CDF
+
+
+class TestCDF:
+    def test_at(self):
+        cdf = CDF.of([1, 2, 2, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(1) == 0.25
+        assert cdf.at(2) == 0.75
+        assert cdf.at(4) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_fraction_below(self):
+        cdf = CDF.of([1, 2, 2, 4])
+        assert cdf.fraction_below(2) == 0.25
+        assert cdf.fraction_below(1) == 0.0
+
+    def test_median(self):
+        assert CDF.of([1, 2, 3]).median == 2
+        assert CDF.of([5]).median == 5
+
+    def test_percentiles(self):
+        cdf = CDF.of(range(101))
+        assert cdf.percentile(0.0) == 0
+        assert cdf.percentile(0.5) == 50
+        assert cdf.percentile(0.99) == 99
+        assert cdf.percentile(1.0) == 100
+
+    def test_percentile_bounds(self):
+        cdf = CDF.of([1, 2])
+        with pytest.raises(ValueError):
+            cdf.percentile(-0.1)
+        with pytest.raises(ValueError):
+            cdf.percentile(1.1)
+
+    def test_min_max_mean(self):
+        cdf = CDF.of([3, 1, 2])
+        assert cdf.min == 1
+        assert cdf.max == 3
+        assert cdf.mean == 2
+
+    def test_series(self):
+        cdf = CDF.of([1, 2, 3, 4])
+        assert cdf.series([0, 2, 4]) == [(0, 0.0), (2, 0.5), (4, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CDF.of([])
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_at_is_monotone(self, samples):
+        cdf = CDF.of(samples)
+        points = sorted(set(samples))
+        fractions = [cdf.at(p) for p in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    @given(
+        st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=50),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_percentile_within_range(self, samples, q):
+        cdf = CDF.of(samples)
+        assert cdf.min <= cdf.percentile(q) <= cdf.max
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        from repro.stats.tables import render_table
+
+        text = render_table(["name", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "long-name" in lines[3]
+
+    def test_format_helpers(self):
+        from repro.stats.tables import format_count, format_pct
+
+        assert format_count(1234567) == "1,234,567"
+        assert format_pct(0.879) == "87.9%"
+        assert format_pct(0.5, digits=0) == "50%"

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def saved_corpus(tmp_path_factory):
+    """A tiny corpus + environment generated through the CLI itself."""
+    directory = tmp_path_factory.mktemp("cli")
+    corpus = directory / "corpus.rpz"
+    environment = directory / "environment.rpe"
+    code = main(
+        [
+            "generate", "--preset", "tiny", "--seed", "7",
+            "--corpus", str(corpus), "--environment", str(environment),
+        ]
+    )
+    assert code == 0
+    return corpus, environment
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.preset == "tiny"
+        assert args.seed == 2016
+        assert not args.handshakes
+
+    def test_analysis_commands_accept_preset(self):
+        args = build_parser().parse_args(["census", "--preset", "tiny"])
+        assert args.preset == "tiny"
+
+
+class TestCommands:
+    def test_generate_writes_both_artifacts(self, saved_corpus):
+        corpus, environment = saved_corpus
+        assert corpus.exists()
+        assert environment.exists()
+
+    def test_info(self, saved_corpus, capsys):
+        corpus, _ = saved_corpus
+        assert main(["info", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "n_scans" in out
+        assert "n_certificates" in out
+
+    def test_census_from_saved(self, saved_corpus, capsys):
+        corpus, environment = saved_corpus
+        code = main(
+            ["census", "--corpus", str(corpus), "--environment", str(environment)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invalid:" in out
+        assert "top invalid issuers" in out
+
+    def test_link_from_saved(self, saved_corpus, capsys):
+        corpus, environment = saved_corpus
+        code = main(
+            ["link", "--corpus", str(corpus), "--environment", str(environment)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline: linked" in out
+        assert "Public Key" in out
+
+    def test_track_from_saved(self, saved_corpus, capsys):
+        corpus, environment = saved_corpus
+        code = main(
+            ["track", "--corpus", str(corpus), "--environment", str(environment)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trackable devices" in out
+
+    def test_analysis_without_inputs_fails(self):
+        with pytest.raises(SystemExit):
+            main(["census"])

@@ -1,0 +1,115 @@
+"""Targeted tests for paths not covered elsewhere."""
+
+import pytest
+
+from .core.helpers import DAY0, make_cert, make_dataset
+
+
+class TestScanAccessors:
+    def test_scan_ips_and_fingerprints(self):
+        a = make_cert(cn="a", key_seed=1)
+        b = make_cert(cn="b", key_seed=2)
+        dataset = make_dataset([(DAY0, [(1, a), (2, b), (2, a)])])
+        scan = dataset.scans[0]
+        assert scan.ips() == {1, 2}
+        assert scan.fingerprints() == {a.fingerprint, b.fingerprint}
+        assert len(scan) == 3
+
+    def test_dataset_scans_from_unknown_source(self):
+        dataset = make_dataset([(DAY0, [(1, make_cert())])])
+        assert dataset.scans_from("nonexistent") == []
+
+    def test_first_last_day_unknown_cert(self):
+        dataset = make_dataset([(DAY0, [(1, make_cert())])])
+        with pytest.raises(KeyError):
+            dataset.first_last_day(b"\x01" * 32)
+
+    def test_handshake_of(self):
+        from repro.scanner.dataset import ScanDataset
+        from repro.scanner.records import Observation, Scan
+        from repro.tls.handshake import HandshakeRecord
+
+        cert = make_cert(cn="hs", key_seed=3)
+        record = HandshakeRecord(0x0301, 0x002F, 5840, 64)
+        scans = [
+            Scan(DAY0, "t", [Observation(1, cert.fingerprint)]),
+            Scan(DAY0 + 7, "t", [Observation(1, cert.fingerprint, "", record)]),
+        ]
+        dataset = ScanDataset(scans, {cert.fingerprint: cert})
+        assert dataset.handshake_of(cert.fingerprint) == record
+        assert dataset.handshake_of(b"\x00" * 32) is None
+
+
+class TestX509Corners:
+    def test_raw_extension_round_trip(self):
+        from repro.x509.extensions import Extensions, RawExtension
+        from repro.x509.oid import OID
+
+        raw = RawExtension(OID.parse("1.3.6.1.4.1.99999.9"), b"\x04\x02hi")
+        decoded = Extensions.from_der(Extensions.of(raw).to_der())
+        assert decoded.items == (raw,)
+
+    def test_name_renders_unknown_attribute_as_dotted_oid(self):
+        from repro.x509.name import Name
+        from repro.x509.oid import OID
+
+        name = Name.from_pairs([(OID.parse("2.5.4.65"), "pseudo")])
+        assert name.rfc4514() == "2.5.4.65=pseudo"
+
+    def test_name_unknown_short_attribute_lookup(self):
+        from repro.x509.name import Name
+
+        with pytest.raises(KeyError):
+            Name.build(XX="nope")
+
+    def test_oid_validation(self):
+        from repro.x509.oid import OID
+
+        with pytest.raises(ValueError):
+            OID((1,))                 # too few arcs
+        with pytest.raises(ValueError):
+            OID((3, 1))               # first arc out of range
+        with pytest.raises(ValueError):
+            OID((0, 40))              # second arc out of range under 0/1
+        with pytest.raises(ValueError):
+            OID((1, 2, -3))           # negative arc
+
+    def test_tls_version_labels(self):
+        from repro.tls.handshake import TLSVersion
+
+        assert TLSVersion.SSL3.label() == "SSLv3"
+        assert TLSVersion.TLS1_2.label() == "TLSv1.2"
+
+
+class TestCLICorners:
+    def test_generate_with_handshakes(self, tmp_path):
+        from repro.cli import main
+        from repro.io import load_dataset
+
+        corpus = tmp_path / "hs.rpz"
+        environment = tmp_path / "hs.rpe"
+        code = main(
+            ["generate", "--preset", "tiny", "--seed", "3", "--handshakes",
+             "--corpus", str(corpus), "--environment", str(environment)]
+        )
+        assert code == 0
+        loaded = load_dataset(corpus)
+        sample = loaded.scans[0].observations[0]
+        assert sample.handshake is not None
+
+
+class TestStudyCorners:
+    def test_study_without_registry_movement(self, tiny_synthetic):
+        from repro.study import Study
+
+        study = Study(
+            dataset=tiny_synthetic.scans,
+            trust_store=tiny_synthetic.world.trust_store,
+            as_of=tiny_synthetic.world.routing.origin_as,
+            registry=None,
+        )
+        movement = study.movement()
+        # Without a registry, country attribution is unavailable but the
+        # AS-transition mining still works.
+        assert movement.country_moves == 0
+        assert movement.tracked_devices > 0

@@ -1,0 +1,48 @@
+"""Tests for the markdown study report."""
+
+from repro.report import render_report, write_report
+
+
+class TestRenderReport:
+    def test_all_sections_present(self, tiny_study):
+        text = render_report(tiny_study)
+        for heading in (
+            "# Invalid-certificate study",
+            "## Corpus",
+            "## Validation (§4.2)",
+            "## Invalid vs valid (§5)",
+            "## Linking (§6)",
+            "## Tracking (§7)",
+        ):
+            assert heading in text
+
+    def test_custom_title(self, tiny_study):
+        text = render_report(tiny_study, title="My Study")
+        assert text.startswith("# My Study")
+
+    def test_headline_numbers_rendered(self, tiny_study):
+        text = render_report(tiny_study)
+        validation = tiny_study.validation()
+        assert f"{validation.invalid_fraction * 100:.1f}%" in text
+        assert "device chains" in text
+        assert "trackable devices" in text
+
+    def test_markdown_tables_well_formed(self, tiny_study):
+        text = render_report(tiny_study)
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_write_report(self, tiny_study, tmp_path):
+        path = tmp_path / "out.md"
+        write_report(tiny_study, path, title="T")
+        assert path.read_text().startswith("# T")
+
+    def test_report_cli_command(self, tiny_study, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "cli-report.md"
+        code = main(["report", "--preset", "tiny", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "## Linking" in out.read_text()

@@ -1,0 +1,116 @@
+"""End-to-end integration tests over the Study facade.
+
+These assert the headline qualitative results of the paper on the tiny
+synthetic corpus — the full-fidelity quantitative comparison lives in the
+benchmark harness and EXPERIMENTS.md.
+"""
+
+from repro.core.features import Feature
+from repro.study import Study
+
+
+class TestPipelineWiring:
+    def test_stages_cached(self, tiny_study):
+        assert tiny_study.validation() is tiny_study.validation()
+        assert tiny_study.pipeline() is tiny_study.pipeline()
+        assert tiny_study.tracked_devices() is tiny_study.tracked_devices()
+
+    def test_from_synthetic(self, tiny_synthetic):
+        study = Study.from_synthetic(tiny_synthetic)
+        assert study.dataset is tiny_synthetic.scans
+        assert study.registry is tiny_synthetic.world.registry
+
+    def test_unique_invalid_subset_of_invalid(self, tiny_study):
+        assert set(tiny_study.unique_invalid) <= tiny_study.invalid
+
+
+class TestHeadlineResults:
+    def test_invalid_majority(self, tiny_study):
+        # The title result: the majority of certificates are invalid.
+        assert tiny_study.validation().invalid_fraction > 0.5
+
+    def test_public_key_links_most(self, tiny_study):
+        # Table 6: Public Key links the most certificates of any field.
+        evaluations = tiny_study.feature_evaluations()
+        pk = evaluations[Feature.PUBLIC_KEY].total_linked
+        for feature, evaluation in evaluations.items():
+            if feature is not Feature.PUBLIC_KEY:
+                assert evaluation.total_linked <= pk
+
+    def test_public_key_as_consistency_high(self, tiny_study):
+        # §6.4.2: PK links with ~98 % AS-level but much lower IP-level
+        # consistency (the German daily-churn FRITZ!Box effect).
+        consistency = tiny_study.feature_evaluations()[Feature.PUBLIC_KEY].consistency
+        assert consistency.as_level > 0.9
+        assert consistency.ip_level < consistency.as_level
+
+    def test_linking_produces_groups(self, tiny_study):
+        pipeline = tiny_study.pipeline()
+        assert pipeline.groups
+        assert 0.0 < pipeline.linked_fraction < 1.0
+
+    def test_groups_have_at_least_two_certs(self, tiny_study):
+        for group in tiny_study.pipeline().groups:
+            assert len(group) >= 2
+
+    def test_no_cert_in_two_groups(self, tiny_study):
+        seen = set()
+        for group in tiny_study.pipeline().groups:
+            for fingerprint in group.fingerprints:
+                assert fingerprint not in seen
+                seen.add(fingerprint)
+
+    def test_linking_extends_lifetimes(self, tiny_study):
+        improvement = tiny_study.lifetime_improvement()
+        assert improvement.mean_lifetime_after > improvement.mean_lifetime_before
+
+    def test_tracking_improves_with_linking(self, tiny_study):
+        report = tiny_study.trackable()
+        assert report.improvement_fraction > 0.0
+
+
+class TestGroundTruthValidation:
+    """The validation the paper could not do: check linking against truth."""
+
+    def test_linked_groups_are_mostly_single_device(self, tiny_synthetic, tiny_study):
+        dataset = tiny_synthetic.scans
+        pure = impure = 0
+        for group in tiny_study.pipeline().groups:
+            devices = set()
+            for fingerprint in group.fingerprints:
+                devices |= {
+                    entity
+                    for entity in dataset.entities_of(fingerprint)
+                    if entity.startswith("device:")
+                }
+            if len(devices) == 1:
+                pure += 1
+            else:
+                impure += 1
+        # The methodology's precision: the vast majority of groups contain
+        # exactly one ground-truth device.
+        assert pure / (pure + impure) > 0.9
+
+    def test_per_device_recall(self, tiny_synthetic, tiny_study):
+        # For stable-key devices with many certificates, linking should
+        # recover a large share of each device's reissue chain.
+        dataset = tiny_synthetic.scans
+        world = tiny_synthetic.world
+        fritz = [d for d in world.devices if d.profile.name == "fritzbox"]
+        if not fritz:
+            return
+        linked = tiny_study.pipeline().linked_fingerprints()
+        unique = set(tiny_study.unique_invalid)
+        covered = total = 0
+        for device in fritz:
+            entity = f"device:{device.device_id}"
+            fps = {
+                obs.fingerprint
+                for scan in dataset.scans
+                for obs in scan.observations
+                if obs.entity == entity
+            } & unique
+            total += len(fps)
+            covered += len(fps & linked)
+        if total:
+            assert covered / total > 0.8

@@ -1,0 +1,115 @@
+"""Tests for the TLS substrate: ciphers, negotiation, vendor profiles."""
+
+import pytest
+
+from repro.tls.ciphers import (
+    REGISTRY,
+    ZGRAB_OFFER,
+    KeyExchange,
+    forward_secure_fraction,
+    suite,
+)
+from repro.tls.handshake import HandshakeRecord, ServerProfile, TLSVersion, negotiate
+from repro.tls.profiles import (
+    VENDOR_TLS_PROFILES,
+    WEBSITE_TLS_PROFILE,
+    tls_profile_for,
+)
+
+
+class TestCipherRegistry:
+    def test_lookup(self):
+        aes = suite(0x002F)
+        assert aes.name == "TLS_RSA_WITH_AES_128_CBC_SHA"
+        assert aes.key_exchange is KeyExchange.RSA
+        assert not aes.forward_secure
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            suite(0xFFFF)
+
+    def test_pfs_classification(self):
+        assert suite(0xC013).forward_secure        # ECDHE
+        assert suite(0x0033).forward_secure        # DHE
+        assert not suite(0x0005).forward_secure    # RC4/RSA
+
+    def test_zgrab_offer_covers_registry(self):
+        assert set(ZGRAB_OFFER) == set(REGISTRY)
+
+    def test_forward_secure_fraction(self):
+        assert forward_secure_fraction([0xC013, 0x002F]) == 0.5
+        assert forward_secure_fraction([]) == 0.0
+
+
+class TestNegotiate:
+    def test_server_preference_wins(self):
+        profile = ServerProfile((0x002F, 0xC013), TLSVersion.TLS1_2)
+        record = negotiate(profile)
+        # Client prefers ECDHE first, but the server list starts with RSA.
+        assert record.cipher == 0x002F
+
+    def test_version_is_minimum(self):
+        profile = ServerProfile((0x002F,), TLSVersion.TLS1_0)
+        record = negotiate(profile, client_max_version=TLSVersion.TLS1_2)
+        assert record.version == int(TLSVersion.TLS1_0)
+        modern = ServerProfile((0x002F,), TLSVersion.TLS1_2)
+        record = negotiate(modern, client_max_version=TLSVersion.TLS1_1)
+        assert record.version == int(TLSVersion.TLS1_1)
+
+    def test_no_common_suite(self):
+        profile = ServerProfile((0x002F,), TLSVersion.TLS1_0)
+        assert negotiate(profile, client_offer=[0xC013]) is None
+
+    def test_record_carries_transport_traits(self):
+        profile = ServerProfile((0xC013,), TLSVersion.TLS1_2,
+                                tcp_window=65535, ip_ttl=128)
+        record = negotiate(profile)
+        assert record.tcp_window == 65535
+        assert record.ip_ttl == 128
+        assert record.forward_secure
+
+    def test_stack_fingerprint_excludes_cipher(self):
+        profile = ServerProfile((0xC013, 0x002F), TLSVersion.TLS1_2)
+        full = negotiate(profile)
+        rsa_only_client = negotiate(profile, client_offer=[0x002F])
+        # Different negotiated ciphers, same stack fingerprint.
+        assert full.cipher != rsa_only_client.cipher
+        assert full.stack_fingerprint() == rsa_only_client.stack_fingerprint()
+
+    def test_records_hashable(self):
+        profile = ServerProfile((0x002F,), TLSVersion.TLS1_0)
+        assert isinstance(hash(negotiate(profile)), int)
+
+
+class TestVendorProfiles:
+    def test_every_catalog_vendor_has_a_profile(self):
+        from repro.internet.vendors import standard_catalog
+
+        for vendor in standard_catalog():
+            assert vendor.name in VENDOR_TLS_PROFILES, vendor.name
+
+    def test_lancom_has_no_pfs(self):
+        # Footnote 10: Lancom devices do not support PFS.
+        assert not tls_profile_for("lancom").supports_pfs()
+
+    def test_fritzbox_supports_pfs(self):
+        assert tls_profile_for("fritzbox").supports_pfs()
+
+    def test_websites_support_pfs(self):
+        assert WEBSITE_TLS_PROFILE.supports_pfs()
+
+    def test_unknown_vendor_falls_back(self):
+        profile = tls_profile_for("never-heard-of-it")
+        assert not profile.supports_pfs()
+
+    def test_profiles_negotiate_against_zgrab(self):
+        for name, profile in VENDOR_TLS_PROFILES.items():
+            assert negotiate(profile) is not None, name
+
+    def test_fingerprints_distinguish_vendor_families(self):
+        # The extension's premise: stacks differ observably across families.
+        fingerprints = {
+            negotiate(profile).stack_fingerprint()
+            for profile in VENDOR_TLS_PROFILES.values()
+        }
+        assert len(fingerprints) >= 8

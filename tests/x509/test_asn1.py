@@ -1,0 +1,244 @@
+"""Tests for the DER codec."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.x509 import asn1
+from repro.x509.asn1 import DERError, DERReader, Tag
+from repro.x509.oid import OID
+
+
+class TestInteger:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, b"\x02\x01\x00"),
+            (127, b"\x02\x01\x7f"),
+            (128, b"\x02\x02\x00\x80"),
+            (256, b"\x02\x02\x01\x00"),
+            (-1, b"\x02\x01\xff"),
+            (-128, b"\x02\x01\x80"),
+            (-129, b"\x02\x02\xff\x7f"),
+        ],
+    )
+    def test_known_encodings(self, value, expected):
+        assert asn1.encode_integer(value) == expected
+
+    @given(st.integers(min_value=-(2 ** 512), max_value=2 ** 512))
+    def test_round_trip(self, value):
+        encoded = asn1.encode_integer(value)
+        assert DERReader(encoded).read_integer() == value
+
+    @given(st.integers(min_value=-(2 ** 512), max_value=2 ** 512))
+    def test_minimal_length(self, value):
+        encoded = asn1.encode_integer(value)
+        body = DERReader(encoded).expect(Tag.INTEGER).value
+        if len(body) > 1:
+            # No redundant leading 0x00/0xFF per DER.
+            assert not (body[0] == 0x00 and not body[1] & 0x80)
+            assert not (body[0] == 0xFF and body[1] & 0x80)
+
+    def test_empty_integer_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x02\x00").read_integer()
+
+
+class TestBoolean:
+    def test_round_trip(self):
+        for value in (True, False):
+            assert DERReader(asn1.encode_boolean(value)).read_boolean() == value
+
+    def test_der_true_is_ff(self):
+        assert asn1.encode_boolean(True) == b"\x01\x01\xff"
+
+    def test_multibyte_boolean_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x01\x02\x00\x00").read_boolean()
+
+
+class TestStringsAndBytes:
+    @given(st.binary(max_size=300))
+    def test_octet_string_round_trip(self, data):
+        assert DERReader(asn1.encode_octet_string(data)).read_octet_string() == data
+
+    @given(st.text(max_size=100))
+    def test_utf8_round_trip(self, text):
+        assert DERReader(asn1.encode_utf8_string(text)).read_string() == text
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=100))
+    def test_ia5_round_trip(self, text):
+        assert DERReader(asn1.encode_ia5_string(text)).read_string() == text
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=7))
+    def test_bit_string_round_trip(self, data, unused):
+        body, got_unused = DERReader(asn1.encode_bit_string(data, unused)).read_bit_string()
+        assert body == data
+        assert got_unused == unused
+
+    def test_bit_string_bad_unused_count(self):
+        with pytest.raises(ValueError):
+            asn1.encode_bit_string(b"", 8)
+        with pytest.raises(DERError):
+            DERReader(b"\x03\x02\x09\x00").read_bit_string()
+
+    def test_null_round_trip(self):
+        reader = DERReader(asn1.encode_null())
+        assert reader.read_null() is None
+        assert reader.at_end()
+
+    def test_null_with_content_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x05\x01\x00").read_null()
+
+
+class TestLongLengths:
+    def test_long_form_length(self):
+        data = b"x" * 1000
+        encoded = asn1.encode_octet_string(data)
+        assert DERReader(encoded).read_octet_string() == data
+        # 1000 needs two length octets: 0x82 0x03 0xE8.
+        assert encoded[1] == 0x82
+
+    def test_length_overrun_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x04\x05abc").read_octet_string()
+
+    def test_indefinite_length_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x30\x80\x00\x00").read_tlv()
+
+
+oid_strategy = st.builds(
+    lambda first, second, rest: OID((first, second, *rest)),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=39),
+    st.lists(st.integers(min_value=0, max_value=2 ** 40), max_size=8),
+)
+
+
+class TestOID:
+    def test_known_encoding(self):
+        # sha256WithRSAEncryption
+        oid = OID.parse("1.2.840.113549.1.1.11")
+        encoded = asn1.encode_oid(oid)
+        assert encoded == bytes.fromhex("06092a864886f70d01010b")
+
+    @given(oid_strategy)
+    def test_round_trip(self, oid):
+        assert DERReader(asn1.encode_oid(oid)).read_oid() == oid
+
+    def test_truncated_arc_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x06\x02\x2a\x86").read_oid()  # continuation bit set at end
+
+    def test_empty_oid_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x06\x00").read_oid()
+
+    def test_two_arc_high_first(self):
+        oid = OID.parse("2.999")
+        assert DERReader(asn1.encode_oid(oid)).read_oid() == oid
+
+
+class TestTime:
+    def test_utc_time_for_20th_21st_century(self):
+        when = datetime.datetime(2014, 3, 30, 12, 0, 0)
+        encoded = asn1.encode_time(when)
+        assert encoded[0] == Tag.UTC_TIME
+        assert DERReader(encoded).read_time() == when
+
+    def test_generalized_time_for_far_future(self):
+        when = datetime.datetime(3000, 1, 1)
+        encoded = asn1.encode_time(when)
+        assert encoded[0] == Tag.GENERALIZED_TIME
+        assert DERReader(encoded).read_time() == when
+
+    def test_generalized_time_for_past(self):
+        when = datetime.datetime(1949, 12, 31)
+        encoded = asn1.encode_time(when)
+        assert encoded[0] == Tag.GENERALIZED_TIME
+        assert DERReader(encoded).read_time() == when
+
+    def test_utc_century_split(self):
+        # Two-digit years <50 are 20xx, >=50 are 19xx.
+        past = datetime.datetime(1970, 1, 1)
+        recent = datetime.datetime(2049, 1, 1)
+        assert DERReader(asn1.encode_time(past)).read_time() == past
+        assert DERReader(asn1.encode_time(recent)).read_time() == recent
+
+    @given(
+        st.datetimes(
+            min_value=datetime.datetime(1, 1, 1),
+            max_value=datetime.datetime(9999, 12, 31),
+        ).map(lambda dt: dt.replace(microsecond=0))
+    )
+    def test_round_trip(self, when):
+        assert DERReader(asn1.encode_time(when)).read_time() == when
+
+    def test_aware_datetime_rejected(self):
+        aware = datetime.datetime(2020, 1, 1, tzinfo=datetime.timezone.utc)
+        with pytest.raises(ValueError):
+            asn1.encode_time(aware)
+
+    def test_malformed_time_rejected(self):
+        with pytest.raises(DERError):
+            DERReader(b"\x17\x0520101").read_time()
+
+
+class TestStructures:
+    def test_sequence_nesting(self):
+        inner = asn1.encode_sequence(asn1.encode_integer(1), asn1.encode_integer(2))
+        outer = asn1.encode_sequence(inner, asn1.encode_integer(3))
+        reader = DERReader(outer).enter_sequence()
+        nested = reader.enter_sequence()
+        assert nested.read_integer() == 1
+        assert nested.read_integer() == 2
+        assert reader.read_integer() == 3
+        assert reader.at_end()
+
+    def test_set_sorts_members(self):
+        a = asn1.encode_integer(300)
+        b = asn1.encode_integer(1)
+        assert asn1.encode_set([a, b]) == asn1.encode_set([b, a])
+
+    def test_explicit_context_tag(self):
+        inner = asn1.encode_integer(2)
+        wrapped = asn1.encode_explicit(0, inner)
+        assert wrapped[0] == 0xA0
+        reader = DERReader(wrapped).enter_context(0)
+        assert reader.read_integer() == 2
+
+    def test_enter_wrong_context_rejected(self):
+        wrapped = asn1.encode_explicit(0, asn1.encode_integer(2))
+        with pytest.raises(DERError):
+            DERReader(wrapped).enter_context(3)
+
+    def test_implicit_retagging(self):
+        inner = asn1.encode_ia5_string("example.com")
+        retagged = asn1.encode_implicit(2, inner)
+        assert retagged[0] == 0x82
+        tlv = DERReader(retagged).read_tlv()
+        assert tlv.value == b"example.com"
+
+    def test_iter_tlvs(self):
+        data = asn1.encode_integer(1) + asn1.encode_integer(2) + asn1.encode_null()
+        tags = [tlv.tag for tlv in DERReader(data).iter_tlvs()]
+        assert tags == [Tag.INTEGER, Tag.INTEGER, Tag.NULL]
+
+    def test_expect_wrong_tag(self):
+        with pytest.raises(DERError):
+            DERReader(asn1.encode_null()).expect(Tag.INTEGER)
+
+    def test_reader_rest_and_remaining(self):
+        data = asn1.encode_integer(1) + asn1.encode_integer(2)
+        reader = DERReader(data)
+        reader.read_integer()
+        assert reader.rest() == asn1.encode_integer(2)
+        assert reader.remaining() == len(asn1.encode_integer(2))
+
+    def test_read_past_end_rejected(self):
+        reader = DERReader(b"")
+        with pytest.raises(DERError):
+            reader.read_tlv()

@@ -1,0 +1,76 @@
+"""Tests for the footnote-5 population: nonsense X.509 version numbers."""
+
+import random
+
+import pytest
+
+from repro.x509.builder import CertificateBuilder
+from repro.x509.certificate import Certificate
+from repro.x509.chain import ChainVerifier, VerifyStatus
+from repro.x509.keys import generate_keypair
+from repro.x509.name import Name
+from repro.x509.truststore import TrustStore
+
+DAY = 5000
+
+
+def bogus_cert(version):
+    pair = generate_keypair(random.Random(1), 128)
+    return (
+        CertificateBuilder()
+        .version(version, strict=False)
+        .subject(Name.common_name("broken"))
+        .validity(DAY, DAY + 100)
+        .keypair(pair)
+        .serial(7)
+        .self_sign()
+    )
+
+
+class TestBogusVersions:
+    @pytest.mark.parametrize("version", [2, 4, 13])
+    def test_round_trip(self, version):
+        cert = bogus_cert(version)
+        parsed = Certificate.from_der(cert.to_der())
+        assert parsed.version == version
+        assert parsed == cert
+
+    @pytest.mark.parametrize("version", [2, 4, 13])
+    def test_classified_malformed(self, version):
+        verifier = ChainVerifier(TrustStore())
+        result = verifier.verify(bogus_cert(version))
+        assert result.status is VerifyStatus.MALFORMED
+
+    def test_strict_builder_still_rejects(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().version(2)
+        with pytest.raises(ValueError):
+            CertificateBuilder().version(0, strict=False)
+
+    def test_disregarded_by_validation(self):
+        from repro.core.validation import validate_dataset
+        from repro.scanner.dataset import ScanDataset
+        from repro.scanner.records import Observation, Scan
+
+        broken = bogus_cert(4)
+        scan = Scan(day=DAY, source="t",
+                    observations=[Observation(1, broken.fingerprint)])
+        dataset = ScanDataset([scan], {broken.fingerprint: broken})
+        report = validate_dataset(dataset, TrustStore())
+        # Footnote 5: such certificates are disregarded, not counted as
+        # valid or invalid.
+        assert broken.fingerprint in report.disregarded
+        assert broken.fingerprint not in report.valid
+        assert broken.fingerprint not in report.invalid
+
+    def test_world_contains_broken_version_devices(self, tiny_synthetic, tiny_study):
+        devices = [
+            d for d in tiny_synthetic.world.devices
+            if d.profile.name == "broken-version"
+        ]
+        if not devices:
+            pytest.skip("no broken-version devices at tiny scale")
+        report = tiny_study.validation()
+        fingerprint = devices[0].certificate_for_epoch(0).fingerprint
+        if fingerprint in report.results:
+            assert fingerprint in report.disregarded

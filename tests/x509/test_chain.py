@@ -1,0 +1,252 @@
+"""Tests for chain construction, trust stores, and the verify taxonomy."""
+
+import random
+
+import pytest
+
+from repro.x509 import (
+    CertificateBuilder,
+    ChainVerifier,
+    Name,
+    TrustStore,
+    VerifyStatus,
+    generate_keypair,
+)
+
+DAY = 5000  # arbitrary simulated day
+
+
+def make_root(seed=1, cn="Trusted Root CA"):
+    pair = generate_keypair(random.Random(seed))
+    cert = (
+        CertificateBuilder()
+        .subject(Name.build(CN=cn, O="RootCo"))
+        .validity(DAY - 3650, DAY + 3650)
+        .keypair(pair)
+        .ca()
+        .self_sign()
+    )
+    return cert, pair
+
+
+def make_intermediate(root_cert, root_pair, seed=2, cn="Intermediate CA"):
+    pair = generate_keypair(random.Random(seed))
+    cert = (
+        CertificateBuilder()
+        .subject(Name.build(CN=cn, O="RootCo"))
+        .validity(DAY - 1000, DAY + 1000)
+        .keypair(pair)
+        .ca()
+        .sign_with(root_cert.subject, root_pair.private)
+    )
+    return cert, pair
+
+
+def make_leaf(issuer_cert, issuer_pair, seed=3, cn="site.example"):
+    pair = generate_keypair(random.Random(seed))
+    return (
+        CertificateBuilder()
+        .subject(Name.common_name(cn))
+        .validity(DAY, DAY + 365)
+        .keypair(pair)
+        .sign_with(issuer_cert.subject, issuer_pair.private)
+    )
+
+
+class TestTrustStore:
+    def test_add_and_contains(self):
+        root, _ = make_root()
+        store = TrustStore([root])
+        assert root in store
+        assert len(store) == 1
+
+    def test_duplicate_add_is_noop(self):
+        root, _ = make_root()
+        store = TrustStore([root, root])
+        assert len(store) == 1
+
+    def test_find_issuer(self):
+        root, root_pair = make_root()
+        leaf = make_leaf(root, root_pair)
+        store = TrustStore([root])
+        assert store.find_issuer(leaf) == root
+
+    def test_find_issuer_requires_real_signature(self):
+        root, root_pair = make_root()
+        impostor_pair = generate_keypair(random.Random(66))
+        # Claims the root's name but is signed by someone else.
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.common_name("victim.example"))
+            .validity(DAY, DAY + 365)
+            .keypair(generate_keypair(random.Random(67)))
+            .sign_with(root.subject, impostor_pair.private)
+        )
+        store = TrustStore([root])
+        assert store.find_issuer(leaf) is None
+
+    def test_trusts_key(self):
+        root, root_pair = make_root()
+        store = TrustStore([root])
+        assert store.trusts_key(root_pair.public.fingerprint)
+        other = generate_keypair(random.Random(9))
+        assert not store.trusts_key(other.public.fingerprint)
+
+
+class TestVerify:
+    def test_direct_root_signature_is_valid(self):
+        root, root_pair = make_root()
+        leaf = make_leaf(root, root_pair)
+        verifier = ChainVerifier(TrustStore([root]))
+        result = verifier.verify(leaf)
+        assert result.status is VerifyStatus.VALID
+        assert result.chain == (leaf, root)
+
+    def test_chain_through_intermediate(self):
+        root, root_pair = make_root()
+        intermediate, intermediate_pair = make_intermediate(root, root_pair)
+        leaf = make_leaf(intermediate, intermediate_pair)
+        verifier = ChainVerifier(TrustStore([root]), [intermediate])
+        result = verifier.verify(leaf)
+        assert result.status is VerifyStatus.VALID
+        assert result.chain == (leaf, intermediate, root)
+
+    def test_transvalid_leaf_validates_from_pool(self):
+        # Transvalid (§4.2): the server presented a wrong chain, but the
+        # intermediate is known from elsewhere in the dataset.
+        root, root_pair = make_root()
+        intermediate, intermediate_pair = make_intermediate(root, root_pair)
+        leaf = make_leaf(intermediate, intermediate_pair)
+        # Intermediate added to the pool from "another scan observation".
+        verifier = ChainVerifier(TrustStore([root]))
+        verifier.add_intermediate(intermediate)
+        assert verifier.verify(leaf).status is VerifyStatus.VALID
+
+    def test_self_signed_invalid(self):
+        pair = generate_keypair(random.Random(5))
+        cert = (
+            CertificateBuilder()
+            .subject(Name.common_name("192.168.1.1"))
+            .validity(DAY, DAY + 7300)
+            .keypair(pair)
+            .self_sign()
+        )
+        root, _ = make_root()
+        result = ChainVerifier(TrustStore([root])).verify(cert)
+        assert result.status is VerifyStatus.SELF_SIGNED
+
+    def test_self_signed_with_mismatched_names_detected(self):
+        # The footnote-7 case: verifies under its own key, names differ.
+        pair = generate_keypair(random.Random(6))
+        cert = (
+            CertificateBuilder()
+            .subject(Name.common_name("device-123"))
+            .issuer(Name.common_name("firmware-generator"))
+            .validity(DAY, DAY + 100)
+            .keypair(pair)
+            .self_sign()
+        )
+        root, _ = make_root()
+        result = ChainVerifier(TrustStore([root])).verify(cert)
+        assert result.status is VerifyStatus.SELF_SIGNED
+        assert "names differ" in result.detail
+
+    def test_untrusted_issuer(self):
+        # Signed by a private CA nobody trusts.
+        private_root, private_pair = make_root(seed=50, cn="Corp Internal CA")
+        leaf = make_leaf(private_root, private_pair, cn="intranet.corp")
+        trusted_root, _ = make_root(seed=1)
+        result = ChainVerifier(TrustStore([trusted_root])).verify(leaf)
+        assert result.status is VerifyStatus.UNTRUSTED_ISSUER
+
+    def test_untrusted_chain_with_known_untrusted_parent(self):
+        # Even with the parent in the pool, no trusted root terminates it.
+        private_root, private_pair = make_root(seed=51, cn="Vendor CA")
+        intermediate, intermediate_pair = make_intermediate(
+            private_root, private_pair, seed=52, cn="Vendor Sub-CA"
+        )
+        leaf = make_leaf(intermediate, intermediate_pair, seed=53)
+        trusted_root, _ = make_root(seed=1)
+        verifier = ChainVerifier(TrustStore([trusted_root]), [intermediate, private_root])
+        assert verifier.verify(leaf).status is VerifyStatus.UNTRUSTED_ISSUER
+
+    def test_bad_signature(self):
+        root, root_pair = make_root()
+        wrong_pair = generate_keypair(random.Random(77))
+        leaf = (
+            CertificateBuilder()
+            .subject(Name.common_name("evil.example"))
+            .validity(DAY, DAY + 365)
+            .keypair(generate_keypair(random.Random(78)))
+            .sign_with(root.subject, wrong_pair.private)  # wrong key, right name
+        )
+        result = ChainVerifier(TrustStore([root])).verify(leaf)
+        assert result.status is VerifyStatus.BAD_SIGNATURE
+
+    def test_trusted_root_itself_is_valid(self):
+        root, _ = make_root()
+        verifier = ChainVerifier(TrustStore([root]))
+        result = verifier.verify(root)
+        assert result.status is VerifyStatus.VALID
+        assert result.chain == (root,)
+
+    def test_expired_certificate_still_valid(self):
+        # §4.2: expiry is explicitly ignored.
+        root, root_pair = make_root()
+        pair = generate_keypair(random.Random(80))
+        expired = (
+            CertificateBuilder()
+            .subject(Name.common_name("old.example"))
+            .validity(DAY - 10_000, DAY - 9_000)
+            .keypair(pair)
+            .sign_with(root.subject, root_pair.private)
+        )
+        assert ChainVerifier(TrustStore([root])).verify(expired).status is VerifyStatus.VALID
+
+    def test_non_ca_intermediate_not_used(self):
+        root, root_pair = make_root()
+        # A leaf (not CA) that signed another cert must not form a chain.
+        non_ca, non_ca_pair = make_root(seed=60, cn="Leafy")
+        fake_intermediate = make_leaf(root, root_pair, seed=61, cn="Leafy")
+        leaf = make_leaf(fake_intermediate, non_ca_pair, seed=62)
+        verifier = ChainVerifier(TrustStore([root]), [fake_intermediate])
+        assert verifier.verify(leaf).status is not VerifyStatus.VALID
+
+    def test_loop_in_pool_terminates(self):
+        # Two CAs signing each other must not hang the search.
+        pair_a = generate_keypair(random.Random(90))
+        pair_b = generate_keypair(random.Random(91))
+        name_a = Name.common_name("Loop A")
+        name_b = Name.common_name("Loop B")
+        cert_a = (
+            CertificateBuilder()
+            .subject(name_a).issuer(name_b)
+            .validity(DAY, DAY + 100).keypair(pair_a).ca()
+            .sign_with(name_b, pair_b.private)
+        )
+        cert_b = (
+            CertificateBuilder()
+            .subject(name_b).issuer(name_a)
+            .validity(DAY, DAY + 100).keypair(pair_b).ca()
+            .sign_with(name_a, pair_a.private)
+        )
+        leaf = make_leaf(cert_a, pair_a, seed=92)
+        trusted_root, _ = make_root(seed=1)
+        verifier = ChainVerifier(TrustStore([trusted_root]), [cert_a, cert_b])
+        assert verifier.verify(leaf).status is VerifyStatus.UNTRUSTED_ISSUER
+
+    def test_verify_all_batch(self):
+        root, root_pair = make_root()
+        valid_leaf = make_leaf(root, root_pair)
+        pair = generate_keypair(random.Random(70))
+        invalid = (
+            CertificateBuilder()
+            .subject(Name.common_name("10.0.0.1"))
+            .validity(DAY, DAY + 100)
+            .keypair(pair)
+            .self_sign()
+        )
+        verifier = ChainVerifier(TrustStore([root]))
+        results = verifier.verify_all([valid_leaf, invalid])
+        assert results[valid_leaf.fingerprint].is_valid
+        assert results[invalid.fingerprint].status is VerifyStatus.SELF_SIGNED

@@ -1,0 +1,73 @@
+"""Tests for the certificate pretty-printer."""
+
+from repro.x509.display import render_certificate
+
+from ..core.helpers import DAY0, make_cert
+
+
+class TestRenderCertificate:
+    def test_core_fields_present(self):
+        cert = make_cert(cn="printer.local", key_seed=1, serial=4242)
+        text = render_certificate(cert)
+        assert "Version: 3" in text
+        assert "Serial Number: 4242" in text
+        assert "Subject: CN=printer.local" in text
+        assert "Not Before:" in text
+        assert "RSA Public-Key:" in text
+        assert cert.fingerprint_hex.upper() in text
+        assert "(self-signed)" in text
+
+    def test_extensions_rendered(self):
+        cert = make_cert(
+            cn="rich.example", key_seed=2,
+            sans=("a.example", "b.example"),
+            crl=("http://crl.example/x.crl",),
+        )
+        text = render_certificate(cert)
+        assert "Subject Alternative Name" in text
+        assert "DNS:a.example, DNS:b.example" in text
+        assert "CRL Distribution Points" in text
+        assert "URI:http://crl.example/x.crl" in text
+
+    def test_empty_names_labelled(self):
+        import random
+
+        from repro.x509.builder import CertificateBuilder
+        from repro.x509.name import Name
+
+        cert = (
+            CertificateBuilder()
+            .subject(Name.empty())
+            .validity(DAY0, DAY0 + 10)
+            .self_sign(rng=random.Random(1))
+        )
+        text = render_certificate(cert)
+        assert "Subject: (empty)" in text
+        assert "Issuer: (empty)" in text
+
+    def test_far_future_not_after_rendered(self):
+        cert = make_cert(cn="millennium", key_seed=3, days=360_000)
+        text = render_certificate(cert)
+        assert "Not After :" in text   # year ~2990, still representable
+
+    def test_unrepresentable_day_falls_back(self):
+        from repro.x509.display import _time
+
+        assert _time(10**7, 0).startswith("<day")
+
+    def test_ca_certificate(self):
+        import random
+
+        from repro.x509.builder import CertificateBuilder
+        from repro.x509.name import Name
+
+        cert = (
+            CertificateBuilder()
+            .subject(Name.build(CN="Root", O="RootCo"))
+            .validity(DAY0, DAY0 + 100)
+            .ca()
+            .self_sign(rng=random.Random(2))
+        )
+        text = render_certificate(cert)
+        assert "CA:TRUE" in text
+        assert "Certificate Sign" in text

@@ -1,0 +1,90 @@
+"""Tests for the toy RSA implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.x509.keys import KeyPair, generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(random.Random(42))
+
+
+class TestGeneration:
+    def test_deterministic_from_seed(self):
+        a = generate_keypair(random.Random(7))
+        b = generate_keypair(random.Random(7))
+        assert a.public == b.public
+        assert a.private == b.private
+
+    def test_different_seeds_differ(self):
+        a = generate_keypair(random.Random(1))
+        b = generate_keypair(random.Random(2))
+        assert a.public != b.public
+
+    def test_modulus_size(self, keypair):
+        assert 250 <= keypair.public.bits <= 256
+
+    def test_custom_bits(self):
+        pair = generate_keypair(random.Random(3), bits=128)
+        assert 120 <= pair.public.bits <= 128
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(random.Random(0), bits=16)
+
+    def test_private_matches_public(self, keypair):
+        assert keypair.private.public_key() == keypair.public
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self, keypair):
+        message = b"to-be-signed bytes"
+        sig = keypair.private.sign(message)
+        assert keypair.public.verify(message, sig)
+
+    def test_different_message_fails(self, keypair):
+        sig = keypair.private.sign(b"message one")
+        assert not keypair.public.verify(b"message two", sig)
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(random.Random(99))
+        sig = keypair.private.sign(b"hello")
+        assert not other.public.verify(b"hello", sig)
+
+    def test_tampered_signature_fails(self, keypair):
+        sig = keypair.private.sign(b"hello")
+        assert not keypair.public.verify(b"hello", sig ^ 1)
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        assert not keypair.public.verify(b"x", keypair.public.n)
+        assert not keypair.public.verify(b"x", -1)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.binary(max_size=200))
+    def test_sign_verify_property(self, message):
+        pair = generate_keypair(random.Random(1234))
+        assert pair.public.verify(message, pair.private.sign(message))
+
+
+class TestFingerprint:
+    def test_stable(self, keypair):
+        assert keypair.public.fingerprint == keypair.public.fingerprint
+        assert len(keypair.public.fingerprint) == 32
+
+    def test_distinct_keys_distinct_fingerprints(self):
+        fingerprints = {
+            generate_keypair(random.Random(seed)).public.fingerprint
+            for seed in range(8)
+        }
+        assert len(fingerprints) == 8
+
+    def test_usable_as_dict_key(self, keypair):
+        # The key-sharing analysis buckets certificates by key identity.
+        shared: dict = {}
+        shared[keypair.public] = ["cert-a", "cert-b"]
+        clone = KeyPair(keypair.public, keypair.private).public
+        assert shared[clone] == ["cert-a", "cert-b"]

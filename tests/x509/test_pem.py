@@ -1,0 +1,53 @@
+"""Tests for PEM armor."""
+
+import base64
+
+import pytest
+
+from repro.x509.pem import decode_pem, decode_pem_many, encode_pem
+
+from ..core.helpers import make_cert
+
+
+class TestPEM:
+    def test_round_trip(self):
+        cert = make_cert(cn="pem.example", key_seed=1)
+        assert decode_pem(encode_pem(cert)) == cert
+
+    def test_format(self):
+        text = encode_pem(make_cert())
+        lines = text.splitlines()
+        assert lines[0] == "-----BEGIN CERTIFICATE-----"
+        assert lines[-1] == "-----END CERTIFICATE-----"
+        assert all(len(line) <= 64 for line in lines[1:-1])
+        # Body is valid standalone base64.
+        base64.b64decode("".join(lines[1:-1]), validate=True)
+
+    def test_bundle(self):
+        certs = [make_cert(cn=f"c{i}", key_seed=i) for i in range(1, 4)]
+        bundle = "".join(encode_pem(cert) for cert in certs)
+        decoded = decode_pem_many(bundle)
+        assert [c.fingerprint for c in decoded] == [c.fingerprint for c in certs]
+
+    def test_surrounding_noise_ignored(self):
+        cert = make_cert(cn="noisy", key_seed=5)
+        text = "junk before\n" + encode_pem(cert) + "junk after\n"
+        assert decode_pem(text) == cert
+
+    def test_no_block(self):
+        with pytest.raises(ValueError):
+            decode_pem("nothing here")
+
+    def test_unterminated_block(self):
+        text = "-----BEGIN CERTIFICATE-----\nQUJD\n"
+        with pytest.raises(ValueError):
+            decode_pem_many(text)
+
+    def test_end_without_begin(self):
+        with pytest.raises(ValueError):
+            decode_pem_many("-----END CERTIFICATE-----\n")
+
+    def test_corrupt_base64(self):
+        text = "-----BEGIN CERTIFICATE-----\n!!!!\n-----END CERTIFICATE-----\n"
+        with pytest.raises(Exception):
+            decode_pem(text)
