@@ -6,7 +6,6 @@ a reversed order and against the excluded low-consistency fields, scoring
 each with ground-truth group purity.
 """
 
-from repro.core.features import Feature
 from repro.core.pipeline import iterative_link
 from repro.stats.tables import format_pct, render_table
 

@@ -20,7 +20,7 @@ from repro.core.netlink import (
 )
 from repro.stats.tables import format_count, format_pct, render_table
 
-from _truth import device_index, group_purity, pairwise_precision
+from _truth import device_index, pairwise_precision
 
 
 def test_ext_fingerprint_augmented_linking(

@@ -2,11 +2,14 @@
 
 Not a paper experiment — these track the cost of the building blocks that
 dominate whole-corpus runs: DER round-trips, RSA generation/signing, scan
-execution, and the linking inner loop.  pytest-benchmark's timing table is
-the artifact.
+execution, the linking inner loop, the columnar observation index, and the
+per-stage pipeline costs.  pytest-benchmark's timing table is the artifact,
+plus two rendered tables in ``results/``: ``perf_stage_timings.txt`` and
+``perf_index_speedup.txt``.
 """
 
 import random
+import time
 
 import pytest
 
@@ -96,3 +99,85 @@ def test_perf_full_validation(benchmark, paper_synthetic):
         lambda: validate_dataset(dataset, trust_store), rounds=1, iterations=1
     )
     assert report.considered > 0
+
+
+def test_perf_index_vs_naive_lookups(paper_study, record_result):
+    """The tentpole speedup: CSR-indexed lookups vs the old row sweeps.
+
+    The naive implementations below are the pre-columnar code paths
+    (O(scans × observations) per certificate); the live ``ScanDataset``
+    methods answer from the observation index in O(sightings).
+    """
+    dataset = paper_study.dataset
+    index = dataset.index  # built once; excluded from per-lookup timings
+    sample = list(dataset.certificates)[:: max(1, len(dataset.certificates) // 25)][:25]
+
+    def naive_appearances(fingerprint):
+        return [
+            (scan_idx, obs.ip)
+            for scan_idx, scan in enumerate(dataset.scans)
+            for obs in scan.observations
+            if obs.fingerprint == fingerprint
+        ]
+
+    def naive_handshake_of(fingerprint):
+        for scan in dataset.scans:
+            for obs in scan.observations:
+                if obs.fingerprint == fingerprint and obs.handshake is not None:
+                    return obs.handshake
+        return None
+
+    def naive_entities_of(fingerprint):
+        return {
+            obs.entity
+            for scan in dataset.scans
+            for obs in scan.observations
+            if obs.fingerprint == fingerprint and obs.entity
+        }
+
+    pairs = [
+        ("appearances", naive_appearances, dataset.appearances),
+        ("handshake_of", naive_handshake_of, dataset.handshake_of),
+        ("entities_of", naive_entities_of, dataset.entities_of),
+    ]
+    lines = [
+        f"corpus: {dataset.n_observations} observations, "
+        f"{len(dataset.certificates)} certificates; {len(sample)} lookups each",
+        "",
+        f"{'lookup':<14} {'row sweep':>12} {'indexed':>12} {'speedup':>9}",
+    ]
+    speedups = {}
+    for name, naive, indexed in pairs:
+        start = time.perf_counter()
+        naive_results = [naive(fp) for fp in sample]
+        naive_cost = time.perf_counter() - start
+        start = time.perf_counter()
+        fast_results = [indexed(fp) for fp in sample]
+        fast_cost = time.perf_counter() - start
+        assert naive_results == fast_results  # byte-identical answers
+        speedups[name] = naive_cost / fast_cost if fast_cost else float("inf")
+        lines.append(
+            f"{name:<14} {naive_cost * 1e3:>10.1f}ms {fast_cost * 1e3:>10.1f}ms "
+            f"{speedups[name]:>8.0f}x"
+        )
+    assert index is dataset.index
+    record_result("\n".join(lines), name="perf_index_speedup")
+    # Acceptance: ≥2× on the index-heavy lookups (in practice orders of
+    # magnitude — the naive path rescans the whole corpus per certificate).
+    assert all(s >= 2.0 for s in speedups.values()), speedups
+
+
+def test_perf_stage_timings(paper_study, record_result):
+    """Per-stage wall-clock, from the Study instrumentation hook."""
+    paper_study.tracked_devices()  # pulls every upstream stage through cache
+    timings = paper_study.stage_timings
+    expected = ("validation", "dedup", "feature_evaluations", "pipeline", "tracking")
+    assert all(stage in timings for stage in expected)
+    total = sum(timings[stage] for stage in expected)
+    lines = [f"{'stage':<22} {'seconds':>9} {'share':>7}"]
+    for stage in expected:
+        lines.append(
+            f"{stage:<22} {timings[stage]:>9.3f} {timings[stage] / total:>6.1%}"
+        )
+    lines.append(f"{'total':<22} {total:>9.3f}")
+    record_result("\n".join(lines), name="perf_stage_timings")

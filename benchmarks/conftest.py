@@ -17,6 +17,18 @@ from repro.study import Study
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a long paper-fidelity run.
+
+    Marking the whole directory lets the default CI job deselect it with
+    ``-m "not benchmark"`` while ``pytest benchmarks/`` still runs all of it.
+    """
+    this_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if this_dir in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def paper_synthetic():
     """The full-fidelity synthetic corpus (built once, ~40 s)."""

@@ -39,6 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=2016)
     generate.add_argument("--handshakes", action="store_true",
                           help="collect TLS/transport traits per observation")
+    generate.add_argument("--workers", type=int, default=1,
+                          help="processes to fan scan days out over "
+                               "(results identical to --workers 1)")
     generate.add_argument("--corpus", default="corpus.rpz")
     generate.add_argument("--environment", default="environment.rpe")
 
@@ -57,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--preset", choices=("tiny", "small", "paper"),
                          help="build a corpus on the fly instead")
         sub.add_argument("--seed", type=int, default=2016)
+        sub.add_argument("--workers", type=int, default=1,
+                         help="processes for the per-feature linking passes "
+                              "(results identical to --workers 1)")
         if name == "report":
             sub.add_argument("--out", default="report.md")
             sub.add_argument("--title", default="Invalid-certificate study")
@@ -66,11 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
 def _make_study(args):
     from .study import Study
 
+    workers = getattr(args, "workers", 1)
     if args.preset:
         from .datasets import synthetic
 
         dataset = getattr(synthetic, args.preset)(seed=args.seed)
-        return Study.from_synthetic(dataset)
+        return Study.from_synthetic(dataset, workers=workers)
     if not args.corpus or not args.environment:
         raise SystemExit("need either --preset or both --corpus and --environment")
     from .io import load_dataset, load_environment
@@ -82,6 +89,7 @@ def _make_study(args):
         trust_store=environment.trust_store,
         as_of=environment.routing.origin_as,
         registry=environment.registry,
+        workers=workers,
     )
 
 
@@ -102,7 +110,8 @@ def _cmd_generate(args) -> int:
     config = WorldConfig(seed=args.seed, **settings)
     print(f"building '{args.preset}' world (seed {args.seed})...")
     bundle = synthetic.generate(
-        config, scan_stride=stride, collect_handshakes=args.handshakes
+        config, scan_stride=stride, collect_handshakes=args.handshakes,
+        workers=args.workers,
     )
     save_dataset(bundle.scans, args.corpus)
     save_environment(AnalysisEnvironment.of_world(bundle.world), args.environment)

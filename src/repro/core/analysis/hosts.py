@@ -139,7 +139,9 @@ def top_hosting_ases(
         if asn is not None:
             counts[asn] = counts.get(asn, 0) + 1
     rows = []
-    for asn, count in sorted(counts.items(), key=lambda kv: kv[1], reverse=True)[:n]:
+    # Ties broken by ASN: callers pass fingerprint *sets*, so insertion
+    # order (the sort's implicit tie-break) would vary with PYTHONHASHSEED.
+    for asn, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]:
         info = registry.get(asn)
         name = info.name if info else f"AS{asn}"
         record = info.org_at(dataset.scans[0].day) if info else None

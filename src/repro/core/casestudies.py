@@ -14,7 +14,7 @@ linked groups by a predicate and score each side separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Callable
 
 from ..scanner.dataset import ScanDataset
 from .consistency import ASLookup, group_consistency

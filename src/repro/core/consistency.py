@@ -14,7 +14,7 @@ historic RouteViews snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..net.ip import slash16, slash24
 from ..scanner.dataset import ScanDataset

@@ -19,6 +19,7 @@ Three stages, mirroring the paper:
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -70,20 +71,74 @@ class FeatureEvaluation:
         return self.result.total_linked
 
 
+def _evaluate_one_feature(
+    dataset: ScanDataset,
+    fingerprints: list[bytes],
+    feature: Feature,
+    overlap_allowance: int,
+    as_of: ASLookup,
+) -> FeatureEvaluation:
+    """One Table 6 column: link the field, then score its consistency."""
+    result = link_on_feature(dataset, fingerprints, feature, overlap_allowance)
+    consistency = evaluate_link_result(dataset, result, as_of)
+    return FeatureEvaluation(feature, result, consistency)
+
+
+# Per-feature passes are independent, so they fan out over a process
+# pool; the corpus and population ship once per worker via the pool
+# initializer rather than once per feature.
+_EVAL_CONTEXT: Optional[tuple] = None
+
+
+def _init_eval_worker(
+    dataset: ScanDataset,
+    fingerprints: list[bytes],
+    overlap_allowance: int,
+    as_of: ASLookup,
+) -> None:
+    global _EVAL_CONTEXT
+    dataset.index  # build the observation index once per worker
+    _EVAL_CONTEXT = (dataset, fingerprints, overlap_allowance, as_of)
+
+
+def _evaluate_feature_task(feature: Feature) -> FeatureEvaluation:
+    dataset, fingerprints, overlap_allowance, as_of = _EVAL_CONTEXT
+    return _evaluate_one_feature(
+        dataset, fingerprints, feature, overlap_allowance, as_of
+    )
+
+
 def evaluate_all_features(
     dataset: ScanDataset,
     fingerprints: Iterable[bytes],
     as_of: ASLookup,
     features: Sequence[Feature] = TABLE6_FEATURES,
     overlap_allowance: int = 1,
+    workers: int = 1,
 ) -> dict[Feature, FeatureEvaluation]:
-    """Produce Table 6: every field linked and scored independently."""
+    """Produce Table 6: every field linked and scored independently.
+
+    ``workers > 1`` runs the per-feature passes over a process pool; each
+    pass is a pure function of (corpus, population, feature), so results
+    are identical to the serial path in every detail.
+    """
     fingerprints = list(fingerprints)
     evaluations: dict[Feature, FeatureEvaluation] = {}
-    for feature in features:
-        result = link_on_feature(dataset, fingerprints, feature, overlap_allowance)
-        consistency = evaluate_link_result(dataset, result, as_of)
-        evaluations[feature] = FeatureEvaluation(feature, result, consistency)
+    if workers <= 1 or len(features) <= 1:
+        for feature in features:
+            evaluations[feature] = _evaluate_one_feature(
+                dataset, fingerprints, feature, overlap_allowance, as_of
+            )
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(features)),
+            initializer=_init_eval_worker,
+            initargs=(dataset, fingerprints, overlap_allowance, as_of),
+        ) as pool:
+            for feature, evaluation in zip(
+                features, pool.map(_evaluate_feature_task, features)
+            ):
+                evaluations[feature] = evaluation
     # "Uniquely linked": certificates linked by exactly one field.
     membership: dict[bytes, list[Feature]] = {}
     for feature, evaluation in evaluations.items():

@@ -34,8 +34,13 @@ def generate(
     config: WorldConfig,
     scan_stride: int = 1,
     collect_handshakes: bool = False,
+    workers: int = 1,
 ) -> SyntheticDataset:
-    """Build a world and scan it with both campaigns."""
+    """Build a world and scan it with both campaigns.
+
+    ``workers > 1`` fans scan days out over a process pool; the corpus is
+    identical to a serial run (per-day RNG is keyed by seed/campaign/day).
+    """
     world = build_world(config)
     announced = world.routing.table_at(0).routes()
     # Only the generic tails may be blacklisted; the paper's named ISPs
@@ -48,7 +53,7 @@ def generate(
         blacklistable=[r.prefix for r in announced if r.asn in generic_asns],
     )
     scans = ScanDataset.collect(
-        world, campaigns, collect_handshakes=collect_handshakes
+        world, campaigns, collect_handshakes=collect_handshakes, workers=workers
     )
     return SyntheticDataset(world=world, campaigns=campaigns, scans=scans)
 

@@ -35,7 +35,7 @@ from ..x509.truststore import TrustStore
 from .devices import DEFAULT_KEY_BITS, Device, Location, PrivateCA
 from .dhcp import AddressPool, AssignmentPolicy, PeriodicReassignment, StaticAssignment
 from .vendors import IssuerScheme, VendorProfile, standard_catalog
-from .websites import CAHierarchy, CommercialCA, Website
+from .websites import CAHierarchy, Website
 
 __all__ = ["ASBlueprint", "WorldConfig", "World", "build_world", "standard_topology"]
 

@@ -31,8 +31,8 @@ calibrated to the populations the paper names:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "DeviceType",

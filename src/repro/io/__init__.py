@@ -1,13 +1,27 @@
-"""Corpus and environment serialization (.rpz / .rpe archives)."""
+"""Corpus and environment serialization (.rpz / .rpe archives) and backends."""
 
+from .backends import ArchiveBackend, DatasetBackend, InMemoryBackend
 from .environment import AnalysisEnvironment, load_environment, save_environment
-from .store import FORMAT_VERSION, load_dataset, save_dataset
+from .store import (
+    FORMAT_VERSION,
+    load_dataset,
+    read_certificates,
+    read_manifest,
+    read_scans,
+    save_dataset,
+)
 
 __all__ = [
     "AnalysisEnvironment",
     "load_environment",
     "save_environment",
+    "ArchiveBackend",
+    "DatasetBackend",
+    "InMemoryBackend",
     "FORMAT_VERSION",
     "load_dataset",
+    "read_certificates",
+    "read_manifest",
+    "read_scans",
     "save_dataset",
 ]

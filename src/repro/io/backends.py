@@ -1,0 +1,134 @@
+"""Pluggable corpus-storage backends.
+
+The analysis API (:class:`~repro.scanner.dataset.ScanDataset` and
+everything in ``repro.core``) is deliberately separated from *where the
+corpus lives*.  A :class:`DatasetBackend` is anything that can produce
+the row scans and the certificate table; ``ScanDataset.from_backend``
+materializes the analysis view on top.
+
+Two backends ship:
+
+* :class:`InMemoryBackend` — holds the corpus **columnar**
+  (:class:`~repro.scanner.columns.ObservationColumns` plus per-scan
+  metadata) and rehydrates row ``Scan`` objects on demand; this is what a
+  freshly scanned or deserialized corpus lives in;
+* :class:`ArchiveBackend` — lazy view over one ``.rpz`` archive (format
+  v1 or v2); nothing is read until a load method is called, so cheap
+  operations like :meth:`describe` never parse certificates.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Mapping, Protocol, Sequence, Union, runtime_checkable
+
+from ..scanner.columns import ObservationColumns
+from ..scanner.records import Scan
+from ..x509.certificate import Certificate
+
+__all__ = ["DatasetBackend", "InMemoryBackend", "ArchiveBackend"]
+
+
+@runtime_checkable
+class DatasetBackend(Protocol):
+    """Anything that can supply a scan corpus to the analysis layer."""
+
+    def load_scans(self) -> Sequence[Scan]:
+        """The corpus' scans (row view), in (day, source) order."""
+        ...
+
+    def load_certificates(self) -> Mapping[bytes, Certificate]:
+        """fingerprint → certificate for every certificate in the corpus."""
+        ...
+
+    def describe(self) -> dict:
+        """Cheap corpus statistics (no full load required)."""
+        ...
+
+
+class InMemoryBackend:
+    """Columnar in-memory corpus storage.
+
+    Observations live in one :class:`ObservationColumns`; scans are kept
+    only as (day, source, start, end) metadata over the contiguous
+    per-scan column ranges and rehydrated to rows on request.
+    """
+
+    def __init__(
+        self,
+        columns: ObservationColumns,
+        scan_meta: Sequence[tuple[int, str, int, int]],
+        certificates: Mapping[bytes, Certificate],
+    ) -> None:
+        self.columns = columns
+        #: (day, source, first observation position, one-past-last).
+        self.scan_meta = list(scan_meta)
+        self.certificates = dict(certificates)
+
+    @classmethod
+    def from_scans(
+        cls,
+        scans: Sequence[Scan],
+        certificates: Mapping[bytes, Certificate],
+    ) -> "InMemoryBackend":
+        """Columnarize a row corpus (scans must already be day-sorted)."""
+        columns = ObservationColumns.from_scans(scans)
+        meta: List[tuple[int, str, int, int]] = []
+        position = 0
+        for scan in scans:
+            meta.append((scan.day, scan.source, position, position + len(scan)))
+            position += len(scan)
+        return cls(columns, meta, certificates)
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "InMemoryBackend":
+        """Columnarize an existing :class:`ScanDataset`."""
+        return cls.from_scans(dataset.scans, dataset.certificates)
+
+    def load_scans(self) -> List[Scan]:
+        return [
+            Scan(
+                day=day,
+                source=source,
+                observations=[
+                    self.columns.observation_at(position)
+                    for position in range(start, end)
+                ],
+            )
+            for day, source, start, end in self.scan_meta
+        ]
+
+    def load_certificates(self) -> Dict[bytes, Certificate]:
+        return dict(self.certificates)
+
+    def describe(self) -> dict:
+        return {
+            "backend": "memory",
+            "n_scans": len(self.scan_meta),
+            "n_certificates": len(self.certificates),
+            "n_observations": len(self.columns),
+        }
+
+
+class ArchiveBackend:
+    """Lazy corpus view over one ``.rpz`` archive (format v1 or v2)."""
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+
+    def load_scans(self) -> List[Scan]:
+        from .store import read_scans
+
+        return read_scans(self.path)
+
+    def load_certificates(self) -> Dict[bytes, Certificate]:
+        from .store import read_certificates
+
+        return read_certificates(self.path)
+
+    def describe(self) -> dict:
+        from .store import read_manifest
+
+        manifest = read_manifest(self.path)
+        manifest.setdefault("backend", "archive")
+        return manifest

@@ -2,14 +2,23 @@
 
 The paper published its code and data (securepki.org); this module is the
 equivalent facility: a :class:`~repro.scanner.dataset.ScanDataset` round-
-trips through a single ``.rpz`` file (a ZIP archive) containing
+trips through a single ``.rpz`` file (a ZIP archive).
+
+**Format v2 (written)** is columnar and streamed — no member is ever
+materialized as one giant string in memory:
 
 * ``manifest.json`` — format version and corpus statistics;
 * ``certificates.der`` — every unique certificate as length-prefixed DER
   (parseable without this library: each record is a 4-byte big-endian
-  length followed by a standard X.509 DER blob);
-* ``scans.jsonl`` — one JSON object per scan, observations referencing
-  certificates by index.
+  length followed by a standard X.509 DER blob), in certificate-id order;
+* ``entities.json`` / ``handshakes.json`` — the interning tables for
+  ground-truth tags (id 0 is the empty tag) and handshake records;
+* ``scans.jsonl`` — one JSON object per scan holding **parallel columns**
+  (``ip``, ``cert``, ``entity``, ``hs``) of equal length, observations
+  referencing the tables above by id (``hs`` -1 means no handshake).
+
+**Format v1** (row-oriented ``scans.jsonl``, certificates sorted by
+fingerprint) is still loaded transparently.
 
 DER is the ground-truth encoding: loading re-parses every certificate
 through :meth:`Certificate.from_der`, so a stored corpus exercises exactly
@@ -29,24 +38,97 @@ from ..scanner.records import Observation, Scan
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
 
-__all__ = ["save_dataset", "load_dataset", "FORMAT_VERSION"]
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "read_manifest",
+    "read_certificates",
+    "read_scans",
+    "FORMAT_VERSION",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Formats :func:`load_dataset` understands.
+SUPPORTED_FORMATS = (1, 2)
 
 _LENGTH = struct.Struct(">I")
 
 
-def _pack_certificates(dataset: ScanDataset) -> tuple[bytes, dict[bytes, int]]:
-    blob = bytearray()
-    index: dict[bytes, int] = {}
-    for position, (fingerprint, cert) in enumerate(
-        sorted(dataset.certificates.items())
-    ):
-        der = cert.to_der()
-        blob += _LENGTH.pack(len(der))
-        blob += der
-        index[fingerprint] = position
-    return bytes(blob), index
+# ---------------------------------------------------------------------------
+# Writing (always format v2)
+# ---------------------------------------------------------------------------
+
+def _certificate_order(dataset: ScanDataset) -> list[bytes]:
+    """Certificate-id order: observed first-appearance, then unobserved."""
+    observed = list(dataset.columns.fingerprints)
+    extra = sorted(set(dataset.certificates) - set(observed))
+    return observed + extra
+
+
+def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> None:
+    """Write the corpus to one ``.rpz`` archive (overwrites).
+
+    Certificates and scan columns are streamed member-by-member and
+    record-by-record into the archive, so peak memory stays O(one scan),
+    not O(corpus).
+    """
+    columns = dataset.columns
+    order = _certificate_order(dataset)
+    manifest = {
+        "format": FORMAT_VERSION,
+        "n_scans": len(dataset.scans),
+        "n_certificates": len(dataset.certificates),
+        "n_observations": dataset.n_observations,
+    }
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("manifest.json", json.dumps(manifest, indent=2))
+        with archive.open("certificates.der", "w") as member:
+            for fingerprint in order:
+                der = dataset.certificates[fingerprint].to_der()
+                member.write(_LENGTH.pack(len(der)))
+                member.write(der)
+        archive.writestr(
+            "entities.json", json.dumps(columns.entities, separators=(",", ":"))
+        )
+        archive.writestr(
+            "handshakes.json",
+            json.dumps(
+                [list(record) for record in columns.handshakes],
+                separators=(",", ":"),
+            ),
+        )
+        with archive.open("scans.jsonl", "w") as member:
+            position = 0
+            for scan in dataset.scans:
+                end = position + len(scan)
+                row = {
+                    "day": scan.day,
+                    "source": scan.source,
+                    "ip": columns.ip[position:end].tolist(),
+                    "cert": columns.cert_id[position:end].tolist(),
+                    "entity": columns.entity_id[position:end].tolist(),
+                    "hs": columns.handshake_id[position:end].tolist(),
+                }
+                member.write(json.dumps(row, separators=(",", ":")).encode("utf-8"))
+                member.write(b"\n")
+                position = end
+
+
+# ---------------------------------------------------------------------------
+# Reading (v1 and v2)
+# ---------------------------------------------------------------------------
+
+def _read_manifest(archive: zipfile.ZipFile) -> dict:
+    try:
+        manifest = json.loads(archive.read("manifest.json"))
+    except ValueError as error:
+        raise ValueError(f"corpus corrupt: manifest is not valid JSON ({error})")
+    if not isinstance(manifest, dict):
+        raise ValueError("corpus corrupt: manifest is not a JSON object")
+    if manifest.get("format") not in SUPPORTED_FORMATS:
+        raise ValueError(f"unsupported corpus format {manifest.get('format')!r}")
+    return manifest
 
 
 def _unpack_certificates(blob: bytes) -> list[Certificate]:
@@ -60,53 +142,8 @@ def _unpack_certificates(blob: bytes) -> list[Certificate]:
     return certificates
 
 
-def _observation_row(obs: Observation, cert_index: dict[bytes, int]) -> list:
-    handshake = list(obs.handshake) if obs.handshake is not None else None
-    return [obs.ip, cert_index[obs.fingerprint], obs.entity, handshake]
-
-
-def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> None:
-    """Write the corpus to one ``.rpz`` archive (overwrites)."""
-    blob, cert_index = _pack_certificates(dataset)
-    manifest = {
-        "format": FORMAT_VERSION,
-        "n_scans": len(dataset.scans),
-        "n_certificates": len(dataset.certificates),
-        "n_observations": dataset.n_observations,
-    }
-    scan_lines = []
-    for scan in dataset.scans:
-        scan_lines.append(
-            json.dumps(
-                {
-                    "day": scan.day,
-                    "source": scan.source,
-                    "observations": [
-                        _observation_row(obs, cert_index)
-                        for obs in scan.observations
-                    ],
-                },
-                separators=(",", ":"),
-            )
-        )
-    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
-        archive.writestr("manifest.json", json.dumps(manifest, indent=2))
-        archive.writestr("certificates.der", blob)
-        archive.writestr("scans.jsonl", "\n".join(scan_lines))
-
-
-def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
-    """Load a corpus written by :func:`save_dataset`."""
-    with zipfile.ZipFile(path) as archive:
-        manifest = json.loads(archive.read("manifest.json"))
-        if manifest.get("format") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported corpus format {manifest.get('format')!r}"
-            )
-        certificates = _unpack_certificates(archive.read("certificates.der"))
-        scan_lines = archive.read("scans.jsonl").decode("utf-8").splitlines()
-
-    by_index = certificates
+def _read_scans_v1(archive: zipfile.ZipFile, by_index: list[Certificate]) -> list[Scan]:
+    scan_lines = archive.read("scans.jsonl").decode("utf-8").splitlines()
     scans = []
     for line in scan_lines:
         record = json.loads(line)
@@ -125,9 +162,80 @@ def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
         scans.append(
             Scan(day=record["day"], source=record["source"], observations=observations)
         )
+    return scans
+
+
+def _read_scans_v2(archive: zipfile.ZipFile, by_index: list[Certificate]) -> list[Scan]:
+    entities = json.loads(archive.read("entities.json"))
+    handshakes = [
+        HandshakeRecord(*record)
+        for record in json.loads(archive.read("handshakes.json"))
+    ]
+    scans = []
+    with archive.open("scans.jsonl") as member:
+        for line in member:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            observations = [
+                Observation(
+                    ip=ip,
+                    fingerprint=by_index[cert_idx].fingerprint,
+                    entity=entities[entity_id],
+                    handshake=(handshakes[hs_id] if hs_id >= 0 else None),
+                )
+                for ip, cert_idx, entity_id, hs_id in zip(
+                    record["ip"], record["cert"], record["entity"], record["hs"]
+                )
+            ]
+            scans.append(
+                Scan(
+                    day=record["day"],
+                    source=record["source"],
+                    observations=observations,
+                )
+            )
+    return scans
+
+
+def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
+    """Load a corpus written by :func:`save_dataset` (format v1 or v2)."""
+    with zipfile.ZipFile(path) as archive:
+        manifest = _read_manifest(archive)
+        certificates = _unpack_certificates(archive.read("certificates.der"))
+        if manifest["format"] == 1:
+            scans = _read_scans_v1(archive, certificates)
+        else:
+            scans = _read_scans_v2(archive, certificates)
     dataset = ScanDataset(
         scans, {cert.fingerprint: cert for cert in certificates}
     )
     if len(dataset.certificates) != manifest["n_certificates"]:
         raise ValueError("corpus corrupt: certificate count mismatch")
     return dataset
+
+
+# --- piecemeal readers (the ArchiveBackend protocol surface) -------------------
+
+def read_manifest(path: Union[str, pathlib.Path]) -> dict:
+    """Parse and sanity-check an archive's manifest without loading it."""
+    with zipfile.ZipFile(path) as archive:
+        return _read_manifest(archive)
+
+
+def read_certificates(path: Union[str, pathlib.Path]) -> dict[bytes, Certificate]:
+    """fingerprint → certificate for every certificate in the archive."""
+    with zipfile.ZipFile(path) as archive:
+        _read_manifest(archive)
+        certificates = _unpack_certificates(archive.read("certificates.der"))
+    return {cert.fingerprint: cert for cert in certificates}
+
+
+def read_scans(path: Union[str, pathlib.Path]) -> list[Scan]:
+    """The archive's scans (row view), in stored order."""
+    with zipfile.ZipFile(path) as archive:
+        manifest = _read_manifest(archive)
+        certificates = _unpack_certificates(archive.read("certificates.der"))
+        if manifest["format"] == 1:
+            return _read_scans_v1(archive, certificates)
+        return _read_scans_v2(archive, certificates)

@@ -1,6 +1,7 @@
-"""Scanner substrate: zmap-like engine, campaign schedules, scan corpus."""
+"""Scanner substrate: zmap-like engine, campaign schedules, columnar corpus."""
 
 from .campaign import ScanCampaign, make_campaigns, rapid7_schedule, umich_schedule
+from .columns import ObservationColumns, ObservationIndex
 from .dataset import ScanDataset
 from .engine import SCAN_DURATION_HOURS, ScanEngine
 from .records import Observation, Scan
@@ -10,6 +11,8 @@ __all__ = [
     "make_campaigns",
     "rapid7_schedule",
     "umich_schedule",
+    "ObservationColumns",
+    "ObservationIndex",
     "ScanDataset",
     "SCAN_DURATION_HOURS",
     "ScanEngine",

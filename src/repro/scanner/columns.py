@@ -1,0 +1,223 @@
+"""Columnar observation storage and the corpus-wide index.
+
+The analyses of §§4–7 re-traverse the corpus constantly: every
+certificate is asked for its appearances, lifetimes, per-scan address
+sets, ground-truth entities, and (for the network-fingerprint extension)
+an observed handshake.  Row-based storage answers those questions by
+walking every observation of every scan — O(total observations) per
+query — which is exactly the shape production scan pipelines (ZMap /
+Censys-style corpora) abandoned in favour of columnar layouts with
+precomputed per-certificate indexes.
+
+:class:`ObservationColumns` is that layout: one interning table per
+string-ish domain (fingerprints, entity tags, handshake records) plus
+parallel ``array``-backed columns of small integers, one entry per
+observation, in corpus order (scans sorted, observations in scan order).
+
+:class:`ObservationIndex` is a CSR (compressed sparse row) inversion of
+the ``cert_id`` column, built once in O(n) with a counting sort: for any
+certificate, the positions of all its observations are one contiguous
+slice, so every per-certificate query is O(k) in that certificate's own
+sighting count.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional, Sequence
+
+from ..tls.handshake import HandshakeRecord
+from .records import Observation, Scan
+
+__all__ = ["ObservationColumns", "ObservationIndex"]
+
+
+class ObservationColumns:
+    """Parallel columns over every observation of a corpus.
+
+    Columns (one entry per observation, corpus order):
+
+    * ``scan_idx``  — index into the dataset's sorted scan list;
+    * ``ip``        — the observed IPv4 address (as an int);
+    * ``cert_id``   — interned fingerprint id (``fingerprints[cert_id]``);
+    * ``entity_id`` — interned ground-truth tag (0 is the empty tag);
+    * ``handshake_id`` — interned handshake record (-1 when not collected).
+    """
+
+    __slots__ = (
+        "scan_idx", "ip", "cert_id", "entity_id", "handshake_id",
+        "fingerprints", "fingerprint_ids", "entities", "handshakes",
+    )
+
+    def __init__(self) -> None:
+        self.scan_idx = array("I")
+        self.ip = array("I")
+        self.cert_id = array("I")
+        self.entity_id = array("I")
+        self.handshake_id = array("i")
+        #: cert_id → fingerprint, in first-appearance order.
+        self.fingerprints: list[bytes] = []
+        self.fingerprint_ids: dict[bytes, int] = {}
+        #: entity_id → tag; id 0 is always the empty tag.
+        self.entities: list[str] = [""]
+        self.handshakes: list[HandshakeRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.cert_id)
+
+    @classmethod
+    def from_scans(cls, scans: Sequence[Scan]) -> "ObservationColumns":
+        """Columnarize a row corpus in one pass."""
+        columns = cls()
+        entity_ids: dict[str, int] = {"": 0}
+        handshake_ids: dict[HandshakeRecord, int] = {}
+        for scan_index, scan in enumerate(scans):
+            for obs in scan.observations:
+                columns.append(
+                    scan_index, obs, entity_ids=entity_ids,
+                    handshake_ids=handshake_ids,
+                )
+        return columns
+
+    def append(
+        self,
+        scan_index: int,
+        obs: Observation,
+        entity_ids: dict[str, int],
+        handshake_ids: dict[HandshakeRecord, int],
+    ) -> None:
+        """Intern and append one observation."""
+        self.scan_idx.append(scan_index)
+        self.ip.append(obs.ip)
+        self.cert_id.append(self.intern_fingerprint(obs.fingerprint))
+        entity_id = entity_ids.get(obs.entity)
+        if entity_id is None:
+            entity_id = entity_ids[obs.entity] = len(self.entities)
+            self.entities.append(obs.entity)
+        self.entity_id.append(entity_id)
+        if obs.handshake is None:
+            self.handshake_id.append(-1)
+        else:
+            handshake_id = handshake_ids.get(obs.handshake)
+            if handshake_id is None:
+                handshake_id = handshake_ids[obs.handshake] = len(self.handshakes)
+                self.handshakes.append(obs.handshake)
+            self.handshake_id.append(handshake_id)
+
+    def intern_fingerprint(self, fingerprint: bytes) -> int:
+        """The stable integer id of a fingerprint (assigned on first use)."""
+        cert_id = self.fingerprint_ids.get(fingerprint)
+        if cert_id is None:
+            cert_id = self.fingerprint_ids[fingerprint] = len(self.fingerprints)
+            self.fingerprints.append(fingerprint)
+        return cert_id
+
+    def observation_at(self, position: int) -> Observation:
+        """Rehydrate one row (the inverse of :meth:`append`)."""
+        handshake_id = self.handshake_id[position]
+        return Observation(
+            ip=self.ip[position],
+            fingerprint=self.fingerprints[self.cert_id[position]],
+            entity=self.entities[self.entity_id[position]],
+            handshake=(
+                self.handshakes[handshake_id] if handshake_id >= 0 else None
+            ),
+        )
+
+
+class ObservationIndex:
+    """CSR inversion of the ``cert_id`` column: certificate → positions.
+
+    ``positions(cert_id)`` is a contiguous slice of observation positions
+    in corpus order, so every per-certificate query costs O(its own
+    sightings) instead of O(all observations).
+    """
+
+    __slots__ = ("columns", "_offsets", "_order")
+
+    def __init__(self, columns: ObservationColumns) -> None:
+        self.columns = columns
+        n_certs = len(columns.fingerprints)
+        counts = array("I", bytes(4 * (n_certs + 1)))
+        for cert_id in columns.cert_id:
+            counts[cert_id + 1] += 1
+        for index in range(1, n_certs + 1):
+            counts[index] += counts[index - 1]
+        self._offsets = counts  # offsets[i] .. offsets[i+1] bound cert i
+        order = array("I", bytes(4 * len(columns)))
+        cursor = array("I", counts[:-1])
+        for position, cert_id in enumerate(columns.cert_id):
+            order[cursor[cert_id]] = position
+            cursor[cert_id] += 1
+        self._order = order
+
+    def positions(self, cert_id: int) -> array:
+        """Observation positions of one certificate, in corpus order."""
+        return self._order[self._offsets[cert_id]:self._offsets[cert_id + 1]]
+
+    def sighting_count(self, cert_id: int) -> int:
+        return self._offsets[cert_id + 1] - self._offsets[cert_id]
+
+    # --- per-certificate queries (all O(k) in the certificate's sightings) ---
+
+    def _cert_id(self, fingerprint: bytes) -> Optional[int]:
+        return self.columns.fingerprint_ids.get(fingerprint)
+
+    def appearances(self, fingerprint: bytes) -> list[tuple[int, int]]:
+        """(scan index, ip) sightings of one certificate, in scan order."""
+        cert_id = self._cert_id(fingerprint)
+        if cert_id is None:
+            return []
+        columns = self.columns
+        return [
+            (columns.scan_idx[pos], columns.ip[pos])
+            for pos in self.positions(cert_id)
+        ]
+
+    def scan_indexes_of(self, fingerprint: bytes) -> list[int]:
+        """Sorted distinct scan indexes where the certificate appeared."""
+        cert_id = self._cert_id(fingerprint)
+        if cert_id is None:
+            return []
+        scan_idx = self.columns.scan_idx
+        # Positions are in corpus order, so scan indexes arrive sorted.
+        distinct: list[int] = []
+        for pos in self.positions(cert_id):
+            value = scan_idx[pos]
+            if not distinct or distinct[-1] != value:
+                distinct.append(value)
+        return distinct
+
+    def ips_by_scan(self, fingerprint: bytes) -> dict[int, set[int]]:
+        """scan index → set of addresses advertising the certificate."""
+        cert_id = self._cert_id(fingerprint)
+        result: dict[int, set[int]] = {}
+        if cert_id is None:
+            return result
+        columns = self.columns
+        for pos in self.positions(cert_id):
+            result.setdefault(columns.scan_idx[pos], set()).add(columns.ip[pos])
+        return result
+
+    def handshake_of(self, fingerprint: bytes) -> Optional[HandshakeRecord]:
+        """The first handshake observed with the certificate, if any."""
+        cert_id = self._cert_id(fingerprint)
+        if cert_id is None:
+            return None
+        handshake_id = self.columns.handshake_id
+        for pos in self.positions(cert_id):
+            if handshake_id[pos] >= 0:
+                return self.columns.handshakes[handshake_id[pos]]
+        return None
+
+    def entities_of(self, fingerprint: bytes) -> set[str]:
+        """Ground-truth entities that served the certificate."""
+        cert_id = self._cert_id(fingerprint)
+        if cert_id is None:
+            return set()
+        columns = self.columns
+        return {
+            columns.entities[columns.entity_id[pos]]
+            for pos in self.positions(cert_id)
+            if columns.entity_id[pos]
+        }

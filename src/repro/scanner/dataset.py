@@ -1,29 +1,45 @@
 """The collected scan corpus and its indexes.
 
 :class:`ScanDataset` is the hand-off point between the substrate (scanner
-over a simulated world — or, in principle, a loader over real scan files)
-and the paper's analysis pipeline.  Downstream code sees only scans,
-observations, and certificates; nothing about the simulator leaks through
-except the ground-truth ``entity`` tags that the test suite (and nothing
-else) consumes.
+over a simulated world — or a :class:`~repro.io.backends.DatasetBackend`
+loading real scan files) and the paper's analysis pipeline.  Downstream
+code sees only scans, observations, and certificates; nothing about the
+simulator leaks through except the ground-truth ``entity`` tags that the
+test suite (and nothing else) consumes.
 
-The class maintains the indexes the analyses in §§4–7 need constantly:
-per-certificate appearance lists, first/last sighting, inclusive lifetimes
-(a certificate seen in one scan has a one-day lifetime, §5.1), and
-per-scan address sets.
+Internally the corpus is **columnar**: on first use the row scans are
+interned into :class:`~repro.scanner.columns.ObservationColumns` (parallel
+``array`` columns of small integers) and inverted once into a CSR
+:class:`~repro.scanner.columns.ObservationIndex`.  Every per-certificate
+query — ``appearances``, ``handshake_of``, ``entities_of``,
+``ips_by_scan``, lifetimes — then costs O(that certificate's sightings)
+instead of O(total observations).
+
+Setting ``REPRO_DATASET_PARITY=1`` in the environment makes every dataset
+assert, at index-build time, that the columnar answers match a naive
+row-path recomputation (the legacy implementation); the test suite also
+exercises :meth:`verify_index_parity` directly on seeded worlds.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import os
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..internet.population import World
 from ..x509.certificate import Certificate
 from .campaign import ScanCampaign
+from .columns import ObservationColumns, ObservationIndex
 from .engine import ScanEngine
 from .records import Observation, Scan
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..io.backends import DatasetBackend
+
 __all__ = ["ScanDataset"]
+
+#: Environment knob: assert columnar/row parity on every index build.
+PARITY_ENV = "REPRO_DATASET_PARITY"
 
 
 class ScanDataset:
@@ -34,7 +50,8 @@ class ScanDataset:
     ) -> None:
         self.scans: list[Scan] = sorted(scans, key=lambda s: (s.day, s.source))
         self.certificates = certificates
-        self._appearance_index: Optional[dict[bytes, list[tuple[int, int]]]] = None
+        self._columns: Optional[ObservationColumns] = None
+        self._observation_index: Optional[ObservationIndex] = None
 
     @classmethod
     def collect(
@@ -42,26 +59,81 @@ class ScanDataset:
         world: World,
         campaigns: Iterable[ScanCampaign],
         collect_handshakes: bool = False,
+        workers: int = 1,
     ) -> "ScanDataset":
         """Run every campaign over the world and gather the corpus.
 
         ``collect_handshakes`` stores TLS/transport traits with each
         observation — richer than the paper's corpora, enabling the
-        network-fingerprint linking extension.
+        network-fingerprint linking extension.  ``workers`` fans scan days
+        out over processes; results are identical to ``workers=1`` because
+        each day's RNG is keyed by (seed, campaign, day).
         """
         engine = ScanEngine(world, collect_handshakes=collect_handshakes)
         scans: list[Scan] = []
         for campaign in campaigns:
-            scans.extend(engine.run_campaign(campaign))
+            scans.extend(engine.run_campaign(campaign, workers=workers))
         return cls(scans, engine.certificate_store)
+
+    @classmethod
+    def from_backend(cls, backend: "DatasetBackend") -> "ScanDataset":
+        """Materialize a dataset from any corpus-storage backend."""
+        return cls(list(backend.load_scans()), dict(backend.load_certificates()))
+
+    # --- columnar core ---------------------------------------------------------
+
+    @property
+    def columns(self) -> ObservationColumns:
+        """The interned columnar view of every observation (built once)."""
+        if self._columns is None:
+            self._columns = ObservationColumns.from_scans(self.scans)
+        return self._columns
+
+    @property
+    def index(self) -> ObservationIndex:
+        """The per-certificate CSR index over the columns (built once)."""
+        if self._observation_index is None:
+            self._observation_index = ObservationIndex(self.columns)
+            if os.environ.get(PARITY_ENV):
+                self.verify_index_parity()
+        return self._observation_index
+
+    def verify_index_parity(self) -> None:
+        """Assert the columnar index agrees with the legacy row path.
+
+        Recomputes appearances, handshakes, and entity sets for every
+        certificate by walking the row scans (the pre-columnar
+        implementation) and compares; raises ``AssertionError`` on any
+        divergence.  O(corpus); meant for tests and the parity env knob.
+        """
+        index = self._observation_index or ObservationIndex(self.columns)
+        row_appearances: dict[bytes, list[tuple[int, int]]] = {}
+        row_handshakes: dict[bytes, object] = {}
+        row_entities: dict[bytes, set[str]] = {}
+        for scan_idx, scan in enumerate(self.scans):
+            for obs in scan.observations:
+                row_appearances.setdefault(obs.fingerprint, []).append(
+                    (scan_idx, obs.ip)
+                )
+                if obs.handshake is not None and obs.fingerprint not in row_handshakes:
+                    row_handshakes[obs.fingerprint] = obs.handshake
+                if obs.entity:
+                    row_entities.setdefault(obs.fingerprint, set()).add(obs.entity)
+        observed = set(row_appearances)
+        for fingerprint in observed | set(self.certificates):
+            assert index.appearances(fingerprint) == row_appearances.get(
+                fingerprint, []
+            ), f"appearance mismatch: {fingerprint.hex()[:12]}"
+            assert index.handshake_of(fingerprint) == row_handshakes.get(
+                fingerprint
+            ), f"handshake mismatch: {fingerprint.hex()[:12]}"
+            assert index.entities_of(fingerprint) == row_entities.get(
+                fingerprint, set()
+            ), f"entity mismatch: {fingerprint.hex()[:12]}"
 
     def handshake_of(self, fingerprint: bytes) -> Optional[object]:
         """A handshake record observed with the certificate, if collected."""
-        for scan in self.scans:
-            for obs in scan.observations:
-                if obs.fingerprint == fingerprint and obs.handshake is not None:
-                    return obs.handshake
-        return None
+        return self.index.handshake_of(fingerprint)
 
     # --- basic shape -----------------------------------------------------------
 
@@ -87,31 +159,20 @@ class ScanDataset:
 
     # --- per-certificate indexes --------------------------------------------------
 
-    def _index(self) -> dict[bytes, list[tuple[int, int]]]:
-        """fingerprint → [(scan index, ip), …] in scan order (built once)."""
-        if self._appearance_index is None:
-            index: dict[bytes, list[tuple[int, int]]] = {}
-            for scan_idx, scan in enumerate(self.scans):
-                for obs in scan.observations:
-                    index.setdefault(obs.fingerprint, []).append((scan_idx, obs.ip))
-            self._appearance_index = index
-        return self._appearance_index
-
     def appearances(self, fingerprint: bytes) -> list[tuple[int, int]]:
         """(scan index, ip) sightings of one certificate."""
-        return self._index().get(fingerprint, [])
+        return self.index.appearances(fingerprint)
 
     def scan_indexes_of(self, fingerprint: bytes) -> list[int]:
         """Sorted distinct scan indexes where the certificate appeared."""
-        return sorted({scan_idx for scan_idx, _ in self.appearances(fingerprint)})
+        return self.index.scan_indexes_of(fingerprint)
 
     def first_last_day(self, fingerprint: bytes) -> tuple[int, int]:
         """Days of the first and last sighting."""
-        sightings = self.appearances(fingerprint)
-        if not sightings:
+        scan_idxs = self.scan_indexes_of(fingerprint)
+        if not scan_idxs:
             raise KeyError(f"certificate never observed: {fingerprint.hex()[:12]}")
-        scan_idxs = [scan_idx for scan_idx, _ in sightings]
-        return self.scans[min(scan_idxs)].day, self.scans[max(scan_idxs)].day
+        return self.scans[scan_idxs[0]].day, self.scans[scan_idxs[-1]].day
 
     def lifetime_days(self, fingerprint: bytes) -> int:
         """Inclusive observed lifetime: one scan → one day (§5.1)."""
@@ -120,10 +181,7 @@ class ScanDataset:
 
     def ips_by_scan(self, fingerprint: bytes) -> dict[int, set[int]]:
         """scan index → set of addresses advertising the certificate."""
-        result: dict[int, set[int]] = {}
-        for scan_idx, ip in self.appearances(fingerprint):
-            result.setdefault(scan_idx, set()).add(ip)
-        return result
+        return self.index.ips_by_scan(fingerprint)
 
     def mean_ips_per_scan(self, fingerprint: bytes) -> float:
         """Average distinct advertising addresses per scan it appears in."""
@@ -141,9 +199,4 @@ class ScanDataset:
 
         For simulator validation only — the analysis layer never calls this.
         """
-        entities: set[str] = set()
-        for scan in self.scans:
-            for obs in scan.observations:
-                if obs.fingerprint == fingerprint and obs.entity:
-                    entities.add(obs.entity)
-        return entities
+        return self.index.entities_of(fingerprint)

@@ -1,9 +1,13 @@
-"""Scan data model.
+"""Scan data model (the row interchange schema).
 
 An :class:`Observation` is one (address, certificate) sighting inside one
 scan; a :class:`Scan` is everything one campaign collected on one day.
 This is exactly the schema the paper's pipeline consumed from the
-University of Michigan and Rapid7 corpora.
+University of Michigan and Rapid7 corpora.  Rows are the *interchange*
+representation — the scanner emits them and backends rehydrate them — but
+the dataset's analytical storage is columnar: rows are interned into
+:class:`~repro.scanner.columns.ObservationColumns` and queried through a
+per-certificate CSR index (see ``repro.scanner.columns``).
 
 Observations also carry an ``entity`` tag — the simulator's ground-truth
 identity of whatever served the certificate.  **The analysis layer never

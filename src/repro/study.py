@@ -11,11 +11,18 @@ ones automatically, so ``study.movement()`` alone runs everything it
 needs.  Construct from a synthetic dataset with :meth:`from_synthetic`,
 or from any :class:`~repro.scanner.dataset.ScanDataset` plus a trust
 store, AS lookup, and registry for real scan corpora.
+
+Every cached stage records its wall-clock cost in :attr:`Study.stage_timings`
+(stage name → seconds), so benchmark harnesses can report per-stage
+numbers without re-instrumenting the pipeline.  ``workers > 1`` fans the
+independent per-feature Table 6 passes out over a process pool; results
+are identical to the serial path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+import time
+from typing import Callable, Iterable, Optional, TypeVar
 
 from .core.consistency import ASLookup
 from .core.dedup import DedupResult, classify_unique_certificates
@@ -46,6 +53,8 @@ from .x509.truststore import TrustStore
 
 __all__ = ["Study"]
 
+T = TypeVar("T")
+
 
 class Study:
     """One full reproduction run over a scan corpus."""
@@ -56,11 +65,17 @@ class Study:
         trust_store: TrustStore,
         as_of: ASLookup,
         registry: Optional[ASRegistry] = None,
+        workers: int = 1,
     ) -> None:
         self.dataset = dataset
         self.trust_store = trust_store
         self.as_of = as_of
         self.registry = registry
+        #: Process fan-out for the independent per-feature passes.
+        self.workers = workers
+        #: stage name → wall-clock seconds, recorded when each cached
+        #: stage is first computed.
+        self.stage_timings: dict[str, float] = {}
         self._validation: Optional[ValidationReport] = None
         self._dedup: Optional[DedupResult] = None
         self._evaluations: Optional[dict[Feature, FeatureEvaluation]] = None
@@ -68,7 +83,9 @@ class Study:
         self._devices: Optional[list[TrackedDevice]] = None
 
     @classmethod
-    def from_synthetic(cls, synthetic: SyntheticDataset) -> "Study":
+    def from_synthetic(
+        cls, synthetic: SyntheticDataset, workers: int = 1
+    ) -> "Study":
         """Wire a study over a generated dataset."""
         world = synthetic.world
         return cls(
@@ -76,14 +93,25 @@ class Study:
             trust_store=world.trust_store,
             as_of=world.routing.origin_as,
             registry=world.registry,
+            workers=workers,
         )
+
+    def _timed(self, stage: str, compute: Callable[[], T]) -> T:
+        """Run one stage's computation, recording its wall-clock cost."""
+        started = time.perf_counter()
+        value = compute()
+        self.stage_timings[stage] = time.perf_counter() - started
+        return value
 
     # --- §4.2 ------------------------------------------------------------------
 
     def validation(self) -> ValidationReport:
         """Classify every certificate (cached)."""
         if self._validation is None:
-            self._validation = validate_dataset(self.dataset, self.trust_store)
+            self._validation = self._timed(
+                "validation",
+                lambda: validate_dataset(self.dataset, self.trust_store),
+            )
         return self._validation
 
     @property
@@ -101,7 +129,11 @@ class Study:
     def dedup(self) -> DedupResult:
         """Apply the two-address uniqueness rule to the invalid population."""
         if self._dedup is None:
-            self._dedup = classify_unique_certificates(self.dataset, self.invalid)
+            invalid = self.invalid
+            self._dedup = self._timed(
+                "dedup",
+                lambda: classify_unique_certificates(self.dataset, invalid),
+            )
         return self._dedup
 
     @property
@@ -114,19 +146,28 @@ class Study:
     def feature_evaluations(self) -> dict[Feature, FeatureEvaluation]:
         """Table 6: per-field linking and consistency (cached)."""
         if self._evaluations is None:
-            self._evaluations = evaluate_all_features(
-                self.dataset, self.unique_invalid, self.as_of
+            unique_invalid = list(self.unique_invalid)
+            self._evaluations = self._timed(
+                "feature_evaluations",
+                lambda: evaluate_all_features(
+                    self.dataset, unique_invalid, self.as_of,
+                    workers=self.workers,
+                ),
             )
         return self._evaluations
 
     def pipeline(self) -> PipelineResult:
         """The iterative §6.4.3 linking (cached)."""
         if self._pipeline is None:
-            self._pipeline = iterative_link(
-                self.dataset,
-                self.unique_invalid,
-                self.as_of,
-                evaluations=self.feature_evaluations(),
+            evaluations = self.feature_evaluations()
+            self._pipeline = self._timed(
+                "pipeline",
+                lambda: iterative_link(
+                    self.dataset,
+                    self.unique_invalid,
+                    self.as_of,
+                    evaluations=evaluations,
+                ),
             )
         return self._pipeline
 
@@ -141,8 +182,12 @@ class Study:
     def tracked_devices(self) -> list[TrackedDevice]:
         """The inferred device population (cached)."""
         if self._devices is None:
-            self._devices = build_tracked_devices(
-                self.dataset, self.pipeline(), self.unique_invalid
+            pipeline = self.pipeline()
+            self._devices = self._timed(
+                "tracking",
+                lambda: build_tracked_devices(
+                    self.dataset, pipeline, self.unique_invalid
+                ),
             )
         return self._devices
 

@@ -14,8 +14,8 @@ certificate, keeping unknown extensions as raw bytes so they round-trip.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
 
 from . import oid as oids
 from .asn1 import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.features import Feature
 from repro.core.pipeline import iterative_link
 from repro.core.tracking import (
     TrackedDevice,

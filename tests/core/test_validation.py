@@ -2,7 +2,7 @@
 
 import random
 
-from repro.core.validation import ValidationReport, validate_dataset
+from repro.core.validation import validate_dataset
 from repro.scanner.records import Observation, Scan
 from repro.scanner.dataset import ScanDataset
 from repro.x509.builder import CertificateBuilder

@@ -7,7 +7,7 @@ from repro.internet.population import (
     build_world,
     standard_topology,
 )
-from repro.internet.vendors import IssuerScheme, KeyPolicy
+from repro.internet.vendors import IssuerScheme
 from repro.net.asn import ASType
 
 

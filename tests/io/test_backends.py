@@ -1,0 +1,89 @@
+"""Tests for the pluggable dataset backends."""
+
+from repro.io import save_dataset
+from repro.io.backends import ArchiveBackend, DatasetBackend, InMemoryBackend
+from repro.scanner.dataset import ScanDataset
+
+from ..core.helpers import DAY0, make_cert, make_dataset
+
+
+def corpus():
+    cert_a = make_cert(cn="a", key_seed=1)
+    cert_b = make_cert(cn="b", key_seed=2, sans=("x.example",))
+    return make_dataset(
+        [
+            (DAY0, "umich", [(100, cert_a), (200, cert_b)]),
+            (DAY0 + 7, "rapid7", [(101, cert_a)]),
+        ]
+    )
+
+
+class TestProtocol:
+    def test_backends_satisfy_protocol(self, tmp_path):
+        dataset = corpus()
+        path = tmp_path / "c.rpz"
+        save_dataset(dataset, path)
+        assert isinstance(InMemoryBackend.from_dataset(dataset), DatasetBackend)
+        assert isinstance(ArchiveBackend(path), DatasetBackend)
+
+
+class TestInMemoryBackend:
+    def test_round_trip(self):
+        dataset = corpus()
+        rebuilt = ScanDataset.from_backend(InMemoryBackend.from_dataset(dataset))
+        assert len(rebuilt.scans) == len(dataset.scans)
+        for left, right in zip(dataset.scans, rebuilt.scans):
+            assert left.day == right.day
+            assert left.source == right.source
+            assert left.observations == right.observations
+        assert set(rebuilt.certificates) == set(dataset.certificates)
+
+    def test_describe(self):
+        backend = InMemoryBackend.from_dataset(corpus())
+        info = backend.describe()
+        assert info["n_scans"] == 2
+        assert info["n_observations"] == 3
+        assert info["n_certificates"] == 2
+
+    def test_columnar_storage_is_compact(self):
+        # The backend holds columns + metadata, not row objects.
+        backend = InMemoryBackend.from_dataset(corpus())
+        assert len(backend.columns) == 3
+        assert [meta[2:] for meta in backend.scan_meta] == [(0, 2), (2, 3)]
+
+    def test_analyses_identical_through_backend(self, tiny_synthetic):
+        dataset = tiny_synthetic.scans
+        rebuilt = ScanDataset.from_backend(InMemoryBackend.from_dataset(dataset))
+        from repro.core.validation import validate_dataset
+
+        direct = validate_dataset(dataset, tiny_synthetic.world.trust_store)
+        routed = validate_dataset(rebuilt, tiny_synthetic.world.trust_store)
+        assert direct.invalid == routed.invalid
+        assert direct.valid == routed.valid
+
+
+class TestArchiveBackend:
+    def test_round_trip(self, tmp_path):
+        dataset = corpus()
+        path = tmp_path / "c.rpz"
+        save_dataset(dataset, path)
+        rebuilt = ScanDataset.from_backend(ArchiveBackend(path))
+        for left, right in zip(dataset.scans, rebuilt.scans):
+            assert left.observations == right.observations
+        assert set(rebuilt.certificates) == set(dataset.certificates)
+
+    def test_describe_reads_only_manifest(self, tmp_path):
+        dataset = corpus()
+        path = tmp_path / "c.rpz"
+        save_dataset(dataset, path)
+        info = ArchiveBackend(path).describe()
+        assert info["format"] == 2
+        assert info["n_observations"] == 3
+
+    def test_piecemeal_loads(self, tmp_path):
+        dataset = corpus()
+        path = tmp_path / "c.rpz"
+        save_dataset(dataset, path)
+        backend = ArchiveBackend(path)
+        assert set(backend.load_certificates()) == set(dataset.certificates)
+        assert len(backend.load_scans()) == 2

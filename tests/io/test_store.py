@@ -128,3 +128,108 @@ class TestFormat:
         save_dataset(dataset, path)
         save_dataset(dataset, path)  # second write must not raise
         assert load_dataset(path).n_observations == 3
+
+    def test_empty_scans_round_trip(self, tmp_path):
+        cert = make_cert(cn="lonely", key_seed=9)
+        dataset = ScanDataset(
+            [
+                Scan(day=DAY0, source="umich", observations=[]),
+                Scan(day=DAY0 + 7, source="rapid7", observations=[]),
+            ],
+            {cert.fingerprint: cert},
+        )
+        path = tmp_path / "empty.rpz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert [scan.day for scan in loaded.scans] == [DAY0, DAY0 + 7]
+        assert loaded.n_observations == 0
+        # Unobserved certificates still travel with the corpus.
+        assert cert.fingerprint in loaded.certificates
+        assert loaded.appearances(cert.fingerprint) == []
+
+    def test_corrupt_manifest_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.rpz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("manifest.json", "{not json at all")
+            archive.writestr("certificates.der", b"")
+            archive.writestr("scans.jsonl", "")
+        with pytest.raises(ValueError, match="manifest"):
+            load_dataset(path)
+
+    def test_non_object_manifest_rejected(self, tmp_path):
+        path = tmp_path / "list.rpz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("manifest.json", "[1, 2, 3]")
+        with pytest.raises(ValueError, match="manifest"):
+            load_dataset(path)
+
+
+def save_dataset_v1(dataset, path):
+    """Write the legacy row-oriented format 1 archive (as PR-era code did)."""
+    import struct
+
+    blob = bytearray()
+    cert_index = {}
+    for position, (fingerprint, cert) in enumerate(sorted(dataset.certificates.items())):
+        der = cert.to_der()
+        blob += struct.pack(">I", len(der))
+        blob += der
+        cert_index[fingerprint] = position
+    scan_lines = []
+    for scan in dataset.scans:
+        scan_lines.append(json.dumps({
+            "day": scan.day,
+            "source": scan.source,
+            "observations": [
+                [obs.ip, cert_index[obs.fingerprint], obs.entity,
+                 list(obs.handshake) if obs.handshake is not None else None]
+                for obs in scan.observations
+            ],
+        }, separators=(",", ":")))
+    manifest = {
+        "format": 1,
+        "n_scans": len(dataset.scans),
+        "n_certificates": len(dataset.certificates),
+        "n_observations": dataset.n_observations,
+    }
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr("manifest.json", json.dumps(manifest, indent=2))
+        archive.writestr("certificates.der", bytes(blob))
+        archive.writestr("scans.jsonl", "\n".join(scan_lines))
+
+
+class TestV1Compatibility:
+    def test_v1_archive_still_loads(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "legacy.rpz"
+        save_dataset_v1(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded.scans) == len(dataset.scans)
+        assert set(loaded.certificates) == set(dataset.certificates)
+        for original, restored in zip(dataset.scans, loaded.scans):
+            assert restored.observations == original.observations
+
+    def test_v1_handshakes_and_entities_load(self, tmp_path):
+        cert = make_cert(cn="v1hs", key_seed=5)
+        handshake = HandshakeRecord(version=0x0303, cipher=0xC013,
+                                    tcp_window=29200, ip_ttl=64)
+        scan = Scan(
+            day=DAY0, source="test",
+            observations=[Observation(1, cert.fingerprint, "device:3", handshake)],
+        )
+        dataset = ScanDataset([scan], {cert.fingerprint: cert})
+        path = tmp_path / "legacy-hs.rpz"
+        save_dataset_v1(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.handshake_of(cert.fingerprint) == handshake
+        assert loaded.entities_of(cert.fingerprint) == {"device:3"}
+
+    def test_v1_and_v2_load_identically(self, tmp_path):
+        dataset = small_dataset()
+        v1, v2 = tmp_path / "one.rpz", tmp_path / "two.rpz"
+        save_dataset_v1(dataset, v1)
+        save_dataset(dataset, v2)
+        from_v1, from_v2 = load_dataset(v1), load_dataset(v2)
+        for left, right in zip(from_v1.scans, from_v2.scans):
+            assert left.observations == right.observations
+        assert set(from_v1.certificates) == set(from_v2.certificates)

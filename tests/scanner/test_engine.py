@@ -3,7 +3,6 @@
 import pytest
 
 from repro.internet.population import WorldConfig, build_world
-from repro.net.ip import Prefix
 from repro.scanner.campaign import ScanCampaign
 from repro.scanner.dataset import ScanDataset
 from repro.scanner.engine import ScanEngine

@@ -154,9 +154,19 @@ class TestMethodologyInvariants:
 class TestWorldDeterminismAcrossProcesses:
     def test_fingerprints_are_process_independent(self):
         # A regression here means PYTHONHASHSEED leaked into the world.
+        import os
+        import pathlib
         import subprocess
         import sys
 
+        import repro
+
+        # The child runs under a *controlled* environment so each
+        # PYTHONHASHSEED value genuinely differs — but it still needs to
+        # find the package, which may be on PYTHONPATH rather than
+        # installed (the scrubbed env previously made the import fail,
+        # masking what this test measures).
+        package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
         script = (
             "from repro.datasets.synthetic import generate;"
             "from repro.internet.population import WorldConfig;"
@@ -170,7 +180,13 @@ class TestWorldDeterminismAcrossProcesses:
             result = subprocess.run(
                 [sys.executable, "-c", script],
                 capture_output=True, text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": os.pathsep.join(
+                        [package_root, os.environ.get("PYTHONPATH", "")]
+                    ).rstrip(os.pathsep),
+                },
             )
             assert result.returncode == 0, result.stderr
             outputs.add(result.stdout.strip())

@@ -69,6 +69,68 @@ class TestHeadlineResults:
         assert report.improvement_fraction > 0.0
 
 
+class TestExecutionParity:
+    """Acceptance: columnar backend + process fan-out change nothing."""
+
+    def test_all_stages_identical_through_backend_and_workers(
+        self, tiny_synthetic, tiny_study
+    ):
+        from repro.io.backends import InMemoryBackend
+        from repro.scanner.dataset import ScanDataset
+
+        world = tiny_synthetic.world
+        rebuilt = ScanDataset.from_backend(
+            InMemoryBackend.from_dataset(tiny_synthetic.scans)
+        )
+        study = Study(
+            dataset=rebuilt,
+            trust_store=world.trust_store,
+            as_of=world.routing.origin_as,
+            registry=world.registry,
+            workers=2,
+        )
+        # §4.2 validation
+        assert study.invalid == tiny_study.invalid
+        assert study.valid == tiny_study.valid
+        # §6.2 dedup
+        assert study.dedup().unique == tiny_study.dedup().unique
+        assert study.dedup().non_unique == tiny_study.dedup().non_unique
+        # Table 6 evaluations (fanned out over two processes)
+        base = tiny_study.feature_evaluations()
+        routed = study.feature_evaluations()
+        assert list(base) == list(routed)
+        for feature in base:
+            assert base[feature].total_linked == routed[feature].total_linked
+            assert base[feature].uniquely_linked == routed[feature].uniquely_linked
+            assert base[feature].consistency == routed[feature].consistency
+            assert {g.fingerprints for g in base[feature].result.groups} == {
+                g.fingerprints for g in routed[feature].result.groups
+            }
+        # §6.4.3 iterative pipeline
+        assert study.pipeline().field_order == tiny_study.pipeline().field_order
+        assert {g.fingerprints for g in study.pipeline().groups} == {
+            g.fingerprints for g in tiny_study.pipeline().groups
+        }
+        # §7 tracking
+        base_track = tiny_study.trackable()
+        routed_track = study.trackable()
+        assert (
+            routed_track.trackable_with_linking
+            == base_track.trackable_with_linking
+        )
+        assert (
+            routed_track.trackable_without_linking
+            == base_track.trackable_without_linking
+        )
+
+    def test_stage_timings_recorded(self, tiny_study):
+        tiny_study.tracked_devices()
+        for stage in ("validation", "dedup", "feature_evaluations",
+                      "pipeline", "tracking"):
+            assert stage in tiny_study.stage_timings
+            assert tiny_study.stage_timings[stage] >= 0.0
+
+
 class TestGroundTruthValidation:
     """The validation the paper could not do: check linking against truth."""
 

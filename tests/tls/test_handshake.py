@@ -9,7 +9,7 @@ from repro.tls.ciphers import (
     forward_secure_fraction,
     suite,
 )
-from repro.tls.handshake import HandshakeRecord, ServerProfile, TLSVersion, negotiate
+from repro.tls.handshake import ServerProfile, TLSVersion, negotiate
 from repro.tls.profiles import (
     VENDOR_TLS_PROFILES,
     WEBSITE_TLS_PROFILE,
