@@ -2,19 +2,32 @@
 
 Not a paper experiment — these track the cost of the building blocks that
 dominate whole-corpus runs: DER round-trips, RSA generation/signing, scan
-execution, the linking inner loop, the columnar observation index, and the
-per-stage pipeline costs.  pytest-benchmark's timing table is the artifact,
-plus two rendered tables in ``results/``: ``perf_stage_timings.txt`` and
-``perf_index_speedup.txt``.
+execution, the linking inner loop, the columnar observation index, the §6
+linking kernels, and the per-stage pipeline costs.  pytest-benchmark's
+timing table is the artifact, plus rendered tables in ``results/``
+(``perf_stage_timings.txt``, ``perf_index_speedup.txt``,
+``perf_linking_kernels.txt``) and the machine-readable perf trajectory
+``results/BENCH_perf.json`` that future PRs diff for regressions.
 """
 
+import gc
+import json
 import random
 import time
 
 import pytest
 
-from repro.core.features import Feature
-from repro.core.linking import link_on_feature
+from repro.core.consistency import _naive_evaluate_link_result
+from repro.core.dedup import _naive_classify, classify_unique_certificates
+from repro.core.features import Feature, link_parity_enabled
+from repro.core.linking import _naive_link_on_feature, link_on_feature
+from repro.core.pipeline import (
+    TABLE6_FEATURES,
+    _naive_lifetime_improvement,
+    evaluate_all_features,
+    iterative_link,
+    lifetime_improvement,
+)
 from repro.scanner.campaign import ScanCampaign
 from repro.scanner.engine import ScanEngine
 from repro.x509.certificate import Certificate
@@ -171,7 +184,10 @@ def test_perf_stage_timings(paper_study, record_result):
     """Per-stage wall-clock, from the Study instrumentation hook."""
     paper_study.tracked_devices()  # pulls every upstream stage through cache
     timings = paper_study.stage_timings
-    expected = ("validation", "dedup", "feature_evaluations", "pipeline", "tracking")
+    expected = (
+        "validation", "kernels", "dedup", "feature_evaluations",
+        "pipeline", "tracking",
+    )
     assert all(stage in timings for stage in expected)
     total = sum(timings[stage] for stage in expected)
     lines = [f"{'stage':<22} {'seconds':>9} {'share':>7}"]
@@ -181,3 +197,198 @@ def test_perf_stage_timings(paper_study, record_result):
         )
     lines.append(f"{'total':<22} {total:>9.3f}")
     record_result("\n".join(lines), name="perf_stage_timings")
+
+
+def test_perf_linking_kernels(paper_study, results_dir, record_result):
+    """Kernel vs naive cost of the §6 linking stages, at paper scale.
+
+    Re-runs both implementations inline, on the same warm corpus and in the
+    same process state (a ``gc.collect()`` before each timed block keeps
+    collector pauses from landing in either side's account): the kernel
+    path through the public stage entry points, the pre-kernel row path
+    through the ``_naive_*`` reference twins, over the same population and
+    iteration order the cached Study stages consumed (bitwise float
+    identity requires identical accumulation order).  Asserts the outputs
+    are identical, renders a table, and writes the machine-readable
+    trajectory ``BENCH_perf.json``.  Acceptance: ≥3× combined on
+    dedup + feature evaluations + pipeline.
+    """
+    if link_parity_enabled():
+        pytest.skip("REPRO_LINK_PARITY=1 runs both paths inside the kernel "
+                    "entry points; timings would be meaningless")
+    dataset = paper_study.dataset
+    paper_study.tracked_devices()  # warm every cached stage + the kernels
+    invalid = list(paper_study.invalid)
+    unique_invalid = list(paper_study.unique_invalid)
+    evaluations = paper_study.feature_evaluations()
+    pipeline = paper_study.pipeline()
+    as_of = paper_study.as_of
+
+    def timed(compute):
+        gc.collect()
+        start = time.perf_counter()
+        value = compute()
+        return value, time.perf_counter() - start
+
+    # --- §6.2 dedup ---
+    kernel_dedup, kernel_dedup_cost = timed(
+        lambda: classify_unique_certificates(dataset, invalid)
+    )
+    naive_dedup, naive_dedup_cost = timed(
+        lambda: _naive_classify(dataset, invalid, 2)
+    )
+    assert kernel_dedup == paper_study.dedup()
+    assert naive_dedup == kernel_dedup
+
+    # --- §6.3–6.4 per-field linking + consistency (Table 6) ---
+    kernel_evals, kernel_eval_cost = timed(
+        lambda: evaluate_all_features(dataset, unique_invalid, as_of)
+    )
+
+    def naive_evaluate_all():
+        reports = {}
+        for feature in TABLE6_FEATURES:
+            result = _naive_link_on_feature(dataset, unique_invalid, feature)
+            reports[feature] = (
+                result, _naive_evaluate_link_result(dataset, result, as_of)
+            )
+        # The "uniquely linked" row of Table 6, as the row path computed it.
+        membership = {}
+        for feature, (result, _) in reports.items():
+            for fingerprint in result.linked_fingerprints:
+                membership.setdefault(fingerprint, []).append(feature)
+        unique_counts = {
+            feature: sum(
+                1 for linked_by in membership.values() if linked_by == [feature]
+            )
+            for feature in reports
+        }
+        return reports, unique_counts
+
+    (naive_reports, naive_unique), naive_eval_cost = timed(naive_evaluate_all)
+    for feature, (result, report) in naive_reports.items():
+        kernel = kernel_evals[feature]
+        assert report == kernel.consistency, feature
+        assert [g.fingerprints for g in result.groups] == \
+            [g.fingerprints for g in kernel.result.groups], feature
+        assert naive_unique[feature] == kernel.uniquely_linked, feature
+        cached = evaluations[feature]
+        assert report == cached.consistency, feature
+        assert naive_unique[feature] == cached.uniquely_linked, feature
+
+    # --- §6.4.3 iterative pipeline ---
+    kernel_pipeline, kernel_pipeline_cost = timed(
+        lambda: iterative_link(
+            dataset, unique_invalid, as_of, evaluations=kernel_evals
+        )
+    )
+
+    def naive_iterative():
+        remaining = set(unique_invalid)
+        groups = []
+        for feature in pipeline.field_order:
+            result = _naive_link_on_feature(dataset, remaining, feature)
+            groups.extend(result.groups)
+            remaining -= result.linked_fingerprints
+        return groups
+
+    naive_groups, naive_pipeline_cost = timed(naive_iterative)
+    assert kernel_pipeline.field_order == pipeline.field_order
+    assert [g.fingerprints for g in kernel_pipeline.groups] == \
+        [g.fingerprints for g in pipeline.groups]
+    assert sorted(g.fingerprints for g in naive_groups) == \
+        sorted(g.fingerprints for g in pipeline.groups)
+
+    # --- §6.4.4 lifetime statistics ---
+    improvement, lifetime_cost = timed(
+        lambda: lifetime_improvement(dataset, pipeline, unique_invalid)
+    )
+    naive_improvement, naive_lifetime_cost = timed(
+        lambda: _naive_lifetime_improvement(dataset, pipeline, unique_invalid)
+    )
+    assert improvement == naive_improvement
+
+    timings = paper_study.stage_timings
+    # The CSR index is shared substrate — the row path's per-certificate
+    # walks (``dataset.appearances``) answer from it too — so only the
+    # kernel-only arrays (intervals + feature matrix) count as build cost.
+    kernel_build = timings["kernels_intervals"] + timings["kernels_matrix"]
+    kernel_seconds = {
+        "dedup": kernel_dedup_cost,
+        "feature_evaluations": kernel_eval_cost,
+        "pipeline": kernel_pipeline_cost,
+        "lifetime": lifetime_cost,
+    }
+    naive_seconds = {
+        "dedup": naive_dedup_cost,
+        "feature_evaluations": naive_eval_cost,
+        "pipeline": naive_pipeline_cost,
+        "lifetime": naive_lifetime_cost,
+    }
+    linking_stages = ("dedup", "feature_evaluations", "pipeline")
+    naive_linking = sum(naive_seconds[stage] for stage in linking_stages)
+    kernel_linking = sum(kernel_seconds[stage] for stage in linking_stages)
+    speedups = {
+        stage: naive_seconds[stage] / kernel_seconds[stage]
+        for stage in kernel_seconds
+    }
+    speedups["combined"] = naive_linking / kernel_linking
+    speedups["combined_with_build"] = naive_linking / (kernel_linking + kernel_build)
+
+    lines = [
+        f"corpus: {dataset.n_observations} observations, "
+        f"{len(dataset.certificates)} certificates, {len(dataset)} scans; "
+        f"{len(unique_invalid)} unique-invalid linked",
+        "",
+        f"{'stage':<22} {'naive':>10} {'kernel':>10} {'speedup':>9}",
+    ]
+    for stage in ("dedup", "feature_evaluations", "pipeline", "lifetime"):
+        lines.append(
+            f"{stage:<22} {naive_seconds[stage]:>9.3f}s "
+            f"{kernel_seconds[stage]:>9.3f}s {speedups[stage]:>8.1f}x"
+        )
+    lines += [
+        f"{'combined':<22} {naive_linking:>9.3f}s {kernel_linking:>9.3f}s "
+        f"{speedups['combined']:>8.1f}x",
+        f"{'combined (+build)':<22} {naive_linking:>9.3f}s "
+        f"{kernel_linking + kernel_build:>9.3f}s "
+        f"{speedups['combined_with_build']:>8.1f}x",
+        "",
+        "combined = dedup + feature_evaluations + pipeline; '+build' adds the",
+        f"kernel-only arrays (intervals {timings['kernels_intervals']:.3f}s "
+        f"+ feature matrix {timings['kernels_matrix']:.3f}s).  The CSR index "
+        f"({timings['kernels_index']:.3f}s) is shared substrate: the row "
+        "path's per-certificate walks answer from it too.",
+    ]
+    record_result("\n".join(lines), name="perf_linking_kernels")
+
+    trajectory = {
+        "schema": 1,
+        "corpus": {
+            "scans": len(dataset),
+            "observations": dataset.n_observations,
+            "certificates": len(dataset.certificates),
+            "invalid": len(invalid),
+            "unique_invalid": len(unique_invalid),
+        },
+        "stage_seconds": {
+            stage: round(timings[stage], 4)
+            for stage in (
+                "validation", "kernels", "kernels_index", "kernels_intervals",
+                "kernels_matrix", "dedup", "feature_evaluations",
+                "pipeline", "tracking",
+            )
+        },
+        "kernel_seconds": {
+            stage: round(value, 4) for stage, value in kernel_seconds.items()
+        },
+        "naive_seconds": {
+            stage: round(value, 4) for stage, value in naive_seconds.items()
+        },
+        "speedup": {name: round(value, 2) for name, value in speedups.items()},
+    }
+    path = results_dir / "BENCH_perf.json"
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+
+    # Acceptance gate: ≥3× combined on the linking stages.
+    assert speedups["combined"] >= 3.0, speedups

@@ -14,6 +14,17 @@ The rule, verbatim from the paper:
   probe order re-randomizes per scan, a mid-scan mover would sometimes be
   caught once; a constant two strongly suggests two devices, so the
   certificate is declared non-unique.
+
+A certificate with **zero** observations (present in the certificate
+table but never seen by any scan) is classified unique: it was never
+multi-homed, so there is no evidence of sharing.
+
+The classifier reads the per-certificate extremes precomputed by the
+``dataset.intervals`` kernel (one CSR sweep for the whole corpus) instead
+of rebuilding a dict-of-sets per fingerprint; the §6.2 predicate only
+needs the max/min distinct-address counts and the distinct-scan count.
+``REPRO_LINK_PARITY=1`` re-runs the naive per-fingerprint path and
+asserts an identical partition.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..scanner.dataset import ScanDataset
+from .features import link_parity_enabled
 
 __all__ = ["DedupResult", "classify_unique_certificates"]
 
@@ -40,22 +52,20 @@ class DedupResult:
         return len(self.non_unique) / total if total else 0.0
 
 
-def classify_unique_certificates(
+def _naive_classify(
     dataset: ScanDataset,
-    fingerprints: Iterable[bytes],
-    max_ips_per_scan: int = 2,
+    fingerprints: list[bytes],
+    max_ips_per_scan: int,
 ) -> DedupResult:
-    """Apply the §6.2 uniqueness rule.
-
-    ``max_ips_per_scan`` is the paper's threshold of two; the ablation
-    benchmark sweeps it.
-    """
+    """The pre-kernel path: a dict-of-sets walk per fingerprint."""
     unique: set[bytes] = set()
     non_unique: set[bytes] = set()
     for fingerprint in fingerprints:
         by_scan = dataset.ips_by_scan(fingerprint)
         sizes = [len(ips) for ips in by_scan.values()]
-        if max(sizes) > max_ips_per_scan:
+        if not sizes:
+            unique.add(fingerprint)
+        elif max(sizes) > max_ips_per_scan:
             non_unique.add(fingerprint)
         elif (
             max_ips_per_scan >= 2
@@ -67,3 +77,43 @@ def classify_unique_certificates(
         else:
             unique.add(fingerprint)
     return DedupResult(unique=frozenset(unique), non_unique=frozenset(non_unique))
+
+
+def classify_unique_certificates(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    max_ips_per_scan: int = 2,
+) -> DedupResult:
+    """Apply the §6.2 uniqueness rule.
+
+    ``max_ips_per_scan`` is the paper's threshold of two; the ablation
+    benchmark sweeps it.
+    """
+    fingerprints = list(fingerprints)
+    cert_ids = dataset.columns.fingerprint_ids
+    spans = dataset.intervals
+    n_scans, max_ips, min_ips = spans.n_scans, spans.max_ips, spans.min_ips
+    unique: set[bytes] = set()
+    non_unique: set[bytes] = set()
+    for fingerprint in fingerprints:
+        cert_id = cert_ids.get(fingerprint)
+        if cert_id is None or n_scans[cert_id] == 0:
+            # Never observed: no multi-homing evidence, keep it.
+            unique.add(fingerprint)
+        elif max_ips[cert_id] > max_ips_per_scan:
+            non_unique.add(fingerprint)
+        elif (
+            max_ips_per_scan >= 2
+            and n_scans[cert_id] > 1
+            and max_ips[cert_id] == max_ips_per_scan
+            and min_ips[cert_id] == max_ips_per_scan
+        ):
+            # The every-scan-exactly-two exception.
+            non_unique.add(fingerprint)
+        else:
+            unique.add(fingerprint)
+    result = DedupResult(unique=frozenset(unique), non_unique=frozenset(non_unique))
+    if link_parity_enabled():
+        naive = _naive_classify(dataset, fingerprints, max_ips_per_scan)
+        assert result == naive, "dedup parity failure"
+    return result

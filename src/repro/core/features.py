@@ -13,11 +13,19 @@ Two extraction modes exist:
   which additionally drops Common Names that are IPv4 addresses (§6.4.1:
   46.9 % of invalid Common Names are IP literals and linking on them would
   be circular when IP-level consistency is the evaluation metric).
+
+The corpus-wide measurements (:func:`non_uniqueness_census`,
+:func:`absence_rates`) read the dataset's cached
+:class:`~repro.core.kernels.FeatureMatrix` — one interned value-id column
+per feature — instead of re-extracting every certificate per feature.
+Setting ``REPRO_LINK_PARITY=1`` makes them (and every other kernel-backed
+linking stage) re-run the naive per-object path and assert equality.
 """
 
 from __future__ import annotations
 
 import enum
+import os
 from typing import Hashable, Iterable, Optional
 
 from ..net.ip import looks_like_ipv4
@@ -30,7 +38,18 @@ __all__ = [
     "linkable_value",
     "non_uniqueness_census",
     "absence_rates",
+    "LINK_PARITY_ENV",
 ]
+
+#: Environment knob: every kernel-backed linking stage re-runs the naive
+#: row path and asserts bitwise-identical results (mirror of
+#: ``REPRO_DATASET_PARITY`` for the §6 kernels).
+LINK_PARITY_ENV = "REPRO_LINK_PARITY"
+
+
+def link_parity_enabled() -> bool:
+    """True when the kernel/naive cross-check knob is set."""
+    return bool(os.environ.get(LINK_PARITY_ENV))
 
 
 class Feature(enum.Enum):
@@ -78,6 +97,19 @@ def extract(cert: Certificate, feature: Feature) -> Optional[Hashable]:
     raise AssertionError(f"unhandled feature {feature}")
 
 
+def dropped_for_linking(feature: Feature, value: Hashable) -> bool:
+    """§6.4.1: IPv4-literal Common Names are not linkable.
+
+    The single source of truth shared by :func:`linkable_value` and the
+    :class:`~repro.core.kernels.FeatureMatrix` build.
+    """
+    return (
+        feature is Feature.COMMON_NAME
+        and isinstance(value, str)
+        and looks_like_ipv4(value)
+    )
+
+
 def linkable_value(cert: Certificate, feature: Feature) -> Optional[Hashable]:
     """Feature value as the linking pipeline uses it.
 
@@ -85,21 +117,15 @@ def linkable_value(cert: Certificate, feature: Feature) -> Optional[Hashable]:
     dropped (§6.4.1).
     """
     value = extract(cert, feature)
-    if (
-        feature is Feature.COMMON_NAME
-        and isinstance(value, str)
-        and looks_like_ipv4(value)
-    ):
+    if dropped_for_linking(feature, value):
         return None
     return value
 
 
-def non_uniqueness_census(
-    dataset: ScanDataset, fingerprints: Iterable[bytes]
+def _naive_non_uniqueness_census(
+    dataset: ScanDataset, fingerprints: list[bytes]
 ) -> dict[Feature, float]:
-    """Table 5: per feature, the fraction of carrying certificates whose
-    value is shared with at least one other certificate."""
-    fingerprints = list(fingerprints)
+    """The pre-kernel Table 5 path: one full extraction sweep per feature."""
     result: dict[Feature, float] = {}
     for feature in Feature:
         counts: dict[Hashable, int] = {}
@@ -118,15 +144,40 @@ def non_uniqueness_census(
     return result
 
 
-def absence_rates(
+def non_uniqueness_census(
     dataset: ScanDataset, fingerprints: Iterable[bytes]
 ) -> dict[Feature, float]:
-    """Fraction of certificates lacking each feature entirely.
-
-    The paper: 99.2 % of invalid certificates have no CRL, 99.3 % no AIA
-    location, 99.9 % no OCSP responder, 99.9 % no policy OID.
-    """
+    """Table 5: per feature, the fraction of carrying certificates whose
+    value is shared with at least one other certificate."""
     fingerprints = list(fingerprints)
+    matrix = dataset.feature_matrix
+    rows = [matrix.rows[fingerprint] for fingerprint in fingerprints]
+    result: dict[Feature, float] = {}
+    for feature in Feature:
+        column = matrix.raw_ids[feature]
+        counts: dict[int, int] = {}
+        carriers = 0
+        for row in rows:
+            value_id = column[row]
+            if value_id < 0:
+                continue
+            carriers += 1
+            counts[value_id] = counts.get(value_id, 0) + 1
+        if carriers == 0:
+            result[feature] = 0.0
+            continue
+        shared = sum(count for count in counts.values() if count > 1)
+        result[feature] = shared / carriers
+    if link_parity_enabled():
+        naive = _naive_non_uniqueness_census(dataset, fingerprints)
+        assert result == naive, f"census parity: {result} != {naive}"
+    return result
+
+
+def _naive_absence_rates(
+    dataset: ScanDataset, fingerprints: list[bytes]
+) -> dict[Feature, float]:
+    """The pre-kernel absence path: one extraction sweep per feature."""
     total = len(fingerprints)
     result: dict[Feature, float] = {}
     for feature in Feature:
@@ -136,4 +187,27 @@ def absence_rates(
             if extract(dataset.certificate(fingerprint), feature) is None
         )
         result[feature] = missing / total if total else 0.0
+    return result
+
+
+def absence_rates(
+    dataset: ScanDataset, fingerprints: Iterable[bytes]
+) -> dict[Feature, float]:
+    """Fraction of certificates lacking each feature entirely.
+
+    The paper: 99.2 % of invalid certificates have no CRL, 99.3 % no AIA
+    location, 99.9 % no OCSP responder, 99.9 % no policy OID.
+    """
+    fingerprints = list(fingerprints)
+    matrix = dataset.feature_matrix
+    rows = [matrix.rows[fingerprint] for fingerprint in fingerprints]
+    total = len(rows)
+    result: dict[Feature, float] = {}
+    for feature in Feature:
+        column = matrix.raw_ids[feature]
+        missing = sum(1 for row in rows if column[row] < 0)
+        result[feature] = missing / total if total else 0.0
+    if link_parity_enabled():
+        naive = _naive_absence_rates(dataset, fingerprints)
+        assert result == naive, f"absence parity: {result} != {naive}"
     return result

@@ -1,0 +1,475 @@
+"""Columnar kernels for the §6 linking pipeline.
+
+PR 1 made the *corpus* columnar; the linking stages still consumed it
+row-at-a-time — every Table 6 pass re-materialized each certificate via
+``dataset.certificate(fp)`` and re-extracted its fields, and consistency
+scoring walked each group's appearances once per location level with an
+unmemoized AS lookup per observation.  This module is the array-native
+replacement:
+
+* :class:`FeatureMatrix` — all ten §6.3 feature values extracted **once**
+  per certificate into interned value-id columns (``-1`` = absent), with a
+  parallel linkable view that drops IPv4-literal Common Names (§6.4.1).
+  Cached on the dataset (``dataset.feature_matrix``) so it ships to
+  process-pool workers once, with the pickled dataset.
+* :class:`ConsistencyCache` + :func:`fused_group_levels` /
+  :func:`fused_group_consistency` — each certificate's per-scan location
+  sets (ip, /24, AS) and per-location scan counts are computed in a
+  **single walk** of its observations (read straight from the CSR index)
+  and cached, so a certificate scored by several fields pays the walk
+  once; group scores then merge the cached per-certificate counters,
+  touching each member's observations zero times.  AS lookups go through
+  a memoized ``(ip, day) → ASN`` cache which keys on the routing *epoch*
+  (``RoutingHistory.epoch_of``) when the lookup exposes one, collapsing
+  every scan inside one routing regime to a single RouteViews-style
+  lookup per address.
+
+The per-certificate (first, last) scan intervals and per-scan address
+extremes consumed by dedup, the overlap rule, and the lifetime statistics
+live in :class:`repro.scanner.columns.CertIntervals`
+(``dataset.intervals``), the third kernel of the set.
+
+Every consumer guards the kernel path with the ``REPRO_LINK_PARITY=1``
+cross-check (see :mod:`repro.core.features`): outputs are bitwise-identical
+to the pre-kernel row path.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
+
+from ..x509.certificate import Certificate
+from .features import Feature, dropped_for_linking
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scanner.dataset import ScanDataset
+    from .consistency import ASLookup
+
+__all__ = [
+    "FeatureMatrix",
+    "ConsistencyCache",
+    "fused_group_levels",
+    "fused_group_consistency",
+]
+
+#: Sentinel distinct from None (a legitimate cached ASN is None = unrouted).
+_MISSING = object()
+
+
+class FeatureMatrix:
+    """Interned feature values of every certificate, one column per field.
+
+    Layout (one entry per certificate, in ``certificates`` dict order):
+
+    * ``rows``              — fingerprint → row index;
+    * ``fingerprints``      — row index → fingerprint;
+    * ``values[feature]``   — value id → raw feature value;
+    * ``raw_ids[feature]``  — row → value id of :func:`~.features.extract`
+      (``-1`` when the certificate lacks the feature);
+    * ``linkable_ids[feature]`` — row → value id as the linking pipeline
+      consumes it (:func:`~.features.linkable_value`); aliases
+      ``raw_ids`` for every field except Common Name, where IPv4-literal
+      names are additionally ``-1``.
+
+    Equal values intern to equal ids, so grouping and census counting
+    become integer-array operations; ``values`` maps ids back when a
+    result needs the original (hashable) value.
+    """
+
+    __slots__ = ("rows", "fingerprints", "values", "raw_ids", "linkable_ids")
+
+    def __init__(self) -> None:
+        self.rows: Dict[bytes, int] = {}
+        self.fingerprints: List[bytes] = []
+        self.values: Dict[Feature, List[Hashable]] = {f: [] for f in Feature}
+        self.raw_ids: Dict[Feature, array] = {}
+        self.linkable_ids: Dict[Feature, array] = {}
+
+    @classmethod
+    def from_certificates(
+        cls, certificates: Dict[bytes, Certificate]
+    ) -> "FeatureMatrix":
+        """Extract all ten features of every certificate in one pass."""
+        matrix = cls()
+        n = len(certificates)
+        matrix.fingerprints = list(certificates)
+        matrix.rows = {fp: row for row, fp in enumerate(matrix.fingerprints)}
+        features = tuple(Feature)
+        raw = {feature: array("i", bytes(4 * n)) for feature in features}
+        value_ids: Dict[Feature, Dict[Hashable, int]] = {
+            feature: {} for feature in features
+        }
+        cn_linkable = array("i", bytes(4 * n))
+        for row, cert in enumerate(certificates.values()):
+            for feature, value in zip(features, _extract_all(cert)):
+                if value is None:
+                    raw[feature][row] = -1
+                    if feature is Feature.COMMON_NAME:
+                        cn_linkable[row] = -1
+                    continue
+                ids = value_ids[feature]
+                value_id = ids.get(value)
+                if value_id is None:
+                    value_id = ids[value] = len(matrix.values[feature])
+                    matrix.values[feature].append(value)
+                raw[feature][row] = value_id
+                if feature is Feature.COMMON_NAME:
+                    cn_linkable[row] = (
+                        -1 if dropped_for_linking(feature, value) else value_id
+                    )
+        matrix.raw_ids = raw
+        matrix.linkable_ids = dict(raw)
+        matrix.linkable_ids[Feature.COMMON_NAME] = cn_linkable
+        return matrix
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def raw_value(self, feature: Feature, fingerprint: bytes) -> Optional[Hashable]:
+        """The :func:`~.features.extract` value, resolved through the matrix."""
+        value_id = self.raw_ids[feature][self.rows[fingerprint]]
+        return self.values[feature][value_id] if value_id >= 0 else None
+
+    def linkable_id(self, feature: Feature, fingerprint: bytes) -> int:
+        """The interned linkable value id (-1 = absent or dropped)."""
+        return self.linkable_ids[feature][self.rows[fingerprint]]
+
+
+def _extract_all(cert: Certificate) -> tuple:
+    """All ten feature values of one certificate, in ``Feature`` order.
+
+    The fused form of ten :func:`~.features.extract` calls — one attribute
+    walk per certificate instead of one per (certificate, feature).  Must
+    stay value-identical to ``extract``; the kernel parity suite
+    round-trips every matrix entry against it.
+    """
+    extensions = cert.extensions
+    return (
+        cert.not_before_stamp,                       # NOT_BEFORE
+        cert.subject_cn,                             # COMMON_NAME
+        cert.not_after_stamp,                        # NOT_AFTER
+        cert.public_key,                             # PUBLIC_KEY
+        extensions.subject_alt_names or None,        # SAN_LIST
+        (cert.issuer, cert.serial),                  # ISSUER_SERIAL
+        extensions.crl_uris or None,                 # CRL
+        extensions.ca_issuer_uris or None,           # AIA
+        extensions.ocsp_uris or None,                # OCSP
+        extensions.policy_oids or None,              # OID
+    )
+
+
+class ConsistencyCache:
+    """Per-process memo for consistency scoring.
+
+    Holds everything the fused scorer reuses across groups and features:
+
+    * ``as_memo`` — ``(ip, day-key) → ASN``.  When the lookup is bound to
+      an object exposing ``epoch_of(day)`` (:class:`~repro.net.bgp.
+      RoutingHistory`), the day-key is the routing epoch, so all scans
+      within one routing regime share one entry per address.
+    * ``locations`` — ``cert_id →`` that certificate's per-scan location
+      sets and per-location scan counts (see :func:`_cert_locations`),
+      built once per certificate no matter how many fields link it.
+
+    One cache serves one (dataset, lookup) pair; binding a different
+    lookup resets it.  Sharing a cache never changes results — every
+    entry is a pure function of the corpus and the lookup.
+    """
+
+    __slots__ = ("as_memo", "locations", "_scan_days", "_memo_days", "_as_of")
+
+    def __init__(self) -> None:
+        self.as_memo: dict = {}
+        self.locations: dict[int, tuple] = {}
+        self._scan_days: Optional[list[int]] = None
+        self._memo_days: Optional[list[int]] = None
+        self._as_of = _MISSING
+
+    def bind(
+        self, dataset: "ScanDataset", as_of: Optional["ASLookup"]
+    ) -> tuple[list[int], list[int]]:
+        """(scan index → day, scan index → memo day-key) for ``as_of``."""
+        if self._scan_days is None:
+            self._scan_days = [scan.day for scan in dataset.scans]
+        if as_of is not self._as_of:
+            if self._as_of is not _MISSING:
+                self.as_memo.clear()
+                self.locations.clear()
+            self._as_of = as_of
+            epoch_of = getattr(getattr(as_of, "__self__", None), "epoch_of", None)
+            if epoch_of is not None:
+                self._memo_days = [epoch_of(day) for day in self._scan_days]
+            else:
+                self._memo_days = self._scan_days
+        return self._scan_days, self._memo_days
+
+
+def _cert_locations(
+    index,
+    cert_id: int,
+    as_of: Optional["ASLookup"],
+    scan_days: list[int],
+    memo_days: list[int],
+    as_memo: dict,
+) -> tuple:
+    """One certificate's per-scan locations, in a single observation walk.
+
+    Returns ``(scan_idxs, positions, run_starts, ip_counts, s24_counts,
+    as_counts)``: the distinct scan indexes (sorted), the certificate's
+    observation positions with the offset where each scan's contiguous
+    run begins, and per-level ``location → number of scans containing
+    it`` counters (``as_counts`` is None when ``as_of`` is).  Counters
+    are all a group score needs on scans covered by one member; the runs
+    let :func:`_member_scan_set` rebuild a single scan's location set for
+    the shared-scan correction without storing per-scan sets up front —
+    most runs are a single observation, so the walk allocates nothing.
+    """
+    columns = index.columns
+    scan_idx_col = columns.scan_idx
+    ip_col = columns.ip
+    want_as = as_of is not None
+    positions = index.positions(cert_id)
+    scan_idxs: list[int] = []
+    run_starts: list[int] = []
+    ip_counts: dict = {}
+    s24_counts: dict = {}
+    as_counts: Optional[dict] = {} if want_as else None
+    run_scan = -1
+    run_ips: Optional[set] = None
+    run_s24: Optional[set] = None
+    run_as: Optional[set] = None
+    first_ip = 0
+    first_asn = None
+    for offset, pos in enumerate(positions):
+        scan = scan_idx_col[pos]
+        ip = ip_col[pos]
+        if scan != run_scan:
+            run_scan = scan
+            scan_idxs.append(scan)
+            run_starts.append(offset)
+            run_ips = None
+            first_ip = ip
+            ip_counts[ip] = ip_counts.get(ip, 0) + 1
+            s24 = ip & 0xFFFFFF00
+            s24_counts[s24] = s24_counts.get(s24, 0) + 1
+            if want_as:
+                key = (ip, memo_days[scan])
+                asn = as_memo.get(key, _MISSING)
+                if asn is _MISSING:
+                    asn = as_memo[key] = as_of(ip, scan_days[scan])
+                first_asn = asn
+                as_counts[asn] = as_counts.get(asn, 0) + 1
+            continue
+        # A multi-observation run: fall back to per-run dedup sets.
+        if run_ips is None:
+            run_ips = {first_ip}
+            run_s24 = {first_ip & 0xFFFFFF00}
+            if want_as:
+                run_as = {first_asn}
+        if ip in run_ips:
+            continue
+        run_ips.add(ip)
+        ip_counts[ip] = ip_counts.get(ip, 0) + 1
+        s24 = ip & 0xFFFFFF00
+        if s24 not in run_s24:
+            run_s24.add(s24)
+            s24_counts[s24] = s24_counts.get(s24, 0) + 1
+        if want_as:
+            key = (ip, memo_days[scan])
+            asn = as_memo.get(key, _MISSING)
+            if asn is _MISSING:
+                asn = as_memo[key] = as_of(ip, scan_days[scan])
+            if asn not in run_as:
+                run_as.add(asn)
+                as_counts[asn] = as_counts.get(asn, 0) + 1
+    return scan_idxs, positions, run_starts, ip_counts, s24_counts, as_counts
+
+
+def _member_scan_set(
+    ip_col,
+    locs: tuple,
+    row: int,
+    level: int,
+    as_of: Optional["ASLookup"],
+    scan_days: list[int],
+    memo_days: list[int],
+    as_memo: dict,
+) -> set:
+    """One member's location set at one scan, rebuilt from its run."""
+    scan_idxs, positions, run_starts = locs[0], locs[1], locs[2]
+    start = run_starts[row]
+    end = run_starts[row + 1] if row + 1 < len(run_starts) else len(positions)
+    ips = {ip_col[positions[offset]] for offset in range(start, end)}
+    if level == 0:
+        return ips
+    if level == 1:
+        return {ip & 0xFFFFFF00 for ip in ips}
+    scan = scan_idxs[row]
+    asns = set()
+    for ip in ips:
+        key = (ip, memo_days[scan])
+        asn = as_memo.get(key, _MISSING)
+        if asn is _MISSING:
+            asn = as_memo[key] = as_of(ip, scan_days[scan])
+        asns.add(asn)
+    return asns
+
+
+def _group_locations(
+    dataset: "ScanDataset",
+    fingerprints: Sequence[bytes],
+    as_of: Optional["ASLookup"],
+    cache: ConsistencyCache,
+) -> list[tuple]:
+    """The cached location bundles of a group's observed members."""
+    index = dataset.index
+    fingerprint_ids = index.columns.fingerprint_ids
+    scan_days, memo_days = cache.bind(dataset, as_of)
+    locations = cache.locations
+    members: list[tuple] = []
+    for fingerprint in fingerprints:
+        cert_id = fingerprint_ids.get(fingerprint)
+        if cert_id is None:
+            continue
+        locs = locations.get(cert_id)
+        if locs is None or (as_of is not None and locs[5] is None):
+            locs = locations[cert_id] = _cert_locations(
+                index, cert_id, as_of, scan_days, memo_days, cache.as_memo
+            )
+        members.append(locs)
+    return members
+
+
+def _merge_counts(members: list[tuple], slot: int) -> dict:
+    """Sum the members' per-location scan counters at one level."""
+    merged: dict = {}
+    for locs in members:
+        for location, count in locs[slot].items():
+            merged[location] = merged.get(location, 0) + count
+    return merged
+
+
+def fused_group_levels(
+    dataset: "ScanDataset",
+    fingerprints: Sequence[bytes],
+    as_of: Optional["ASLookup"],
+    cache: Optional[ConsistencyCache] = None,
+) -> tuple[float, float, float]:
+    """(ip, /24, AS) consistency of one group from cached counters.
+
+    Semantically identical to three calls of
+    :func:`repro.core.consistency.group_consistency`, one per level: the
+    score is ``max(location scan counts) / distinct scans``, both sides
+    integers, so results are bitwise-identical.  Summed per-certificate
+    counters count a location once per *member* on a scan several members
+    cover; the reference (a union set per scan) counts it once — so on
+    those scans each present member's contribution is retracted and the
+    union's added back.  The AS level is 0.0 when ``as_of`` is None.
+    """
+    if cache is None:
+        cache = ConsistencyCache()
+    members = _group_locations(dataset, fingerprints, as_of, cache)
+    if not members:
+        return 0.0, 0.0, 0.0
+    # Fast path: when member scan intervals are strictly disjoint (the
+    # common outcome of the overlap rule), no scan is covered by two
+    # members — counters sum with no correction and the distinct-scan
+    # count is just the total of the members' own scan counts.
+    ordered = sorted(members, key=lambda locs: locs[0][0])
+    n_scans = 0
+    previous_last = -1
+    disjoint = True
+    for locs in ordered:
+        scan_idxs = locs[0]
+        if scan_idxs[0] <= previous_last:
+            disjoint = False
+            break
+        previous_last = scan_idxs[-1]
+        n_scans += len(scan_idxs)
+    if disjoint:
+        levels = []
+        for counts_slot in (3, 4, 5):
+            if counts_slot == 5 and as_of is None:
+                levels.append(0.0)
+                continue
+            levels.append(max(_merge_counts(members, counts_slot).values()) / n_scans)
+        return tuple(levels)
+    # scan index → (member locations, row) of every member covering it.
+    scan_members: dict[int, list[tuple]] = {}
+    for locs in members:
+        for row, scan in enumerate(locs[0]):
+            entries = scan_members.get(scan)
+            if entries is None:
+                scan_members[scan] = [(locs, row)]
+            else:
+                entries.append((locs, row))
+    n_scans = len(scan_members)
+    shared = [entries for entries in scan_members.values() if len(entries) > 1]
+    scan_days, memo_days = cache.bind(dataset, as_of)
+    ip_col = dataset.index.columns.ip
+    levels = []
+    for level, counts_slot in ((0, 3), (1, 4), (2, 5)):
+        if level == 2 and as_of is None:
+            levels.append(0.0)
+            continue
+        counts = _merge_counts(members, counts_slot)
+        for entries in shared:
+            present = [
+                _member_scan_set(
+                    ip_col, locs, row, level, as_of,
+                    scan_days, memo_days, cache.as_memo,
+                )
+                for locs, row in entries
+            ]
+            for location_set in present:
+                for location in location_set:
+                    counts[location] -= 1
+            for location in set().union(*present):
+                counts[location] += 1
+        levels.append(max(counts.values()) / n_scans)
+    return tuple(levels)
+
+
+def fused_group_consistency(
+    dataset: "ScanDataset",
+    fingerprints: Sequence[bytes],
+    as_of: Optional["ASLookup"],
+    cache: Optional[ConsistencyCache] = None,
+) -> tuple[float, float, float, float]:
+    """(ip, /24, /16, AS) consistency of one group in a single walk.
+
+    The four-level variant of :func:`fused_group_levels` (the /16 level
+    sits between /24 and AS in the §8 mobility analysis).  Per-scan /16
+    sets are derived from each member's cached observation runs, so the
+    group's observations are still walked only once.
+    """
+    if cache is None:
+        cache = ConsistencyCache()
+    ip_level, s24_level, as_level = fused_group_levels(
+        dataset, fingerprints, as_of, cache
+    )
+    members = _group_locations(dataset, fingerprints, as_of, cache)
+    scan_days, memo_days = cache.bind(dataset, as_of)
+    ip_col = dataset.index.columns.ip
+    per_scan_16: dict[int, set] = {}
+    for locs in members:
+        for row, scan in enumerate(locs[0]):
+            existing = per_scan_16.get(scan)
+            masked = {
+                ip & 0xFFFF0000
+                for ip in _member_scan_set(
+                    ip_col, locs, row, 0, as_of,
+                    scan_days, memo_days, cache.as_memo,
+                )
+            }
+            per_scan_16[scan] = masked if existing is None else existing | masked
+    if not per_scan_16:
+        s16_level = 0.0
+    else:
+        counts: dict = {}
+        for locations in per_scan_16.values():
+            for location in locations:
+                counts[location] = counts.get(location, 0) + 1
+        s16_level = max(counts.values()) / len(per_scan_16)
+    return ip_level, s24_level, s16_level, as_level

@@ -8,6 +8,13 @@ address mid-scan may expose both its old and new certificate in the same
 sweep — Figure 9's PK2 case.  Two or more overlapping scans mean two
 devices serving distinct certificates simultaneously — the PK3 case — and
 the whole group is rejected for that field.)
+
+Both stages run on the columnar kernels: grouping buckets interned value
+ids from the dataset's :class:`~repro.core.kernels.FeatureMatrix` instead
+of re-extracting each certificate, and the overlap rule reads the
+(first, last) scan-index arrays of ``dataset.intervals`` instead of
+materializing each member's full scan list.  ``REPRO_LINK_PARITY=1``
+re-runs the naive row path and asserts identical results.
 """
 
 from __future__ import annotations
@@ -16,8 +23,7 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional, Sequence
 
 from ..scanner.dataset import ScanDataset
-from ..x509.certificate import Certificate
-from .features import Feature, linkable_value
+from .features import Feature, link_parity_enabled, linkable_value
 
 __all__ = ["LinkedGroup", "LinkResult", "group_by_feature", "link_on_feature"]
 
@@ -58,18 +64,46 @@ class LinkResult:
         return sum(len(group) for group in self.groups)
 
 
-def group_by_feature(
+def _naive_group_by_feature(
     dataset: ScanDataset,
-    fingerprints: Iterable[bytes],
+    fingerprints: list[bytes],
     feature: Feature,
 ) -> dict[Hashable, list[bytes]]:
-    """Bucket certificates by their (linkable) value of one field."""
+    """The pre-kernel path: re-extract the field from every certificate."""
     buckets: dict[Hashable, list[bytes]] = {}
     for fingerprint in fingerprints:
         value = linkable_value(dataset.certificate(fingerprint), feature)
         if value is None:
             continue
         buckets.setdefault(value, []).append(fingerprint)
+    return buckets
+
+
+def group_by_feature(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    feature: Feature,
+) -> dict[Hashable, list[bytes]]:
+    """Bucket certificates by their (linkable) value of one field."""
+    fingerprints = list(fingerprints)
+    matrix = dataset.feature_matrix
+    column = matrix.linkable_ids[feature]
+    rows = matrix.rows
+    by_id: dict[int, list[bytes]] = {}
+    for fingerprint in fingerprints:
+        value_id = column[rows[fingerprint]]
+        if value_id < 0:
+            continue
+        members = by_id.get(value_id)
+        if members is None:
+            by_id[value_id] = [fingerprint]
+        else:
+            members.append(fingerprint)
+    values = matrix.values[feature]
+    buckets = {values[value_id]: members for value_id, members in by_id.items()}
+    if link_parity_enabled():
+        naive = _naive_group_by_feature(dataset, fingerprints, feature)
+        assert buckets == naive, f"grouping parity failure on {feature}"
     return buckets
 
 
@@ -92,6 +126,42 @@ def _max_pairwise_overlap(intervals: Sequence[tuple[int, int]]) -> int:
     return worst
 
 
+def _naive_link_on_feature(
+    dataset: ScanDataset,
+    fingerprints: Iterable[bytes],
+    feature: Feature,
+    overlap_allowance: int = 1,
+) -> LinkResult:
+    """The pre-kernel linking path, kept as the parity/bench reference."""
+    buckets = _naive_group_by_feature(dataset, list(fingerprints), feature)
+    groups: list[LinkedGroup] = []
+    rejected = singletons = 0
+    for value, members in buckets.items():
+        if len(members) < 2:
+            singletons += 1
+            continue
+        intervals = []
+        for fingerprint in members:
+            scan_idxs = dataset.scan_indexes_of(fingerprint)
+            intervals.append((scan_idxs[0], scan_idxs[-1]))
+        if _max_pairwise_overlap(intervals) > overlap_allowance:
+            rejected += 1
+            continue
+        groups.append(
+            LinkedGroup(
+                feature=feature,
+                value=value,
+                fingerprints=tuple(sorted(members)),
+            )
+        )
+    return LinkResult(
+        feature=feature,
+        groups=groups,
+        rejected_values=rejected,
+        singleton_values=singletons,
+    )
+
+
 def link_on_feature(
     dataset: ScanDataset,
     fingerprints: Iterable[bytes],
@@ -104,6 +174,9 @@ def link_on_feature(
     share (the paper allows exactly one); the ablation benchmark sweeps it.
     """
     buckets = group_by_feature(dataset, fingerprints, feature)
+    cert_ids = dataset.columns.fingerprint_ids
+    spans = dataset.intervals
+    first_scan, last_scan = spans.first_scan, spans.last_scan
     groups: list[LinkedGroup] = []
     rejected = singletons = 0
     for value, members in buckets.items():
@@ -112,8 +185,14 @@ def link_on_feature(
             continue
         intervals = []
         for fingerprint in members:
-            scan_idxs = dataset.scan_indexes_of(fingerprint)
-            intervals.append((scan_idxs[0], scan_idxs[-1]))
+            cert_id = cert_ids[fingerprint]
+            intervals.append((first_scan[cert_id], last_scan[cert_id]))
+        if link_parity_enabled():
+            naive = [
+                (scan_idxs[0], scan_idxs[-1])
+                for scan_idxs in map(dataset.scan_indexes_of, members)
+            ]
+            assert intervals == naive, f"interval parity failure on {feature}"
         if _max_pairwise_overlap(intervals) > overlap_allowance:
             rejected += 1
             continue

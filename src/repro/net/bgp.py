@@ -145,16 +145,26 @@ class RoutingHistory:
         """A history that never changes (single snapshot at day 0)."""
         return cls([(0, table)])
 
-    def table_at(self, day: int) -> PrefixTable:
-        """Snapshot in force on ``day``."""
+    def epoch_of(self, day: int) -> int:
+        """Index of the snapshot in force on ``day``.
+
+        Two days with the same epoch are guaranteed to resolve through the
+        same table, so day-aware lookup caches (the consistency kernel's
+        ``(ip, day) → ASN`` memo) can key on the epoch instead of the day
+        and collapse every scan within one routing regime to one entry.
+        """
         # Linear scan is fine: histories hold a handful of snapshots.
-        chosen = self._tables[0]
-        for snapshot_day, table in zip(self._days, self._tables):
+        chosen = 0
+        for index, snapshot_day in enumerate(self._days):
             if snapshot_day <= day:
-                chosen = table
+                chosen = index
             else:
                 break
         return chosen
+
+    def table_at(self, day: int) -> PrefixTable:
+        """Snapshot in force on ``day``."""
+        return self._tables[self.epoch_of(day)]
 
     def origin_as(self, ip: int, day: int) -> Optional[int]:
         """AS originating ``ip`` on ``day``."""

@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 from ..tls.handshake import HandshakeRecord
 from .records import Observation, Scan
 
-__all__ = ["ObservationColumns", "ObservationIndex"]
+__all__ = ["ObservationColumns", "ObservationIndex", "CertIntervals"]
 
 
 class ObservationColumns:
@@ -221,3 +221,73 @@ class ObservationIndex:
             for pos in self.positions(cert_id)
             if columns.entity_id[pos]
         }
+
+
+class CertIntervals:
+    """Per-certificate scan-interval and multi-homing stats, one CSR sweep.
+
+    The §6 stages keep re-deriving the same five per-certificate scalars —
+    dedup wants the per-scan distinct-address extremes, the overlap rule
+    wants the (first, last) scan interval, and the lifetime statistics want
+    the distinct-scan count — each via a fresh dict-of-sets walk per
+    fingerprint.  This computes all of them for every certificate in a
+    single pass over the CSR index (positions arrive in corpus order, so
+    each certificate's observations group into contiguous per-scan runs).
+
+    Arrays (one entry per ``cert_id``):
+
+    * ``first_scan`` / ``last_scan`` — scan indexes of the first and last
+      sighting (-1 when the certificate was never observed);
+    * ``n_scans``   — number of distinct scans with at least one sighting;
+    * ``max_ips`` / ``min_ips`` — largest / smallest number of distinct
+      addresses advertising the certificate in any single scan it appears
+      in (0 when never observed).
+    """
+
+    __slots__ = ("first_scan", "last_scan", "n_scans", "max_ips", "min_ips")
+
+    def __init__(self, index: ObservationIndex) -> None:
+        columns = index.columns
+        n_certs = len(columns.fingerprints)
+        self.first_scan = array("i", bytes(4 * n_certs))
+        self.last_scan = array("i", bytes(4 * n_certs))
+        self.n_scans = array("I", bytes(4 * n_certs))
+        self.max_ips = array("I", bytes(4 * n_certs))
+        self.min_ips = array("I", bytes(4 * n_certs))
+        scan_idx = columns.scan_idx
+        ip_col = columns.ip
+        for cert_id in range(n_certs):
+            positions = index.positions(cert_id)
+            if not positions:
+                self.first_scan[cert_id] = -1
+                self.last_scan[cert_id] = -1
+                continue
+            sightings = iter(positions)
+            first_pos = next(sightings)
+            run_scan = scan_idx[first_pos]
+            self.first_scan[cert_id] = run_scan
+            run_ips = {ip_col[first_pos]}
+            n_scans = 1
+            max_ips = min_ips = 0
+            for pos in sightings:
+                scan = scan_idx[pos]
+                if scan != run_scan:
+                    size = len(run_ips)
+                    if size > max_ips:
+                        max_ips = size
+                    if min_ips == 0 or size < min_ips:
+                        min_ips = size
+                    run_scan = scan
+                    run_ips = {ip_col[pos]}
+                    n_scans += 1
+                else:
+                    run_ips.add(ip_col[pos])
+            size = len(run_ips)
+            if size > max_ips:
+                max_ips = size
+            if min_ips == 0 or size < min_ips:
+                min_ips = size
+            self.last_scan[cert_id] = run_scan
+            self.n_scans[cert_id] = n_scans
+            self.max_ips[cert_id] = max_ips
+            self.min_ips[cert_id] = min_ips

@@ -29,11 +29,12 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 from ..internet.population import World
 from ..x509.certificate import Certificate
 from .campaign import ScanCampaign
-from .columns import ObservationColumns, ObservationIndex
+from .columns import CertIntervals, ObservationColumns, ObservationIndex
 from .engine import ScanEngine
-from .records import Observation, Scan
+from .records import Scan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..core.kernels import FeatureMatrix
     from ..io.backends import DatasetBackend
 
 __all__ = ["ScanDataset"]
@@ -52,6 +53,8 @@ class ScanDataset:
         self.certificates = certificates
         self._columns: Optional[ObservationColumns] = None
         self._observation_index: Optional[ObservationIndex] = None
+        self._intervals: Optional[CertIntervals] = None
+        self._feature_matrix: Optional["FeatureMatrix"] = None
 
     @classmethod
     def collect(
@@ -97,6 +100,28 @@ class ScanDataset:
             if os.environ.get(PARITY_ENV):
                 self.verify_index_parity()
         return self._observation_index
+
+    @property
+    def intervals(self) -> CertIntervals:
+        """Per-certificate interval/dedup arrays (one CSR sweep, built once)."""
+        if self._intervals is None:
+            self._intervals = CertIntervals(self.index)
+        return self._intervals
+
+    @property
+    def feature_matrix(self) -> "FeatureMatrix":
+        """Interned §6.3 feature values of every certificate (built once).
+
+        Imported lazily: :mod:`repro.core.kernels` depends on the feature
+        extractors in :mod:`repro.core.features`, which import this module.
+        """
+        if self._feature_matrix is None:
+            from ..core.kernels import FeatureMatrix
+
+            self._feature_matrix = FeatureMatrix.from_certificates(
+                self.certificates
+            )
+        return self._feature_matrix
 
     def verify_index_parity(self) -> None:
         """Assert the columnar index agrees with the legacy row path.

@@ -80,6 +80,18 @@ class TestUniquenessRule:
         assert cert.fingerprint in strict.non_unique
         assert cert.fingerprint in loose.unique
 
+    def test_zero_observations_is_unique(self):
+        # Regression: a certificate in the table but never observed used to
+        # crash on max([]) — it was never multi-homed, so keep it.
+        seen = make_cert(cn="seen", key_seed=1)
+        ghost = make_cert(cn="ghost", key_seed=2)
+        dataset = make_dataset([(DAY0, [(100, seen)])])
+        dataset.certificates[ghost.fingerprint] = ghost
+        result = classify_unique_certificates(
+            dataset, [seen.fingerprint, ghost.fingerprint]
+        )
+        assert ghost.fingerprint in result.unique
+
     def test_threshold_one_disables_exception(self):
         cert = make_cert()
         dataset = make_dataset(

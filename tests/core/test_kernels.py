@@ -1,0 +1,227 @@
+"""Kernel-vs-naive parity for the §6 columnar linking kernels.
+
+Every kernel (FeatureMatrix grouping/census, CertIntervals dedup and
+lifetimes, fused consistency) must be bitwise-identical to the pre-kernel
+row path.  These tests build a randomized corpus — shared keys, colliding
+Common Names and Not Before stamps, IP-literal CNs, multi-homed and
+zero-observation certificates — and compare both paths explicitly, plus
+run the pipeline end-to-end under ``REPRO_LINK_PARITY=1`` so the in-tree
+cross-checks fire.
+"""
+
+import random
+
+import pytest
+
+from repro.core.consistency import evaluate_link_result, group_consistency
+from repro.core.dedup import _naive_classify, classify_unique_certificates
+from repro.core.features import (
+    Feature,
+    _naive_absence_rates,
+    _naive_non_uniqueness_census,
+    absence_rates,
+    extract,
+    linkable_value,
+    non_uniqueness_census,
+)
+from repro.core.kernels import fused_group_consistency
+from repro.core.linking import _naive_group_by_feature, group_by_feature, link_on_feature
+from repro.core.pipeline import (
+    _naive_lifetime_improvement,
+    iterative_link,
+    lifetime_improvement,
+)
+from repro.scanner.records import Observation, Scan
+from repro.scanner.dataset import ScanDataset
+
+from .helpers import DAY0, make_cert, make_dataset, make_keypair
+
+
+def random_corpus(seed=7, n_certs=36, n_scans=8, n_unobserved=3):
+    """A randomized corpus exercising every kernel edge at once.
+
+    Deliberate collisions (shared keypairs, repeated CNs and Not Before
+    stamps), IPv4-literal Common Names, SAN/CRL carriers, multi-homed
+    certificates (up to four addresses in one scan), shared /24s, and a
+    few certificates present in the table but never observed.
+    """
+    rng = random.Random(seed)
+    keypairs = [make_keypair(s) for s in range(1, 7)]
+    cns = ["WD2GO 7", "fritz.box", "192.168.1.1", "10.0.0.138", "box-%d"]
+    certs = []
+    for i in range(n_certs):
+        cn = rng.choice(cns)
+        if cn == "box-%d":
+            cn = f"box-{rng.randrange(6)}"
+        certs.append(
+            make_cert(
+                cn=cn,
+                keypair=rng.choice(keypairs),
+                nb=DAY0 - rng.randrange(60),
+                nb_secs=rng.choice([None, 1234, 4321]),
+                sans=("a.example", "b.example") if rng.random() < 0.3 else (),
+                crl=("http://crl.example/x",) if rng.random() < 0.2 else (),
+            )
+        )
+    scans = []
+    certificates = {}
+    for day_index in range(n_scans):
+        observations = []
+        for cert in certs:
+            if rng.random() < 0.6:
+                continue
+            certificates[cert.fingerprint] = cert
+            base_ip = 0x0A000000 + rng.randrange(4) * 256 + rng.randrange(40)
+            for extra in range(rng.choice([1, 1, 1, 2, 4])):
+                observations.append(
+                    Observation(ip=base_ip + extra * 7, fingerprint=cert.fingerprint)
+                )
+        scans.append(Scan(day=DAY0 + 7 * day_index, source="test", observations=observations))
+    for i in range(n_unobserved):
+        ghost = make_cert(cn=f"never-seen-{i}", key_seed=100 + i)
+        certificates[ghost.fingerprint] = ghost
+    return ScanDataset(scans, certificates)
+
+
+def random_as_of(ip, day):
+    """A deterministic, lumpy (ip, day) → ASN mapping."""
+    return (ip >> 10) % 5 + (1 if day % 14 == 0 else 0)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_corpus()
+
+
+@pytest.fixture(scope="module")
+def population(corpus):
+    return sorted(corpus.certificates)
+
+
+class TestFeatureMatrix:
+    def test_round_trips_every_extracted_value(self, corpus):
+        matrix = corpus.feature_matrix
+        for fingerprint, cert in corpus.certificates.items():
+            for feature in Feature:
+                assert matrix.raw_value(feature, fingerprint) == extract(cert, feature)
+
+    def test_linkable_ids_drop_ip_literal_cns(self, corpus):
+        matrix = corpus.feature_matrix
+        for fingerprint, cert in corpus.certificates.items():
+            value_id = matrix.linkable_id(Feature.COMMON_NAME, fingerprint)
+            expected = linkable_value(cert, Feature.COMMON_NAME)
+            if expected is None:
+                assert value_id == -1
+            else:
+                assert matrix.values[Feature.COMMON_NAME][value_id] == expected
+
+    def test_equal_values_share_one_id(self, corpus):
+        matrix = corpus.feature_matrix
+        for feature in Feature:
+            values = matrix.values[feature]
+            assert len(values) == len(set(values))
+
+    def test_census_and_absence_match_naive(self, corpus, population):
+        assert non_uniqueness_census(corpus, population) == \
+            _naive_non_uniqueness_census(corpus, population)
+        assert absence_rates(corpus, population) == \
+            _naive_absence_rates(corpus, population)
+
+
+class TestIntervalKernel:
+    def test_intervals_match_ips_by_scan(self, corpus):
+        spans = corpus.intervals
+        for fingerprint, cert_id in corpus.columns.fingerprint_ids.items():
+            by_scan = corpus.ips_by_scan(fingerprint)
+            scan_idxs = sorted(by_scan)
+            sizes = [len(ips) for ips in by_scan.values()]
+            assert spans.first_scan[cert_id] == scan_idxs[0]
+            assert spans.last_scan[cert_id] == scan_idxs[-1]
+            assert spans.n_scans[cert_id] == len(scan_idxs)
+            assert spans.max_ips[cert_id] == max(sizes)
+            assert spans.min_ips[cert_id] == min(sizes)
+
+    def test_dedup_matches_naive_at_every_threshold(self, corpus):
+        observed = sorted(corpus.columns.fingerprint_ids)
+        for threshold in (1, 2, 3, 4):
+            kernel = classify_unique_certificates(corpus, observed, threshold)
+            naive = _naive_classify(corpus, observed, threshold)
+            assert kernel == naive
+
+    def test_zero_observation_certificate_is_unique(self, corpus, population):
+        # Regression: max(sizes) used to raise ValueError on an empty
+        # sequence for table-only certificates; they are single-device.
+        ghosts = set(population) - set(corpus.columns.fingerprint_ids)
+        assert ghosts, "corpus should carry never-observed certificates"
+        result = classify_unique_certificates(corpus, population)
+        assert ghosts <= result.unique
+
+    def test_zero_observation_minimal_case(self):
+        seen = make_cert(cn="seen", key_seed=1)
+        ghost = make_cert(cn="ghost", key_seed=2)
+        dataset = make_dataset([(DAY0, [(100, seen)])])
+        dataset.certificates[ghost.fingerprint] = ghost
+        result = classify_unique_certificates(
+            dataset, [seen.fingerprint, ghost.fingerprint]
+        )
+        assert ghost.fingerprint in result.unique
+        assert seen.fingerprint in result.unique
+
+
+class TestLinkingKernels:
+    @pytest.mark.parametrize("feature", list(Feature), ids=lambda f: f.name)
+    def test_grouping_matches_naive(self, corpus, population, feature):
+        observed = [fp for fp in population if fp in corpus.columns.fingerprint_ids]
+        kernel = group_by_feature(corpus, observed, feature)
+        naive = _naive_group_by_feature(corpus, observed, feature)
+        assert kernel == naive
+        assert list(kernel) == list(naive)  # same first-appearance order
+
+    @pytest.mark.parametrize("feature", list(Feature), ids=lambda f: f.name)
+    def test_consistency_matches_reference(self, corpus, feature):
+        observed = sorted(corpus.columns.fingerprint_ids)
+        result = link_on_feature(corpus, observed, feature)
+        report = evaluate_link_result(corpus, result, random_as_of)
+        for group in result.groups:
+            fused = fused_group_consistency(
+                corpus, group.fingerprints, random_as_of
+            )
+            reference = tuple(
+                group_consistency(corpus, group, level, random_as_of)
+                for level in ("ip", "/24", "/16", "as")
+            )
+            assert fused == reference
+        assert report.total_linked == result.total_linked
+
+    def test_fused_levels_without_as_lookup(self, corpus):
+        observed = sorted(corpus.columns.fingerprint_ids)
+        ip_level, s24, s16, as_level = fused_group_consistency(
+            corpus, observed[:5], None
+        )
+        assert as_level == 0.0
+        assert 0.0 <= ip_level <= s24 <= s16 <= 1.0
+
+
+class TestEndToEndParity:
+    def test_pipeline_under_parity_env(self, corpus, monkeypatch):
+        monkeypatch.setenv("REPRO_LINK_PARITY", "1")
+        observed = sorted(corpus.columns.fingerprint_ids)
+        dedup = classify_unique_certificates(corpus, observed)
+        pipeline = iterative_link(corpus, sorted(dedup.unique), random_as_of)
+        improvement = lifetime_improvement(corpus, pipeline, sorted(dedup.unique))
+        naive = _naive_lifetime_improvement(
+            corpus, pipeline, sorted(dedup.unique)
+        )
+        assert improvement == naive
+
+    def test_matrix_survives_pickling(self, corpus):
+        # Workers receive the kernels with the pickled dataset.
+        import pickle
+
+        corpus.feature_matrix
+        corpus.intervals
+        clone = pickle.loads(pickle.dumps(corpus))
+        assert clone._feature_matrix is not None
+        assert clone._intervals is not None
+        assert clone.feature_matrix.rows == corpus.feature_matrix.rows
+        assert list(clone.intervals.first_scan) == list(corpus.intervals.first_scan)
