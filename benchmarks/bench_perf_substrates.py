@@ -387,8 +387,107 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
         },
         "speedup": {name: round(value, 2) for name, value in speedups.items()},
     }
-    path = results_dir / "BENCH_perf.json"
-    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    _update_bench_json(results_dir, trajectory)
 
     # Acceptance gate: ≥3× combined on the linking stages.
     assert speedups["combined"] >= 3.0, speedups
+
+
+def _update_bench_json(results_dir, section: dict) -> None:
+    """Read-modify-write ``BENCH_perf.json`` so the perf-trajectory and
+    observability sections compose regardless of which test ran first."""
+    path = results_dir / "BENCH_perf.json"
+    try:
+        merged = json.loads(path.read_text())
+    except (OSError, ValueError):
+        merged = {}
+    merged.update(section)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def test_perf_obs_overhead(paper_synthetic, results_dir, record_result):
+    """Tracing must be effectively free: the full analysis (validation →
+    tracking) runs alternately untraced and fully traced over the warm
+    paper corpus.  Whole-run wall clock is too noisy for a percent-level
+    gate (scheduler/allocator spikes run to ±10 % on a ~1 s workload), so
+    each mode's cost is the **sum of per-stage minima** across rounds:
+    spikes land in different stages in different rounds and fall out of
+    the minima, while real instrumentation overhead — present in every
+    traced round — cannot.  Acceptance: <3 % with every span and counter
+    live.
+    """
+    if link_parity_enabled():
+        pytest.skip("REPRO_LINK_PARITY=1 doubles every stage's work; "
+                    "overhead ratios would be meaningless")
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs import runtime as obs_runtime
+    from repro.study import Study
+
+    stages = (
+        "validation", "dedup", "feature_evaluations", "pipeline", "tracking",
+    )
+    detail = {}
+
+    def run(observe):
+        gc.collect()
+        if observe:
+            trace, metrics = Tracer(), MetricsRegistry()
+            with obs_runtime.activated(trace, metrics):
+                study = Study.from_synthetic(paper_synthetic, observe=True)
+                study.tracked_devices()
+            detail["spans"] = len(trace.spans)
+            detail["counters"] = len(metrics.counters)
+        else:
+            study = Study.from_synthetic(paper_synthetic)
+            study.tracked_devices()
+        timings = study.stage_timings
+        return {stage: timings[stage] for stage in stages}
+
+    run(observe=False)  # warm the dataset-level caches out of the timings
+    rounds = 4
+    untraced = {stage: [] for stage in stages}
+    traced = {stage: [] for stage in stages}
+    for _ in range(rounds):
+        for stage, cost in run(observe=False).items():
+            untraced[stage].append(cost)
+        for stage, cost in run(observe=True).items():
+            traced[stage].append(cost)
+    untraced_best = {stage: min(untraced[stage]) for stage in stages}
+    traced_best = {stage: min(traced[stage]) for stage in stages}
+    untraced_total = sum(untraced_best.values())
+    traced_total = sum(traced_best.values())
+    overhead = traced_total / untraced_total - 1.0
+
+    lines = [
+        f"full analysis over the paper corpus; per-stage minima over "
+        f"{rounds} alternating rounds",
+        "",
+        f"{'stage':<22} {'untraced':>10} {'traced':>10} {'delta':>8}",
+    ]
+    for stage in stages:
+        delta = traced_best[stage] / untraced_best[stage] - 1.0
+        lines.append(
+            f"{stage:<22} {untraced_best[stage]:>9.3f}s "
+            f"{traced_best[stage]:>9.3f}s {delta:>7.1%}"
+        )
+    lines += [
+        f"{'total':<22} {untraced_total:>9.3f}s {traced_total:>9.3f}s "
+        f"{overhead:>7.1%}",
+        "",
+        f"traced runs recorded {detail['spans']} spans and "
+        f"{detail['counters']} counters",
+    ]
+    record_result("\n".join(lines), name="perf_obs_overhead")
+    _update_bench_json(results_dir, {
+        "observability": {
+            "untraced_seconds": round(untraced_total, 4),
+            "traced_seconds": round(traced_total, 4),
+            "overhead_fraction": round(overhead, 4),
+            "rounds": rounds,
+            "spans": detail["spans"],
+            "counters": detail["counters"],
+        },
+    })
+    assert detail["spans"] > 0 and detail["counters"] > 0
+    # Acceptance gate: the observed pipeline is at most 3 % slower.
+    assert overhead < 0.03, f"observability overhead {overhead:.2%}"

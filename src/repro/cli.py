@@ -4,13 +4,16 @@
 
 * ``generate`` — build a synthetic world, scan it, and save the corpus
   (``.rpz``) plus its analysis environment (``.rpe``);
-* ``info``     — print a saved corpus' manifest;
+* ``info``     — print a saved corpus' manifest (backend, row counts);
 * ``census``   — the §5 comparison (validity, lifetimes, keys, issuers);
 * ``link``     — the §6 linking pipeline and Table 6 summary;
-* ``track``    — the §7 tracking applications.
+* ``track``    — the §7 tracking applications;
+* ``profile``  — run every stage under tracing and print the span tree
+  plus the aggregated counters (see ``docs/observability.md``).
 
 All analysis commands accept either a saved corpus+environment pair or
-``--preset tiny|small|paper`` to build one on the fly.
+``--preset tiny|small|paper`` to build one on the fly, plus ``--trace``
+(JSONL span export) and ``--metrics`` (Prometheus-style text dump).
 """
 
 from __future__ import annotations
@@ -22,6 +25,23 @@ from typing import Optional, Sequence
 from .stats.tables import format_count, format_pct, render_table
 
 __all__ = ["main", "build_parser"]
+
+#: World settings per synthetic preset (``stride`` is the scan schedule).
+_PRESETS = {
+    "tiny": dict(n_devices=220, n_websites=75, n_generic_access=30,
+                 n_enterprise=8, n_hosting=6, unused_roots=5, stride=8),
+    "small": dict(n_devices=900, n_websites=310, n_generic_access=60,
+                  n_enterprise=15, n_hosting=10, stride=3),
+    "paper": dict(n_devices=2500, n_websites=850, stride=1),
+}
+
+
+def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--trace", metavar="PATH",
+                     help="write the run's span tree as JSONL")
+    sub.add_argument("--metrics", nargs="?", const="-", metavar="PATH",
+                     help="dump counters in Prometheus text format "
+                          "(to stdout, or to PATH if given)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,9 +64,31 @@ def build_parser() -> argparse.ArgumentParser:
                                "(results identical to --workers 1)")
     generate.add_argument("--corpus", default="corpus.rpz")
     generate.add_argument("--environment", default="environment.rpe")
+    _add_obs_flags(generate)
 
     info = commands.add_parser("info", help="print a saved corpus' manifest")
     info.add_argument("corpus")
+    info.add_argument("--workers", type=int, default=1,
+                      help="worker count the analysis commands would use "
+                           "(echoed in the summary)")
+
+    profile = commands.add_parser(
+        "profile",
+        help="run every pipeline stage under tracing and print the "
+             "span tree plus aggregated counters",
+    )
+    profile.add_argument("--dataset", default="tiny",
+                         help="synthetic preset (tiny|small|paper) or a "
+                              "saved .rpz corpus")
+    profile.add_argument("--environment",
+                         help="saved .rpe environment (required with .rpz)")
+    profile.add_argument("--seed", type=int, default=2016)
+    profile.add_argument("--workers", type=int, default=1,
+                         help="processes for scanning and per-feature "
+                              "linking (counters aggregate identically)")
+    profile.add_argument("--max-depth", type=int, default=None,
+                         help="limit the printed span tree depth")
+    _add_obs_flags(profile)
 
     for name, help_text in (
         ("census", "the §5 invalid-vs-valid comparison"),
@@ -66,7 +108,23 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "report":
             sub.add_argument("--out", default="report.md")
             sub.add_argument("--title", default="Invalid-certificate study")
+        _add_obs_flags(sub)
     return parser
+
+
+def _build_synthetic(preset: str, seed: int, collect_handshakes: bool = False,
+                     workers: int = 1):
+    """Build and scan one preset world (shared by generate and profile)."""
+    from .datasets import synthetic
+    from .internet.population import WorldConfig
+
+    settings = dict(_PRESETS[preset])
+    stride = settings.pop("stride")
+    config = WorldConfig(seed=seed, **settings)
+    return synthetic.generate(
+        config, scan_stride=stride, collect_handshakes=collect_handshakes,
+        workers=workers,
+    )
 
 
 def _make_study(args):
@@ -94,23 +152,11 @@ def _make_study(args):
 
 
 def _cmd_generate(args) -> int:
-    from .datasets import synthetic
     from .io import AnalysisEnvironment, save_dataset, save_environment
-    from .internet.population import WorldConfig
 
-    presets = {
-        "tiny": dict(n_devices=220, n_websites=75, n_generic_access=30,
-                     n_enterprise=8, n_hosting=6, unused_roots=5, stride=8),
-        "small": dict(n_devices=900, n_websites=310, n_generic_access=60,
-                      n_enterprise=15, n_hosting=10, stride=3),
-        "paper": dict(n_devices=2500, n_websites=850, stride=1),
-    }
-    settings = dict(presets[args.preset])
-    stride = settings.pop("stride")
-    config = WorldConfig(seed=args.seed, **settings)
     print(f"building '{args.preset}' world (seed {args.seed})...")
-    bundle = synthetic.generate(
-        config, scan_stride=stride, collect_handshakes=args.handshakes,
+    bundle = _build_synthetic(
+        args.preset, args.seed, collect_handshakes=args.handshakes,
         workers=args.workers,
     )
     save_dataset(bundle.scans, args.corpus)
@@ -125,13 +171,13 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    import json
-    import zipfile
+    from .io import ArchiveBackend
 
-    with zipfile.ZipFile(args.corpus) as archive:
-        manifest = json.loads(archive.read("manifest.json"))
+    manifest = ArchiveBackend(args.corpus).describe()
+    print(f"backend: {manifest.pop('backend', 'archive')}")
     for key, value in manifest.items():
         print(f"{key}: {value}")
+    print(f"workers: {args.workers}")
     return 0
 
 
@@ -230,6 +276,94 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _export_metrics(metrics, dest: str) -> None:
+    """Prometheus text dump to stdout (``-``) or a file."""
+    from .obs import prometheus_text
+
+    text = prometheus_text(metrics)
+    if dest == "-":
+        print(text, end="")
+    else:
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics to {dest}")
+
+
+def _cmd_profile(args) -> int:
+    from .obs import MetricsRegistry, Tracer, counter_table, render_span_tree, write_trace
+    from .obs import runtime as obs_runtime
+    from .study import Study
+
+    trace = Tracer()
+    metrics = MetricsRegistry()
+    with obs_runtime.activated(trace, metrics):
+        with trace.span("profile", dataset=args.dataset, workers=args.workers):
+            if args.dataset in _PRESETS:
+                with trace.span("scan", preset=args.dataset):
+                    bundle = _build_synthetic(
+                        args.dataset, args.seed, workers=args.workers
+                    )
+                study = Study.from_synthetic(
+                    bundle, workers=args.workers, observe=True
+                )
+            else:
+                if not args.environment:
+                    raise SystemExit(
+                        "--environment is required with an .rpz corpus"
+                    )
+                from .io import load_dataset, load_environment
+
+                with trace.span("load", corpus=args.dataset):
+                    dataset = load_dataset(args.dataset)
+                    environment = load_environment(args.environment)
+                study = Study(
+                    dataset=dataset,
+                    trust_store=environment.trust_store,
+                    as_of=environment.routing.origin_as,
+                    registry=environment.registry,
+                    workers=args.workers,
+                    observe=True,
+                )
+            study.validation()
+            study.dedup()
+            study.feature_evaluations()
+            study.pipeline()
+            study.tracked_devices()
+    print(render_span_tree(trace, max_depth=args.max_depth))
+    table = counter_table(metrics)
+    if table:
+        print()
+        print(table)
+    if args.trace:
+        count = write_trace(trace, args.trace)
+        print(f"\nwrote {count} spans to {args.trace}")
+    if args.metrics is not None:
+        _export_metrics(metrics, args.metrics)
+    return 0
+
+
+def _with_observability(args, handler) -> int:
+    """Honor ``--trace`` / ``--metrics`` around a subcommand handler."""
+    trace_path = getattr(args, "trace", None)
+    metrics_dest = getattr(args, "metrics", None)
+    if not trace_path and metrics_dest is None:
+        return handler(args)
+    from .obs import MetricsRegistry, Tracer, write_trace
+    from .obs import runtime as obs_runtime
+
+    trace = Tracer()
+    metrics = MetricsRegistry()
+    with obs_runtime.activated(trace, metrics):
+        with trace.span(args.command):
+            code = handler(args)
+    if trace_path:
+        count = write_trace(trace, trace_path)
+        print(f"wrote {count} spans to {trace_path}")
+    if metrics_dest is not None:
+        _export_metrics(metrics, metrics_dest)
+    return code
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
@@ -237,13 +371,17 @@ _HANDLERS = {
     "link": _cmd_link,
     "track": _cmd_track,
     "report": _cmd_report,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    handler = _HANDLERS[args.command]
+    if args.command == "profile":
+        return handler(args)
+    return _with_observability(args, handler)
 
 
 if __name__ == "__main__":  # pragma: no cover

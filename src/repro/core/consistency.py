@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..net.ip import slash16, slash24
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from .features import link_parity_enabled
 from .kernels import ConsistencyCache, fused_group_levels
@@ -165,6 +166,10 @@ def evaluate_link_result(
         sums["ip"] += weight * ip_level
         sums["/24"] += weight * s24_level
         sums["as"] += weight * as_level
+    if obs.enabled():
+        obs.inc("consistency.groups_scored", len(result.groups))
+        obs.gauge("kernels.as_memo_entries", len(cache.as_memo))
+        obs.gauge("kernels.location_cache_entries", len(cache.locations))
     if total == 0:
         return ConsistencyReport(result.feature.value, 0, 0.0, 0.0, 0.0)
     return ConsistencyReport(

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from .features import link_parity_enabled
 
@@ -113,6 +114,9 @@ def classify_unique_certificates(
         else:
             unique.add(fingerprint)
     result = DedupResult(unique=frozenset(unique), non_unique=frozenset(non_unique))
+    obs.inc("dedup.certs_considered", len(fingerprints))
+    obs.inc("dedup.certs_unique", len(unique))
+    obs.inc("dedup.certs_collapsed", len(non_unique))
     if link_parity_enabled():
         naive = _naive_classify(dataset, fingerprints, max_ips_per_scan)
         assert result == naive, "dedup parity failure"

@@ -39,6 +39,7 @@ from __future__ import annotations
 from array import array
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
+from ..obs import runtime as obs
 from ..x509.certificate import Certificate
 from .features import Feature, dropped_for_linking
 
@@ -328,16 +329,24 @@ def _group_locations(
     scan_days, memo_days = cache.bind(dataset, as_of)
     locations = cache.locations
     members: list[tuple] = []
+    hits = misses = 0
     for fingerprint in fingerprints:
         cert_id = fingerprint_ids.get(fingerprint)
         if cert_id is None:
             continue
         locs = locations.get(cert_id)
         if locs is None or (as_of is not None and locs[5] is None):
+            misses += 1
             locs = locations[cert_id] = _cert_locations(
                 index, cert_id, as_of, scan_days, memo_days, cache.as_memo
             )
+        else:
+            hits += 1
         members.append(locs)
+    if hits:
+        obs.inc("kernels.cache_hits", hits)
+    if misses:
+        obs.inc("kernels.cache_misses", misses)
     return members
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Optional, Sequence
 
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from .features import Feature, link_parity_enabled, linkable_value
 
@@ -162,6 +163,17 @@ def _naive_link_on_feature(
     )
 
 
+def _record_link_metrics(groups: list[LinkedGroup], rejected: int,
+                         singletons: int) -> None:
+    """Bulk counter flush for one linking pass (no-op when obs is off)."""
+    if not obs.enabled():
+        return
+    obs.inc("linking.groups_formed", len(groups))
+    obs.inc("linking.certs_linked", sum(len(group) for group in groups))
+    obs.inc("linking.groups_rejected_overlap", rejected)
+    obs.inc("linking.values_singleton", singletons)
+
+
 def link_on_feature(
     dataset: ScanDataset,
     fingerprints: Iterable[bytes],
@@ -203,6 +215,7 @@ def link_on_feature(
                 fingerprints=tuple(sorted(members)),
             )
         )
+    _record_link_metrics(groups, rejected, singletons)
     return LinkResult(
         feature=feature,
         groups=groups,

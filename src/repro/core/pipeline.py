@@ -23,6 +23,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from ..stats.cdf import CDF
 from .consistency import ASLookup, ConsistencyReport, evaluate_link_result
@@ -105,19 +106,26 @@ def _init_eval_worker(
     fingerprints: list[bytes],
     overlap_allowance: int,
     as_of: ASLookup,
+    obs_enabled: bool = False,
 ) -> None:
     global _EVAL_CONTEXT
+    obs.install_worker(obs_enabled)
     _build_kernels(dataset)  # no-op when they arrived with the pickle
     _EVAL_CONTEXT = (
         dataset, fingerprints, overlap_allowance, as_of, ConsistencyCache()
     )
 
 
-def _evaluate_feature_task(feature: Feature) -> FeatureEvaluation:
+def _evaluate_feature_task(
+    feature: Feature,
+) -> "tuple[FeatureEvaluation, Optional[dict]]":
     dataset, fingerprints, overlap_allowance, as_of, cache = _EVAL_CONTEXT
-    return _evaluate_one_feature(
-        dataset, fingerprints, feature, overlap_allowance, as_of, cache
-    )
+    mark = obs.task_mark()
+    with obs.span(f"link/feature={feature.name}"):
+        evaluation = _evaluate_one_feature(
+            dataset, fingerprints, feature, overlap_allowance, as_of, cache
+        )
+    return evaluation, obs.task_delta(mark)
 
 
 def evaluate_all_features(
@@ -140,19 +148,24 @@ def evaluate_all_features(
     if workers <= 1 or len(features) <= 1:
         cache = ConsistencyCache()  # shared across the features
         for feature in features:
-            evaluations[feature] = _evaluate_one_feature(
-                dataset, fingerprints, feature, overlap_allowance, as_of, cache
-            )
+            with obs.span(f"link/feature={feature.name}"):
+                evaluations[feature] = _evaluate_one_feature(
+                    dataset, fingerprints, feature, overlap_allowance, as_of,
+                    cache,
+                )
     else:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(features)),
             initializer=_init_eval_worker,
-            initargs=(dataset, fingerprints, overlap_allowance, as_of),
+            initargs=(dataset, fingerprints, overlap_allowance, as_of,
+                      obs.enabled()),
         ) as pool:
-            for feature, evaluation in zip(
+            for feature, (evaluation, delta) in zip(
                 features, pool.map(_evaluate_feature_task, features)
             ):
                 evaluations[feature] = evaluation
+                obs.absorb(delta)
+    obs.inc("pipeline.features_evaluated", len(evaluations))
     # "Uniquely linked": certificates linked by exactly one field.
     membership: dict[bytes, list[Feature]] = {}
     for feature, evaluation in evaluations.items():
@@ -237,9 +250,19 @@ def iterative_link(
     remaining = set(fingerprints)
     groups: list[LinkedGroup] = []
     for feature in field_order:
-        result = link_on_feature(dataset, remaining, feature, overlap_allowance)
+        with obs.span(f"pipeline/field={feature.name}"):
+            result = link_on_feature(
+                dataset, remaining, feature, overlap_allowance
+            )
         groups.extend(result.groups)
         remaining -= result.linked_fingerprints
+    if obs.enabled():
+        obs.inc("pipeline.fields_used", len(tuple(field_order)))
+        obs.inc("pipeline.fields_excluded", len(excluded))
+        obs.inc("pipeline.certs_linked", sum(len(group) for group in groups))
+        obs.inc("pipeline.certs_unlinked", len(remaining))
+        for group in groups:
+            obs.observe("pipeline.group_size", len(group))
     return PipelineResult(
         groups=groups,
         field_order=tuple(field_order),

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..net.asn import ASRegistry
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from ..stats.cdf import CDF
 from .consistency import ASLookup
@@ -117,6 +118,7 @@ def build_tracked_devices(
                 sightings=sightings_of((fingerprint,)),
             )
         )
+    obs.inc("tracking.devices_built", len(devices))
     return devices
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from ..x509.certificate import Certificate
 from ..x509.chain import ChainVerifier, VerifyResult, VerifyStatus
@@ -84,4 +85,8 @@ def validate_dataset(
     verifier = ChainVerifier(trust_store, extra_intermediates)
     for certificate in certificates:
         verifier.add_intermediate(certificate)
-    return ValidationReport(results=verifier.verify_all(certificates))
+    report = ValidationReport(results=verifier.verify_all(certificates))
+    obs.inc("validation.certs_valid", len(report.valid))
+    obs.inc("validation.certs_invalid", len(report.invalid))
+    obs.inc("validation.certs_disregarded", len(report.disregarded))
+    return report

@@ -1,0 +1,24 @@
+"""repro.obs — zero-dependency pipeline observability.
+
+Three layers, all importable from here:
+
+* :mod:`~repro.obs.trace`   — hierarchical spans (wall/CPU, parent
+  links, attributes) collected by a per-run :class:`Tracer`;
+* :mod:`~repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and histograms, with deterministic cross-process merging;
+* :mod:`~repro.obs.export`  — JSONL trace files, Prometheus-style text,
+  and the ASCII span tree behind ``repro profile``.
+
+:mod:`~repro.obs.runtime` holds the process-wide activation switch the
+instrumentation points check; off by default, everything is a guarded
+no-op.  See ``docs/observability.md`` for naming schemes and schemas.
+"""
+
+from .export import counter_table, prometheus_text, render_span_tree, write_trace
+from .metrics import MetricsRegistry
+from .trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Tracer", "Span", "NULL_SPAN", "MetricsRegistry",
+    "write_trace", "prometheus_text", "render_span_tree", "counter_table",
+]

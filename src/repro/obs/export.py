@@ -1,0 +1,173 @@
+"""Exporters: JSONL traces, Prometheus-style text, ASCII span trees.
+
+Three consumers, three formats:
+
+* :func:`write_trace` — the machine-readable artifact (``--trace
+  out.jsonl``): one JSON object per line, a ``meta`` header first, then
+  every span in completion order (schema in ``docs/observability.md``);
+* :func:`prometheus_text` — a scrape-style text dump of the registry
+  (``repro_dedup_certs_collapsed_total 123``), sorted for diffing;
+* :func:`render_span_tree` — the human summary ``repro profile`` prints:
+  the span hierarchy with wall/CPU seconds and share of the run, with
+  high-cardinality siblings (``scan/day=…`` ×222) collapsed into one
+  aggregate line.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["write_trace", "prometheus_text", "render_span_tree", "counter_table"]
+
+TRACE_SCHEMA = 1
+
+#: Siblings sharing a ``name=value`` pattern collapse past this count.
+_COLLAPSE_AT = 4
+
+_VALUE_RE = re.compile(r"=[^/]*")
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def write_trace(trace: Tracer, path: Union[str, pathlib.Path]) -> int:
+    """Write the tracer's spans as JSONL; returns the span count."""
+    records = trace.export_spans()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({
+            "type": "meta", "schema": TRACE_SCHEMA,
+            "process": trace.process, "n_spans": len(records),
+        }) + "\n")
+        for record in records:
+            record["type"] = "span"
+            handle.write(json.dumps(record, default=str) + "\n")
+    return len(records)
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    return "repro_" + _NAME_SANITIZE.sub("_", name) + suffix
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """The registry in Prometheus exposition format (sorted, diffable)."""
+    lines: List[str] = []
+    for name in sorted(metrics.counters):
+        full = _metric_name(name, "_total")
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {metrics.counters[name]}")
+    for name in sorted(metrics.gauges):
+        full = _metric_name(name)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {metrics.gauges[name]:g}")
+    for name in sorted(metrics.histograms):
+        bounds, counts, total, n = metrics.histograms[name]
+        full = _metric_name(name)
+        lines.append(f"# TYPE {full} histogram")
+        cumulative = 0
+        for bound, count in zip(bounds, counts):
+            cumulative += count
+            lines.append(f'{full}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{full}_bucket{{le="+Inf"}} {n}')
+        lines.append(f"{full}_sum {total:g}")
+        lines.append(f"{full}_count {n}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def counter_table(metrics: MetricsRegistry) -> str:
+    """Compact human counter summary (name, value), sorted."""
+    if not metrics.counters:
+        return "(no counters recorded)"
+    width = max(len(name) for name in metrics.counters)
+    return "\n".join(
+        f"{name:<{width}}  {metrics.counters[name]:>12,d}"
+        for name in sorted(metrics.counters)
+    )
+
+
+def render_span_tree(trace: Tracer, max_depth: Optional[int] = None) -> str:
+    """ASCII tree of the trace: wall, CPU, and share of the run."""
+    spans = trace.export_spans()
+    if not spans:
+        return "(no spans recorded)"
+    children: Dict[Optional[int], List[dict]] = {}
+    for record in spans:
+        children.setdefault(record["parent"], []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r["start"], r["id"]))
+    roots = children.get(None, [])
+    total_wall = sum(r["wall"] for r in roots) or 1.0
+    name_width = max(
+        30,
+        min(52, max(2 * _depth(r, spans) + len(r["name"]) for r in spans)),
+    )
+    lines = [
+        f"{'span':<{name_width}} {'wall':>9} {'cpu':>9} {'share':>7}",
+    ]
+
+    def emit(record: dict, depth: int) -> None:
+        indent = "  " * depth
+        label = indent + record["name"]
+        count = record.get("_count")
+        if count:
+            label += f"  x{count}"
+        lines.append(
+            f"{label:<{name_width}} {record['wall']:>8.3f}s "
+            f"{record['cpu']:>8.3f}s {record['wall'] / total_wall:>6.1%}"
+        )
+        if max_depth is not None and depth + 1 >= max_depth:
+            return
+        for child in _collapsed(children.get(record["id"], [])):
+            emit(child, depth + 1)
+
+    for root in _collapsed(roots):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def _depth(record: dict, spans: List[dict]) -> int:
+    by_id = {r["id"]: r for r in spans}
+    depth = 0
+    parent = record.get("parent")
+    while parent is not None and parent in by_id:
+        depth += 1
+        parent = by_id[parent].get("parent")
+    return depth
+
+
+def _collapsed(siblings: List[dict]) -> List[dict]:
+    """Fold large runs of same-shaped siblings into aggregate rows.
+
+    ``scan/day=3 … scan/day=841`` becomes one ``scan/day=*`` row carrying
+    the run's summed wall/CPU and a ``x222`` count; small groups render
+    individually.  Aggregate rows keep the first member's id so a
+    representative subtree can still be descended.
+    """
+    groups: Dict[str, List[dict]] = {}
+    order: List[str] = []
+    for record in siblings:
+        pattern = _VALUE_RE.sub("=*", record["name"])
+        if pattern not in groups:
+            order.append(pattern)
+        groups.setdefault(pattern, []).append(record)
+    result: List[dict] = []
+    for pattern in order:
+        members = groups[pattern]
+        if len(members) < _COLLAPSE_AT:
+            result.extend(members)
+            continue
+        result.append({
+            "id": members[0]["id"],
+            "parent": members[0]["parent"],
+            "name": pattern,
+            "start": members[0]["start"],
+            "wall": sum(m["wall"] for m in members),
+            "cpu": sum(m["cpu"] for m in members),
+            "process": members[0]["process"],
+            "attrs": {},
+            "_count": len(members),
+        })
+    return result

@@ -1,0 +1,144 @@
+"""The metrics registry: counters, gauges, histograms, and their merges.
+
+Names follow ``<subsystem>.<event>`` (``dedup.certs_collapsed``,
+``kernels.cache_hits``); see ``docs/observability.md`` for the full
+catalogue.  All three kinds are plain dicts of numbers, so a registry
+pickles, snapshots, and diffs cheaply:
+
+* **counters** — monotonically increasing integers;
+* **gauges**   — last-observed values (merged by ``max``, the only
+  associative/commutative choice that keeps parallel runs deterministic);
+* **histograms** — fixed-bound bucket counts plus sum/count, so merged
+  histograms are exact, not approximations.
+
+Cross-process flow: a worker installs its own registry, each task ships
+``delta_since(mark)`` home with its result, and the parent ``merge``\\ s
+the deltas.  Counters and histogram buckets are sums, so the merged
+totals are bitwise-equal to a serial run no matter how tasks were
+scheduled across workers.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds — a 1/2/5 ladder wide enough for
+#: group sizes, scan counts, and millisecond timings alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+class MetricsRegistry:
+    """One process' metric state; merge-able across processes."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        #: name → (bounds, bucket counts [len(bounds)+1 with +inf], sum, count)
+        self.histograms: Dict[str, list] = {}
+
+    # --- recording -------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add to a counter (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a gauge."""
+        self.gauges[name] = value
+
+    def observe(
+        self, name: str, value: float,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Add one sample to a histogram (bounds fixed at first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = [
+                buckets, [0] * (len(buckets) + 1), 0.0, 0,
+            ]
+        bounds, counts, _, _ = histogram
+        counts[bisect_left(bounds, value)] += 1
+        histogram[2] += value
+        histogram[3] += 1
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        """Bulk :meth:`observe` — one call per loop, not per sample."""
+        for value in values:
+            self.observe(name, value)
+
+    # --- snapshots and merging -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of the whole registry (picklable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: [bounds, list(counts), total, n]
+                for name, (bounds, counts, total, n) in self.histograms.items()
+            },
+        }
+
+    def delta_since(self, mark: dict) -> dict:
+        """What was recorded since ``mark`` (an earlier :meth:`snapshot`).
+
+        Counters and histogram buckets subtract; gauges report their
+        current value (a gauge *is* its latest reading).  Zero-valued
+        counter deltas are dropped so idle tasks ship nothing.
+        """
+        base_counters = mark["counters"]
+        counters = {
+            name: value - base_counters.get(name, 0)
+            for name, value in self.counters.items()
+            if value != base_counters.get(name, 0)
+        }
+        base_hists = mark["histograms"]
+        histograms = {}
+        for name, (bounds, counts, total, n) in self.histograms.items():
+            base = base_hists.get(name)
+            if base is None:
+                histograms[name] = [bounds, list(counts), total, n]
+                continue
+            if n == base[3]:
+                continue
+            histograms[name] = [
+                bounds,
+                [now - then for now, then in zip(counts, base[1])],
+                total - base[2],
+                n - base[3],
+            ]
+        return {
+            "counters": counters,
+            "gauges": dict(self.gauges),
+            "histograms": histograms,
+        }
+
+    def merge(self, delta: Optional[dict]) -> None:
+        """Fold another registry's snapshot/delta into this one.
+
+        Counters and histograms add; gauges keep the maximum.  Both are
+        order-independent, so merging worker deltas in any schedule
+        yields identical totals.
+        """
+        if not delta:
+            return
+        for name, value in delta["counters"].items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in delta["gauges"].items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None else max(current, value)
+        for name, (bounds, counts, total, n) in delta["histograms"].items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                self.histograms[name] = [tuple(bounds), list(counts), total, n]
+                continue
+            histogram[1] = [a + b for a, b in zip(histogram[1], counts)]
+            histogram[2] += total
+            histogram[3] += n

@@ -1,0 +1,174 @@
+"""Process-wide observability state and the worker shipping protocol.
+
+The pipeline's instrumentation points (scan engine, dedup, linking,
+kernels, consistency, tracking) call the module-level helpers here —
+:func:`span`, :func:`inc`, :func:`observe`, :func:`gauge`.  When nothing
+has been activated they are guarded no-ops (one global load and a
+``None`` check), so an un-observed run pays effectively nothing.
+
+Activation installs a (:class:`~repro.obs.trace.Tracer`,
+:class:`~repro.obs.metrics.MetricsRegistry`) pair as the process-wide
+sink; :class:`~repro.study.Study` activates around each stage, the CLI
+around whole commands.  Setting ``REPRO_OBS=1`` in the environment
+activates a default pair at import, so any run — including the parity
+suite — can be traced without code changes.
+
+Cross-process protocol (used by ``engine.run_campaign`` and
+``pipeline.evaluate_all_features``):
+
+1. the parent passes ``enabled()`` to the pool initializer, which calls
+   :func:`install_worker` — a *fresh* tracer/registry per worker,
+   replacing any state inherited over ``fork``;
+2. each task brackets its work with :func:`task_mark` /
+   :func:`task_delta` and ships the delta home with its result;
+3. the parent calls :func:`absorb` on each delta, in task order —
+   metric merges are commutative sums, so worker totals are
+   bitwise-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from .metrics import MetricsRegistry
+from .trace import NULL_SPAN, Tracer
+
+__all__ = [
+    "OBS_ENV", "enabled", "tracer", "registry", "span", "inc", "observe",
+    "gauge", "activate", "deactivate", "activated", "install_worker",
+    "task_mark", "task_delta", "absorb",
+]
+
+#: Environment knob: activate a default tracer/registry at import.
+OBS_ENV = "REPRO_OBS"
+
+_TRACER: Optional[Tracer] = None
+_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def enabled() -> bool:
+    """True when an observability sink is installed in this process."""
+    return _REGISTRY is not None
+
+
+def tracer() -> Optional[Tracer]:
+    """The active tracer, or None."""
+    return _TRACER
+
+
+def registry() -> Optional[MetricsRegistry]:
+    """The active metrics registry, or None."""
+    return _REGISTRY
+
+
+# --- instrumentation points (no-op fast path) ----------------------------------
+
+def span(name: str, **attributes):
+    """A span on the active tracer, or the shared no-op span."""
+    if _TRACER is None:
+        return NULL_SPAN
+    return _TRACER.span(name, **attributes)
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Bump a counter on the active registry, if any."""
+    if _REGISTRY is not None:
+        _REGISTRY.inc(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active registry, if any."""
+    if _REGISTRY is not None:
+        _REGISTRY.observe(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a gauge reading on the active registry, if any."""
+    if _REGISTRY is not None:
+        _REGISTRY.gauge(name, value)
+
+
+# --- activation ----------------------------------------------------------------
+
+def activate(
+    trace: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[Tracer, MetricsRegistry]:
+    """Install (and return) the process-wide tracer/registry pair."""
+    global _TRACER, _REGISTRY
+    _TRACER = trace if trace is not None else Tracer()
+    _REGISTRY = metrics if metrics is not None else MetricsRegistry()
+    return _TRACER, _REGISTRY
+
+
+def deactivate() -> None:
+    """Remove the process-wide sink (instrumentation back to no-ops)."""
+    global _TRACER, _REGISTRY
+    _TRACER = None
+    _REGISTRY = None
+
+
+@contextmanager
+def activated(trace: Tracer, metrics: MetricsRegistry):
+    """Scoped :func:`activate`; restores the previous sink on exit.
+
+    Re-entrant: activating the pair that is already active just keeps
+    recording into it, so nested stages compose.
+    """
+    global _TRACER, _REGISTRY
+    previous = (_TRACER, _REGISTRY)
+    _TRACER, _REGISTRY = trace, metrics
+    try:
+        yield
+    finally:
+        _TRACER, _REGISTRY = previous
+
+
+# --- cross-process shipping ----------------------------------------------------
+
+def install_worker(parent_enabled: bool) -> None:
+    """Pool-initializer hook: fresh per-worker sink (or none at all).
+
+    Always resets — under ``fork`` the child inherits the parent's
+    tracer/registry objects, and recording into those copies would
+    silently drop metrics (the parent never sees them).
+    """
+    if parent_enabled:
+        activate(Tracer(process=f"worker-{os.getpid()}"), MetricsRegistry())
+    else:
+        deactivate()
+
+
+def task_mark() -> Optional[tuple]:
+    """Watermark of the worker's sink before one task runs."""
+    if _REGISTRY is None:
+        return None
+    return (_REGISTRY.snapshot(), _TRACER.mark())
+
+
+def task_delta(mark: Optional[tuple]) -> Optional[dict]:
+    """What one task recorded since its :func:`task_mark` (picklable)."""
+    if mark is None or _REGISTRY is None:
+        return None
+    metrics_mark, span_mark = mark
+    return {
+        "metrics": _REGISTRY.delta_since(metrics_mark),
+        "spans": _TRACER.export_spans(since=span_mark),
+        "process": _TRACER.process,
+    }
+
+
+def absorb(delta: Optional[dict]) -> None:
+    """Parent-side merge of one task's shipped delta."""
+    if not delta or _REGISTRY is None:
+        return
+    _REGISTRY.merge(delta.get("metrics"))
+    spans = delta.get("spans")
+    if spans and _TRACER is not None:
+        _TRACER.adopt(spans)
+
+
+if os.environ.get(OBS_ENV):  # pragma: no cover - exercised via subprocess tests
+    activate()

@@ -1,0 +1,169 @@
+"""Hierarchical spans: who spent the time, and inside what.
+
+A :class:`Span` is a context manager recording wall-clock and CPU time
+for one named region of work; entering a span while another is open links
+the two (parent/child), so a run produces a *tree* — the per-stage view
+``Study.stage_timings`` can only flatten.  Span names are paths:
+stage-level spans are bare (``"dedup"``), detail spans extend their
+parent with ``/`` (``"kernels/index"``, ``"link/feature=PUBLIC_KEY"``,
+``"scan/day=400"``).  Arbitrary attributes ride along for the exporters.
+
+A :class:`Tracer` owns one tree.  It is deliberately dumb and
+deterministic: span ids are assigned by entry order, completed spans are
+appended in completion order, and nothing reads the wall clock except
+``perf_counter``/``process_time`` deltas — so two runs of the same
+pipeline produce structurally identical traces.
+
+Worker processes record into their own tracer and ship completed spans
+home with their task results; :meth:`Tracer.adopt` re-numbers them into
+the parent's id space and hangs the worker's root spans under the span
+that was active when the fan-out started (see :mod:`repro.obs.runtime`).
+
+When tracing is off, call sites receive :data:`NULL_SPAN` — a shared
+no-op context manager — so instrumentation costs one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region of work inside a :class:`Tracer`'s tree."""
+
+    __slots__ = (
+        "tracer", "name", "attributes", "span_id", "parent_id",
+        "start", "wall", "cpu", "process", "_cpu_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        #: Offset (seconds) from the tracer's creation instant.
+        self.start: float = 0.0
+        self.wall: float = 0.0
+        self.cpu: float = 0.0
+        self.process: str = tracer.process
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to an open (or completed) span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.span_id = tracer._next_id
+        tracer._next_id += 1
+        if tracer._stack:
+            self.parent_id = tracer._stack[-1].span_id
+        tracer._stack.append(self)
+        self.start = time.perf_counter() - tracer.epoch
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self.tracer
+        self.wall = time.perf_counter() - tracer.epoch - self.start
+        self.cpu = time.process_time() - self._cpu_start
+        popped = tracer._stack.pop()
+        assert popped is self, "span exit order violated"
+        tracer.spans.append(self)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (picklable, JSON-serializable)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "wall": round(self.wall, 6),
+            "cpu": round(self.cpu, 6),
+            "process": self.process,
+            "attrs": self.attributes,
+        }
+
+
+class _NullSpan:
+    """The off-switch: a shared, reusable, do-nothing span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects one run's span tree.
+
+    ``spans`` holds completed spans in completion order (children before
+    parents); the open stack provides parent links.  Not thread-safe —
+    one tracer per process, cross-process via :meth:`export_spans` /
+    :meth:`adopt`.
+    """
+
+    def __init__(self, process: str = "main") -> None:
+        self.process = process
+        self.epoch = time.perf_counter()
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new span, parented under the currently open one on entry."""
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def export_spans(self, since: int = 0) -> List[dict]:
+        """Completed spans (after index ``since``) as plain data."""
+        return [span.to_dict() for span in self.spans[since:]]
+
+    def mark(self) -> int:
+        """Watermark for :meth:`export_spans` deltas."""
+        return len(self.spans)
+
+    def adopt(self, exported: List[dict], parent_id: Optional[int] = None) -> None:
+        """Graft spans exported from another tracer into this tree.
+
+        Ids are re-assigned from this tracer's counter (entry order is
+        unknowable, so adoption order stands in for it); spans whose
+        parent is not part of the shipment — the worker's roots — are
+        hung under ``parent_id`` (defaulting to the currently open span).
+        """
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1].span_id
+        shipped = {record["id"] for record in exported}
+        id_map: Dict[int, int] = {}
+        for record in exported:
+            id_map[record["id"]] = self._next_id
+            self._next_id += 1
+        for record in exported:
+            span = Span(self, record["name"], dict(record.get("attrs") or {}))
+            span.span_id = id_map[record["id"]]
+            old_parent = record.get("parent")
+            span.parent_id = (
+                id_map[old_parent] if old_parent in shipped else parent_id
+            )
+            span.start = record.get("start", 0.0)
+            span.wall = record.get("wall", 0.0)
+            span.cpu = record.get("cpu", 0.0)
+            span.process = record.get("process", "worker")
+            self.spans.append(span)

@@ -25,6 +25,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
 from ..internet.population import World
+from ..obs import runtime as obs
 from ..seeding import stable_rng
 from ..tls.handshake import HandshakeRecord, negotiate
 from ..tls.profiles import WEBSITE_TLS_PROFILE, tls_profile_for
@@ -53,6 +54,11 @@ class ScanEngine:
         #: When enabled, observations carry the negotiated HandshakeRecord
         #: (the network features the paper's corpora lacked, §6.3).
         self._collect_handshakes = collect_handshakes
+        # Per-run probe accounting, flushed to the metrics registry in
+        # one bulk call per scan (never per probe).
+        self._probes_attempted = 0
+        self._probes_blacklisted = 0
+        self._handshakes_attempted = 0
 
     def _device_handshake(self, device) -> "HandshakeRecord | None":
         if not self._collect_handshakes:
@@ -69,12 +75,22 @@ class ScanEngine:
 
         Deterministic per (world seed, campaign, day).
         """
-        rng = stable_rng(self._world.config.seed, "scan", campaign.name, day)
-        observations: list[Observation] = []
-        self._scan_devices(campaign, day, rng, observations)
-        self._scan_websites(campaign, day, rng, observations)
-        observations.sort(key=lambda obs: (obs.ip, obs.fingerprint))
-        return Scan(day=day, source=campaign.name, observations=observations)
+        with obs.span(f"scan/day={day}", campaign=campaign.name) as span:
+            rng = stable_rng(self._world.config.seed, "scan", campaign.name, day)
+            observations: list[Observation] = []
+            self._probes_attempted = 0
+            self._probes_blacklisted = 0
+            self._handshakes_attempted = 0
+            self._scan_devices(campaign, day, rng, observations)
+            self._scan_websites(campaign, day, rng, observations)
+            observations.sort(key=lambda obs: (obs.ip, obs.fingerprint))
+            obs.inc("scanner.scans_executed")
+            obs.inc("scanner.probes_attempted", self._probes_attempted)
+            obs.inc("scanner.probes_blacklisted", self._probes_blacklisted)
+            obs.inc("scanner.handshakes_attempted", self._handshakes_attempted)
+            obs.inc("scanner.observations_recorded", len(observations))
+            span.set(observations=len(observations))
+            return Scan(day=day, source=campaign.name, observations=observations)
 
     def run_campaign(self, campaign: ScanCampaign, workers: int = 1) -> list[Scan]:
         """All scans of one campaign's schedule.
@@ -82,7 +98,10 @@ class ScanEngine:
         ``workers > 1`` fans the schedule's days out over a process pool.
         Each day's RNG is keyed by (world seed, campaign, day), so the
         scans — and the order certificates enter the store — are bitwise
-        identical to the serial path; ``workers=1`` is the serial fallback.
+        identical to the serial path; ``workers=1`` is the serial
+        fallback.  When observability is active, each worker records into
+        its own registry/tracer and ships a per-day delta home with the
+        scan; merged counter totals equal the serial run's exactly.
         """
         if workers <= 1 or len(campaign.scan_days) <= 1:
             return [self.run(campaign, day) for day in campaign.scan_days]
@@ -90,13 +109,15 @@ class ScanEngine:
         with ProcessPoolExecutor(
             max_workers=min(workers, len(campaign.scan_days)),
             initializer=_init_scan_worker,
-            initargs=(self._world, self._duration, self._collect_handshakes),
+            initargs=(self._world, self._duration, self._collect_handshakes,
+                      obs.enabled()),
         ) as pool:
             days = list(campaign.scan_days)
-            for scan, day_certs in pool.map(
+            for scan, day_certs, delta in pool.map(
                 _scan_one_day, ((campaign, day) for day in days)
             ):
                 scans.append(scan)
+                obs.absorb(delta)
                 # Merging day stores in day order replays the serial
                 # insertion sequence, so the store's dict order matches.
                 for fingerprint, cert in day_certs.items():
@@ -109,9 +130,14 @@ class ScanEngine:
         self, campaign: ScanCampaign, rng: random.Random, ip: int
     ) -> bool:
         """Blacklist and random-miss filtering for one address."""
+        self._probes_attempted += 1
         if campaign.is_blacklisted(ip):
+            self._probes_blacklisted += 1
             return False
-        return rng.random() >= campaign.random_miss_rate
+        if rng.random() < campaign.random_miss_rate:
+            return False
+        self._handshakes_attempted += 1
+        return True
 
     def _scan_devices(self, campaign, day, rng, observations) -> None:
         world = self._world
@@ -186,15 +212,18 @@ class ScanEngine:
 #
 # Each worker process builds one engine from the pickled world at pool
 # start-up and reuses it for every day it is handed; per-task it returns
-# the scan plus only that day's newly seen certificates.
+# the scan, only that day's newly seen certificates, and — when the
+# parent had observability active — the metrics/spans recorded for it.
 
 _WORKER_ENGINE: Optional[ScanEngine] = None
 
 
 def _init_scan_worker(
-    world: World, duration_hours: float, collect_handshakes: bool
+    world: World, duration_hours: float, collect_handshakes: bool,
+    obs_enabled: bool = False,
 ) -> None:
     global _WORKER_ENGINE
+    obs.install_worker(obs_enabled)
     _WORKER_ENGINE = ScanEngine(
         world, duration_hours=duration_hours, collect_handshakes=collect_handshakes
     )
@@ -202,9 +231,10 @@ def _init_scan_worker(
 
 def _scan_one_day(
     task: "tuple[ScanCampaign, int]",
-) -> "tuple[Scan, dict[bytes, Certificate]]":
+) -> "tuple[Scan, dict[bytes, Certificate], Optional[dict]]":
     campaign, day = task
     engine = _WORKER_ENGINE
     engine.certificate_store.clear()
+    mark = obs.task_mark()
     scan = engine.run(campaign, day)
-    return scan, dict(engine.certificate_store)
+    return scan, dict(engine.certificate_store), obs.task_delta(mark)

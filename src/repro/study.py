@@ -12,17 +12,22 @@ needs.  Construct from a synthetic dataset with :meth:`from_synthetic`,
 or from any :class:`~repro.scanner.dataset.ScanDataset` plus a trust
 store, AS lookup, and registry for real scan corpora.
 
-Every cached stage records its wall-clock cost in :attr:`Study.stage_timings`
-(stage name → seconds), so benchmark harnesses can report per-stage
-numbers without re-instrumenting the pipeline.  ``workers > 1`` fans the
+Every cached stage runs inside a :class:`~repro.obs.trace.Tracer` span,
+so a study always carries its own span tree (:attr:`Study.trace`);
+:attr:`Study.stage_timings` (stage name → seconds) is a derived view of
+that tree kept for benchmark harnesses.  Constructing with
+``observe=True`` — or activating :mod:`repro.obs.runtime` globally, e.g.
+via ``REPRO_OBS=1`` — additionally turns on the deep instrumentation in
+the scan engine, dedup, linking, and kernels, recording into
+:attr:`Study.metrics` and the same tracer.  ``workers > 1`` fans the
 independent per-feature Table 6 passes out over a process pool; results
-are identical to the serial path.
+(and worker-aggregated metrics) are identical to the serial path.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Iterable, Optional, TypeVar
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional
 
 from .core.consistency import ASLookup
 from .core.dedup import DedupResult, classify_unique_certificates
@@ -48,12 +53,13 @@ from .core.tracking import (
 from .core.validation import ValidationReport, validate_dataset
 from .datasets.synthetic import SyntheticDataset
 from .net.asn import ASRegistry
+from .obs import runtime as obs_runtime
+from .obs.metrics import MetricsRegistry
+from .obs.trace import Tracer
 from .scanner.dataset import ScanDataset
 from .x509.truststore import TrustStore
 
 __all__ = ["Study"]
-
-T = TypeVar("T")
 
 
 class Study:
@@ -66,6 +72,9 @@ class Study:
         as_of: ASLookup,
         registry: Optional[ASRegistry] = None,
         workers: int = 1,
+        trace: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        observe: bool = False,
     ) -> None:
         self.dataset = dataset
         self.trust_store = trust_store
@@ -73,9 +82,22 @@ class Study:
         self.registry = registry
         #: Process fan-out for the independent per-feature passes.
         self.workers = workers
-        #: stage name → wall-clock seconds, recorded when each cached
-        #: stage is first computed.
-        self.stage_timings: dict[str, float] = {}
+        #: The study's span tree; every stage records here.  Adopts the
+        #: globally active tracer when one exists, so a CLI run gets one
+        #: unified tree covering corpus generation and analysis.
+        self.trace = trace if trace is not None else (
+            obs_runtime.tracer() or Tracer()
+        )
+        #: Counters/gauges/histograms of the deep instrumentation
+        #: (populated only when :attr:`observe` is on).
+        self.metrics = metrics if metrics is not None else (
+            obs_runtime.registry() or MetricsRegistry()
+        )
+        #: When on, stages activate the tracer/registry process-wide so
+        #: the instrumentation inside the engine, dedup, linking, and
+        #: kernel layers records too (never changes results).
+        self.observe = observe or obs_runtime.enabled()
+        self._kernels_built = False
         self._validation: Optional[ValidationReport] = None
         self._dedup: Optional[DedupResult] = None
         self._evaluations: Optional[dict[Feature, FeatureEvaluation]] = None
@@ -84,7 +106,8 @@ class Study:
 
     @classmethod
     def from_synthetic(
-        cls, synthetic: SyntheticDataset, workers: int = 1
+        cls, synthetic: SyntheticDataset, workers: int = 1,
+        observe: bool = False,
     ) -> "Study":
         """Wire a study over a generated dataset."""
         world = synthetic.world
@@ -94,24 +117,53 @@ class Study:
             as_of=world.routing.origin_as,
             registry=world.registry,
             workers=workers,
+            observe=observe,
         )
 
-    def _timed(self, stage: str, compute: Callable[[], T]) -> T:
-        """Run one stage's computation, recording its wall-clock cost."""
-        started = time.perf_counter()
-        value = compute()
-        self.stage_timings[stage] = time.perf_counter() - started
-        return value
+    @contextmanager
+    def _stage(self, name: str) -> Iterator[None]:
+        """One pipeline stage: a span on the study tracer, and — when
+        observing — the tracer/registry installed process-wide so the
+        stage's internals record into them too."""
+        if self.observe:
+            with obs_runtime.activated(self.trace, self.metrics):
+                with self.trace.span(name):
+                    yield
+        else:
+            with self.trace.span(name):
+                yield
+
+    @property
+    def stage_timings(self) -> dict[str, float]:
+        """Stage name → wall-clock seconds, derived from the span tree.
+
+        The backward-compatible flat view: one entry per stage-level span
+        (bare names — ``validation``, ``dedup``, …) plus the ``kernels``
+        sub-steps flattened to their historical ``kernels_<substrate>``
+        keys.  Detail spans (``link/feature=…``, ``scan/day=…``) stay in
+        :attr:`trace` only.
+        """
+        by_id = {span.span_id: span for span in self.trace.spans}
+        timings: dict[str, float] = {}
+        for span in self.trace.spans:
+            if "/" in span.name or "=" in span.name:
+                parent = by_id.get(span.parent_id)
+                if parent is not None and parent.name == "kernels" \
+                        and span.name.startswith("kernels/"):
+                    timings["kernels_" + span.name.split("/", 1)[1]] = span.wall
+                continue
+            timings[span.name] = span.wall
+        return timings
 
     # --- §4.2 ------------------------------------------------------------------
 
     def validation(self) -> ValidationReport:
         """Classify every certificate (cached)."""
         if self._validation is None:
-            self._validation = self._timed(
-                "validation",
-                lambda: validate_dataset(self.dataset, self.trust_store),
-            )
+            with self._stage("validation"):
+                self._validation = validate_dataset(
+                    self.dataset, self.trust_store
+                )
         return self._validation
 
     @property
@@ -131,18 +183,24 @@ class Study:
 
         The CSR observation index, the per-certificate interval arrays,
         and the feature matrix back every §6 stage; building them here
-        keeps their one-time cost out of the per-stage timings.  Each
-        substrate gets its own sub-timing (``kernels_index``,
-        ``kernels_intervals``, ``kernels_matrix``) so benchmarks can
-        charge the index — which row-path replays also answer from —
-        separately from the kernel-only arrays.
+        keeps their one-time cost out of the per-stage timings.  Every
+        entry point — an explicit call or the lazy pull from ``dedup`` /
+        ``feature_evaluations`` — lands here, so the ``kernels`` span
+        (and its ``kernels/index``, ``kernels/intervals``,
+        ``kernels/matrix`` children, flattened into ``stage_timings`` as
+        ``kernels_<substrate>``) is recorded exactly once regardless of
+        which stage triggered the build.
         """
-        if "kernels" not in self.stage_timings:
-            started = time.perf_counter()
-            self._timed("kernels_index", lambda: self.dataset.index)
-            self._timed("kernels_intervals", lambda: self.dataset.intervals)
-            self._timed("kernels_matrix", lambda: self.dataset.feature_matrix)
-            self.stage_timings["kernels"] = time.perf_counter() - started
+        if self._kernels_built:
+            return
+        with self._stage("kernels"):
+            with self.trace.span("kernels/index"):
+                self.dataset.index
+            with self.trace.span("kernels/intervals"):
+                self.dataset.intervals
+            with self.trace.span("kernels/matrix"):
+                self.dataset.feature_matrix
+        self._kernels_built = True
 
     # --- §6.2 -------------------------------------------------------------------
 
@@ -151,10 +209,10 @@ class Study:
         if self._dedup is None:
             invalid = self.invalid
             self.kernels()
-            self._dedup = self._timed(
-                "dedup",
-                lambda: classify_unique_certificates(self.dataset, invalid),
-            )
+            with self._stage("dedup"):
+                self._dedup = classify_unique_certificates(
+                    self.dataset, invalid
+                )
         return self._dedup
 
     @property
@@ -169,28 +227,24 @@ class Study:
         if self._evaluations is None:
             unique_invalid = list(self.unique_invalid)
             self.kernels()
-            self._evaluations = self._timed(
-                "feature_evaluations",
-                lambda: evaluate_all_features(
+            with self._stage("feature_evaluations"):
+                self._evaluations = evaluate_all_features(
                     self.dataset, unique_invalid, self.as_of,
                     workers=self.workers,
-                ),
-            )
+                )
         return self._evaluations
 
     def pipeline(self) -> PipelineResult:
         """The iterative §6.4.3 linking (cached)."""
         if self._pipeline is None:
             evaluations = self.feature_evaluations()
-            self._pipeline = self._timed(
-                "pipeline",
-                lambda: iterative_link(
+            with self._stage("pipeline"):
+                self._pipeline = iterative_link(
                     self.dataset,
                     self.unique_invalid,
                     self.as_of,
                     evaluations=evaluations,
-                ),
-            )
+                )
         return self._pipeline
 
     def lifetime_improvement(self) -> LifetimeImprovement:
@@ -205,12 +259,10 @@ class Study:
         """The inferred device population (cached)."""
         if self._devices is None:
             pipeline = self.pipeline()
-            self._devices = self._timed(
-                "tracking",
-                lambda: build_tracked_devices(
+            with self._stage("tracking"):
+                self._devices = build_tracked_devices(
                     self.dataset, pipeline, self.unique_invalid
-                ),
-            )
+                )
         return self._devices
 
     def trackable(self, min_days: int = 365) -> TrackableReport:

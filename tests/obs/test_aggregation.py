@@ -1,0 +1,178 @@
+"""Cross-process aggregation: worker counters equal serial, results
+unperturbed, and the derived stage view stays consistent.
+
+These are the acceptance tests of the observability layer: the scan
+campaign and the per-feature linking passes run once serially and once
+over a worker pool, under full tracing, and every schedule-invariant
+metric must come out bitwise-identical.  Counters whose value depends on
+*how* the work was scheduled — the kernel-cache hit/miss pair, which
+measures sharing across tasks — are execution-local by naming convention
+(``kernels.cache_*``) and excluded; see docs/observability.md.
+"""
+
+import pytest
+
+from repro.datasets.synthetic import generate
+from repro.internet.population import WorldConfig
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import runtime as obs_runtime
+from repro.study import Study
+
+#: A world small enough to scan twice in-test but rich enough to link.
+_CONFIG = dict(
+    n_devices=90, n_websites=30, n_generic_access=12, n_enterprise=3,
+    n_hosting=3, unused_roots=2,
+)
+
+EXECUTION_LOCAL_PREFIX = "kernels.cache_"
+
+
+def _observed_run(workers: int):
+    """Scan + full analysis under tracing; returns (study, trace, metrics)."""
+    trace, metrics = Tracer(), MetricsRegistry()
+    with obs_runtime.activated(trace, metrics):
+        with trace.span("run", workers=workers):
+            bundle = generate(
+                WorldConfig(seed=11, **_CONFIG), scan_stride=10,
+                workers=workers,
+            )
+            study = Study.from_synthetic(
+                bundle, workers=workers, observe=True
+            )
+            study.validation()
+            study.dedup()
+            study.feature_evaluations()
+            study.pipeline()
+            study.tracked_devices()
+    return study, trace, metrics
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return _observed_run(workers=1)
+
+
+@pytest.fixture(scope="module")
+def pooled_run():
+    return _observed_run(workers=4)
+
+
+def _schedule_invariant(counters: dict) -> dict:
+    return {
+        name: value for name, value in counters.items()
+        if not name.startswith(EXECUTION_LOCAL_PREFIX)
+    }
+
+
+class TestWorkerAggregation:
+    def test_counter_totals_equal_serial(self, serial_run, pooled_run):
+        _, _, serial = serial_run
+        _, _, pooled = pooled_run
+        assert _schedule_invariant(pooled.counters) == \
+            _schedule_invariant(serial.counters)
+
+    def test_histograms_equal_serial(self, serial_run, pooled_run):
+        _, _, serial = serial_run
+        _, _, pooled = pooled_run
+        assert pooled.snapshot()["histograms"] == \
+            serial.snapshot()["histograms"]
+
+    def test_every_subsystem_reported(self, pooled_run):
+        _, _, metrics = pooled_run
+        subsystems = {name.split(".", 1)[0] for name in metrics.counters}
+        assert {
+            "scanner", "validation", "dedup", "linking", "consistency",
+            "pipeline", "tracking",
+        } <= subsystems
+
+    def test_results_identical_across_schedules(self, serial_run, pooled_run):
+        serial_study = serial_run[0]
+        pooled_study = pooled_run[0]
+        assert serial_study.validation().invalid == \
+            pooled_study.validation().invalid
+        assert serial_study.pipeline().linked_certificates == \
+            pooled_study.pipeline().linked_certificates
+        assert serial_study.pipeline().field_order == \
+            pooled_study.pipeline().field_order
+
+
+class TestAdoptedTrace:
+    def test_tree_integrity_with_worker_spans(self, pooled_run):
+        _, trace, _ = pooled_run
+        ids = [span.span_id for span in trace.spans]
+        assert len(ids) == len(set(ids)), "adopted span ids must be unique"
+        known = set(ids)
+        for span in trace.spans:
+            assert span.parent_id is None or span.parent_id in known
+
+    def test_worker_spans_land_under_their_fanout_stage(self, pooled_run):
+        _, trace, _ = pooled_run
+        by_id = {span.span_id: span for span in trace.spans}
+        day_spans = [s for s in trace.spans if s.name.startswith("scan/day=")]
+        feature_spans = [
+            s for s in trace.spans if s.name.startswith("link/feature=")
+        ]
+        assert day_spans and feature_spans
+        assert all(s.process.startswith("worker-") for s in day_spans)
+        assert {
+            by_id[s.parent_id].name for s in feature_spans
+        } == {"feature_evaluations"}
+
+    def test_span_tree_covers_all_stages(self, pooled_run):
+        _, trace, _ = pooled_run
+        names = {span.name for span in trace.spans}
+        assert {
+            "validation", "kernels", "dedup", "feature_evaluations",
+            "pipeline", "tracking",
+        } <= names
+
+
+class TestObservationNeutrality:
+    def test_observed_matches_unobserved(self, serial_run, tiny_synthetic):
+        """Tracing must never perturb results: an observed study over the
+        session corpus equals the plain one bit for bit."""
+        plain = Study.from_synthetic(tiny_synthetic)
+        observed = Study.from_synthetic(tiny_synthetic, observe=True)
+        assert observed.validation().invalid == plain.validation().invalid
+        assert observed.dedup() == plain.dedup()
+        assert observed.pipeline().linked_certificates == \
+            plain.pipeline().linked_certificates
+        assert [d.device_key for d in observed.tracked_devices()] == \
+            [d.device_key for d in plain.tracked_devices()]
+
+
+class TestStageTimings:
+    def test_lazy_and_explicit_kernel_builds_agree(self, tiny_synthetic):
+        # Explicit fresh sinks: under REPRO_OBS=1 a session-global tracer
+        # is active and Study would otherwise adopt (and share) it.
+        def fresh_study():
+            world = tiny_synthetic.world
+            return Study(
+                dataset=tiny_synthetic.scans,
+                trust_store=world.trust_store,
+                as_of=world.routing.origin_as,
+                registry=world.registry,
+                trace=Tracer(),
+                metrics=MetricsRegistry(),
+            )
+
+        explicit = fresh_study()
+        explicit.kernels()
+        explicit.dedup()
+        lazy = fresh_study()
+        lazy.dedup()  # pulls the kernel build in lazily
+        expected = {
+            "validation", "kernels", "kernels_index", "kernels_intervals",
+            "kernels_matrix", "dedup",
+        }
+        assert expected <= set(explicit.stage_timings)
+        assert set(lazy.stage_timings) == set(explicit.stage_timings)
+        # The kernels span is recorded exactly once either way.
+        assert sum(
+            1 for span in lazy.trace.spans if span.name == "kernels"
+        ) == 1
+
+    def test_detail_spans_stay_out_of_the_flat_view(self, serial_run):
+        study, _, _ = serial_run
+        for key in study.stage_timings:
+            assert "/" not in key and "=" not in key

@@ -1,0 +1,104 @@
+"""Exporter formats: JSONL trace, Prometheus text, ASCII span tree."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    counter_table,
+    prometheus_text,
+    render_span_tree,
+    write_trace,
+)
+from repro.obs.export import TRACE_SCHEMA
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("run"):
+        for day in range(5):
+            with tracer.span(f"scan/day={day}"):
+                pass
+        with tracer.span("dedup"):
+            pass
+    return tracer
+
+
+class TestWriteTrace:
+    def test_jsonl_schema(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace(tracer, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        meta, spans = lines[0], lines[1:]
+        assert meta == {
+            "type": "meta", "schema": TRACE_SCHEMA,
+            "process": "main", "n_spans": count,
+        }
+        assert len(spans) == count == 7
+        for record in spans:
+            assert record["type"] == "span"
+            assert set(record) >= {
+                "id", "parent", "name", "start", "wall", "cpu", "process",
+            }
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.inc("dedup.certs_collapsed", 12)
+        metrics.gauge("kernels.as_memo_entries", 7)
+        metrics.observe_many("pipeline.group_size", [2, 2, 30])
+        text = prometheus_text(metrics)
+        assert "# TYPE repro_dedup_certs_collapsed_total counter" in text
+        assert "repro_dedup_certs_collapsed_total 12" in text
+        assert "repro_kernels_as_memo_entries 7" in text
+        # Buckets are cumulative and +Inf equals the sample count.
+        assert 'repro_pipeline_group_size_bucket{le="2"} 2' in text
+        assert 'repro_pipeline_group_size_bucket{le="50"} 3' in text
+        assert 'repro_pipeline_group_size_bucket{le="+Inf"} 3' in text
+        assert "repro_pipeline_group_size_sum 34" in text
+        assert "repro_pipeline_group_size_count 3" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestCounterTable:
+    def test_sorted_and_aligned(self):
+        metrics = MetricsRegistry()
+        metrics.inc("b.second", 2)
+        metrics.inc("a.first", 1)
+        lines = counter_table(metrics).splitlines()
+        assert lines[0].startswith("a.first")
+        assert lines[1].startswith("b.second")
+
+    def test_empty(self):
+        assert "no counters" in counter_table(MetricsRegistry())
+
+
+class TestSpanTree:
+    def test_collapses_high_cardinality_siblings(self):
+        rendered = render_span_tree(_sample_tracer())
+        assert "run" in rendered
+        assert "scan/day=*  x5" in rendered
+        assert "scan/day=3" not in rendered
+        assert "dedup" in rendered
+
+    def test_small_sibling_groups_stay_individual(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            for day in range(3):
+                with tracer.span(f"scan/day={day}"):
+                    pass
+        rendered = render_span_tree(tracer)
+        assert "scan/day=1" in rendered
+        assert "x3" not in rendered
+
+    def test_max_depth_prunes(self):
+        rendered = render_span_tree(_sample_tracer(), max_depth=1)
+        assert "run" in rendered
+        assert "dedup" not in rendered
+
+    def test_empty_tracer(self):
+        assert "no spans" in render_span_tree(Tracer())

@@ -1,0 +1,107 @@
+"""MetricsRegistry semantics: recording, snapshots, deltas, merges."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        registry.inc("a.b", 4)
+        assert registry.counters["a.b"] == 5
+
+    def test_gauges_keep_last(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", 3.0)
+        registry.gauge("g", 1.0)
+        assert registry.gauges["g"] == 1.0
+
+    def test_histogram_bucket_boundaries_are_le(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1)      # le="1" bucket
+        registry.observe("h", 1.5)    # le="2"
+        registry.observe("h", 99999)  # +Inf overflow
+        bounds, counts, total, n = registry.histograms["h"]
+        assert bounds == DEFAULT_BUCKETS
+        assert counts[0] == 1
+        assert counts[1] == 1
+        assert counts[-1] == 1
+        assert (total, n) == (1 + 1.5 + 99999, 3)
+
+    def test_observe_many(self):
+        registry = MetricsRegistry()
+        registry.observe_many("h", [2, 2, 3])
+        assert registry.histograms["h"][3] == 3
+
+
+class TestDeltaAndMerge:
+    def test_delta_drops_untouched_counters(self):
+        registry = MetricsRegistry()
+        registry.inc("seen", 2)
+        mark = registry.snapshot()
+        registry.inc("fresh", 1)
+        delta = registry.delta_since(mark)
+        assert delta["counters"] == {"fresh": 1}
+
+    def test_delta_subtracts_histograms(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 5)
+        mark = registry.snapshot()
+        registry.observe("h", 7)
+        delta = registry.delta_since(mark)
+        _, counts, total, n = delta["histograms"]["h"]
+        assert (sum(counts), total, n) == (1, 7.0, 1)
+
+    def test_merge_counters_sum_gauges_max(self):
+        left = MetricsRegistry()
+        left.inc("c", 3)
+        left.gauge("g", 10.0)
+        right = MetricsRegistry()
+        right.inc("c", 4)
+        right.gauge("g", 2.0)
+        left.merge(right.snapshot())
+        assert left.counters["c"] == 7
+        assert left.gauges["g"] == 10.0
+
+    def test_merge_none_is_noop(self):
+        registry = MetricsRegistry()
+        registry.merge(None)
+        registry.merge({})
+        assert registry.counters == {}
+
+
+_EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.sampled_from("abc"),
+                  st.integers(min_value=1, max_value=50)),
+        # Integer-valued samples: the pipeline's histograms record counts
+        # and sizes, for which float summation is exact and merge order
+        # cannot drift the sum (non-integer samples would be subject to
+        # ordinary float non-associativity in the last bit).
+        st.tuples(st.just("observe"), st.sampled_from("hk"),
+                  st.integers(min_value=0, max_value=20000)),
+    ),
+    max_size=40,
+)
+
+
+@given(events=_EVENTS, cut=st.integers(min_value=0, max_value=40))
+def test_merged_shards_equal_serial(events, cut):
+    """Splitting a recording at any point and merging the shards back
+    reproduces the serial registry exactly — the cross-process guarantee."""
+    serial = MetricsRegistry()
+    shards = [MetricsRegistry(), MetricsRegistry()]
+    for index, (kind, name, value) in enumerate(events):
+        shard = shards[0] if index < cut else shards[1]
+        getattr(serial, kind)(name, value)
+        getattr(shard, kind)(name, value)
+    merged = MetricsRegistry()
+    for shard in shards:
+        merged.merge(shard.snapshot())
+    snapshot = merged.snapshot()
+    assert snapshot["counters"] == serial.snapshot()["counters"]
+    assert snapshot["histograms"] == serial.snapshot()["histograms"]

@@ -1,0 +1,109 @@
+"""The process-wide sink: no-op fast path, activation, worker protocol."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import runtime
+from repro.obs.trace import _NullSpan
+
+
+@pytest.fixture(autouse=True)
+def _pristine_runtime():
+    """Park any ambient sink (e.g. the REPRO_OBS=1 auto-activated pair)
+    so every test here starts from — and restores — a clean runtime."""
+    saved = runtime.tracer(), runtime.registry()
+    runtime.deactivate()
+    yield
+    runtime.deactivate()
+    if saved[0] is not None:
+        runtime.activate(*saved)
+
+
+class TestFastPath:
+    def test_off_by_default(self):
+        assert not runtime.enabled()
+        assert runtime.tracer() is None
+        assert runtime.registry() is None
+
+    def test_span_is_null_when_off(self):
+        assert isinstance(runtime.span("anything"), _NullSpan)
+
+    def test_recording_helpers_are_noops_when_off(self):
+        runtime.inc("c")
+        runtime.observe("h", 1.0)
+        runtime.gauge("g", 1.0)  # must not raise
+
+
+class TestActivation:
+    def test_activated_scopes_and_restores(self):
+        trace, metrics = Tracer(), MetricsRegistry()
+        with runtime.activated(trace, metrics):
+            assert runtime.enabled()
+            assert runtime.tracer() is trace
+            runtime.inc("c", 2)
+            with runtime.span("s"):
+                pass
+        assert not runtime.enabled()
+        assert metrics.counters["c"] == 2
+        assert [span.name for span in trace.spans] == ["s"]
+
+    def test_activated_nests_and_restores_previous(self):
+        outer = (Tracer(), MetricsRegistry())
+        inner = (Tracer(), MetricsRegistry())
+        with runtime.activated(*outer):
+            with runtime.activated(*inner):
+                runtime.inc("c")
+            assert runtime.registry() is outer[1]
+        assert inner[1].counters == {"c": 1}
+
+    def test_env_knob_activates_at_import(self):
+        env = dict(os.environ, REPRO_OBS="1")
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        code = (
+            "from repro.obs import runtime; "
+            "raise SystemExit(0 if runtime.enabled() else 1)"
+        )
+        assert subprocess.run(
+            [sys.executable, "-c", code], env=env
+        ).returncode == 0
+
+
+class TestWorkerProtocol:
+    def teardown_method(self):
+        runtime.deactivate()
+
+    def test_disabled_worker_ships_nothing(self):
+        runtime.install_worker(parent_enabled=False)
+        assert runtime.task_mark() is None
+        assert runtime.task_delta(None) is None
+
+    def test_round_trip_equals_direct_recording(self):
+        # Simulate: parent activates, "worker" records, delta absorbed.
+        runtime.install_worker(parent_enabled=True)
+        worker_trace = runtime.tracer()
+        mark = runtime.task_mark()
+        with runtime.span("task", item=1):
+            runtime.inc("work.done", 3)
+            runtime.observe("work.size", 2)
+        delta = runtime.task_delta(mark)
+        assert worker_trace.process.startswith("worker-")
+
+        parent_trace, parent_metrics = Tracer(), MetricsRegistry()
+        with runtime.activated(parent_trace, parent_metrics):
+            with runtime.span("fanout"):
+                runtime.absorb(delta)
+        assert parent_metrics.counters["work.done"] == 3
+        assert parent_metrics.histograms["work.size"][3] == 1
+        adopted = {span.name: span for span in parent_trace.spans}
+        assert adopted["task"].parent_id == adopted["fanout"].span_id
+
+    def test_install_worker_resets_inherited_sink(self):
+        inherited = (Tracer(), MetricsRegistry())
+        runtime.activate(*inherited)
+        runtime.install_worker(parent_enabled=True)
+        assert runtime.tracer() is not inherited[0]
+        assert runtime.registry() is not inherited[1]

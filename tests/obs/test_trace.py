@@ -1,0 +1,134 @@
+"""Span/Tracer unit tests and the span-tree integrity property."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestSpan:
+    def test_ids_assigned_in_entry_order(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b") as b:
+                pass
+        assert (a.span_id, b.span_id) == (1, 2)
+
+    def test_parent_links_follow_nesting(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+
+    def test_completion_order_children_first(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_timings_non_negative_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(1000))
+        assert inner.wall >= 0.0
+        assert outer.wall >= inner.wall
+        assert outer.cpu >= 0.0
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", day=3) as span:
+            span.set(observations=7)
+        assert span.attributes == {"day": 3, "observations": 7}
+        assert span.to_dict()["attrs"] == {"day": 3, "observations": 7}
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is NULL_SPAN
+
+
+class TestTracer:
+    def test_current_tracks_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_mark_and_export_delta(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        exported = tracer.export_spans(since=mark)
+        assert [record["name"] for record in exported] == ["after"]
+
+    def test_adopt_renumbers_and_reparents(self):
+        worker = Tracer(process="worker-1")
+        with worker.span("task"):
+            with worker.span("task/step"):
+                pass
+        shipped = worker.export_spans()
+
+        parent = Tracer()
+        with parent.span("stage") as stage:
+            parent.adopt(shipped)
+        by_name = {span.name: span for span in parent.spans}
+        # The worker's root hangs under the span open at adoption time.
+        assert by_name["task"].parent_id == stage.span_id
+        # Internal links are preserved through the id remap.
+        assert by_name["task/step"].parent_id == by_name["task"].span_id
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+        assert by_name["task"].process == "worker-1"
+
+    def test_adopt_with_explicit_parent(self):
+        worker = Tracer(process="w")
+        with worker.span("leaf"):
+            pass
+        parent = Tracer()
+        with parent.span("anchor") as anchor:
+            pass
+        parent.adopt(worker.export_spans(), parent_id=anchor.span_id)
+        assert parent.spans[-1].parent_id == anchor.span_id
+
+
+# Trees as nested lists: each element is a node, its value the children.
+_TREES = st.recursive(
+    st.just([]), lambda kids: st.lists(kids, max_size=3), max_leaves=12
+)
+
+
+@given(forest=st.lists(_TREES, max_size=3))
+def test_span_tree_integrity(forest):
+    """Replaying any nesting yields a tree with exact parent/child links."""
+    tracer = Tracer()
+    expected_parent = {}
+
+    def replay(children, parent_id):
+        for index, grandchildren in enumerate(children):
+            with tracer.span(f"node{index}") as span:
+                expected_parent[span.span_id] = parent_id
+                replay(grandchildren, span.span_id)
+
+    replay(forest, None)
+    assert tracer.current is None
+    by_id = {span.span_id: span for span in tracer.spans}
+    assert len(by_id) == len(tracer.spans), "span ids must be unique"
+    assert len(tracer.spans) == len(expected_parent)
+    for span in tracer.spans:
+        assert span.parent_id == expected_parent[span.span_id]
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start
+            assert parent.wall >= span.wall >= 0.0

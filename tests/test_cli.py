@@ -36,6 +36,20 @@ class TestParser:
         args = build_parser().parse_args(["census", "--preset", "tiny"])
         assert args.preset == "tiny"
 
+    def test_analysis_commands_accept_obs_flags(self):
+        args = build_parser().parse_args(
+            ["link", "--preset", "tiny", "--trace", "t.jsonl", "--metrics"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics == "-"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.dataset == "tiny"
+        assert args.workers == 1
+        assert args.trace is None
+        assert args.metrics is None
+
 
 class TestCommands:
     def test_generate_writes_both_artifacts(self, saved_corpus):
@@ -47,8 +61,16 @@ class TestCommands:
         corpus, _ = saved_corpus
         assert main(["info", str(corpus)]) == 0
         out = capsys.readouterr().out
+        assert "backend: archive" in out
         assert "n_scans" in out
         assert "n_certificates" in out
+        assert "n_observations" in out
+        assert "workers: 1" in out
+
+    def test_info_echoes_worker_count(self, saved_corpus, capsys):
+        corpus, _ = saved_corpus
+        assert main(["info", str(corpus), "--workers", "3"]) == 0
+        assert "workers: 3" in capsys.readouterr().out
 
     def test_census_from_saved(self, saved_corpus, capsys):
         corpus, environment = saved_corpus
@@ -82,3 +104,60 @@ class TestCommands:
     def test_analysis_without_inputs_fails(self):
         with pytest.raises(SystemExit):
             main(["census"])
+
+
+class TestObservability:
+    def test_link_with_trace_and_metrics(self, saved_corpus, tmp_path, capsys):
+        corpus, environment = saved_corpus
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["link", "--corpus", str(corpus), "--environment",
+             str(environment), "--trace", str(trace_path), "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert trace_path.exists()
+        assert f"spans to {trace_path}" in out
+        assert "repro_dedup_certs_unique_total" in out
+
+    def test_profile_writes_trace_and_prints_tree(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            ["profile", "--dataset", "tiny", "--seed", "7", "--workers", "2",
+             "--trace", str(trace_path), "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The printed tree covers every pipeline stage.
+        for stage in ("scan", "validation", "kernels", "dedup",
+                      "feature_evaluations", "pipeline", "tracking"):
+            assert stage in out
+        assert "scanner.observations_recorded" in out
+        lines = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "meta"
+        names = {record["name"] for record in lines[1:]}
+        assert any(name.startswith("scan/day=") for name in names)
+        assert any(name.startswith("link/feature=") for name in names)
+        assert "repro_scanner_scans_executed_total" in metrics_path.read_text()
+
+    def test_profile_with_rpz_requires_environment(self, saved_corpus):
+        corpus, _ = saved_corpus
+        with pytest.raises(SystemExit):
+            main(["profile", "--dataset", str(corpus)])
+
+    def test_profile_from_saved_corpus(self, saved_corpus, capsys):
+        corpus, environment = saved_corpus
+        code = main(
+            ["profile", "--dataset", str(corpus), "--environment",
+             str(environment), "--max-depth", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "load" in out
+        assert "dedup.certs_considered" in out
