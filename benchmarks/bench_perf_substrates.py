@@ -3,10 +3,11 @@
 Not a paper experiment — these track the cost of the building blocks that
 dominate whole-corpus runs: DER round-trips, RSA generation/signing, scan
 execution, the linking inner loop, the columnar observation index, the §6
-linking kernels, and the per-stage pipeline costs.  pytest-benchmark's
-timing table is the artifact, plus rendered tables in ``results/``
-(``perf_stage_timings.txt``, ``perf_index_speedup.txt``,
-``perf_linking_kernels.txt``) and the machine-readable perf trajectory
+linking kernels, the per-stage pipeline costs, and the warm-path artifact
+cache.  pytest-benchmark's timing table is the artifact, plus rendered
+tables in ``results/`` (``perf_stage_timings.txt``,
+``perf_index_speedup.txt``, ``perf_linking_kernels.txt``,
+``perf_end_to_end_cache.txt``) and the machine-readable perf trajectory
 ``results/BENCH_perf.json`` that future PRs diff for regressions.
 """
 
@@ -28,9 +29,14 @@ from repro.core.pipeline import (
     iterative_link,
     lifetime_improvement,
 )
+from repro.io import ArtifactCache, InMemoryBackend
 from repro.scanner.campaign import ScanCampaign
+from repro.scanner.columns import ObservationColumns, ObservationIndex
+from repro.scanner.dataset import ScanDataset
 from repro.scanner.engine import ScanEngine
+from repro.study import Study
 from repro.x509.certificate import Certificate
+from repro.x509.chain import ChainVerifier
 from repro.x509.keys import generate_keypair
 
 
@@ -199,7 +205,7 @@ def test_perf_stage_timings(paper_study, record_result):
     record_result("\n".join(lines), name="perf_stage_timings")
 
 
-def test_perf_linking_kernels(paper_study, results_dir, record_result):
+def test_perf_linking_kernels(paper_study, results_dir, record_result, tmp_path):
     """Kernel vs naive cost of the §6 linking stages, at paper scale.
 
     Re-runs both implementations inline, on the same warm corpus and in the
@@ -208,10 +214,14 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
     path through the public stage entry points, the pre-kernel row path
     through the ``_naive_*`` reference twins, over the same population and
     iteration order the cached Study stages consumed (bitwise float
-    identity requires identical accumulation order).  Asserts the outputs
-    are identical, renders a table, and writes the machine-readable
-    trajectory ``BENCH_perf.json``.  Acceptance: ≥3× combined on
-    dedup + feature evaluations + pipeline.
+    identity requires identical accumulation order).  As in
+    ``test_perf_obs_overhead``, every component on *both* sides is the
+    minimum over alternating rounds — scheduler/allocator spikes land in
+    different rounds and fall out of the minima, so the ratios track the
+    code, not the machine's mood.  Asserts the outputs are identical,
+    renders a table, and writes the machine-readable trajectory
+    ``BENCH_perf.json``.  Acceptance: ≥3× combined on dedup + feature
+    evaluations + pipeline, and ≥4× cold-naive vs warm-cached.
     """
     if link_parity_enabled():
         pytest.skip("REPRO_LINK_PARITY=1 runs both paths inside the kernel "
@@ -230,18 +240,27 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
         value = compute()
         return value, time.perf_counter() - start
 
+    rounds = 3
+
+    def best(compute):
+        """First round's value, minimum cost across ``rounds`` rounds."""
+        value, cost = timed(compute)
+        for _ in range(rounds - 1):
+            cost = min(cost, timed(compute)[1])
+        return value, cost
+
     # --- §6.2 dedup ---
-    kernel_dedup, kernel_dedup_cost = timed(
+    kernel_dedup, kernel_dedup_cost = best(
         lambda: classify_unique_certificates(dataset, invalid)
     )
-    naive_dedup, naive_dedup_cost = timed(
+    naive_dedup, naive_dedup_cost = best(
         lambda: _naive_classify(dataset, invalid, 2)
     )
     assert kernel_dedup == paper_study.dedup()
     assert naive_dedup == kernel_dedup
 
     # --- §6.3–6.4 per-field linking + consistency (Table 6) ---
-    kernel_evals, kernel_eval_cost = timed(
+    kernel_evals, kernel_eval_cost = best(
         lambda: evaluate_all_features(dataset, unique_invalid, as_of)
     )
 
@@ -265,7 +284,7 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
         }
         return reports, unique_counts
 
-    (naive_reports, naive_unique), naive_eval_cost = timed(naive_evaluate_all)
+    (naive_reports, naive_unique), naive_eval_cost = best(naive_evaluate_all)
     for feature, (result, report) in naive_reports.items():
         kernel = kernel_evals[feature]
         assert report == kernel.consistency, feature
@@ -277,7 +296,7 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
         assert naive_unique[feature] == cached.uniquely_linked, feature
 
     # --- §6.4.3 iterative pipeline ---
-    kernel_pipeline, kernel_pipeline_cost = timed(
+    kernel_pipeline, kernel_pipeline_cost = best(
         lambda: iterative_link(
             dataset, unique_invalid, as_of, evaluations=kernel_evals
         )
@@ -292,7 +311,7 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
             remaining -= result.linked_fingerprints
         return groups
 
-    naive_groups, naive_pipeline_cost = timed(naive_iterative)
+    naive_groups, naive_pipeline_cost = best(naive_iterative)
     assert kernel_pipeline.field_order == pipeline.field_order
     assert [g.fingerprints for g in kernel_pipeline.groups] == \
         [g.fingerprints for g in pipeline.groups]
@@ -300,10 +319,10 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
         sorted(g.fingerprints for g in pipeline.groups)
 
     # --- §6.4.4 lifetime statistics ---
-    improvement, lifetime_cost = timed(
+    improvement, lifetime_cost = best(
         lambda: lifetime_improvement(dataset, pipeline, unique_invalid)
     )
-    naive_improvement, naive_lifetime_cost = timed(
+    naive_improvement, naive_lifetime_cost = best(
         lambda: _naive_lifetime_improvement(dataset, pipeline, unique_invalid)
     )
     assert improvement == naive_improvement
@@ -335,6 +354,66 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
     speedups["combined"] = naive_linking / kernel_linking
     speedups["combined_with_build"] = naive_linking / (kernel_linking + kernel_build)
 
+    # --- §4.2 chain walks: memoized vs naive verifier ---
+    certificates = list(dataset.certificates.values())
+    trust_store = paper_study.trust_store
+
+    def validate(memoize):
+        verifier = ChainVerifier(trust_store, memoize=memoize)
+        for certificate in certificates:
+            verifier.add_intermediate(certificate)
+        return verifier.verify_all(certificates)
+
+    naive_validation, naive_validation_cost = best(lambda: validate(False))
+    memo_validation, memo_validation_cost = best(lambda: validate(True))
+    assert memo_validation == naive_validation
+    assert memo_validation == paper_study.validation().results
+
+    # --- warm path: load every persisted artifact instead of building ---
+    # The cold side's build cost, measured the same way as every other
+    # component (fresh builds, minimum over rounds) instead of from the
+    # one-shot Study stage span.
+    _, index_build_cost = best(
+        lambda: ObservationIndex(ObservationColumns.from_scans(dataset.scans))
+    )
+
+    cache = ArtifactCache(tmp_path / "artifact-cache")
+    assert cache.store(
+        dataset, validation=paper_study.validation(), trust_store=trust_store
+    ) is not None
+    # Fresh datasets over the same corpus, one per round, each with its
+    # own backend so every load honestly recomputes the corpus digest
+    # (columnar-backed, so the digest is one hash pass; the archive path
+    # is one streamed read).
+    first = InMemoryBackend.from_dataset(dataset)
+    warm_datasets = [ScanDataset.from_backend(first)] + [
+        ScanDataset.from_backend(
+            InMemoryBackend(first.columns, first.scan_meta, first.certificates)
+        )
+        for _ in range(rounds - 1)
+    ]
+    warm_iter = iter(warm_datasets)
+    loaded, artifact_load_cost = best(
+        lambda: cache.load(next(warm_iter), trust_store=trust_store)
+    )
+    warm_dataset = warm_datasets[0]
+    assert loaded.kernels and loaded.validation is not None
+    assert loaded.validation.results == paper_study.validation().results
+    assert all(part is not None for part in warm_dataset.kernel_state)
+    assert warm_dataset.feature_matrix.fingerprints == \
+        dataset.feature_matrix.fingerprints
+
+    # A cold pre-cache analysis pays the naive linking stages (lifetime
+    # included), the (shared) CSR index build, and the naive chain walks;
+    # a warm cached analysis pays the kernel linking stages plus one
+    # artifact load — no builds, no validation.
+    cold_naive = (
+        naive_linking + naive_lifetime_cost
+        + index_build_cost + naive_validation_cost
+    )
+    warm_total = kernel_linking + lifetime_cost + artifact_load_cost
+    speedups["combined_with_build_warm"] = cold_naive / warm_total
+
     lines = [
         f"corpus: {dataset.n_observations} observations, "
         f"{len(dataset.certificates)} certificates, {len(dataset)} scans; "
@@ -348,17 +427,30 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
             f"{kernel_seconds[stage]:>9.3f}s {speedups[stage]:>8.1f}x"
         )
     lines += [
+        f"{'validation':<22} {naive_validation_cost:>9.3f}s "
+        f"{memo_validation_cost:>9.3f}s "
+        f"{naive_validation_cost / memo_validation_cost:>8.1f}x",
         f"{'combined':<22} {naive_linking:>9.3f}s {kernel_linking:>9.3f}s "
         f"{speedups['combined']:>8.1f}x",
         f"{'combined (+build)':<22} {naive_linking:>9.3f}s "
         f"{kernel_linking + kernel_build:>9.3f}s "
         f"{speedups['combined_with_build']:>8.1f}x",
+        f"{'combined (warm)':<22} {cold_naive:>9.3f}s {warm_total:>9.3f}s "
+        f"{speedups['combined_with_build_warm']:>8.1f}x",
         "",
+        f"all components are minima over {rounds} rounds (cf. "
+        "perf_obs_overhead).",
         "combined = dedup + feature_evaluations + pipeline; '+build' adds the",
         f"kernel-only arrays (intervals {timings['kernels_intervals']:.3f}s "
         f"+ feature matrix {timings['kernels_matrix']:.3f}s).  The CSR index "
-        f"({timings['kernels_index']:.3f}s) is shared substrate: the row "
+        f"({index_build_cost:.3f}s) is shared substrate: the row "
         "path's per-certificate walks answer from it too.",
+        "validation = §4.2 chain walks over the full corpus, naive vs the",
+        "per-CA memoized verifier.  'combined (warm)' is a cold pre-cache",
+        "analysis (naive linking + lifetime + CSR index build + naive chain",
+        "walks) against a warm cached analysis (kernel linking + lifetime + "
+        f"one {artifact_load_cost:.3f}s",
+        "artifact load instead of any build or validation).",
     ]
     record_result("\n".join(lines), name="perf_linking_kernels")
 
@@ -385,12 +477,94 @@ def test_perf_linking_kernels(paper_study, results_dir, record_result):
         "naive_seconds": {
             stage: round(value, 4) for stage, value in naive_seconds.items()
         },
+        "validation_seconds": {
+            "naive": round(naive_validation_cost, 4),
+            "memoized": round(memo_validation_cost, 4),
+        },
+        "warm_path_seconds": {
+            "index_build": round(index_build_cost, 4),
+            "artifact_load": round(artifact_load_cost, 4),
+            "cold_naive": round(cold_naive, 4),
+            "warm_total": round(warm_total, 4),
+        },
         "speedup": {name: round(value, 2) for name, value in speedups.items()},
     }
     _update_bench_json(results_dir, trajectory)
 
-    # Acceptance gate: ≥3× combined on the linking stages.
+    # Acceptance gates: ≥3× combined on the linking stages, and ≥4×
+    # cold-naive vs warm-cached once the artifact cache replaces builds.
     assert speedups["combined"] >= 3.0, speedups
+    assert speedups["combined_with_build_warm"] >= 4.0, speedups
+
+
+def test_perf_end_to_end_cache(
+    paper_synthetic, results_dir, record_result, tmp_path
+):
+    """Whole-run wall clock, cold (build + persist) vs warm (load) cache.
+
+    Two complete analyses (``tracked_devices`` pulls every stage) over
+    the same columnar corpus and the same :class:`ArtifactCache`: the
+    first run misses, builds, and persists; the second loads kernels and
+    validation from disk and never enters the ``kernels`` /
+    ``validation`` stages.  Writes the top-level ``end_to_end_seconds``
+    section of ``BENCH_perf.json``.
+    """
+    if link_parity_enabled():
+        pytest.skip("REPRO_LINK_PARITY=1 doubles every stage's work; "
+                    "end-to-end timings would be meaningless")
+    world = paper_synthetic.world
+    # Columnarized once, outside the timings: both runs rehydrate the
+    # same backend, so corpus loading cancels out of the comparison.
+    backend = InMemoryBackend.from_dataset(paper_synthetic.scans)
+    cache = ArtifactCache(tmp_path / "artifact-cache")
+
+    def run():
+        study = Study(
+            dataset=ScanDataset.from_backend(backend),
+            trust_store=world.trust_store,
+            as_of=world.routing.origin_as,
+            registry=world.registry,
+            cache=cache,
+        )
+        gc.collect()
+        start = time.perf_counter()
+        devices = study.tracked_devices()
+        return study, devices, time.perf_counter() - start
+
+    cold_study, cold_devices, cold_seconds = run()
+    warm_study, warm_devices, warm_seconds = run()
+    assert warm_devices == cold_devices  # byte-identical analysis
+    cold_stages = cold_study.stage_timings
+    warm_stages = warm_study.stage_timings
+    assert "kernels" in cold_stages and "validation" in cold_stages
+    assert "artifacts.load" in warm_stages
+    assert "kernels" not in warm_stages and "validation" not in warm_stages
+
+    speedup = cold_seconds / warm_seconds
+    lines = [
+        f"corpus: {len(backend.columns)} observations, "
+        f"{len(backend.certificates)} certificates, "
+        f"{len(backend.scan_meta)} scans; full analysis to tracked devices",
+        "",
+        f"{'run':<10} {'seconds':>9}  stages",
+        f"{'cold':<10} {cold_seconds:>9.3f}  miss → build kernels + "
+        "validation, persist artifacts",
+        f"{'warm':<10} {warm_seconds:>9.3f}  hit → "
+        f"{warm_stages['artifacts.load']:.3f}s artifact load, no builds",
+        "",
+        f"end-to-end warm speedup: {speedup:.1f}x",
+    ]
+    record_result("\n".join(lines), name="perf_end_to_end_cache")
+    _update_bench_json(results_dir, {
+        "end_to_end_seconds": {
+            "cold": round(cold_seconds, 4),
+            "warm": round(warm_seconds, 4),
+            "speedup": round(speedup, 2),
+        },
+    })
+    # The warm run skips both builds; anything under ~1.2x means the
+    # cache load itself became the bottleneck.
+    assert speedup >= 1.2, (cold_seconds, warm_seconds)
 
 
 def _update_bench_json(results_dir, section: dict) -> None:

@@ -44,6 +44,26 @@ def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
                           "(to stdout, or to PATH if given)")
 
 
+def _add_cache_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--cache-dir", metavar="DIR",
+                     help="content-addressed artifact cache directory: "
+                          "kernels and validation verdicts are loaded "
+                          "from (and persisted to) it, keyed by the "
+                          "corpus digest")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="ignore --cache-dir for this run")
+
+
+def _make_cache(args):
+    """The ArtifactCache implied by --cache-dir/--no-cache, or None."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir or getattr(args, "no_cache", False):
+        return None
+    from .io import ArtifactCache
+
+    return ArtifactCache(cache_dir)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--workers", type=int, default=1,
                       help="worker count the analysis commands would use "
                            "(echoed in the summary)")
+    info.add_argument("--cache-dir", metavar="DIR",
+                      help="also report the corpus' artifact-cache status "
+                           "(digest, cached sections) under this directory")
 
     profile = commands.add_parser(
         "profile",
@@ -89,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--max-depth", type=int, default=None,
                          help="limit the printed span tree depth")
     _add_obs_flags(profile)
+    _add_cache_flags(profile)
 
     for name, help_text in (
         ("census", "the §5 invalid-vs-valid comparison"),
@@ -109,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--out", default="report.md")
             sub.add_argument("--title", default="Invalid-certificate study")
         _add_obs_flags(sub)
+        _add_cache_flags(sub)
     return parser
 
 
@@ -131,11 +156,12 @@ def _make_study(args):
     from .study import Study
 
     workers = getattr(args, "workers", 1)
+    cache = _make_cache(args)
     if args.preset:
         from .datasets import synthetic
 
         dataset = getattr(synthetic, args.preset)(seed=args.seed)
-        return Study.from_synthetic(dataset, workers=workers)
+        return Study.from_synthetic(dataset, workers=workers, cache=cache)
     if not args.corpus or not args.environment:
         raise SystemExit("need either --preset or both --corpus and --environment")
     from .io import load_dataset, load_environment
@@ -148,6 +174,7 @@ def _make_study(args):
         as_of=environment.routing.origin_as,
         registry=environment.registry,
         workers=workers,
+        cache=cache,
     )
 
 
@@ -173,11 +200,22 @@ def _cmd_generate(args) -> int:
 def _cmd_info(args) -> int:
     from .io import ArchiveBackend
 
-    manifest = ArchiveBackend(args.corpus).describe()
+    backend = ArchiveBackend(args.corpus)
+    manifest = backend.describe()
     print(f"backend: {manifest.pop('backend', 'archive')}")
     for key, value in manifest.items():
         print(f"{key}: {value}")
     print(f"workers: {args.workers}")
+    if getattr(args, "cache_dir", None):
+        from .io import ArtifactCache
+
+        status = ArtifactCache(args.cache_dir).status(backend.corpus_digest())
+        print(f"cache digest: {status['digest']}")
+        if status["cached"]:
+            print(f"cache: hit ({', '.join(status['sections'])}) "
+                  f"at {status['path']}")
+        else:
+            print(f"cache: miss (no artifact at {status['path']})")
     return 0
 
 
@@ -304,7 +342,8 @@ def _cmd_profile(args) -> int:
                         args.dataset, args.seed, workers=args.workers
                     )
                 study = Study.from_synthetic(
-                    bundle, workers=args.workers, observe=True
+                    bundle, workers=args.workers, observe=True,
+                    cache=_make_cache(args),
                 )
             else:
                 if not args.environment:
@@ -323,6 +362,7 @@ def _cmd_profile(args) -> int:
                     registry=environment.registry,
                     workers=args.workers,
                     observe=True,
+                    cache=_make_cache(args),
                 )
             study.validation()
             study.dedup()

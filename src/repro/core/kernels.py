@@ -37,6 +37,7 @@ to the pre-kernel row path.
 from __future__ import annotations
 
 from array import array
+from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence
 
 from ..obs import runtime as obs
@@ -89,9 +90,16 @@ class FeatureMatrix:
 
     @classmethod
     def from_certificates(
-        cls, certificates: Dict[bytes, Certificate]
+        cls, certificates: Dict[bytes, Certificate], workers: int = 1
     ) -> "FeatureMatrix":
-        """Extract all ten features of every certificate in one pass."""
+        """Extract all ten features of every certificate in one pass.
+
+        ``workers > 1`` shards the attribute-walk extraction (the
+        expensive part) over a process pool; the value interning runs in
+        the parent over the extracted tuples in certificate order, so
+        ids — and therefore the whole matrix — are bitwise-identical to
+        serial.
+        """
         matrix = cls()
         n = len(certificates)
         matrix.fingerprints = list(certificates)
@@ -102,8 +110,12 @@ class FeatureMatrix:
             feature: {} for feature in features
         }
         cn_linkable = array("i", bytes(4 * n))
-        for row, cert in enumerate(certificates.values()):
-            for feature, value in zip(features, _extract_all(cert)):
+        if workers > 1 and n > 1:
+            extracted = _extract_sharded(list(certificates.values()), workers)
+        else:
+            extracted = (_extract_all(cert) for cert in certificates.values())
+        for row, values in enumerate(extracted):
+            for feature, value in zip(features, values):
                 if value is None:
                     raw[feature][row] = -1
                     if feature is Feature.COMMON_NAME:
@@ -135,6 +147,41 @@ class FeatureMatrix:
     def linkable_id(self, feature: Feature, fingerprint: bytes) -> int:
         """The interned linkable value id (-1 = absent or dropped)."""
         return self.linkable_ids[feature][self.rows[fingerprint]]
+
+
+def _init_matrix_worker(obs_enabled: bool) -> None:
+    obs.install_worker(obs_enabled)
+
+
+def _extract_chunk(
+    task: "tuple[int, List[Certificate]]",
+) -> "tuple[list[tuple], Optional[dict]]":
+    shard_index, certs = task
+    mark = obs.task_mark()
+    with obs.span(f"kernels/matrix_shard={shard_index}"):
+        rows = [_extract_all(cert) for cert in certs]
+    return rows, obs.task_delta(mark)
+
+
+def _extract_sharded(certs: "List[Certificate]", workers: int) -> "list[tuple]":
+    """Fan the per-certificate extraction out, preserving corpus order."""
+    n_chunks = min(workers, len(certs))
+    bounds = [round(i * len(certs) / n_chunks) for i in range(n_chunks + 1)]
+    tasks = [
+        (shard, certs[bounds[shard]:bounds[shard + 1]])
+        for shard in range(n_chunks)
+        if bounds[shard] < bounds[shard + 1]
+    ]
+    extracted: "list[tuple]" = []
+    with ProcessPoolExecutor(
+        max_workers=len(tasks),
+        initializer=_init_matrix_worker,
+        initargs=(obs.enabled(),),
+    ) as pool:
+        for rows, delta in pool.map(_extract_chunk, tasks):
+            extracted.extend(rows)
+            obs.absorb(delta)
+    return extracted
 
 
 def _extract_all(cert: Certificate) -> tuple:

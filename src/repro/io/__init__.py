@@ -1,5 +1,6 @@
 """Corpus and environment serialization (.rpz / .rpe archives) and backends."""
 
+from .artifacts import ARTIFACT_SCHEMA, ArtifactCache, LoadedArtifacts
 from .backends import ArchiveBackend, DatasetBackend, InMemoryBackend
 from .environment import AnalysisEnvironment, load_environment, save_environment
 from .store import (
@@ -12,6 +13,9 @@ from .store import (
 )
 
 __all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactCache",
+    "LoadedArtifacts",
     "AnalysisEnvironment",
     "load_environment",
     "save_environment",

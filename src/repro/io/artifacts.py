@@ -1,0 +1,699 @@
+"""Content-addressed persistence of derived analysis artifacts.
+
+PR 2 made the §6 linking consumers array-native, which left the *builds*
+— column interning, the CSR observation index, the interval arrays, the
+feature matrix, and the §4.2 chain walks — as the dominant cost of every
+run over the same immutable corpus.  This module is the warm path: an
+:class:`ArtifactCache` persists those derived artifacts in one ``.rpa``
+file per corpus, keyed by a **streaming corpus digest**, so a warm
+:class:`~repro.study.Study` run loads them in O(read) and skips the
+kernel builds and the chain walks entirely.
+
+Digest scheme (the cache key):
+
+* :class:`~repro.io.backends.ArchiveBackend` corpora hash the archive
+  **file bytes** (SHA-256, streamed in chunks — the ``.rpz`` is the
+  corpus' identity, nothing needs parsing);
+* in-memory corpora hash a **canonical columnar encoding**: per-scan
+  (day, source) metadata, the five observation columns as little-endian
+  bytes, the interning tables, and the sorted fingerprint list of the
+  certificate table.  Fingerprints are SHA-256 over DER, so certificate
+  *content* is covered transitively.
+
+Both schemes are independent of ``PYTHONHASHSEED`` and of the platform
+byte order (columns are serialized little-endian everywhere).
+
+File layout — ``<digest>.rpa`` is a ZIP archive (stored, not deflated:
+cache files trade disk for load latency) with members:
+
+* ``manifest.json`` — :data:`ARTIFACT_SCHEMA`, the corpus digest, corpus
+  counts, and the section list;
+* ``columns.pkl``   — the five observation columns and interning tables
+  (arrays as ``(typecode, little-endian bytes)`` pairs; fingerprints as
+  one flat 32-byte-stride blob).  Kept separate because a loader whose
+  dataset is already columnar skips these bytes — they dominate the file;
+* ``kernels.pkl``   — the CSR index, interval arrays, and feature matrix
+  (together with ``columns.pkl`` this is the manifest's ``kernels``
+  section);
+* ``validation.pkl`` — per-certificate verdicts, columnar: interned
+  status/detail tables, per-record id columns, a flat chain-fingerprint
+  blob with per-record lengths, plus the DER of chain members that are
+  not corpus certificates (roots), gated by a digest of the trust store.
+
+Any failure to read, decode, or sanity-check an artifact — truncation,
+a schema bump, a digest mismatch, a foreign byte order — degrades to a
+rebuild, never to an error; counters ``artifacts.hit`` / ``miss`` /
+``invalidated`` (one per requested section) record which way each load
+went.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import struct
+import sys
+import zipfile
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
+
+from ..obs import runtime as obs
+from ..scanner.columns import CertIntervals, ObservationColumns, ObservationIndex
+from ..tls.handshake import HandshakeRecord
+from ..x509.certificate import Certificate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..core.validation import ValidationReport
+    from ..scanner.dataset import ScanDataset
+    from ..x509.truststore import TrustStore
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactCache",
+    "LoadedArtifacts",
+    "columns_digest",
+    "trust_store_digest",
+]
+
+#: Bump on any change to the artifact payload encoding; older files are
+#: invalidated (fall back to a rebuild), never misread.
+ARTIFACT_SCHEMA = 1
+
+#: Streaming chunk size for archive-byte digests.
+_CHUNK = 1 << 20
+
+_META = struct.Struct("<II")
+_SCAN = struct.Struct("<iI")
+
+#: Certificate fingerprints are SHA-256 over DER — always 32 bytes, so
+#: fingerprint sequences serialize as one flat blob sliced on decode.
+_FP_LEN = 32
+
+
+# ---------------------------------------------------------------------------
+# Digests
+# ---------------------------------------------------------------------------
+
+def _le_bytes(column: array) -> bytes:
+    """A column's raw bytes, little-endian regardless of the host."""
+    if sys.byteorder == "little":
+        return column.tobytes()
+    swapped = array(column.typecode, column)
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _le_view(column: array):
+    """Zero-copy little-endian view for hashing (copies only on BE hosts)."""
+    if sys.byteorder == "little":
+        return memoryview(column)
+    return _le_bytes(column)
+
+
+def file_digest(path: Union[str, pathlib.Path]) -> str:
+    """Streaming SHA-256 over a corpus archive's bytes."""
+    digest = hashlib.sha256(b"repro-archive/1\n")
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def columns_digest(
+    columns: ObservationColumns,
+    scan_meta: Sequence[tuple[int, str]],
+    certificates: Mapping[bytes, Certificate],
+) -> str:
+    """Canonical digest of an in-memory corpus.
+
+    Hashes the (day, source) scan metadata, every observation column as
+    little-endian bytes, the interning tables, and the **sorted** full
+    certificate-fingerprint list (covering unobserved certificates, and
+    making the digest independent of certificate-dict insertion order).
+    """
+    digest = hashlib.sha256(b"repro-corpus/1\n")
+    digest.update(_META.pack(len(scan_meta), len(certificates)))
+    for day, source in scan_meta:
+        encoded = source.encode("utf-8")
+        digest.update(_SCAN.pack(day, len(encoded)))
+        digest.update(encoded)
+    for column in (columns.scan_idx, columns.ip, columns.cert_id,
+                   columns.entity_id, columns.handshake_id):
+        digest.update(_le_view(column))
+    digest.update(b"".join(columns.fingerprints))
+    digest.update(json.dumps(columns.entities, separators=(",", ":")).encode())
+    digest.update(
+        json.dumps(
+            [list(record) for record in columns.handshakes],
+            separators=(",", ":"),
+        ).encode()
+    )
+    digest.update(b"".join(sorted(certificates)))
+    return digest.hexdigest()
+
+
+def trust_store_digest(trust_store: "TrustStore") -> str:
+    """Digest of a trust store: SHA-256 over its sorted root fingerprints.
+
+    Gates only the ``validation`` section — the kernel artifacts are pure
+    functions of the corpus and stay loadable under any trust store.
+    """
+    digest = hashlib.sha256(b"repro-trust/1\n")
+    for fingerprint in sorted(root.fingerprint for root in trust_store):
+        digest.update(fingerprint)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Array / payload encoding (PYTHONHASHSEED- and endianness-independent)
+# ---------------------------------------------------------------------------
+
+def _pack_array(column: array) -> tuple[str, bytes]:
+    return column.typecode, _le_bytes(column)
+
+
+def _unpack_array(packed: tuple[str, bytes]) -> array:
+    typecode, blob = packed
+    column = array(typecode)
+    column.frombytes(blob)
+    if sys.byteorder != "little":
+        column.byteswap()
+    return column
+
+
+def _pack_fingerprints(fingerprints: Sequence[bytes]) -> bytes:
+    """A fingerprint sequence as one flat 32-byte-stride blob.
+
+    One large pickle object instead of tens of thousands of small ones —
+    the dominant cost of a warm load is object construction, not bytes.
+    """
+    blob = b"".join(fingerprints)
+    if len(blob) != _FP_LEN * len(fingerprints):
+        raise ValueError("non-canonical fingerprint length")
+    return blob
+
+
+def _unpack_fingerprints(blob: bytes) -> list[bytes]:
+    if len(blob) % _FP_LEN:
+        raise ValueError("fingerprint blob not a digest-size multiple")
+    return [blob[base:base + _FP_LEN] for base in range(0, len(blob), _FP_LEN)]
+
+
+def _encode_columns(columns: ObservationColumns) -> dict:
+    """The observation columns, as their own (large) payload.
+
+    Kept in a separate archive member from the other kernels: a loader
+    whose dataset is already columnar (an :class:`InMemoryBackend`
+    corpus) skips these bytes entirely — they dominate the artifact.
+    """
+    return {
+        "scan_idx": _pack_array(columns.scan_idx),
+        "ip": _pack_array(columns.ip),
+        "cert_id": _pack_array(columns.cert_id),
+        "entity_id": _pack_array(columns.entity_id),
+        "handshake_id": _pack_array(columns.handshake_id),
+        "fingerprints": _pack_fingerprints(columns.fingerprints),
+        "entities": list(columns.entities),
+        "handshakes": [tuple(record) for record in columns.handshakes],
+    }
+
+
+def _encode_kernels(
+    index: ObservationIndex,
+    intervals: CertIntervals,
+    matrix,
+) -> dict:
+    from ..core.features import Feature
+
+    return {
+        "index": {
+            "offsets": _pack_array(index._offsets),
+            "order": _pack_array(index._order),
+        },
+        "intervals": {
+            name: _pack_array(getattr(intervals, name))
+            for name in CertIntervals.__slots__
+        },
+        "matrix": {
+            "fingerprints": _pack_fingerprints(matrix.fingerprints),
+            "values": {
+                feature.name: list(matrix.values[feature]) for feature in Feature
+            },
+            "raw_ids": {
+                feature.name: _pack_array(matrix.raw_ids[feature])
+                for feature in Feature
+            },
+            "cn_linkable": _pack_array(
+                matrix.linkable_ids[Feature.COMMON_NAME]
+            ),
+        },
+    }
+
+
+def _decode_columns(payload: dict) -> ObservationColumns:
+    columns = ObservationColumns()
+    columns.scan_idx = _unpack_array(payload["scan_idx"])
+    columns.ip = _unpack_array(payload["ip"])
+    columns.cert_id = _unpack_array(payload["cert_id"])
+    columns.entity_id = _unpack_array(payload["entity_id"])
+    columns.handshake_id = _unpack_array(payload["handshake_id"])
+    columns.fingerprints = _unpack_fingerprints(payload["fingerprints"])
+    columns.fingerprint_ids = {
+        fingerprint: cert_id
+        for cert_id, fingerprint in enumerate(columns.fingerprints)
+    }
+    columns.entities = payload["entities"]  # fresh list, pickle-owned
+    columns.handshakes = [
+        HandshakeRecord(*record) for record in payload["handshakes"]
+    ]
+    return columns
+
+
+def _decode_index(
+    columns: ObservationColumns, payload: dict
+) -> ObservationIndex:
+    index = ObservationIndex.__new__(ObservationIndex)
+    index.columns = columns
+    index._offsets = _unpack_array(payload["offsets"])
+    index._order = _unpack_array(payload["order"])
+    if len(index._offsets) != len(columns.fingerprints) + 1 \
+            or len(index._order) != len(columns):
+        raise ValueError("artifact index shape mismatch")
+    return index
+
+
+def _decode_intervals(payload: dict, n_certs: int) -> CertIntervals:
+    intervals = CertIntervals.__new__(CertIntervals)
+    for name in CertIntervals.__slots__:
+        column = _unpack_array(payload[name])
+        if len(column) != n_certs:
+            raise ValueError("artifact intervals shape mismatch")
+        setattr(intervals, name, column)
+    return intervals
+
+
+def _decode_matrix(payload: dict, certificates: Mapping[bytes, Certificate]):
+    """Rebuild the feature matrix, re-ordering rows to the loader's
+    certificate-dict order when it differs from the writer's (the digest
+    pins the certificate *set*, not the dict insertion order)."""
+    from ..core.kernels import FeatureMatrix
+    from ..core.features import Feature
+
+    stored = _unpack_fingerprints(payload["fingerprints"])
+    wanted = list(certificates)
+    raw = {
+        feature: _unpack_array(payload["raw_ids"][feature.name])
+        for feature in Feature
+    }
+    cn_linkable = _unpack_array(payload["cn_linkable"])
+    if stored != wanted:
+        if sorted(stored) != sorted(wanted):
+            raise ValueError("artifact certificate set mismatch")
+        stored_row = {fp: row for row, fp in enumerate(stored)}
+        perm = [stored_row[fp] for fp in wanted]
+        raw = {
+            feature: array("i", (column[row] for row in perm))
+            for feature, column in raw.items()
+        }
+        cn_linkable = array("i", (cn_linkable[row] for row in perm))
+    for column in raw.values():
+        if len(column) != len(wanted):
+            raise ValueError("artifact matrix shape mismatch")
+    matrix = FeatureMatrix()
+    matrix.fingerprints = wanted
+    matrix.rows = {fp: row for row, fp in enumerate(wanted)}
+    matrix.values = {  # fresh pickle-owned lists, no copy needed
+        feature: payload["values"][feature.name] for feature in Feature
+    }
+    matrix.raw_ids = raw
+    matrix.linkable_ids = dict(raw)
+    matrix.linkable_ids[Feature.COMMON_NAME] = cn_linkable
+    return matrix
+
+
+def _encode_validation(
+    report: "ValidationReport",
+    dataset: "ScanDataset",
+    trust_store: "TrustStore",
+) -> dict:
+    """Columnar verdict encoding: the distinct (status, detail) space is
+    tiny (a handful of failure classes), so per-certificate state is two
+    id columns plus a flat chain-fingerprint blob with per-record
+    lengths — not tens of thousands of record tuples."""
+    statuses: list[str] = []
+    status_ids: dict[str, int] = {}
+    details: list[str] = []
+    detail_ids: dict[str, int] = {}
+    fingerprints: list[bytes] = []
+    record_status = array("B")
+    record_detail = array("I")
+    chain_lens = array("B")
+    chain_fps: list[bytes] = []
+    extra_der: dict[bytes, bytes] = {}
+    for fingerprint, result in report.results.items():
+        fingerprints.append(fingerprint)
+        status_id = status_ids.setdefault(result.status.value, len(statuses))
+        if status_id == len(statuses):
+            statuses.append(result.status.value)
+        detail_id = detail_ids.setdefault(result.detail, len(details))
+        if detail_id == len(details):
+            details.append(result.detail)
+        record_status.append(status_id)
+        record_detail.append(detail_id)
+        chain_lens.append(len(result.chain))
+        for link in result.chain:
+            chain_fps.append(link.fingerprint)
+            if link.fingerprint not in dataset.certificates \
+                    and link.fingerprint not in extra_der:
+                extra_der[link.fingerprint] = link.to_der()
+    return {
+        "trust_digest": trust_store_digest(trust_store),
+        "fingerprints": _pack_fingerprints(fingerprints),
+        "statuses": statuses,
+        "details": details,
+        "status_ids": _pack_array(record_status),
+        "detail_ids": _pack_array(record_detail),
+        "chain_lens": _pack_array(chain_lens),
+        "chain_fps": _pack_fingerprints(chain_fps),
+        "extra_der": extra_der,
+    }
+
+
+def _decode_validation(
+    payload: dict,
+    dataset: "ScanDataset",
+    trust_store: "TrustStore",
+) -> "ValidationReport":
+    from ..core.validation import ValidationReport
+    from ..x509.chain import VerifyResult, VerifyStatus
+
+    roots = {root.fingerprint: root for root in trust_store}
+    extra_der = payload["extra_der"]
+    parsed: dict[bytes, Certificate] = {}
+
+    def resolve(fingerprint: bytes) -> Certificate:
+        cert = dataset.certificates.get(fingerprint) or roots.get(fingerprint) \
+            or parsed.get(fingerprint)
+        if cert is None:
+            cert = parsed[fingerprint] = Certificate.from_der(
+                extra_der[fingerprint]
+            )
+        return cert
+
+    status_table = [VerifyStatus(value) for value in payload["statuses"]]
+    details = payload["details"]
+    fingerprints = _unpack_fingerprints(payload["fingerprints"])
+    status_ids = _unpack_array(payload["status_ids"])
+    detail_ids = _unpack_array(payload["detail_ids"])
+    chain_lens = _unpack_array(payload["chain_lens"])
+    chain_fps = _unpack_fingerprints(payload["chain_fps"])
+    if not (len(fingerprints) == len(status_ids) == len(detail_ids)
+            == len(chain_lens)):
+        raise ValueError("artifact validation shape mismatch")
+    # ``VerifyResult`` is frozen, so chainless verdicts — the bulk of the
+    # corpus — share one instance per distinct (status, detail) pair.
+    chainless: dict[tuple[int, int], VerifyResult] = {}
+    # Which report bucket each status lands in (``is_valid`` and the
+    # disregarded set are pure functions of the status).
+    valid: set[bytes] = set()
+    invalid: set[bytes] = set()
+    disregarded: set[bytes] = set()
+    buckets = [
+        disregarded if status is VerifyStatus.MALFORMED
+        else (valid if status.is_valid else invalid)
+        for status in status_table
+    ]
+    results = {}
+    position = 0
+    rows = zip(fingerprints, status_ids, detail_ids, chain_lens)
+    for fingerprint, status_id, detail_id, length in rows:
+        if length:
+            chain = tuple(
+                resolve(fp) for fp in chain_fps[position:position + length]
+            )
+            position += length
+            result = VerifyResult(
+                status=status_table[status_id],
+                chain=chain,
+                detail=details[detail_id],
+            )
+        else:
+            key = (status_id, detail_id)
+            result = chainless.get(key)
+            if result is None:
+                result = chainless[key] = VerifyResult(
+                    status=status_table[status_id],
+                    detail=details[detail_id],
+                )
+        results[fingerprint] = result
+        buckets[status_id].add(fingerprint)
+    if position != len(chain_fps):
+        raise ValueError("artifact validation chain blob mismatch")
+    if results.keys() != dataset.certificates.keys():
+        raise ValueError("artifact validation set mismatch")
+    return ValidationReport(
+        results=results, valid=valid, invalid=invalid, disregarded=disregarded
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LoadedArtifacts:
+    """What one :meth:`ArtifactCache.load` satisfied."""
+
+    #: True when columns, index, intervals, and matrix were all installed.
+    kernels: bool = False
+    #: The reconstructed §4.2 report, when requested and present.
+    validation: Optional["ValidationReport"] = None
+
+
+class ArtifactCache:
+    """Content-addressed on-disk cache of derived analysis artifacts."""
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, digest: str) -> pathlib.Path:
+        return self.root / f"{digest}.rpa"
+
+    # --- read ----------------------------------------------------------------
+
+    def load(
+        self,
+        dataset: "ScanDataset",
+        trust_store: Optional["TrustStore"] = None,
+        workers: int = 1,
+    ) -> LoadedArtifacts:
+        """Install every cached artifact the corpus digest matches.
+
+        Kernels (columns + index + intervals + matrix) are adopted onto
+        ``dataset``; the validation report is returned when
+        ``trust_store`` is given and the stored verdicts were produced
+        under a trust store with the same digest.  Every requested
+        section bumps exactly one of ``artifacts.hit`` / ``miss`` /
+        ``invalidated``; any read or decode failure counts as
+        invalidated and falls back to a rebuild.
+        """
+        loaded = LoadedArtifacts()
+        n_sections = 2 if trust_store is not None else 1
+        digest = dataset.corpus_digest(workers=workers)
+        path = self.path_for(digest)
+        if not path.exists():
+            obs.inc("artifacts.miss", n_sections)
+            return loaded
+        try:
+            with zipfile.ZipFile(path) as archive:
+                manifest = json.loads(archive.read("manifest.json"))
+                if manifest.get("schema") != ARTIFACT_SCHEMA:
+                    raise ValueError(
+                        f"artifact schema {manifest.get('schema')!r} != "
+                        f"{ARTIFACT_SCHEMA}"
+                    )
+                if manifest.get("digest") != digest:
+                    raise ValueError("artifact digest mismatch")
+                members = set(archive.namelist())
+                has_kernels = {"kernels.pkl", "columns.pkl"} <= members
+                kernels_blob = (
+                    archive.read("kernels.pkl") if has_kernels else None
+                )
+                # The columns member dominates the artifact; a dataset
+                # that is already columnar never reads those bytes.
+                columns_blob = (
+                    archive.read("columns.pkl")
+                    if has_kernels and dataset._columns is None else None
+                )
+                validation_blob = (
+                    archive.read("validation.pkl")
+                    if trust_store is not None and "validation.pkl" in members
+                    else None
+                )
+        except Exception:
+            obs.inc("artifacts.invalidated", n_sections)
+            return loaded
+
+        if kernels_blob is None:
+            obs.inc("artifacts.miss")
+        else:
+            try:
+                payload = pickle.loads(kernels_blob)
+                columns = dataset._columns
+                if columns is None:
+                    columns = _decode_columns(pickle.loads(columns_blob))
+                index = _decode_index(columns, payload["index"])
+                intervals = _decode_intervals(
+                    payload["intervals"], len(columns.fingerprints)
+                )
+                matrix = _decode_matrix(
+                    payload["matrix"], dataset.certificates
+                )
+            except Exception:
+                obs.inc("artifacts.invalidated")
+            else:
+                dataset.adopt_kernels(
+                    columns=columns, index=index,
+                    intervals=intervals, matrix=matrix,
+                )
+                loaded.kernels = True
+                obs.inc("artifacts.hit")
+
+        if trust_store is not None:
+            if validation_blob is None:
+                obs.inc("artifacts.miss")
+            else:
+                try:
+                    payload = pickle.loads(validation_blob)
+                    if payload["trust_digest"] != trust_store_digest(trust_store):
+                        # Same corpus, different roots: a miss, not corruption.
+                        obs.inc("artifacts.miss")
+                    else:
+                        loaded.validation = _decode_validation(
+                            payload, dataset, trust_store
+                        )
+                        obs.inc("artifacts.hit")
+                except Exception:
+                    obs.inc("artifacts.invalidated")
+        return loaded
+
+    # --- write ---------------------------------------------------------------
+
+    def store(
+        self,
+        dataset: "ScanDataset",
+        validation: Optional["ValidationReport"] = None,
+        trust_store: Optional["TrustStore"] = None,
+        workers: int = 1,
+    ) -> Optional[pathlib.Path]:
+        """Persist whatever artifacts ``dataset`` currently holds.
+
+        The kernels section is written only when all four kernels are
+        built; the validation section only when both ``validation`` and
+        ``trust_store`` are given.  Sections already in the file that
+        this call does not rewrite are preserved, and the file is
+        replaced atomically, so a partial writer never corrupts a
+        reader.  Returns the artifact path, or None when there was
+        nothing to persist.
+        """
+        digest = dataset.corpus_digest(workers=workers)
+        members: dict[str, bytes] = {}
+        columns, index, intervals, matrix = dataset.kernel_state
+        if columns is not None and index is not None \
+                and intervals is not None and matrix is not None:
+            members["columns.pkl"] = pickle.dumps(
+                _encode_columns(columns), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            members["kernels.pkl"] = pickle.dumps(
+                _encode_kernels(index, intervals, matrix),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        if validation is not None and trust_store is not None:
+            members["validation.pkl"] = pickle.dumps(
+                _encode_validation(validation, dataset, trust_store),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        if not members:
+            return None
+        path = self.path_for(digest)
+        # Preserve sections an earlier (e.g. validation-only) run stored.
+        for name, blob in self._existing_sections(path, digest).items():
+            members.setdefault(name, blob)
+        sections = []
+        if {"kernels.pkl", "columns.pkl"} <= members.keys():
+            sections.append("kernels")
+        if "validation.pkl" in members:
+            sections.append("validation")
+        manifest = {
+            "schema": ARTIFACT_SCHEMA,
+            "digest": digest,
+            "byteorder": "little",
+            "n_certificates": len(dataset.certificates),
+            "n_observations": len(columns) if columns is not None else None,
+            "sections": sections,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with zipfile.ZipFile(tmp, "w", compression=zipfile.ZIP_STORED) as archive:
+                archive.writestr("manifest.json", json.dumps(manifest, indent=2))
+                for name in sorted(members):
+                    archive.writestr(name, members[name])
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed write
+                tmp.unlink()
+        return path
+
+    def _existing_sections(
+        self, path: pathlib.Path, digest: str
+    ) -> dict[str, bytes]:
+        """Raw section blobs of a compatible existing artifact, if any."""
+        if not path.exists():
+            return {}
+        try:
+            with zipfile.ZipFile(path) as archive:
+                manifest = json.loads(archive.read("manifest.json"))
+                if manifest.get("schema") != ARTIFACT_SCHEMA \
+                        or manifest.get("digest") != digest:
+                    return {}
+                return {
+                    name: archive.read(name)
+                    for name in archive.namelist()
+                    if name.endswith(".pkl")
+                }
+        except Exception:
+            return {}
+
+    # --- introspection (``repro info``) ---------------------------------------
+
+    def status(self, digest: str) -> dict:
+        """Cheap cache-status summary for one corpus digest."""
+        path = self.path_for(digest)
+        status = {
+            "digest": digest,
+            "path": str(path),
+            "cached": False,
+            "sections": [],
+            "schema": None,
+        }
+        if not path.exists():
+            return status
+        try:
+            with zipfile.ZipFile(path) as archive:
+                manifest = json.loads(archive.read("manifest.json"))
+        except Exception:
+            return status
+        status["schema"] = manifest.get("schema")
+        if manifest.get("schema") == ARTIFACT_SCHEMA \
+                and manifest.get("digest") == digest:
+            status["cached"] = True
+            status["sections"] = list(manifest.get("sections", []))
+        return status

@@ -20,7 +20,16 @@ Two backends ship:
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, List, Mapping, Protocol, Sequence, Union, runtime_checkable
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Union,
+    runtime_checkable,
+)
 
 from ..scanner.columns import ObservationColumns
 from ..scanner.records import Scan
@@ -64,6 +73,7 @@ class InMemoryBackend:
         #: (day, source, first observation position, one-past-last).
         self.scan_meta = list(scan_meta)
         self.certificates = dict(certificates)
+        self._corpus_digest: Optional[str] = None
 
     @classmethod
     def from_scans(
@@ -101,6 +111,24 @@ class InMemoryBackend:
     def load_certificates(self) -> Dict[bytes, Certificate]:
         return dict(self.certificates)
 
+    def corpus_digest(self) -> str:
+        """Canonical content digest over the columnar corpus.
+
+        Cheap (one hash pass over the already-interned columns) and
+        equal to the canonical digest a backend-less
+        :class:`~repro.scanner.dataset.ScanDataset` computes for the
+        same corpus, so artifacts stored either way are shared.
+        """
+        if self._corpus_digest is None:
+            from .artifacts import columns_digest
+
+            self._corpus_digest = columns_digest(
+                self.columns,
+                [(day, source) for day, source, _, _ in self.scan_meta],
+                self.certificates,
+            )
+        return self._corpus_digest
+
     def describe(self) -> dict:
         return {
             "backend": "memory",
@@ -115,6 +143,15 @@ class ArchiveBackend:
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
+        self._corpus_digest: Optional[str] = None
+
+    def corpus_digest(self) -> str:
+        """Streaming SHA-256 over the archive's bytes (nothing parsed)."""
+        if self._corpus_digest is None:
+            from .artifacts import file_digest
+
+            self._corpus_digest = file_digest(self.path)
+        return self._corpus_digest
 
     def load_scans(self) -> List[Scan]:
         from .store import read_scans

@@ -207,8 +207,12 @@ def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
             scans = _read_scans_v1(archive, certificates)
         else:
             scans = _read_scans_v2(archive, certificates)
+    from .backends import ArchiveBackend
+
     dataset = ScanDataset(
-        scans, {cert.fingerprint: cert for cert in certificates}
+        scans,
+        {cert.fingerprint: cert for cert in certificates},
+        backend=ArchiveBackend(path),
     )
     if len(dataset.certificates) != manifest["n_certificates"]:
         raise ValueError("corpus corrupt: certificate count mismatch")

@@ -24,12 +24,37 @@ sighting count.
 from __future__ import annotations
 
 from array import array
+from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Sequence
 
+from ..obs import runtime as obs_runtime
 from ..tls.handshake import HandshakeRecord
 from .records import Observation, Scan
 
 __all__ = ["ObservationColumns", "ObservationIndex", "CertIntervals"]
+
+
+def _init_columns_worker(obs_enabled: bool) -> None:
+    obs_runtime.install_worker(obs_enabled)
+
+
+def _columnarize_chunk(
+    task: "tuple[int, int, Sequence[Scan]]",
+) -> "tuple[ObservationColumns, Optional[dict]]":
+    """Columnarize one contiguous run of scans into a shard-local table."""
+    shard_index, base_scan_index, scans = task
+    mark = obs_runtime.task_mark()
+    with obs_runtime.span(f"kernels/columns_shard={shard_index}"):
+        columns = ObservationColumns()
+        entity_ids: dict[str, int] = {"": 0}
+        handshake_ids: dict[HandshakeRecord, int] = {}
+        for offset, scan in enumerate(scans):
+            for obs in scan.observations:
+                columns.append(
+                    base_scan_index + offset, obs, entity_ids=entity_ids,
+                    handshake_ids=handshake_ids,
+                )
+    return columns, obs_runtime.task_delta(mark)
 
 
 class ObservationColumns:
@@ -66,8 +91,38 @@ class ObservationColumns:
         return len(self.cert_id)
 
     @classmethod
-    def from_scans(cls, scans: Sequence[Scan]) -> "ObservationColumns":
-        """Columnarize a row corpus in one pass."""
+    def from_scans(
+        cls, scans: Sequence[Scan], workers: int = 1
+    ) -> "ObservationColumns":
+        """Columnarize a row corpus.
+
+        ``workers > 1`` shards contiguous scan runs across a process
+        pool, each worker interning into a shard-local table, and merges
+        the shards in scan order.  Because the merge re-interns shard
+        entries in first-appearance order over the same corpus order the
+        serial pass sees, the result is bitwise-identical to serial.
+        """
+        n_chunks = min(workers, len(scans))
+        if n_chunks > 1:
+            bounds = [
+                round(index * len(scans) / n_chunks)
+                for index in range(n_chunks + 1)
+            ]
+            tasks = [
+                (shard, bounds[shard], list(scans[bounds[shard]:bounds[shard + 1]]))
+                for shard in range(n_chunks)
+                if bounds[shard] < bounds[shard + 1]
+            ]
+            with ProcessPoolExecutor(
+                max_workers=len(tasks),
+                initializer=_init_columns_worker,
+                initargs=(obs_runtime.enabled(),),
+            ) as pool:
+                shards = []
+                for shard_columns, delta in pool.map(_columnarize_chunk, tasks):
+                    shards.append(shard_columns)
+                    obs_runtime.absorb(delta)
+            return cls._merge_shards(shards)
         columns = cls()
         entity_ids: dict[str, int] = {"": 0}
         handshake_ids: dict[HandshakeRecord, int] = {}
@@ -78,6 +133,50 @@ class ObservationColumns:
                     handshake_ids=handshake_ids,
                 )
         return columns
+
+    @classmethod
+    def _merge_shards(
+        cls, shards: Sequence["ObservationColumns"]
+    ) -> "ObservationColumns":
+        """Concatenate shard tables, remapping local ids to global ones.
+
+        Shards cover contiguous scan ranges and are merged in scan
+        order, so re-interning each shard's tables in local-id order
+        reproduces exactly the serial first-appearance interning order.
+        """
+        merged = cls()
+        entity_ids: dict[str, int] = {"": 0}
+        handshake_ids: dict[HandshakeRecord, int] = {}
+        for shard in shards:
+            cert_map = array("I", (
+                merged.intern_fingerprint(fingerprint)
+                for fingerprint in shard.fingerprints
+            ))
+            entity_map = array("I", bytes(4 * len(shard.entities)))
+            for local_id, tag in enumerate(shard.entities):
+                global_id = entity_ids.get(tag)
+                if global_id is None:
+                    global_id = entity_ids[tag] = len(merged.entities)
+                    merged.entities.append(tag)
+                entity_map[local_id] = global_id
+            handshake_map = array("I", bytes(4 * len(shard.handshakes)))
+            for local_id, record in enumerate(shard.handshakes):
+                global_id = handshake_ids.get(record)
+                if global_id is None:
+                    global_id = handshake_ids[record] = len(merged.handshakes)
+                    merged.handshakes.append(record)
+                handshake_map[local_id] = global_id
+            merged.scan_idx.extend(shard.scan_idx)
+            merged.ip.extend(shard.ip)
+            merged.cert_id.extend(cert_map[cert_id] for cert_id in shard.cert_id)
+            merged.entity_id.extend(
+                entity_map[entity_id] for entity_id in shard.entity_id
+            )
+            merged.handshake_id.extend(
+                handshake_map[handshake_id] if handshake_id >= 0 else -1
+                for handshake_id in shard.handshake_id
+            )
+        return merged
 
     def append(
         self,

@@ -47,14 +47,19 @@ class ScanDataset:
     """An ordered collection of scans plus the certificate table."""
 
     def __init__(
-        self, scans: Sequence[Scan], certificates: dict[bytes, Certificate]
+        self,
+        scans: Sequence[Scan],
+        certificates: dict[bytes, Certificate],
+        backend: Optional["DatasetBackend"] = None,
     ) -> None:
         self.scans: list[Scan] = sorted(scans, key=lambda s: (s.day, s.source))
         self.certificates = certificates
+        self.backend = backend
         self._columns: Optional[ObservationColumns] = None
         self._observation_index: Optional[ObservationIndex] = None
         self._intervals: Optional[CertIntervals] = None
         self._feature_matrix: Optional["FeatureMatrix"] = None
+        self._corpus_digest: Optional[str] = None
 
     @classmethod
     def collect(
@@ -81,15 +86,35 @@ class ScanDataset:
     @classmethod
     def from_backend(cls, backend: "DatasetBackend") -> "ScanDataset":
         """Materialize a dataset from any corpus-storage backend."""
-        return cls(list(backend.load_scans()), dict(backend.load_certificates()))
+        dataset = cls(
+            list(backend.load_scans()),
+            dict(backend.load_certificates()),
+            backend=backend,
+        )
+        # An in-memory backend already holds the columnar view; adopt it
+        # instead of re-interning, provided the scan order matches the
+        # dataset's (day, source) sort.
+        columns = getattr(backend, "columns", None)
+        scan_meta = getattr(backend, "scan_meta", None)
+        if columns is not None and scan_meta is not None:
+            meta_order = [(day, source) for day, source, _, _ in scan_meta]
+            if meta_order == [(scan.day, scan.source) for scan in dataset.scans]:
+                dataset._columns = columns
+        return dataset
 
     # --- columnar core ---------------------------------------------------------
 
     @property
     def columns(self) -> ObservationColumns:
         """The interned columnar view of every observation (built once)."""
+        return self.build_columns()
+
+    def build_columns(self, workers: int = 1) -> ObservationColumns:
+        """The columnar view, columnarizing with ``workers`` on first use."""
         if self._columns is None:
-            self._columns = ObservationColumns.from_scans(self.scans)
+            self._columns = ObservationColumns.from_scans(
+                self.scans, workers=workers
+            )
         return self._columns
 
     @property
@@ -115,13 +140,69 @@ class ScanDataset:
         Imported lazily: :mod:`repro.core.kernels` depends on the feature
         extractors in :mod:`repro.core.features`, which import this module.
         """
+        return self.build_feature_matrix()
+
+    def build_feature_matrix(self, workers: int = 1) -> "FeatureMatrix":
+        """The feature matrix, extracting with ``workers`` on first use."""
         if self._feature_matrix is None:
             from ..core.kernels import FeatureMatrix
 
             self._feature_matrix = FeatureMatrix.from_certificates(
-                self.certificates
+                self.certificates, workers=workers
             )
         return self._feature_matrix
+
+    # --- derived-artifact plumbing (repro.io.artifacts) ------------------------
+
+    @property
+    def kernel_state(
+        self,
+    ) -> "tuple[Optional[ObservationColumns], Optional[ObservationIndex], Optional[CertIntervals], Optional[FeatureMatrix]]":
+        """Whatever kernels are currently built (no builds triggered)."""
+        return (
+            self._columns, self._observation_index,
+            self._intervals, self._feature_matrix,
+        )
+
+    def adopt_kernels(
+        self,
+        columns: Optional[ObservationColumns] = None,
+        index: Optional[ObservationIndex] = None,
+        intervals: Optional[CertIntervals] = None,
+        matrix: Optional["FeatureMatrix"] = None,
+    ) -> None:
+        """Install externally built (cache-loaded) kernels."""
+        if columns is not None:
+            self._columns = columns
+        if index is not None:
+            self._observation_index = index
+        if intervals is not None:
+            self._intervals = intervals
+        if matrix is not None:
+            self._feature_matrix = matrix
+
+    def corpus_digest(self, workers: int = 1) -> str:
+        """The content digest keying this corpus' cached artifacts.
+
+        Backends that know their own identity (archive file bytes,
+        already-interned columns) answer directly; otherwise the digest
+        is the canonical hash over this dataset's columnar view, built
+        with ``workers`` if not built yet — so on a cold run the digest
+        computation *is* the sharded columnarization, not wasted work.
+        """
+        if self._corpus_digest is None:
+            backend_digest = getattr(self.backend, "corpus_digest", None)
+            if backend_digest is not None:
+                self._corpus_digest = backend_digest()
+            else:
+                from ..io.artifacts import columns_digest
+
+                self._corpus_digest = columns_digest(
+                    self.build_columns(workers=workers),
+                    [(scan.day, scan.source) for scan in self.scans],
+                    self.certificates,
+                )
+        return self._corpus_digest
 
     def verify_index_parity(self) -> None:
         """Assert the columnar index agrees with the legacy row path.

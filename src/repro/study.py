@@ -27,7 +27,7 @@ independent per-feature Table 6 passes out over a process pool; results
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from .core.consistency import ASLookup
 from .core.dedup import DedupResult, classify_unique_certificates
@@ -59,6 +59,9 @@ from .obs.trace import Tracer
 from .scanner.dataset import ScanDataset
 from .x509.truststore import TrustStore
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .io.artifacts import ArtifactCache
+
 __all__ = ["Study"]
 
 
@@ -75,6 +78,7 @@ class Study:
         trace: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         observe: bool = False,
+        cache: Optional["ArtifactCache"] = None,
     ) -> None:
         self.dataset = dataset
         self.trust_store = trust_store
@@ -97,6 +101,11 @@ class Study:
         #: the instrumentation inside the engine, dedup, linking, and
         #: kernel layers records too (never changes results).
         self.observe = observe or obs_runtime.enabled()
+        #: Optional content-addressed artifact cache: when set, kernel
+        #: builds and chain validation are loaded from (and persisted
+        #: to) disk, keyed by the corpus digest.  Never changes results.
+        self.cache = cache
+        self._artifacts_attempted = False
         self._kernels_built = False
         self._validation: Optional[ValidationReport] = None
         self._dedup: Optional[DedupResult] = None
@@ -107,7 +116,7 @@ class Study:
     @classmethod
     def from_synthetic(
         cls, synthetic: SyntheticDataset, workers: int = 1,
-        observe: bool = False,
+        observe: bool = False, cache: Optional["ArtifactCache"] = None,
     ) -> "Study":
         """Wire a study over a generated dataset."""
         world = synthetic.world
@@ -118,6 +127,7 @@ class Study:
             registry=world.registry,
             workers=workers,
             observe=observe,
+            cache=cache,
         )
 
     @contextmanager
@@ -155,15 +165,50 @@ class Study:
             timings[span.name] = span.wall
         return timings
 
+    # --- artifact cache ---------------------------------------------------------
+
+    def _load_artifacts(self) -> None:
+        """Try the artifact cache once; install whatever it satisfies.
+
+        On a hit the run reports an ``artifacts.load`` stage and the
+        corresponding ``kernels`` / ``validation`` stages never exist —
+        no phantom zero-duration spans in the profile.
+        """
+        if self.cache is None or self._artifacts_attempted:
+            return
+        self._artifacts_attempted = True
+        with self._stage("artifacts.load"):
+            loaded = self.cache.load(
+                self.dataset, trust_store=self.trust_store,
+                workers=self.workers,
+            )
+        if loaded.kernels:
+            self._kernels_built = True
+        if loaded.validation is not None and self._validation is None:
+            self._validation = loaded.validation
+
+    def _store_artifacts(self) -> None:
+        """Persist the currently built artifacts (no-op without a cache)."""
+        if self.cache is None:
+            return
+        with self._stage("artifacts.store"):
+            self.cache.store(
+                self.dataset, validation=self._validation,
+                trust_store=self.trust_store, workers=self.workers,
+            )
+
     # --- §4.2 ------------------------------------------------------------------
 
     def validation(self) -> ValidationReport:
         """Classify every certificate (cached)."""
         if self._validation is None:
+            self._load_artifacts()
+        if self._validation is None:
             with self._stage("validation"):
                 self._validation = validate_dataset(
                     self.dataset, self.trust_store
                 )
+            self._store_artifacts()
         return self._validation
 
     @property
@@ -193,14 +238,19 @@ class Study:
         """
         if self._kernels_built:
             return
+        self._load_artifacts()
+        if self._kernels_built:
+            return
         with self._stage("kernels"):
             with self.trace.span("kernels/index"):
+                self.dataset.build_columns(workers=self.workers)
                 self.dataset.index
             with self.trace.span("kernels/intervals"):
                 self.dataset.intervals
             with self.trace.span("kernels/matrix"):
-                self.dataset.feature_matrix
+                self.dataset.build_feature_matrix(workers=self.workers)
         self._kernels_built = True
+        self._store_artifacts()
 
     # --- §6.2 -------------------------------------------------------------------
 

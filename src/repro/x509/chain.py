@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import FrozenSet, Iterable, Optional, Sequence
 
 from .certificate import Certificate
 from .truststore import TrustStore
@@ -30,6 +30,9 @@ from .truststore import TrustStore
 __all__ = ["VerifyStatus", "VerifyResult", "ChainVerifier"]
 
 _MAX_CHAIN_DEPTH = 8
+
+#: Memo sentinel distinct from a legitimately memoized ``None`` (no chain).
+_MEMO_MISSING = object()
 
 
 class VerifyStatus(enum.Enum):
@@ -76,9 +79,14 @@ class ChainVerifier:
         self,
         trust_store: TrustStore,
         intermediate_pool: Iterable[Certificate] = (),
+        memoize: bool = True,
     ) -> None:
         self._store = trust_store
         self._intermediates_by_subject: dict = {}
+        self._memoize = memoize
+        #: CA fingerprint → its canonical upper chain (None = provably no
+        #: chain from any starting path).  See :meth:`_ca_chain`.
+        self._chain_memo: dict[bytes, Optional[list[Certificate]]] = {}
         for cert in intermediate_pool:
             self.add_intermediate(cert)
 
@@ -86,6 +94,10 @@ class ChainVerifier:
         """Add a candidate intermediate; non-CA certificates are ignored."""
         if not cert.is_ca:
             return
+        if self._chain_memo:
+            # A new intermediate can both create chains and change which
+            # chain the DFS finds first; all memoized answers are stale.
+            self._chain_memo.clear()
         self._intermediates_by_subject.setdefault(cert.subject, []).append(cert)
 
     def verify(self, cert: Certificate) -> VerifyResult:
@@ -99,7 +111,7 @@ class ChainVerifier:
         if cert in self._store:
             return VerifyResult(VerifyStatus.VALID, chain=(cert,))
 
-        chain = self._build_chain(cert)
+        chain = self._find_chain(cert)
         if chain is not None:
             return VerifyResult(VerifyStatus.VALID, chain=tuple(chain))
 
@@ -159,6 +171,87 @@ class ChainVerifier:
             if upper is not None:
                 return [cert, *upper]
         return None
+
+    # --- memoized chain building -------------------------------------------------
+
+    def _find_chain(self, cert: Certificate) -> Optional[list[Certificate]]:
+        """:meth:`_build_chain`, answered from the per-CA chain memo.
+
+        §4.2 validates every leaf against the same CA pool, so the upper
+        (CA → root) portion of every chain is shared across leaves; the
+        memo computes it once per CA.  Memoized answers are used only
+        when provably independent of the current search path and depth
+        budget — any path-entangled answer falls back to the exact naive
+        DFS — so the result is identical to :meth:`_build_chain` in every
+        case (the ``REPRO_LINK_PARITY`` twin re-verifies with
+        ``memoize=False`` and asserts equality).
+        """
+        if not self._memoize:
+            return self._build_chain(cert)
+        trusted_issuer = self._store.find_issuer(cert)
+        if trusted_issuer is not None:
+            return [cert, trusted_issuer]
+        fingerprint = cert.fingerprint
+        for candidate in self._intermediates_by_subject.get(cert.issuer, ()):
+            if candidate.fingerprint == fingerprint:
+                continue
+            if not cert.verify_signature(candidate.public_key):
+                continue
+            upper, clean = self._ca_chain(candidate, frozenset((fingerprint,)))
+            if upper is not None:
+                return [cert, *upper]
+            if not clean:
+                return self._build_chain(cert)
+        return None
+
+    def _ca_chain(
+        self, ca: Certificate, path: FrozenSet[bytes]
+    ) -> tuple[Optional[list[Certificate]], bool]:
+        """The chain from one CA upward, memoized; returns ``(chain, clean)``.
+
+        ``path`` holds the fingerprints already on the search path below
+        ``ca`` (``len(path)`` equals the naive DFS depth of ``ca``).  A
+        ``clean`` failure means the answer holds for *any* path and
+        depth — only those are memoized or allowed to let the search
+        continue; a dirty failure (cycle hit, depth budget, or a memo
+        whose chain conflicts with this path) makes the caller fall back
+        to the exact DFS rather than guess.  The last chain element is a
+        trusted root and is exempt from path checks, exactly as the
+        naive DFS never checks its terminating root against ``seen``.
+        """
+        fingerprint = ca.fingerprint
+        budget = _MAX_CHAIN_DEPTH + 2 - len(path)
+        memo = self._chain_memo.get(fingerprint, _MEMO_MISSING)
+        if memo is not _MEMO_MISSING:
+            if memo is None:
+                return None, True
+            if len(memo) <= budget and all(
+                link.fingerprint not in path for link in memo[:-1]
+            ):
+                return memo, True
+            return None, False
+        if fingerprint in path or len(path) > _MAX_CHAIN_DEPTH:
+            return None, False
+        trusted_issuer = self._store.find_issuer(ca)
+        if trusted_issuer is not None:
+            chain = [ca, trusted_issuer]
+            self._chain_memo[fingerprint] = chain
+            return chain, True
+        sub_path = path | {fingerprint}
+        for candidate in self._intermediates_by_subject.get(ca.issuer, ()):
+            if candidate.fingerprint == fingerprint:
+                continue
+            if not ca.verify_signature(candidate.public_key):
+                continue
+            upper, clean = self._ca_chain(candidate, sub_path)
+            if upper is not None:
+                chain = [ca, *upper]
+                self._chain_memo[fingerprint] = chain
+                return chain, True
+            if not clean:
+                return None, False
+        self._chain_memo[fingerprint] = None
+        return None, True
 
     def verify_all(
         self, certs: Sequence[Certificate]

@@ -50,6 +50,30 @@ class TestParser:
         assert args.trace is None
         assert args.metrics is None
 
+    def test_cache_flags(self):
+        args = build_parser().parse_args(
+            ["link", "--preset", "tiny", "--cache-dir", "cache", "--no-cache"]
+        )
+        assert args.cache_dir == "cache"
+        assert args.no_cache
+        args = build_parser().parse_args(
+            ["profile", "--cache-dir", "artifacts"]
+        )
+        assert args.cache_dir == "artifacts"
+        assert not args.no_cache
+
+    def test_no_cache_disables_cache_dir(self):
+        from repro.cli import _make_cache
+
+        with_cache = build_parser().parse_args(
+            ["census", "--preset", "tiny", "--cache-dir", "cache"]
+        )
+        assert _make_cache(with_cache) is not None
+        disabled = build_parser().parse_args(
+            ["census", "--preset", "tiny", "--cache-dir", "cache", "--no-cache"]
+        )
+        assert _make_cache(disabled) is None
+
 
 class TestCommands:
     def test_generate_writes_both_artifacts(self, saved_corpus):
@@ -66,6 +90,25 @@ class TestCommands:
         assert "n_certificates" in out
         assert "n_observations" in out
         assert "workers: 1" in out
+
+    def test_info_reports_cache_status(self, saved_corpus, capsys, tmp_path):
+        corpus, environment = saved_corpus
+        cache_dir = tmp_path / "artifact-cache"
+        assert main(["info", str(corpus), "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cache digest:" in out
+        assert "cache: miss" in out
+        # Warm the cache through an analysis command, then re-inspect.
+        assert main(
+            ["census", "--corpus", str(corpus), "--environment",
+             str(environment), "--cache-dir", str(cache_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["info", str(corpus), "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        # census builds (and therefore persists) only the validation
+        # artifact; a link/track run would add the kernels section.
+        assert "cache: hit (validation)" in out
 
     def test_info_echoes_worker_count(self, saved_corpus, capsys):
         corpus, _ = saved_corpus
