@@ -17,6 +17,7 @@ import os
 import platform
 import random
 import time
+import tracemalloc
 
 import pytest
 
@@ -31,11 +32,15 @@ from repro.core.pipeline import (
     iterative_link,
     lifetime_improvement,
 )
+from repro.datasets.synthetic import generate, generate_streamed
+from repro.internet.population import WorldConfig
 from repro.io import ArtifactCache, InMemoryBackend
+from repro.io.store import save_dataset
 from repro.scanner.campaign import ScanCampaign
 from repro.scanner.columns import ObservationColumns, ObservationIndex
 from repro.scanner.dataset import ScanDataset
 from repro.scanner.engine import ScanEngine
+from repro.scanner.shards import columns_equal, merge_shards, shard_scan
 from repro.study import Study
 from repro.x509.certificate import Certificate
 from repro.x509.chain import ChainVerifier
@@ -682,5 +687,142 @@ def test_perf_obs_overhead(paper_synthetic, results_dir, record_result):
             "rounds": rounds,
             "spans": detail["spans"],
             "counters": detail["counters"],
+        },
+    })
+
+
+def test_perf_generation(paper_synthetic, results_dir, record_result, tmp_path):
+    """Direct-to-columnar generation vs the legacy row path.
+
+    Two measurements over the warm paper world (certificate building is
+    paid once by the session fixture and excluded from both sides):
+
+    * **throughput** — a stride-4 day subset of both campaigns is scanned
+      twice per round, once through the legacy row path
+      (``run_rows`` + ``ObservationColumns.from_scans``) and once through
+      the shard path (``run_shard`` + ``merge_shards``).  As in the other
+      perf benches, each side's cost is the minimum over alternating
+      rounds; the first round also checks the two substrates agree
+      observation-for-observation.  Acceptance: columnar ≥2× the row
+      path's observations/second.
+    * **peak RSS of corpus synthesis** — ``generate_streamed`` (shards
+      flush straight into the ``.rpz``) vs ``generate`` + ``save_dataset``
+      (corpus fully columnarized in RAM first), same small world, under
+      ``tracemalloc``.  The archives must come out bitwise identical
+      (equal incremental digests), with the streamed peak strictly lower.
+
+    Both gates run *before* any result file is written.
+    """
+    if link_parity_enabled():
+        pytest.skip("REPRO_LINK_PARITY=1 replays the row path inside "
+                    "collect; generation timings would be meaningless")
+    world = paper_synthetic.world
+    schedule = sorted(
+        ((campaign, day)
+         for campaign in paper_synthetic.campaigns
+         for day in campaign.scan_days[::4]),
+        key=lambda task: (task[1], task[0].name),
+    )
+
+    def row_run():
+        engine = ScanEngine(world)
+        scans = [engine.run_rows(campaign, day) for campaign, day in schedule]
+        return scans, ObservationColumns.from_scans(scans)
+
+    def columnar_run():
+        engine = ScanEngine(world)
+        shards = [engine.run_shard(campaign, day) for campaign, day in schedule]
+        columns, _ = merge_shards(shards)
+        return shards, columns
+
+    def timed(compute):
+        gc.collect()
+        start = time.perf_counter()
+        value = compute()
+        return value, time.perf_counter() - start
+
+    rounds = 3
+    (row_scans, row_columns), row_cost = timed(row_run)
+    (shards, columns), columnar_cost = timed(columnar_run)
+    # One-time parity: same rows, same interning, bitwise.
+    assert columns_equal(columns, row_columns)
+    for shard, row_scan in zip(shards, row_scans):
+        lazy = shard_scan(shard)
+        assert (lazy.day, lazy.source) == (row_scan.day, row_scan.source)
+        assert lazy.observations == row_scan.observations
+    for _ in range(rounds - 1):
+        row_cost = min(row_cost, timed(row_run)[1])
+        columnar_cost = min(columnar_cost, timed(columnar_run)[1])
+    n_observations = len(columns)
+    row_rate = n_observations / row_cost
+    columnar_rate = n_observations / columnar_cost
+    speedup = columnar_rate / row_rate
+
+    # --- streamed vs in-RAM corpus synthesis, under tracemalloc ---
+    config = WorldConfig(
+        seed=11, n_devices=420, n_websites=150, n_generic_access=40,
+        n_enterprise=10, n_hosting=8,
+    )
+
+    def peak_of(compute):
+        gc.collect()
+        tracemalloc.start()
+        try:
+            value = compute()
+            return value, tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    receipt, streamed_peak = peak_of(
+        lambda: generate_streamed(config, tmp_path / "streamed.rpz",
+                                  scan_stride=2)
+    )
+    (built, memory_digest), memory_peak = peak_of(
+        lambda: (
+            dataset := generate(config, scan_stride=2),
+            save_dataset(dataset.scans, tmp_path / "memory.rpz"),
+        )
+    )
+    assert receipt.digest == memory_digest  # bitwise-identical archives
+    assert receipt.n_observations == built.scans.n_observations
+    assert streamed_peak < memory_peak, (streamed_peak, memory_peak)
+
+    # Acceptance gate, checked before any result file is written: a
+    # failing (noisy) run must never refresh the committed trajectory.
+    assert speedup >= 2.0, (row_rate, columnar_rate)
+
+    mib = 1024 * 1024
+    lines = [
+        f"throughput: {len(schedule)} scans, {n_observations} observations "
+        f"over the warm paper world; minima over {rounds} rounds",
+        "",
+        f"{'substrate':<18} {'seconds':>9} {'obs/sec':>12}",
+        f"{'rows':<18} {row_cost:>9.3f} {row_rate:>12,.0f}",
+        f"{'columnar shards':<18} {columnar_cost:>9.3f} {columnar_rate:>12,.0f}",
+        "",
+        f"direct-to-columnar speedup: {speedup:.2f}x",
+        "",
+        f"synthesis peak (tracemalloc, {receipt.n_observations} observations, "
+        f"{receipt.n_scans} scans):",
+        f"{'streamed .rpz':<18} {streamed_peak / mib:>8.1f} MiB",
+        f"{'in-RAM + save':<18} {memory_peak / mib:>8.1f} MiB",
+        f"archives bitwise identical (digest {receipt.digest[:16]}…)",
+    ]
+    record_result("\n".join(lines), name="perf_generation")
+    _update_bench_json(results_dir, {
+        "generation": {
+            "corpus": {
+                "scans": len(schedule),
+                "observations": n_observations,
+            },
+            "row_seconds": round(row_cost, 4),
+            "columnar_seconds": round(columnar_cost, 4),
+            "row_obs_per_second": round(row_rate),
+            "columnar_obs_per_second": round(columnar_rate),
+            "speedup": round(speedup, 2),
+            "rounds": rounds,
+            "streamed_peak_bytes": streamed_peak,
+            "in_memory_peak_bytes": memory_peak,
+            "peak_ratio": round(streamed_peak / memory_peak, 3),
         },
     })

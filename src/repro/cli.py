@@ -3,7 +3,10 @@
 ``python -m repro <command>`` drives the full pipeline from a shell:
 
 * ``generate`` — build a synthetic world, scan it, and save the corpus
-  (``.rpz``) plus its analysis environment (``.rpe``);
+  (``.rpz``) plus its analysis environment (``.rpe``); ``--stream-out``
+  flushes day shards straight into the archive (O(largest shard) memory,
+  byte-identical output), which is how the ``xlarge`` preset is meant to
+  be generated;
 * ``info``     — print a saved corpus' manifest (backend, row counts);
 * ``census``   — the §5 comparison (validity, lifetimes, keys, issuers);
 * ``link``     — the §6 linking pipeline and Table 6 summary;
@@ -33,7 +36,16 @@ _PRESETS = {
     "small": dict(n_devices=900, n_websites=310, n_generic_access=60,
                   n_enterprise=15, n_hosting=10, stride=3),
     "paper": dict(n_devices=2500, n_websites=850, stride=1),
+    # ~10x the paper corpus (~11M observations): meant for
+    # `generate --stream-out`, which writes shard-by-shard in
+    # O(largest shard) memory instead of holding the corpus in RAM.
+    "xlarge": dict(n_devices=25_000, n_websites=8_500, n_generic_access=120,
+                   n_enterprise=40, n_hosting=25, stride=1),
 }
+
+#: Presets the on-the-fly analysis commands accept (xlarge is generate-only:
+#: stream it to an archive first, then point the analysis at the .rpz).
+_ANALYSIS_PRESETS = ("tiny", "small", "paper")
 
 
 def _add_obs_flags(sub: argparse.ArgumentParser) -> None:
@@ -74,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate = commands.add_parser(
         "generate", help="build, scan, and save a synthetic corpus"
     )
-    generate.add_argument("--preset", choices=("tiny", "small", "paper"),
+    generate.add_argument("--preset", choices=tuple(_PRESETS),
                           default="tiny")
     generate.add_argument("--seed", type=int, default=2016)
     generate.add_argument("--handshakes", action="store_true",
@@ -82,6 +94,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--workers", type=int, default=1,
                           help="processes to fan scan days out over "
                                "(results identical to --workers 1)")
+    generate.add_argument("--stream-out", action="store_true",
+                          help="stream day shards straight into the .rpz "
+                               "(O(largest shard) memory; identical bytes "
+                               "to an in-memory build — required scale for "
+                               "the xlarge preset)")
     generate.add_argument("--corpus", default="corpus.rpz")
     generate.add_argument("--environment", default="environment.rpe")
     _add_obs_flags(generate)
@@ -123,7 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("--corpus", help="saved .rpz corpus")
         sub.add_argument("--environment", help="saved .rpe environment")
-        sub.add_argument("--preset", choices=("tiny", "small", "paper"),
+        sub.add_argument("--preset", choices=_ANALYSIS_PRESETS,
                          help="build a corpus on the fly instead")
         sub.add_argument("--seed", type=int, default=2016)
         sub.add_argument("--workers", type=int, default=1,
@@ -182,6 +199,28 @@ def _cmd_generate(args) -> int:
     from .io import AnalysisEnvironment, save_dataset, save_environment
 
     print(f"building '{args.preset}' world (seed {args.seed})...")
+    if args.stream_out:
+        from .datasets import synthetic
+        from .internet.population import WorldConfig
+
+        settings = dict(_PRESETS[args.preset])
+        stride = settings.pop("stride")
+        receipt = synthetic.generate_streamed(
+            WorldConfig(seed=args.seed, **settings), args.corpus,
+            scan_stride=stride, collect_handshakes=args.handshakes,
+            workers=args.workers,
+        )
+        save_environment(
+            AnalysisEnvironment.of_world(receipt.world), args.environment
+        )
+        print(
+            f"streamed {args.corpus} ({receipt.n_scans} scans, "
+            f"{format_count(receipt.n_observations)} observations, "
+            f"{format_count(receipt.n_certificates)} certificates) "
+            f"and {args.environment}"
+        )
+        print(f"corpus digest: {receipt.digest}")
+        return 0
     bundle = _build_synthetic(
         args.preset, args.seed, collect_handshakes=args.handshakes,
         workers=args.workers,

@@ -5,6 +5,7 @@ from .backends import ArchiveBackend, DatasetBackend, InMemoryBackend
 from .environment import AnalysisEnvironment, load_environment, save_environment
 from .store import (
     FORMAT_VERSION,
+    StreamingDatasetWriter,
     load_dataset,
     read_certificates,
     read_manifest,
@@ -23,6 +24,7 @@ __all__ = [
     "DatasetBackend",
     "InMemoryBackend",
     "FORMAT_VERSION",
+    "StreamingDatasetWriter",
     "load_dataset",
     "read_certificates",
     "read_manifest",

@@ -92,7 +92,22 @@ class InMemoryBackend:
 
     @classmethod
     def from_dataset(cls, dataset) -> "InMemoryBackend":
-        """Columnarize an existing :class:`ScanDataset`."""
+        """Columnarize an existing :class:`ScanDataset`.
+
+        A dataset that already holds merged columns (the columnar
+        generation path, or a cache hit) is adopted zero-copy instead of
+        being re-interned from rows.
+        """
+        columns = getattr(dataset, "_columns", None)
+        if columns is not None:
+            meta: List[tuple[int, str, int, int]] = []
+            position = 0
+            for scan in dataset.scans:
+                meta.append(
+                    (scan.day, scan.source, position, position + len(scan))
+                )
+                position += len(scan)
+            return cls(columns, meta, dataset.certificates)
         return cls.from_scans(dataset.scans, dataset.certificates)
 
     def load_scans(self) -> List[Scan]:

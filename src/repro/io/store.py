@@ -27,14 +27,18 @@ the same parse path a real scan corpus would.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
+import shutil
 import struct
 import zipfile
-from typing import Union
+from typing import Mapping, Union
 
+from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
 from ..scanner.records import Observation, Scan
+from ..scanner.shards import ScanShard, certificate_order
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
 
@@ -44,6 +48,7 @@ __all__ = [
     "read_manifest",
     "read_certificates",
     "read_scans",
+    "StreamingDatasetWriter",
     "FORMAT_VERSION",
 ]
 
@@ -54,65 +59,249 @@ SUPPORTED_FORMATS = (1, 2)
 
 _LENGTH = struct.Struct(">I")
 
+#: Fixed member timestamp (the ZIP epoch): archive bytes — and therefore
+#: the corpus digest — depend only on corpus content, never on wall time.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+#: Salt matching :func:`repro.io.artifacts.file_digest`, so the digest a
+#: streaming write computes incrementally equals the digest a later
+#: :class:`~repro.io.backends.ArchiveBackend` re-derives from the file.
+_ARCHIVE_DIGEST_SALT = b"repro-archive/1\n"
+
 
 # ---------------------------------------------------------------------------
 # Writing (always format v2)
 # ---------------------------------------------------------------------------
 
-def _certificate_order(dataset: ScanDataset) -> list[bytes]:
-    """Certificate-id order: observed first-appearance, then unobserved."""
-    observed = list(dataset.columns.fingerprints)
-    extra = sorted(set(dataset.certificates) - set(observed))
-    return observed + extra
+class _HashingSink:
+    """Write-only, *non-seekable* file wrapper that hashes as it writes.
+
+    Declaring ``seekable() == False`` forces :mod:`zipfile` into its
+    streaming mode (sizes/CRCs in data descriptors instead of seek-back
+    local-header patches), which is what makes hash-as-you-write sound:
+    every byte passes through exactly once, in file order.
+    """
+
+    def __init__(self, raw) -> None:
+        self._raw = raw
+        self._digest = hashlib.sha256(_ARCHIVE_DIGEST_SALT)
+        self._position = 0
+
+    def write(self, data) -> int:
+        self._digest.update(data)
+        self._raw.write(data)
+        self._position += len(data)
+        return len(data)
+
+    def tell(self) -> int:
+        return self._position
+
+    def flush(self) -> None:
+        self._raw.flush()
+
+    @staticmethod
+    def seekable() -> bool:
+        return False
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
 
 
-def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> None:
+def _member(name: str) -> zipfile.ZipInfo:
+    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+    info.compress_type = zipfile.ZIP_DEFLATED
+    return info
+
+
+class StreamingDatasetWriter:
+    """Incremental ``.rpz`` writer: shards in, archive + digest out.
+
+    Feed per-day :class:`~repro.scanner.shards.ScanShard` columns with
+    :meth:`add_shard` in (day, source) order; each shard is re-interned
+    against the writer's global tables (replaying exactly the corpus
+    first-appearance order an in-memory merge produces) and its scan line
+    is spooled to a temp file next to the target — peak memory stays
+    O(largest shard) + O(interning tables), never O(corpus).
+    :meth:`close` assembles the final archive in canonical member order
+    through a hashing non-seekable sink and returns the corpus digest,
+    which equals both ``ArchiveBackend(path).corpus_digest()`` and the
+    digest of a :func:`save_dataset` write of the same corpus, byte for
+    byte.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._spool_path = self.path.with_name(self.path.name + ".scans.tmp")
+        self._spool = open(self._spool_path, "wb")
+        self._fingerprint_ids: dict[bytes, int] = {}
+        self._fingerprints: list[bytes] = []
+        self._entity_ids: dict[str, int] = {"": 0}
+        self._entities: list[str] = [""]
+        self._handshake_ids: dict[HandshakeRecord, int] = {}
+        self._handshakes: list[HandshakeRecord] = []
+        self.n_scans = 0
+        self.n_observations = 0
+        self.digest: "str | None" = None
+
+    # --- feeding ---------------------------------------------------------------
+
+    def add_shard(self, shard: ScanShard) -> None:
+        """Intern one day shard's tables and spool its scan line."""
+        cert_map = [
+            self._intern(self._fingerprint_ids, self._fingerprints, fingerprint)
+            for fingerprint in shard.fingerprints
+        ]
+        entity_map = [
+            self._intern(self._entity_ids, self._entities, tag)
+            for tag in shard.entities
+        ]
+        handshake_map = [
+            self._intern(self._handshake_ids, self._handshakes, record)
+            for record in shard.handshakes
+        ]
+        self._write_scan_line(
+            shard.day,
+            shard.source,
+            [cert_map[cert_id] for cert_id in shard.cert_id],
+            [entity_map[entity_id] for entity_id in shard.entity_id],
+            [
+                handshake_map[handshake_id] if handshake_id >= 0 else -1
+                for handshake_id in shard.handshake_id
+            ],
+            shard.ip.tolist(),
+        )
+        obs.inc("scanner.shards_streamed")
+
+    @staticmethod
+    def _intern(ids: dict, table: list, value) -> int:
+        interned = ids.get(value)
+        if interned is None:
+            interned = ids[value] = len(table)
+            table.append(value)
+        return interned
+
+    def _adopt_tables(self, fingerprints, entities, handshakes) -> None:
+        """Seed the writer tables from already-merged corpus columns.
+
+        Only valid on a fresh writer; :func:`save_dataset` uses this so
+        global column ids can be spooled as-is.
+        """
+        assert not self.n_scans and not self._fingerprints
+        self._fingerprints = list(fingerprints)
+        self._fingerprint_ids = {
+            fingerprint: index
+            for index, fingerprint in enumerate(self._fingerprints)
+        }
+        self._entities = list(entities)
+        self._entity_ids = {
+            tag: index for index, tag in enumerate(self._entities)
+        }
+        self._handshakes = list(handshakes)
+        self._handshake_ids = {
+            record: index for index, record in enumerate(self._handshakes)
+        }
+
+    def _write_scan_line(
+        self, day, source, cert, entity, handshake, ip
+    ) -> None:
+        row = {
+            "day": day,
+            "source": source,
+            "ip": ip,
+            "cert": cert,
+            "entity": entity,
+            "hs": handshake,
+        }
+        self._spool.write(json.dumps(row, separators=(",", ":")).encode("utf-8"))
+        self._spool.write(b"\n")
+        self.n_scans += 1
+        self.n_observations += len(ip)
+
+    # --- finishing -------------------------------------------------------------
+
+    def close(self, certificates: Mapping[bytes, Certificate]) -> str:
+        """Assemble the archive and return its corpus digest."""
+        with obs.span("corpus/stream_close", scans=self.n_scans):
+            try:
+                self._spool.close()
+                order = certificate_order(self._fingerprints, certificates)
+                manifest = {
+                    "format": FORMAT_VERSION,
+                    "n_scans": self.n_scans,
+                    "n_certificates": len(certificates),
+                    "n_observations": self.n_observations,
+                }
+                with open(self.path, "wb") as raw:
+                    sink = _HashingSink(raw)
+                    with zipfile.ZipFile(
+                        sink, "w", compression=zipfile.ZIP_DEFLATED
+                    ) as archive:
+                        archive.writestr(
+                            _member("manifest.json"), json.dumps(manifest, indent=2)
+                        )
+                        with archive.open(_member("certificates.der"), "w") as member:
+                            for fingerprint in order:
+                                der = certificates[fingerprint].to_der()
+                                member.write(_LENGTH.pack(len(der)))
+                                member.write(der)
+                        archive.writestr(
+                            _member("entities.json"),
+                            json.dumps(self._entities, separators=(",", ":")),
+                        )
+                        archive.writestr(
+                            _member("handshakes.json"),
+                            json.dumps(
+                                [list(record) for record in self._handshakes],
+                                separators=(",", ":"),
+                            ),
+                        )
+                        with archive.open(_member("scans.jsonl"), "w") as member:
+                            with open(self._spool_path, "rb") as spool:
+                                shutil.copyfileobj(spool, member, 1 << 20)
+                    self.digest = sink.hexdigest()
+            finally:
+                self._spool_path.unlink(missing_ok=True)
+        return self.digest
+
+    def abort(self) -> None:
+        """Discard the spool without writing an archive."""
+        self._spool.close()
+        self._spool_path.unlink(missing_ok=True)
+
+
+def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> str:
     """Write the corpus to one ``.rpz`` archive (overwrites).
 
+    Runs on the same :class:`StreamingDatasetWriter` machinery the
+    shard-streaming generation path uses — same member order, same fixed
+    timestamps, same streaming zip mode — so an in-memory build and a
+    streamed build of the same corpus produce byte-identical archives.
     Certificates and scan columns are streamed member-by-member and
-    record-by-record into the archive, so peak memory stays O(one scan),
-    not O(corpus).
+    record-by-record, so peak memory stays O(one scan), not O(corpus).
+    Returns the archive's corpus digest.
     """
     columns = dataset.columns
-    order = _certificate_order(dataset)
-    manifest = {
-        "format": FORMAT_VERSION,
-        "n_scans": len(dataset.scans),
-        "n_certificates": len(dataset.certificates),
-        "n_observations": dataset.n_observations,
-    }
-    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
-        archive.writestr("manifest.json", json.dumps(manifest, indent=2))
-        with archive.open("certificates.der", "w") as member:
-            for fingerprint in order:
-                der = dataset.certificates[fingerprint].to_der()
-                member.write(_LENGTH.pack(len(der)))
-                member.write(der)
-        archive.writestr(
-            "entities.json", json.dumps(columns.entities, separators=(",", ":"))
+    writer = StreamingDatasetWriter(path)
+    try:
+        writer._adopt_tables(
+            columns.fingerprints, columns.entities, columns.handshakes
         )
-        archive.writestr(
-            "handshakes.json",
-            json.dumps(
-                [list(record) for record in columns.handshakes],
-                separators=(",", ":"),
-            ),
-        )
-        with archive.open("scans.jsonl", "w") as member:
-            position = 0
-            for scan in dataset.scans:
-                end = position + len(scan)
-                row = {
-                    "day": scan.day,
-                    "source": scan.source,
-                    "ip": columns.ip[position:end].tolist(),
-                    "cert": columns.cert_id[position:end].tolist(),
-                    "entity": columns.entity_id[position:end].tolist(),
-                    "hs": columns.handshake_id[position:end].tolist(),
-                }
-                member.write(json.dumps(row, separators=(",", ":")).encode("utf-8"))
-                member.write(b"\n")
-                position = end
+        position = 0
+        for scan in dataset.scans:
+            end = position + len(scan)
+            writer._write_scan_line(
+                scan.day,
+                scan.source,
+                columns.cert_id[position:end].tolist(),
+                columns.entity_id[position:end].tolist(),
+                columns.handshake_id[position:end].tolist(),
+                columns.ip[position:end].tolist(),
+            )
+            position = end
+    except BaseException:
+        writer.abort()
+        raise
+    return writer.close(dataset.certificates)
 
 
 # ---------------------------------------------------------------------------

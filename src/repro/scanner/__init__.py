@@ -5,6 +5,7 @@ from .columns import ObservationColumns, ObservationIndex
 from .dataset import ScanDataset
 from .engine import SCAN_DURATION_HOURS, ScanEngine
 from .records import Observation, Scan
+from .shards import LazyObservations, ScanShard, columns_equal, merge_shards
 
 __all__ = [
     "ScanCampaign",
@@ -18,4 +19,8 @@ __all__ = [
     "ScanEngine",
     "Observation",
     "Scan",
+    "LazyObservations",
+    "ScanShard",
+    "columns_equal",
+    "merge_shards",
 ]

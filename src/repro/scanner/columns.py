@@ -211,6 +211,15 @@ class ObservationColumns:
             self.fingerprints.append(fingerprint)
         return cert_id
 
+    def distinct_ips(self, start: int, stop: int) -> set:
+        """Distinct addresses in one contiguous row range (e.g. one scan)."""
+        return set(self.ip[start:stop])
+
+    def distinct_fingerprints(self, start: int, stop: int) -> set:
+        """Distinct fingerprints in one contiguous row range."""
+        fingerprints = self.fingerprints
+        return {fingerprints[cert_id] for cert_id in self.cert_id[start:stop]}
+
     def observation_at(self, position: int) -> Observation:
         """Rehydrate one row (the inverse of :meth:`append`)."""
         handshake_id = self.handshake_id[position]

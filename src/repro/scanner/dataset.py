@@ -32,6 +32,7 @@ from .campaign import ScanCampaign
 from .columns import CertIntervals, ObservationColumns, ObservationIndex
 from .engine import ScanEngine
 from .records import Scan
+from .shards import columns_equal, merge_shards, scans_over_columns
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..core.kernels import FeatureMatrix
@@ -41,6 +42,11 @@ __all__ = ["ScanDataset"]
 
 #: Environment knob: assert columnar/row parity on every index build.
 PARITY_ENV = "REPRO_DATASET_PARITY"
+
+#: Environment knob (shared with the linking kernels): replay the legacy
+#: row generation after every columnar collection and assert bitwise
+#: identity of rows, interning tables, and certificate-store order.
+LINK_PARITY_ENV = "REPRO_LINK_PARITY"
 
 
 class ScanDataset:
@@ -68,6 +74,7 @@ class ScanDataset:
         campaigns: Iterable[ScanCampaign],
         collect_handshakes: bool = False,
         workers: int = 1,
+        columnar: bool = True,
     ) -> "ScanDataset":
         """Run every campaign over the world and gather the corpus.
 
@@ -76,12 +83,74 @@ class ScanDataset:
         network-fingerprint linking extension.  ``workers`` fans scan days
         out over processes; results are identical to ``workers=1`` because
         each day's RNG is keyed by (seed, campaign, day).
+
+        The default path generates **directly into columnar day shards**
+        and merges them once, in (day, source) order — the dataset adopts
+        the merged :class:`ObservationColumns` immediately (no second
+        columnarization pass) and the scans are lazy row views over it.
+        ``columnar=False`` selects the legacy row emitter, kept as the
+        parity fallback; ``REPRO_LINK_PARITY=1`` replays it after every
+        columnar collection and asserts the two corpora are bitwise
+        identical.
         """
         engine = ScanEngine(world, collect_handshakes=collect_handshakes)
-        scans: list[Scan] = []
+        campaigns = list(campaigns)
+        if not columnar:
+            scans: list[Scan] = []
+            for campaign in campaigns:
+                scans.extend(engine.run_campaign_rows(campaign))
+            return cls(scans, engine.certificate_store)
+        shards = []
         for campaign in campaigns:
-            scans.extend(engine.run_campaign(campaign, workers=workers))
-        return cls(scans, engine.certificate_store)
+            shards.extend(engine.run_campaign_shards(campaign, workers=workers))
+        shards.sort(key=lambda shard: (shard.day, shard.source))
+        columns, scan_meta = merge_shards(shards)
+        dataset = cls(
+            scans_over_columns(columns, scan_meta), engine.certificate_store
+        )
+        dataset._columns = columns
+        if os.environ.get(LINK_PARITY_ENV):
+            dataset._verify_generation_parity(world, campaigns, collect_handshakes)
+        return dataset
+
+    def _verify_generation_parity(
+        self,
+        world: World,
+        campaigns: "list[ScanCampaign]",
+        collect_handshakes: bool,
+    ) -> None:
+        """Replay the legacy row generation and assert bitwise identity.
+
+        Uses the engine's quiet row emitter (no metrics, no spans) so the
+        parity replay never perturbs observability counters, then checks
+        every scan's rows, the merged interning tables, and the
+        certificate-store insertion order against the columnar result.
+        """
+        engine = ScanEngine(world, collect_handshakes=collect_handshakes)
+        row_scans: list[Scan] = []
+        for campaign in campaigns:
+            for day in campaign.scan_days:
+                row_scans.append(Scan(
+                    day=day,
+                    source=campaign.name,
+                    observations=engine.row_observations(campaign, day),
+                ))
+        row_scans.sort(key=lambda scan: (scan.day, scan.source))
+        assert [(scan.day, scan.source) for scan in row_scans] == [
+            (scan.day, scan.source) for scan in self.scans
+        ], "generation parity: scan schedule diverges"
+        for row_scan, lazy_scan in zip(row_scans, self.scans):
+            assert lazy_scan.observations == row_scan.observations, (
+                "generation parity: rows diverge in "
+                f"{row_scan.source}/day={row_scan.day}"
+            )
+        assert list(engine.certificate_store) == list(self.certificates), (
+            "generation parity: certificate store order diverges"
+        )
+        reference = ObservationColumns.from_scans(row_scans)
+        assert columns_equal(reference, self._columns), (
+            "generation parity: merged columns diverge"
+        )
 
     @classmethod
     def from_backend(cls, backend: "DatasetBackend") -> "ScanDataset":

@@ -18,8 +18,8 @@ methodology against truth, the validation the paper itself says it lacked
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, NamedTuple, Optional
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple, Optional, Sequence
 
 from ..tls.handshake import HandshakeRecord
 
@@ -41,11 +41,24 @@ class Observation(NamedTuple):
 
 @dataclass
 class Scan:
-    """One full-IPv4 sweep by one campaign."""
+    """One full-IPv4 sweep by one campaign.
+
+    ``observations`` is any day-sorted observation sequence — a plain
+    row list, or the lazy columnar view the engine now emits
+    (:class:`~repro.scanner.shards.LazyObservations`).  Scans are
+    immutable after collection, so the distinct-address and
+    distinct-fingerprint sets are memoized on first use.
+    """
 
     day: int
     source: str
-    observations: list[Observation]
+    observations: Sequence[Observation]
+    _ips: Optional[set] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _fingerprints: Optional[set] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.observations)
@@ -54,9 +67,25 @@ class Scan:
         return iter(self.observations)
 
     def ips(self) -> set[int]:
-        """Distinct responding addresses in this scan."""
-        return {obs.ip for obs in self.observations}
+        """Distinct responding addresses in this scan (memoized)."""
+        cached = self._ips
+        if cached is None:
+            distinct = getattr(self.observations, "distinct_ips", None)
+            if distinct is not None:
+                cached = distinct()
+            else:
+                cached = {obs.ip for obs in self.observations}
+            self._ips = cached
+        return cached
 
     def fingerprints(self) -> set[bytes]:
-        """Distinct certificates advertised in this scan."""
-        return {obs.fingerprint for obs in self.observations}
+        """Distinct certificates advertised in this scan (memoized)."""
+        cached = self._fingerprints
+        if cached is None:
+            distinct = getattr(self.observations, "distinct_fingerprints", None)
+            if distinct is not None:
+                cached = distinct()
+            else:
+                cached = {obs.fingerprint for obs in self.observations}
+            self._fingerprints = cached
+        return cached

@@ -1,0 +1,386 @@
+"""Per-day columnar scan shards and their corpus merge.
+
+The engine used to emit every sighting as a row ``Observation`` namedtuple,
+sort the rows with a Python key function, pickle whole row lists back from
+scan workers, and re-intern everything into
+:class:`~repro.scanner.columns.ObservationColumns` in a second pass.  A
+:class:`ScanShard` is the direct-to-columnar replacement: one scan day's
+observations as parallel ``array`` columns plus day-local interning tables,
+built in one pass by the engine, shipped compactly across process
+boundaries, and merged into the corpus columns without ever materializing
+rows.
+
+Two invariants make the merge bitwise-identical to the legacy
+row-then-columnarize path:
+
+* **sorted first-appearance tables** — :func:`finalize_shard` day-sorts the
+  columns by (ip, fingerprint) via a stable argsort on packed byte keys
+  (identical tie behaviour to the old ``list.sort``) and renumbers every
+  local id so the shard tables are in first-appearance order *over the
+  sorted rows*; entries never referenced by a row drop out;
+* **day-order interning merge** — :func:`merge_shards` interns each shard's
+  tables in local-id order, shard by shard in (day, source) order, which
+  replays exactly the global first-appearance order the serial row pass
+  would have produced.
+
+Rows never went away: :class:`LazyObservations` is a sequence view that
+rehydrates ``Observation`` tuples on demand from a shard or from a merged
+column range, so ``Scan.observations`` keeps its API (iteration, indexing,
+equality against real row lists) at O(1) memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from collections.abc import Sequence
+from typing import Iterator, List, Union
+
+from ..obs import runtime as obs
+from ..tls.handshake import HandshakeRecord
+from .columns import ObservationColumns
+from .records import Observation, Scan
+
+__all__ = [
+    "ScanShard",
+    "LazyObservations",
+    "finalize_shard",
+    "merge_shards",
+    "columns_equal",
+    "shard_scan",
+    "scans_over_columns",
+]
+
+_IP_KEY = struct.Struct(">I")
+
+
+class ScanShard:
+    """One scan day as sorted parallel columns plus local interning tables.
+
+    Columns (one entry per observation, (ip, fingerprint)-sorted):
+
+    * ``ip``           — observed IPv4 address (int);
+    * ``cert_id``      — index into ``fingerprints``;
+    * ``entity_id``    — index into ``entities``;
+    * ``handshake_id`` — index into ``handshakes`` (-1 when not collected).
+
+    All three tables are in first-appearance order over the sorted rows,
+    so a day-order merge re-interning them in local-id order reproduces
+    the serial corpus interning order exactly.
+    """
+
+    __slots__ = (
+        "day", "source", "ip", "cert_id", "entity_id", "handshake_id",
+        "fingerprints", "entities", "handshakes",
+    )
+
+    def __init__(
+        self,
+        day: int,
+        source: str,
+        ip: array,
+        cert_id: array,
+        entity_id: array,
+        handshake_id: array,
+        fingerprints: List[bytes],
+        entities: List[str],
+        handshakes: List[HandshakeRecord],
+    ) -> None:
+        self.day = day
+        self.source = source
+        self.ip = ip
+        self.cert_id = cert_id
+        self.entity_id = entity_id
+        self.handshake_id = handshake_id
+        self.fingerprints = fingerprints
+        self.entities = entities
+        self.handshakes = handshakes
+
+    def __len__(self) -> int:
+        return len(self.ip)
+
+    # Pickle support: __slots__ classes have no __dict__, so spell the
+    # state out (this is what rides home from scan workers).
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate wire size of the columns and fingerprint table."""
+        return (
+            self.ip.itemsize * len(self.ip) * 4
+            + 32 * len(self.fingerprints)
+        )
+
+    def observation_at(self, position: int) -> Observation:
+        """Rehydrate one row of the shard."""
+        handshake_id = self.handshake_id[position]
+        return Observation(
+            ip=self.ip[position],
+            fingerprint=self.fingerprints[self.cert_id[position]],
+            entity=self.entities[self.entity_id[position]],
+            handshake=(
+                self.handshakes[handshake_id] if handshake_id >= 0 else None
+            ),
+        )
+
+    def distinct_ips(self, start: int, stop: int) -> set:
+        """Distinct addresses in a row range (whole shard: 0..len)."""
+        return set(self.ip[start:stop])
+
+    def distinct_fingerprints(self, start: int, stop: int) -> set:
+        """Distinct fingerprints in a row range."""
+        if start == 0 and stop >= len(self.ip):
+            # Every table entry is referenced by at least one row.
+            return set(self.fingerprints)
+        fingerprints = self.fingerprints
+        return {fingerprints[cert_id] for cert_id in self.cert_id[start:stop]}
+
+
+class LazyObservations(Sequence):
+    """Row view over a shard or a merged column range.
+
+    Quacks like the ``list[Observation]`` the engine used to build —
+    length, indexing, slicing, iteration, and equality against any other
+    observation sequence — but holds only (source, start, stop) and
+    rehydrates tuples on demand, so a corpus of lazy scans costs no row
+    storage at all.
+    """
+
+    __slots__ = ("_source", "_start", "_stop")
+
+    def __init__(
+        self,
+        source: Union[ScanShard, ObservationColumns],
+        start: int,
+        stop: int,
+    ) -> None:
+        self._source = source
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        positions = range(self._start, self._stop)[index]
+        if isinstance(index, slice):
+            observation_at = self._source.observation_at
+            return [observation_at(position) for position in positions]
+        return self._source.observation_at(positions)
+
+    def __iter__(self) -> Iterator[Observation]:
+        observation_at = self._source.observation_at
+        for position in range(self._start, self._stop):
+            yield observation_at(position)
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, (LazyObservations, list, tuple)):
+            return NotImplemented
+        if len(other) != len(self):
+            return False
+        return all(ours == theirs for ours, theirs in zip(self, other))
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # mutable-sequence lookalike
+
+    def __repr__(self) -> str:
+        return f"<LazyObservations n={len(self)}>"
+
+    def distinct_ips(self) -> set:
+        """Distinct addresses, computed on the columns (no rehydration)."""
+        return self._source.distinct_ips(self._start, self._stop)
+
+    def distinct_fingerprints(self) -> set:
+        """Distinct fingerprints, computed on the columns."""
+        return self._source.distinct_fingerprints(self._start, self._stop)
+
+
+def shard_scan(shard: ScanShard) -> Scan:
+    """Wrap one shard as a ``Scan`` with a lazy row view."""
+    return Scan(
+        day=shard.day,
+        source=shard.source,
+        observations=LazyObservations(shard, 0, len(shard)),
+    )
+
+
+def scans_over_columns(
+    columns: ObservationColumns,
+    scan_meta: Sequence,
+) -> List[Scan]:
+    """Lazy ``Scan`` views over merged columns.
+
+    ``scan_meta`` rows are ``(day, source, start, stop)`` as produced by
+    :func:`merge_shards`.
+    """
+    return [
+        Scan(
+            day=day,
+            source=source,
+            observations=LazyObservations(columns, start, stop),
+        )
+        for day, source, start, stop in scan_meta
+    ]
+
+
+def finalize_shard(
+    day: int,
+    source: str,
+    count: int,
+    ip: array,
+    cert_id: array,
+    entity_id: array,
+    handshake_id: array,
+    fingerprints: List[bytes],
+    entities: List[str],
+    handshakes: List[HandshakeRecord],
+) -> ScanShard:
+    """Day-sort generation-order columns and canonicalize the tables.
+
+    ``ip``/``cert_id``/``entity_id``/``handshake_id`` are the engine's
+    preallocated append arrays (only the first ``count`` entries are
+    live), with tables in generation order.  The argsort key is the
+    packed ``(big-endian ip, fingerprint)`` byte string — ``sorted`` is
+    stable, so ties land exactly where the legacy row
+    ``sort(key=lambda obs: (obs.ip, obs.fingerprint))`` put them.  Ids
+    are then renumbered to first-appearance order over the sorted rows;
+    table entries no sorted row references (e.g. a website whose every
+    address was blacklisted) disappear.
+    """
+    pack = _IP_KEY.pack
+    keys = [pack(ip[i]) + fingerprints[cert_id[i]] for i in range(count)]
+    order = sorted(range(count), key=keys.__getitem__)
+
+    sorted_ip = array("I", bytes(4 * count))
+    sorted_cert = array("I", bytes(4 * count))
+    sorted_entity = array("I", bytes(4 * count))
+    sorted_handshake = array("i", bytes(4 * count))
+    cert_remap = array("i", [-1]) * len(fingerprints)
+    entity_remap = array("i", [-1]) * len(entities)
+    handshake_remap = array("i", [-1]) * len(handshakes)
+    new_fingerprints: List[bytes] = []
+    new_entities: List[str] = []
+    new_handshakes: List[HandshakeRecord] = []
+    for out, position in enumerate(order):
+        sorted_ip[out] = ip[position]
+        local = cert_id[position]
+        mapped = cert_remap[local]
+        if mapped < 0:
+            mapped = cert_remap[local] = len(new_fingerprints)
+            new_fingerprints.append(fingerprints[local])
+        sorted_cert[out] = mapped
+        local = entity_id[position]
+        mapped = entity_remap[local]
+        if mapped < 0:
+            mapped = entity_remap[local] = len(new_entities)
+            new_entities.append(entities[local])
+        sorted_entity[out] = mapped
+        local = handshake_id[position]
+        if local >= 0:
+            mapped = handshake_remap[local]
+            if mapped < 0:
+                mapped = handshake_remap[local] = len(new_handshakes)
+                new_handshakes.append(handshakes[local])
+            sorted_handshake[out] = mapped
+        else:
+            sorted_handshake[out] = -1
+    return ScanShard(
+        day, source, sorted_ip, sorted_cert, sorted_entity, sorted_handshake,
+        new_fingerprints, new_entities, new_handshakes,
+    )
+
+
+def merge_shards(
+    shards: Sequence[ScanShard],
+) -> "tuple[ObservationColumns, list[tuple[int, str, int, int]]]":
+    """Merge (day, source)-ordered shards into corpus columns.
+
+    Returns the merged :class:`ObservationColumns` plus per-scan
+    ``(day, source, start, stop)`` metadata.  Because each shard's tables
+    are in sorted first-appearance order, interning them in local-id
+    order shard by shard reproduces the exact global interning order of
+    a serial row columnarization — the result is bitwise-identical to
+    ``ObservationColumns.from_scans`` over the equivalent row corpus.
+    """
+    with obs.span("scan/shard_merge", shards=len(shards)):
+        columns = ObservationColumns()
+        entity_ids: dict[str, int] = {"": 0}
+        handshake_ids: dict[HandshakeRecord, int] = {}
+        scan_meta: List[tuple[int, str, int, int]] = []
+        position = 0
+        for scan_index, shard in enumerate(shards):
+            count = len(shard)
+            cert_map = array("I", (
+                columns.intern_fingerprint(fingerprint)
+                for fingerprint in shard.fingerprints
+            ))
+            entity_map = array("I", bytes(4 * len(shard.entities)))
+            for local_id, tag in enumerate(shard.entities):
+                global_id = entity_ids.get(tag)
+                if global_id is None:
+                    global_id = entity_ids[tag] = len(columns.entities)
+                    columns.entities.append(tag)
+                entity_map[local_id] = global_id
+            handshake_map = array("I", bytes(4 * len(shard.handshakes)))
+            for local_id, record in enumerate(shard.handshakes):
+                global_id = handshake_ids.get(record)
+                if global_id is None:
+                    global_id = handshake_ids[record] = len(columns.handshakes)
+                    columns.handshakes.append(record)
+                handshake_map[local_id] = global_id
+            columns.scan_idx.extend(array("I", (scan_index,)) * count)
+            columns.ip.extend(shard.ip)
+            columns.cert_id.extend(map(cert_map.__getitem__, shard.cert_id))
+            columns.entity_id.extend(
+                map(entity_map.__getitem__, shard.entity_id)
+            )
+            if shard.handshakes:
+                columns.handshake_id.extend(
+                    handshake_map[handshake_id] if handshake_id >= 0 else -1
+                    for handshake_id in shard.handshake_id
+                )
+            else:
+                columns.handshake_id.extend(shard.handshake_id)
+            scan_meta.append((shard.day, shard.source, position, position + count))
+            position += count
+        obs.inc("scanner.shards_merged", len(shards))
+    return columns, scan_meta
+
+
+def columns_equal(left: ObservationColumns, right: ObservationColumns) -> bool:
+    """Bitwise equality of two columnar corpora (columns and tables)."""
+    return (
+        left.scan_idx == right.scan_idx
+        and left.ip == right.ip
+        and left.cert_id == right.cert_id
+        and left.entity_id == right.entity_id
+        and left.handshake_id == right.handshake_id
+        and left.fingerprints == right.fingerprints
+        and left.entities == right.entities
+        and left.handshakes == right.handshakes
+    )
+
+
+def certificate_order(
+    observed: Sequence[bytes], certificates,
+) -> List[bytes]:
+    """Canonical certificate-id order for serialization.
+
+    Observed fingerprints first (corpus first-appearance order), then
+    any certificates that were issued but never sighted, sorted — the
+    same order for a streamed write and an in-memory one.
+    """
+    extra = sorted(set(certificates) - set(observed))
+    return list(observed) + extra

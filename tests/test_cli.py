@@ -149,6 +149,37 @@ class TestCommands:
             main(["census"])
 
 
+class TestStreamOut:
+    def test_parser_accepts_stream_out_and_xlarge(self):
+        args = build_parser().parse_args(
+            ["generate", "--preset", "xlarge", "--stream-out"]
+        )
+        assert args.preset == "xlarge"
+        assert args.stream_out
+
+    def test_xlarge_is_generate_only(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["census", "--preset", "xlarge"])
+
+    def test_stream_out_matches_in_memory_generate(
+        self, saved_corpus, tmp_path, capsys
+    ):
+        corpus, _ = saved_corpus  # built by plain generate (tiny, seed 7)
+        streamed = tmp_path / "streamed.rpz"
+        environment = tmp_path / "streamed.rpe"
+        code = main(
+            ["generate", "--preset", "tiny", "--seed", "7", "--stream-out",
+             "--corpus", str(streamed), "--environment", str(environment)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corpus digest:" in out
+        assert streamed.read_bytes() == corpus.read_bytes()
+        assert environment.exists()
+        # The streamed corpus is a first-class analysis input.
+        assert main(["info", str(streamed)]) == 0
+
+
 class TestObservability:
     def test_link_with_trace_and_metrics(self, saved_corpus, tmp_path, capsys):
         corpus, environment = saved_corpus
