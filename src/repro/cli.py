@@ -7,7 +7,10 @@
   flushes day shards straight into the archive (O(largest shard) memory,
   byte-identical output), which is how the ``xlarge`` preset is meant to
   be generated;
-* ``info``     — print a saved corpus' manifest (backend, row counts);
+* ``info``     — print a saved corpus' manifest (format, backend,
+  row counts, per-column byte sizes for format 3 containers);
+* ``convert``  — upgrade a v1/v2 ``.rpz`` archive to the mmap-native
+  format 3 container (written next to the input by default);
 * ``census``   — the §5 comparison (validity, lifetimes, keys, issuers);
 * ``link``     — the §6 linking pipeline and Table 6 summary;
 * ``track``    — the §7 tracking applications;
@@ -111,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--cache-dir", metavar="DIR",
                       help="also report the corpus' artifact-cache status "
                            "(digest, cached sections) under this directory")
+
+    convert = commands.add_parser(
+        "convert",
+        help="upgrade a v1/v2 .rpz archive to the mmap-native format 3",
+    )
+    convert.add_argument("corpus", help="saved v1/v2 .rpz archive")
+    convert.add_argument("--out", metavar="PATH",
+                         help="output container path "
+                              "(default: <corpus stem>.v3.rpz, adjacent "
+                              "to the input)")
+    _add_obs_flags(convert)
 
     profile = commands.add_parser(
         "profile",
@@ -237,13 +251,23 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_info(args) -> int:
-    from .io import ArchiveBackend
+    from .io import ArchiveBackend, MappedBackend, is_segment_container
 
-    backend = ArchiveBackend(args.corpus)
+    if is_segment_container(args.corpus):
+        backend = MappedBackend(args.corpus)
+    else:
+        backend = ArchiveBackend(args.corpus)
     manifest = backend.describe()
-    print(f"backend: {manifest.pop('backend', 'archive')}")
+    print(f"backend: {manifest.pop('backend', 'archive')} "
+          f"({'mapped' if getattr(backend, 'mapped', False) else 'materialized'} "
+          f"columns)")
+    segments = manifest.pop("segments", None)
     for key, value in manifest.items():
         print(f"{key}: {value}")
+    if segments:
+        print("per-column bytes:")
+        for name in sorted(segments):
+            print(f"  {name}: {segments[name]:,d}")
     print(f"workers: {args.workers}")
     if getattr(args, "cache_dir", None):
         from .io import ArtifactCache
@@ -255,6 +279,29 @@ def _cmd_info(args) -> int:
                   f"at {status['path']}")
         else:
             print(f"cache: miss (no artifact at {status['path']})")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    import pathlib
+
+    from .io import is_segment_container, load_dataset, read_manifest, save_dataset
+
+    source = pathlib.Path(args.corpus)
+    if is_segment_container(source):
+        raise SystemExit(f"{source} is already a format 3 container")
+    manifest = read_manifest(source)
+    out = pathlib.Path(args.out) if args.out else source.with_name(
+        f"{source.stem}.v3{source.suffix or '.rpz'}"
+    )
+    # The one-shot materializing converter path: the legacy archive is
+    # loaded in full (v1/v2 have no lazy surface), re-interned in
+    # canonical corpus order, and streamed back out as format 3.
+    dataset = load_dataset(source)
+    digest = save_dataset(dataset, out)
+    print(f"converted {source} (format {manifest['format']}) -> {out} "
+          f"(format 3, {format_count(dataset.n_observations)} observations)")
+    print(f"corpus digest: {digest}")
     return 0
 
 
@@ -446,6 +493,7 @@ def _with_observability(args, handler) -> int:
 _HANDLERS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
+    "convert": _cmd_convert,
     "census": _cmd_census,
     "link": _cmd_link,
     "track": _cmd_track,

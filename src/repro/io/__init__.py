@@ -1,16 +1,25 @@
 """Corpus and environment serialization (.rpz / .rpe archives) and backends."""
 
 from .artifacts import ARTIFACT_SCHEMA, ArtifactCache, LoadedArtifacts
-from .backends import ArchiveBackend, DatasetBackend, InMemoryBackend
+from .backends import (
+    ArchiveBackend,
+    DatasetBackend,
+    InMemoryBackend,
+    LazyCertificates,
+    MappedBackend,
+)
+from .encoding import SegmentReader, SegmentWriter, is_segment_container
 from .environment import AnalysisEnvironment, load_environment, save_environment
 from .store import (
     FORMAT_VERSION,
+    SUPPORTED_FORMATS,
     StreamingDatasetWriter,
     load_dataset,
     read_certificates,
     read_manifest,
     read_scans,
     save_dataset,
+    save_dataset_v2,
 )
 
 __all__ = [
@@ -23,11 +32,18 @@ __all__ = [
     "ArchiveBackend",
     "DatasetBackend",
     "InMemoryBackend",
+    "LazyCertificates",
+    "MappedBackend",
+    "SegmentReader",
+    "SegmentWriter",
+    "is_segment_container",
     "FORMAT_VERSION",
+    "SUPPORTED_FORMATS",
     "StreamingDatasetWriter",
     "load_dataset",
     "read_certificates",
     "read_manifest",
     "read_scans",
     "save_dataset",
+    "save_dataset_v2",
 ]

@@ -6,14 +6,15 @@ feature matrix, and the §4.2 chain walks — as the dominant cost of every
 run over the same immutable corpus.  This module is the warm path: an
 :class:`ArtifactCache` persists those derived artifacts in one ``.rpa``
 file per corpus, keyed by a **streaming corpus digest**, so a warm
-:class:`~repro.study.Study` run loads them in O(read) and skips the
-kernel builds and the chain walks entirely.
+:class:`~repro.study.Study` run loads them in O(1) and skips the kernel
+builds and the chain walks entirely.
 
 Digest scheme (the cache key):
 
-* :class:`~repro.io.backends.ArchiveBackend` corpora hash the archive
-  **file bytes** (SHA-256, streamed in chunks — the ``.rpz`` is the
-  corpus' identity, nothing needs parsing);
+* file-backed corpora (:class:`~repro.io.backends.ArchiveBackend`,
+  :class:`~repro.io.backends.MappedBackend`) hash the corpus **file
+  bytes** (SHA-256, streamed in chunks — the ``.rpz`` is the corpus'
+  identity, nothing needs parsing);
 * in-memory corpora hash a **canonical columnar encoding**: per-scan
   (day, source) metadata, the five observation columns as little-endian
   bytes, the interning tables, and the sorted fingerprint list of the
@@ -23,26 +24,31 @@ Digest scheme (the cache key):
 Both schemes are independent of ``PYTHONHASHSEED`` and of the platform
 byte order (columns are serialized little-endian everywhere).
 
-File layout — ``<digest>.rpa`` is a ZIP archive (stored, not deflated:
-cache files trade disk for load latency) with members:
+File layout — ``<digest>.rpa`` is a format 3 segment container
+(:mod:`repro.io.encoding`), the same encoding ``.rpz`` corpora use.
+Segment groups:
 
-* ``manifest.json`` — :data:`ARTIFACT_SCHEMA`, the corpus digest, corpus
-  counts, and the section list;
-* ``columns.pkl``   — the five observation columns and interning tables
-  (arrays as ``(typecode, little-endian bytes)`` pairs; fingerprints as
-  one flat 32-byte-stride blob).  Kept separate because a loader whose
-  dataset is already columnar skips these bytes — they dominate the file;
-* ``kernels.pkl``   — the CSR index, interval arrays, and feature matrix
-  (together with ``columns.pkl`` this is the manifest's ``kernels``
-  section);
-* ``validation.pkl`` — per-certificate verdicts, columnar: interned
+* ``columns.*``   — the five observation columns and interning tables.
+  Kept as their own group because a loader whose dataset is already
+  columnar (or mapped) never touches these bytes — they dominate the
+  artifact;
+* ``index.*`` / ``intervals.*`` — the CSR index and interval arrays;
+* ``matrix.*``    — the feature matrix (interned value tables as one
+  pickle segment, id columns as arrays);
+* ``val.*``       — per-certificate verdicts, columnar: interned
   status/detail tables, per-record id columns, a flat chain-fingerprint
   blob with per-record lengths, plus the DER of chain members that are
   not corpus certificates (roots), gated by a digest of the trust store.
 
+A warm load **maps** the container: fixed-stride segments come back as
+``memoryview``s over the shared ``mmap`` (the ``artifacts/map`` span),
+so adopting cached kernels costs O(1) and the bytes page in as queries
+touch them.  Only the feature-matrix id columns are copied out (they
+must survive pickling into pool workers).
+
 Any failure to read, decode, or sanity-check an artifact — truncation,
-a schema bump, a digest mismatch, a foreign byte order — degrades to a
-rebuild, never to an error; counters ``artifacts.hit`` / ``miss`` /
+a schema bump, a digest mismatch, a pre-format-3 ZIP artifact — degrades
+to a rebuild, never to an error; counters ``artifacts.hit`` / ``miss`` /
 ``invalidated`` (one per requested section) record which way each load
 went.
 """
@@ -53,18 +59,30 @@ import hashlib
 import json
 import os
 import pathlib
-import pickle
 import struct
-import sys
-import zipfile
 from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..obs import runtime as obs
-from ..scanner.columns import CertIntervals, ObservationColumns, ObservationIndex
+from ..scanner.columns import (
+    COLUMN_TYPECODES,
+    CertIntervals,
+    ObservationColumns,
+    ObservationIndex,
+)
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
+from .encoding import (
+    FP_LEN,
+    SegmentReader,
+    SegmentWriter,
+    as_array,
+    le_view,
+    pack_fingerprints,
+    read_container_meta,
+    unpack_fingerprints,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..core.validation import ValidationReport
@@ -76,12 +94,14 @@ __all__ = [
     "ArtifactCache",
     "LoadedArtifacts",
     "columns_digest",
+    "file_digest",
     "trust_store_digest",
 ]
 
 #: Bump on any change to the artifact payload encoding; older files are
-#: invalidated (fall back to a rebuild), never misread.
-ARTIFACT_SCHEMA = 1
+#: invalidated (fall back to a rebuild), never misread.  Schema 1 was
+#: the pre-mmap ZIP-of-pickles layout.
+ARTIFACT_SCHEMA = 2
 
 #: Streaming chunk size for archive-byte digests.
 _CHUNK = 1 << 20
@@ -89,33 +109,23 @@ _CHUNK = 1 << 20
 _META = struct.Struct("<II")
 _SCAN = struct.Struct("<iI")
 
-#: Certificate fingerprints are SHA-256 over DER — always 32 bytes, so
-#: fingerprint sequences serialize as one flat blob sliced on decode.
-_FP_LEN = 32
+#: Segment-name prefixes of each manifest section.
+_SECTION_PREFIXES = {
+    "kernels": ("columns.", "index.", "intervals.", "matrix."),
+    "validation": ("val.",),
+}
 
 
 # ---------------------------------------------------------------------------
 # Digests
 # ---------------------------------------------------------------------------
 
-def _le_bytes(column: array) -> bytes:
-    """A column's raw bytes, little-endian regardless of the host."""
-    if sys.byteorder == "little":
-        return column.tobytes()
-    swapped = array(column.typecode, column)
-    swapped.byteswap()
-    return swapped.tobytes()
-
-
-def _le_view(column: array):
-    """Zero-copy little-endian view for hashing (copies only on BE hosts)."""
-    if sys.byteorder == "little":
-        return memoryview(column)
-    return _le_bytes(column)
-
-
 def file_digest(path: Union[str, pathlib.Path]) -> str:
-    """Streaming SHA-256 over a corpus archive's bytes."""
+    """Streaming SHA-256 over a corpus archive's bytes.
+
+    For format 3 containers this equals the digest the writer computed
+    incrementally while streaming the file.
+    """
     digest = hashlib.sha256(b"repro-archive/1\n")
     with open(path, "rb") as handle:
         while True:
@@ -146,7 +156,7 @@ def columns_digest(
         digest.update(encoded)
     for column in (columns.scan_idx, columns.ip, columns.cert_id,
                    columns.entity_id, columns.handshake_id):
-        digest.update(_le_view(column))
+        digest.update(le_view(column))
     digest.update(b"".join(columns.fingerprints))
     digest.update(json.dumps(columns.entities, separators=(",", ":")).encode())
     digest.update(
@@ -172,177 +182,54 @@ def trust_store_digest(trust_store: "TrustStore") -> str:
 
 
 # ---------------------------------------------------------------------------
-# Array / payload encoding (PYTHONHASHSEED- and endianness-independent)
+# Section encoders (writer-side)
 # ---------------------------------------------------------------------------
 
-def _pack_array(column: array) -> tuple[str, bytes]:
-    return column.typecode, _le_bytes(column)
-
-
-def _unpack_array(packed: tuple[str, bytes]) -> array:
-    typecode, blob = packed
-    column = array(typecode)
-    column.frombytes(blob)
-    if sys.byteorder != "little":
-        column.byteswap()
-    return column
-
-
-def _pack_fingerprints(fingerprints: Sequence[bytes]) -> bytes:
-    """A fingerprint sequence as one flat 32-byte-stride blob.
-
-    One large pickle object instead of tens of thousands of small ones —
-    the dominant cost of a warm load is object construction, not bytes.
-    """
-    blob = b"".join(fingerprints)
-    if len(blob) != _FP_LEN * len(fingerprints):
-        raise ValueError("non-canonical fingerprint length")
-    return blob
-
-
-def _unpack_fingerprints(blob: bytes) -> list[bytes]:
-    if len(blob) % _FP_LEN:
-        raise ValueError("fingerprint blob not a digest-size multiple")
-    return [blob[base:base + _FP_LEN] for base in range(0, len(blob), _FP_LEN)]
-
-
-def _encode_columns(columns: ObservationColumns) -> dict:
-    """The observation columns, as their own (large) payload.
-
-    Kept in a separate archive member from the other kernels: a loader
-    whose dataset is already columnar (an :class:`InMemoryBackend`
-    corpus) skips these bytes entirely — they dominate the artifact.
-    """
-    return {
-        "scan_idx": _pack_array(columns.scan_idx),
-        "ip": _pack_array(columns.ip),
-        "cert_id": _pack_array(columns.cert_id),
-        "entity_id": _pack_array(columns.entity_id),
-        "handshake_id": _pack_array(columns.handshake_id),
-        "fingerprints": _pack_fingerprints(columns.fingerprints),
-        "entities": list(columns.entities),
-        "handshakes": [tuple(record) for record in columns.handshakes],
-    }
-
-
-def _encode_kernels(
+def _write_kernels(
+    writer: SegmentWriter,
+    columns: ObservationColumns,
     index: ObservationIndex,
     intervals: CertIntervals,
     matrix,
-) -> dict:
+) -> None:
     from ..core.features import Feature
 
-    return {
-        "index": {
-            "offsets": _pack_array(index._offsets),
-            "order": _pack_array(index._order),
-        },
-        "intervals": {
-            name: _pack_array(getattr(intervals, name))
-            for name in CertIntervals.__slots__
-        },
-        "matrix": {
-            "fingerprints": _pack_fingerprints(matrix.fingerprints),
-            "values": {
-                feature.name: list(matrix.values[feature]) for feature in Feature
-            },
-            "raw_ids": {
-                feature.name: _pack_array(matrix.raw_ids[feature])
-                for feature in Feature
-            },
-            "cn_linkable": _pack_array(
-                matrix.linkable_ids[Feature.COMMON_NAME]
-            ),
-        },
-    }
-
-
-def _decode_columns(payload: dict) -> ObservationColumns:
-    columns = ObservationColumns()
-    columns.scan_idx = _unpack_array(payload["scan_idx"])
-    columns.ip = _unpack_array(payload["ip"])
-    columns.cert_id = _unpack_array(payload["cert_id"])
-    columns.entity_id = _unpack_array(payload["entity_id"])
-    columns.handshake_id = _unpack_array(payload["handshake_id"])
-    columns.fingerprints = _unpack_fingerprints(payload["fingerprints"])
-    columns.fingerprint_ids = {
-        fingerprint: cert_id
-        for cert_id, fingerprint in enumerate(columns.fingerprints)
-    }
-    columns.entities = payload["entities"]  # fresh list, pickle-owned
-    columns.handshakes = [
-        HandshakeRecord(*record) for record in payload["handshakes"]
-    ]
-    return columns
-
-
-def _decode_index(
-    columns: ObservationColumns, payload: dict
-) -> ObservationIndex:
-    index = ObservationIndex.__new__(ObservationIndex)
-    index.columns = columns
-    index._offsets = _unpack_array(payload["offsets"])
-    index._order = _unpack_array(payload["order"])
-    if len(index._offsets) != len(columns.fingerprints) + 1 \
-            or len(index._order) != len(columns):
-        raise ValueError("artifact index shape mismatch")
-    return index
-
-
-def _decode_intervals(payload: dict, n_certs: int) -> CertIntervals:
-    intervals = CertIntervals.__new__(CertIntervals)
+    for name, _ in COLUMN_TYPECODES:
+        writer.add_array(f"columns.{name}", getattr(columns, name))
+    writer.add_bytes(
+        "columns.fingerprints",
+        pack_fingerprints(columns.fingerprints), stride=FP_LEN,
+    )
+    writer.add_json("columns.entities", list(columns.entities))
+    writer.add_json(
+        "columns.handshakes",
+        [list(record) for record in columns.handshakes],
+    )
+    writer.add_array("index.offsets", index._offsets)
+    writer.add_array("index.order", index._order)
     for name in CertIntervals.__slots__:
-        column = _unpack_array(payload[name])
-        if len(column) != n_certs:
-            raise ValueError("artifact intervals shape mismatch")
-        setattr(intervals, name, column)
-    return intervals
+        writer.add_array(f"intervals.{name}", getattr(intervals, name))
+    writer.add_bytes(
+        "matrix.fingerprints",
+        pack_fingerprints(matrix.fingerprints), stride=FP_LEN,
+    )
+    writer.add_pickle(
+        "matrix.values",
+        {feature.name: list(matrix.values[feature]) for feature in Feature},
+    )
+    for feature in Feature:
+        writer.add_array(f"matrix.raw.{feature.name}", matrix.raw_ids[feature])
+    writer.add_array(
+        "matrix.cn_linkable", matrix.linkable_ids[Feature.COMMON_NAME]
+    )
 
 
-def _decode_matrix(payload: dict, certificates: Mapping[bytes, Certificate]):
-    """Rebuild the feature matrix, re-ordering rows to the loader's
-    certificate-dict order when it differs from the writer's (the digest
-    pins the certificate *set*, not the dict insertion order)."""
-    from ..core.kernels import FeatureMatrix
-    from ..core.features import Feature
-
-    stored = _unpack_fingerprints(payload["fingerprints"])
-    wanted = list(certificates)
-    raw = {
-        feature: _unpack_array(payload["raw_ids"][feature.name])
-        for feature in Feature
-    }
-    cn_linkable = _unpack_array(payload["cn_linkable"])
-    if stored != wanted:
-        if sorted(stored) != sorted(wanted):
-            raise ValueError("artifact certificate set mismatch")
-        stored_row = {fp: row for row, fp in enumerate(stored)}
-        perm = [stored_row[fp] for fp in wanted]
-        raw = {
-            feature: array("i", (column[row] for row in perm))
-            for feature, column in raw.items()
-        }
-        cn_linkable = array("i", (cn_linkable[row] for row in perm))
-    for column in raw.values():
-        if len(column) != len(wanted):
-            raise ValueError("artifact matrix shape mismatch")
-    matrix = FeatureMatrix()
-    matrix.fingerprints = wanted
-    matrix.rows = {fp: row for row, fp in enumerate(wanted)}
-    matrix.values = {  # fresh pickle-owned lists, no copy needed
-        feature: payload["values"][feature.name] for feature in Feature
-    }
-    matrix.raw_ids = raw
-    matrix.linkable_ids = dict(raw)
-    matrix.linkable_ids[Feature.COMMON_NAME] = cn_linkable
-    return matrix
-
-
-def _encode_validation(
+def _write_validation(
+    writer: SegmentWriter,
     report: "ValidationReport",
     dataset: "ScanDataset",
     trust_store: "TrustStore",
-) -> dict:
+) -> None:
     """Columnar verdict encoding: the distinct (status, detail) space is
     tiny (a handful of failure classes), so per-certificate state is two
     id columns plus a flat chain-fingerprint blob with per-record
@@ -373,21 +260,127 @@ def _encode_validation(
             if link.fingerprint not in dataset.certificates \
                     and link.fingerprint not in extra_der:
                 extra_der[link.fingerprint] = link.to_der()
-    return {
-        "trust_digest": trust_store_digest(trust_store),
-        "fingerprints": _pack_fingerprints(fingerprints),
-        "statuses": statuses,
-        "details": details,
-        "status_ids": _pack_array(record_status),
-        "detail_ids": _pack_array(record_detail),
-        "chain_lens": _pack_array(chain_lens),
-        "chain_fps": _pack_fingerprints(chain_fps),
-        "extra_der": extra_der,
+    writer.add_json("val.trust", trust_store_digest(trust_store))
+    writer.add_bytes(
+        "val.fingerprints", pack_fingerprints(fingerprints), stride=FP_LEN
+    )
+    writer.add_json("val.statuses", statuses)
+    writer.add_json("val.details", details)
+    writer.add_array("val.status_ids", record_status)
+    writer.add_array("val.detail_ids", record_detail)
+    writer.add_array("val.chain_lens", chain_lens)
+    writer.add_bytes(
+        "val.chain_fps", pack_fingerprints(chain_fps), stride=FP_LEN
+    )
+    writer.add_pickle("val.extra", extra_der)
+
+
+def _copy_section(
+    writer: SegmentWriter, reader: SegmentReader, section: str
+) -> None:
+    """Re-emit one section's raw segment bytes (no decode, no re-encode)."""
+    prefixes = _SECTION_PREFIXES[section]
+    for name in reader.names():
+        if not name.startswith(prefixes):
+            continue
+        entry = reader.entry(name)
+        writer.add_chunks(
+            name, (reader.raw(name),), kind=entry["kind"],
+            typecode=entry.get("typecode"), stride=entry.get("stride"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Section decoders (reader-side, mapped)
+# ---------------------------------------------------------------------------
+
+def _decode_columns(reader: SegmentReader) -> ObservationColumns:
+    """Mapped columns over the artifact container (zero-copy)."""
+    return ObservationColumns.from_segments(
+        reader.array("columns.scan_idx"),
+        reader.array("columns.ip"),
+        reader.array("columns.cert_id"),
+        reader.array("columns.entity_id"),
+        reader.array("columns.handshake_id"),
+        fp_blob=reader.bytes("columns.fingerprints"),
+        entities=reader.json("columns.entities"),
+        handshakes=[
+            HandshakeRecord(*record)
+            for record in reader.json("columns.handshakes")
+        ],
+        source=reader,
+    )
+
+
+def _decode_index(
+    columns: ObservationColumns, reader: SegmentReader
+) -> ObservationIndex:
+    index = ObservationIndex.__new__(ObservationIndex)
+    index.columns = columns
+    index._offsets = reader.array("index.offsets")
+    index._order = reader.array("index.order")
+    if len(index._offsets) != len(columns.fingerprints) + 1 \
+            or len(index._order) != len(columns):
+        raise ValueError("artifact index shape mismatch")
+    return index
+
+
+def _decode_intervals(reader: SegmentReader, n_certs: int) -> CertIntervals:
+    intervals = CertIntervals.__new__(CertIntervals)
+    for name in CertIntervals.__slots__:
+        column = reader.array(f"intervals.{name}")
+        if len(column) != n_certs:
+            raise ValueError("artifact intervals shape mismatch")
+        setattr(intervals, name, column)
+    return intervals
+
+
+def _decode_matrix(
+    reader: SegmentReader, certificates: Mapping[bytes, Certificate]
+):
+    """Rebuild the feature matrix, re-ordering rows to the loader's
+    certificate order when it differs from the writer's (the digest pins
+    the certificate *set*, not the dict insertion order).  The id
+    columns are materialized — unlike the observation columns they must
+    survive pickling into pool workers."""
+    from ..core.features import Feature
+    from ..core.kernels import FeatureMatrix
+
+    stored = unpack_fingerprints(
+        reader.bytes("matrix.fingerprints", materialize=True)
+    )
+    wanted = list(certificates)
+    raw = {
+        feature: as_array(reader.array(f"matrix.raw.{feature.name}"))
+        for feature in Feature
     }
+    cn_linkable = as_array(reader.array("matrix.cn_linkable"))
+    if stored != wanted:
+        if sorted(stored) != sorted(wanted):
+            raise ValueError("artifact certificate set mismatch")
+        stored_row = {fp: row for row, fp in enumerate(stored)}
+        perm = [stored_row[fp] for fp in wanted]
+        raw = {
+            feature: array("i", (column[row] for row in perm))
+            for feature, column in raw.items()
+        }
+        cn_linkable = array("i", (cn_linkable[row] for row in perm))
+    for column in raw.values():
+        if len(column) != len(wanted):
+            raise ValueError("artifact matrix shape mismatch")
+    values = reader.pickle("matrix.values")
+    matrix = FeatureMatrix()
+    matrix.fingerprints = wanted
+    matrix.rows = {fp: row for row, fp in enumerate(wanted)}
+    matrix.values = {feature: values[feature.name] for feature in Feature}
+    matrix.raw_ids = raw
+    matrix.linkable_ids = dict(raw)
+    matrix.linkable_ids[Feature.COMMON_NAME] = cn_linkable
+    return matrix
 
 
 def _decode_validation(
-    payload: dict,
+    reader: SegmentReader,
     dataset: "ScanDataset",
     trust_store: "TrustStore",
 ) -> "ValidationReport":
@@ -395,7 +388,7 @@ def _decode_validation(
     from ..x509.chain import VerifyResult, VerifyStatus
 
     roots = {root.fingerprint: root for root in trust_store}
-    extra_der = payload["extra_der"]
+    extra_der = reader.pickle("val.extra")
     parsed: dict[bytes, Certificate] = {}
 
     def resolve(fingerprint: bytes) -> Certificate:
@@ -407,13 +400,17 @@ def _decode_validation(
             )
         return cert
 
-    status_table = [VerifyStatus(value) for value in payload["statuses"]]
-    details = payload["details"]
-    fingerprints = _unpack_fingerprints(payload["fingerprints"])
-    status_ids = _unpack_array(payload["status_ids"])
-    detail_ids = _unpack_array(payload["detail_ids"])
-    chain_lens = _unpack_array(payload["chain_lens"])
-    chain_fps = _unpack_fingerprints(payload["chain_fps"])
+    status_table = [VerifyStatus(value) for value in reader.json("val.statuses")]
+    details = reader.json("val.details")
+    fingerprints = unpack_fingerprints(
+        reader.bytes("val.fingerprints", materialize=True)
+    )
+    status_ids = reader.array("val.status_ids")
+    detail_ids = reader.array("val.detail_ids")
+    chain_lens = reader.array("val.chain_lens")
+    chain_fps = unpack_fingerprints(
+        reader.bytes("val.chain_fps", materialize=True)
+    )
     if not (len(fingerprints) == len(status_ids) == len(detail_ids)
             == len(chain_lens)):
         raise ValueError("artifact validation shape mismatch")
@@ -456,7 +453,7 @@ def _decode_validation(
         buckets[status_id].add(fingerprint)
     if position != len(chain_fps):
         raise ValueError("artifact validation chain blob mismatch")
-    if results.keys() != dataset.certificates.keys():
+    if set(results) != set(dataset.certificates):
         raise ValueError("artifact validation set mismatch")
     return ValidationReport(
         results=results, valid=valid, invalid=invalid, disregarded=disregarded
@@ -497,12 +494,14 @@ class ArtifactCache:
         """Install every cached artifact the corpus digest matches.
 
         Kernels (columns + index + intervals + matrix) are adopted onto
-        ``dataset``; the validation report is returned when
+        ``dataset`` as **mapped** views over the artifact container (the
+        ``artifacts/map`` span); the validation report is returned when
         ``trust_store`` is given and the stored verdicts were produced
         under a trust store with the same digest.  Every requested
         section bumps exactly one of ``artifacts.hit`` / ``miss`` /
-        ``invalidated``; any read or decode failure counts as
-        invalidated and falls back to a rebuild.
+        ``invalidated``; any read or decode failure — including a
+        pre-format-3 ZIP artifact — counts as invalidated and falls back
+        to a rebuild.
         """
         loaded = LoadedArtifacts()
         n_sections = 2 if trust_store is not None else 1
@@ -512,50 +511,36 @@ class ArtifactCache:
             obs.inc("artifacts.miss", n_sections)
             return loaded
         try:
-            with zipfile.ZipFile(path) as archive:
-                manifest = json.loads(archive.read("manifest.json"))
-                if manifest.get("schema") != ARTIFACT_SCHEMA:
-                    raise ValueError(
-                        f"artifact schema {manifest.get('schema')!r} != "
-                        f"{ARTIFACT_SCHEMA}"
-                    )
-                if manifest.get("digest") != digest:
-                    raise ValueError("artifact digest mismatch")
-                members = set(archive.namelist())
-                has_kernels = {"kernels.pkl", "columns.pkl"} <= members
-                kernels_blob = (
-                    archive.read("kernels.pkl") if has_kernels else None
+            reader = SegmentReader(path)
+            meta = reader.meta
+            if meta.get("kind") != "artifacts" \
+                    or meta.get("schema") != ARTIFACT_SCHEMA:
+                raise ValueError(
+                    f"artifact schema {meta.get('schema')!r} != "
+                    f"{ARTIFACT_SCHEMA}"
                 )
-                # The columns member dominates the artifact; a dataset
-                # that is already columnar never reads those bytes.
-                columns_blob = (
-                    archive.read("columns.pkl")
-                    if has_kernels and dataset._columns is None else None
-                )
-                validation_blob = (
-                    archive.read("validation.pkl")
-                    if trust_store is not None and "validation.pkl" in members
-                    else None
-                )
+            if meta.get("digest") != digest:
+                raise ValueError("artifact digest mismatch")
+            sections = set(meta.get("sections") or ())
         except Exception:
             obs.inc("artifacts.invalidated", n_sections)
             return loaded
 
-        if kernels_blob is None:
+        if "kernels" not in sections:
             obs.inc("artifacts.miss")
         else:
             try:
-                payload = pickle.loads(kernels_blob)
-                columns = dataset._columns
-                if columns is None:
-                    columns = _decode_columns(pickle.loads(columns_blob))
-                index = _decode_index(columns, payload["index"])
-                intervals = _decode_intervals(
-                    payload["intervals"], len(columns.fingerprints)
-                )
-                matrix = _decode_matrix(
-                    payload["matrix"], dataset.certificates
-                )
+                with obs.span("artifacts/map"):
+                    # The columns group dominates the artifact; a dataset
+                    # that is already columnar never touches those bytes.
+                    columns = dataset._columns
+                    if columns is None:
+                        columns = _decode_columns(reader)
+                    index = _decode_index(columns, reader)
+                    intervals = _decode_intervals(
+                        reader, len(columns.fingerprints)
+                    )
+                    matrix = _decode_matrix(reader, dataset.certificates)
             except Exception:
                 obs.inc("artifacts.invalidated")
             else:
@@ -567,17 +552,16 @@ class ArtifactCache:
                 obs.inc("artifacts.hit")
 
         if trust_store is not None:
-            if validation_blob is None:
+            if "validation" not in sections:
                 obs.inc("artifacts.miss")
             else:
                 try:
-                    payload = pickle.loads(validation_blob)
-                    if payload["trust_digest"] != trust_store_digest(trust_store):
+                    if reader.json("val.trust") != trust_store_digest(trust_store):
                         # Same corpus, different roots: a miss, not corruption.
                         obs.inc("artifacts.miss")
                     else:
                         loaded.validation = _decode_validation(
-                            payload, dataset, trust_store
+                            reader, dataset, trust_store
                         )
                         obs.inc("artifacts.hit")
                 except Exception:
@@ -598,40 +582,31 @@ class ArtifactCache:
         The kernels section is written only when all four kernels are
         built; the validation section only when both ``validation`` and
         ``trust_store`` are given.  Sections already in the file that
-        this call does not rewrite are preserved, and the file is
-        replaced atomically, so a partial writer never corrupts a
-        reader.  Returns the artifact path, or None when there was
-        nothing to persist.
+        this call does not rewrite are preserved (raw segment copy, no
+        decode), and the file is replaced atomically, so a partial
+        writer never corrupts a reader.  Returns the artifact path, or
+        None when there was nothing to persist.
         """
         digest = dataset.corpus_digest(workers=workers)
-        members: dict[str, bytes] = {}
         columns, index, intervals, matrix = dataset.kernel_state
-        if columns is not None and index is not None \
-                and intervals is not None and matrix is not None:
-            members["columns.pkl"] = pickle.dumps(
-                _encode_columns(columns), protocol=pickle.HIGHEST_PROTOCOL
-            )
-            members["kernels.pkl"] = pickle.dumps(
-                _encode_kernels(index, intervals, matrix),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        if validation is not None and trust_store is not None:
-            members["validation.pkl"] = pickle.dumps(
-                _encode_validation(validation, dataset, trust_store),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-        if not members:
+        write_kernels = columns is not None and index is not None \
+            and intervals is not None and matrix is not None
+        write_validation = validation is not None and trust_store is not None
+        if not write_kernels and not write_validation:
             return None
         path = self.path_for(digest)
         # Preserve sections an earlier (e.g. validation-only) run stored.
-        for name, blob in self._existing_sections(path, digest).items():
-            members.setdefault(name, blob)
+        existing = self._existing_reader(path, digest)
+        existing_sections = set(
+            existing.meta.get("sections") or ()
+        ) if existing is not None else set()
         sections = []
-        if {"kernels.pkl", "columns.pkl"} <= members.keys():
+        if write_kernels or "kernels" in existing_sections:
             sections.append("kernels")
-        if "validation.pkl" in members:
+        if write_validation or "validation" in existing_sections:
             sections.append("validation")
-        manifest = {
+        meta = {
+            "kind": "artifacts",
             "schema": ARTIFACT_SCHEMA,
             "digest": digest,
             "byteorder": "little",
@@ -641,36 +616,38 @@ class ArtifactCache:
         }
         self.root.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        writer = SegmentWriter(tmp, meta=meta)
         try:
-            with zipfile.ZipFile(tmp, "w", compression=zipfile.ZIP_STORED) as archive:
-                archive.writestr("manifest.json", json.dumps(manifest, indent=2))
-                for name in sorted(members):
-                    archive.writestr(name, members[name])
+            if write_kernels:
+                _write_kernels(writer, columns, index, intervals, matrix)
+            elif "kernels" in existing_sections:
+                _copy_section(writer, existing, "kernels")
+            if write_validation:
+                _write_validation(writer, validation, dataset, trust_store)
+            elif "validation" in existing_sections:
+                _copy_section(writer, existing, "validation")
+            writer.close()
             os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on a failed write
-                tmp.unlink()
+        except BaseException:
+            writer.abort()
+            raise
         return path
 
-    def _existing_sections(
+    def _existing_reader(
         self, path: pathlib.Path, digest: str
-    ) -> dict[str, bytes]:
-        """Raw section blobs of a compatible existing artifact, if any."""
+    ) -> Optional[SegmentReader]:
+        """A reader over a compatible existing artifact, if any."""
         if not path.exists():
-            return {}
+            return None
         try:
-            with zipfile.ZipFile(path) as archive:
-                manifest = json.loads(archive.read("manifest.json"))
-                if manifest.get("schema") != ARTIFACT_SCHEMA \
-                        or manifest.get("digest") != digest:
-                    return {}
-                return {
-                    name: archive.read(name)
-                    for name in archive.namelist()
-                    if name.endswith(".pkl")
-                }
+            reader = SegmentReader(path)
+            if reader.meta.get("kind") != "artifacts" \
+                    or reader.meta.get("schema") != ARTIFACT_SCHEMA \
+                    or reader.meta.get("digest") != digest:
+                return None
+            return reader
         except Exception:
-            return {}
+            return None
 
     # --- introspection (``repro info``) ---------------------------------------
 
@@ -687,13 +664,13 @@ class ArtifactCache:
         if not path.exists():
             return status
         try:
-            with zipfile.ZipFile(path) as archive:
-                manifest = json.loads(archive.read("manifest.json"))
+            meta = read_container_meta(path)["meta"]
         except Exception:
             return status
-        status["schema"] = manifest.get("schema")
-        if manifest.get("schema") == ARTIFACT_SCHEMA \
-                and manifest.get("digest") == digest:
+        status["schema"] = meta.get("schema")
+        if meta.get("kind") == "artifacts" \
+                and meta.get("schema") == ARTIFACT_SCHEMA \
+                and meta.get("digest") == digest:
             status["cached"] = True
-            status["sections"] = list(manifest.get("sections", []))
+            status["sections"] = list(meta.get("sections", []))
         return status

@@ -6,15 +6,20 @@ corpus lives*.  A :class:`DatasetBackend` is anything that can produce
 the row scans and the certificate table; ``ScanDataset.from_backend``
 materializes the analysis view on top.
 
-Two backends ship:
+Three backends ship:
 
 * :class:`InMemoryBackend` — holds the corpus **columnar**
   (:class:`~repro.scanner.columns.ObservationColumns` plus per-scan
   metadata) and rehydrates row ``Scan`` objects on demand; this is what a
-  freshly scanned or deserialized corpus lives in;
-* :class:`ArchiveBackend` — lazy view over one ``.rpz`` archive (format
-  v1 or v2); nothing is read until a load method is called, so cheap
-  operations like :meth:`describe` never parse certificates.
+  freshly scanned corpus lives in;
+* :class:`ArchiveBackend` — lazy view over one ``.rpz`` archive (any
+  format); nothing is read until a load method is called, so cheap
+  operations like :meth:`describe` never parse certificates;
+* :class:`MappedBackend` — zero-copy view over a format 3 container:
+  open is O(1), columns are ``memoryview``s over one shared ``mmap``,
+  certificates parse lazily on first access, and pickling ships only
+  the *path* — pool workers re-map the file and share physical pages
+  through the OS page cache instead of each holding a private copy.
 """
 
 from __future__ import annotations
@@ -31,11 +36,24 @@ from typing import (
     runtime_checkable,
 )
 
+from ..obs import runtime as obs
 from ..scanner.columns import ObservationColumns
 from ..scanner.records import Scan
+from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
+from .encoding import SegmentError, SegmentReader, unpack_fingerprints
 
-__all__ = ["DatasetBackend", "InMemoryBackend", "ArchiveBackend"]
+__all__ = [
+    "DatasetBackend",
+    "InMemoryBackend",
+    "ArchiveBackend",
+    "MappedBackend",
+    "LazyCertificates",
+]
+
+#: Byte length of the big-endian record length prefix inside
+#: ``certificates.der`` (see :func:`repro.io.encoding.pack_der_record`).
+_DER_PREFIX = 4
 
 
 @runtime_checkable
@@ -184,3 +202,177 @@ class ArchiveBackend:
         manifest = read_manifest(self.path)
         manifest.setdefault("backend", "archive")
         return manifest
+
+
+class LazyCertificates(Mapping):
+    """fingerprint → :class:`Certificate` over a mapped container.
+
+    The key list is sliced from the 32-byte-stride ``cert_order``
+    segment on first use; each certificate's DER parses on first
+    ``[]`` access (O(1) via the parallel ``cert_offsets`` segment) and
+    is cached.  Nothing is parsed at construction, which is what keeps
+    a mapped corpus open O(1).
+    """
+
+    def __init__(self, reader: SegmentReader) -> None:
+        self._reader = reader
+        self._order: "Optional[list[bytes]]" = None
+        self._ids: "Optional[dict[bytes, int]]" = None
+        self._offsets = None
+        self._cache: Dict[bytes, Certificate] = {}
+
+    def fingerprints(self) -> "list[bytes]":
+        """Every certificate fingerprint, in canonical stored order."""
+        if self._order is None:
+            self._order = unpack_fingerprints(
+                self._reader.bytes("cert_order", materialize=True)
+            )
+        return self._order
+
+    def __len__(self) -> int:
+        return self._reader.meta["n_certificates"]
+
+    def __iter__(self):
+        return iter(self.fingerprints())
+
+    def __contains__(self, fingerprint) -> bool:
+        if self._ids is None:
+            self._ids = {
+                value: index
+                for index, value in enumerate(self.fingerprints())
+            }
+        return fingerprint in self._ids
+
+    def __getitem__(self, fingerprint: bytes) -> Certificate:
+        certificate = self._cache.get(fingerprint)
+        if certificate is None:
+            if self._ids is None:
+                self._ids = {
+                    value: index
+                    for index, value in enumerate(self.fingerprints())
+                }
+            index = self._ids[fingerprint]
+            if self._offsets is None:
+                self._offsets = self._reader.array("cert_offsets")
+            blob = self._reader.raw("certificates.der")
+            start = self._offsets[index] + _DER_PREFIX
+            end = self._offsets[index + 1]
+            der = bytes(blob[start:end])
+            obs.inc("io.bytes_materialized", len(der))
+            certificate = Certificate.from_der(der)
+            self._cache[fingerprint] = certificate
+        return certificate
+
+
+class MappedBackend:
+    """Zero-copy corpus view over one format 3 ``.rpz`` container.
+
+    Opening reads the trailer + manifest only; the file is ``mmap``ed on
+    first data access and every observation column is consumed in place
+    as a little-endian ``memoryview`` over the map.  Pickling ships the
+    path, not the data: a pool worker's unpickle re-maps the same file,
+    so N workers share one physical copy through the page cache.
+    """
+
+    #: Marks this backend as path-shippable / memoryview-backed for
+    #: :meth:`ScanDataset.from_backend` and dataset pickling.
+    mapped = True
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self._reader: Optional[SegmentReader] = None
+        self._columns: Optional[ObservationColumns] = None
+        self._scan_meta: "Optional[list[tuple[int, str, int, int]]]" = None
+        self._certificates: Optional[LazyCertificates] = None
+        self._corpus_digest: Optional[str] = None
+
+    @property
+    def reader(self) -> SegmentReader:
+        """The container reader (manifest parsed once, mapped lazily)."""
+        if self._reader is None:
+            reader = SegmentReader(self.path)
+            if reader.meta.get("kind") != "corpus":
+                raise SegmentError(
+                    f"not a corpus container: {self.path} "
+                    f"(kind={reader.meta.get('kind')!r})"
+                )
+            self._reader = reader
+        return self._reader
+
+    @property
+    def columns(self) -> ObservationColumns:
+        """The mapped columnar view (built once, columns page lazily)."""
+        if self._columns is None:
+            reader = self.reader
+            self._columns = ObservationColumns.from_segments(
+                reader.array("scan_idx"),
+                reader.array("ip"),
+                reader.array("cert_id"),
+                reader.array("entity_id"),
+                reader.array("handshake_id"),
+                fp_blob=reader.bytes("fingerprints"),
+                entities=reader.json("entities"),
+                handshakes=[
+                    HandshakeRecord(*row)
+                    for row in reader.json("handshakes")
+                ],
+                source=reader,
+            )
+        return self._columns
+
+    @property
+    def scan_meta(self) -> "list[tuple[int, str, int, int]]":
+        """(day, source, start, end) per scan, from the metadata segments."""
+        if self._scan_meta is None:
+            reader = self.reader
+            days = reader.array("scan_days")
+            sources = reader.json("scan_sources")
+            bounds = reader.array("scan_bounds")
+            self._scan_meta = [
+                (days[index], sources[index],
+                 bounds[index], bounds[index + 1])
+                for index in range(len(sources))
+            ]
+        return self._scan_meta
+
+    def load_scans(self) -> List[Scan]:
+        from ..scanner.shards import scans_over_columns
+
+        return scans_over_columns(self.columns, self.scan_meta)
+
+    def load_certificates(self) -> LazyCertificates:
+        if self._certificates is None:
+            self._certificates = LazyCertificates(self.reader)
+        return self._certificates
+
+    def corpus_digest(self) -> str:
+        """Streaming SHA-256 over the container's bytes (nothing parsed).
+
+        Equal to the digest :class:`~repro.io.store.StreamingDatasetWriter`
+        computed while writing the file, so artifacts cached against a
+        streamed write are found again on a mapped open.
+        """
+        if self._corpus_digest is None:
+            from .artifacts import file_digest
+
+            self._corpus_digest = file_digest(self.path)
+        return self._corpus_digest
+
+    def describe(self) -> dict:
+        reader = self.reader
+        info = {"backend": "mapped", "format": reader.format}
+        info.update({
+            key: value for key, value in reader.meta.items()
+            if key != "kind"
+        })
+        info["segments"] = reader.sizes()
+        return info
+
+    # Pickling ships the path only: the receiving process re-maps the
+    # container, sharing physical pages instead of copying columns.
+
+    def __getstate__(self) -> dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["path"])

@@ -2,37 +2,39 @@
 
 The paper published its code and data (securepki.org); this module is the
 equivalent facility: a :class:`~repro.scanner.dataset.ScanDataset` round-
-trips through a single ``.rpz`` file (a ZIP archive).
+trips through a single ``.rpz`` file.
 
-**Format v2 (written)** is columnar and streamed — no member is ever
-materialized as one giant string in memory:
+**Format 3 (written)** is the mmap-native segment container of
+:mod:`repro.io.encoding`: the five observation columns, the interning
+tables, the per-scan metadata, and the certificate blob each live in one
+fixed-stride little-endian segment, described by a JSON manifest at the
+tail of the file.  Opening a format 3 corpus is O(1) — read the trailer,
+parse the manifest, ``mmap`` the file — and every column is consumed in
+place as a ``memoryview`` over the map, so N processes analyzing the
+same corpus share one physical copy through the page cache.
+``certificates.der`` keeps the standalone-parseable record encoding of
+the earlier formats (4-byte big-endian length + raw X.509 DER), with a
+parallel offset segment for O(1) per-certificate access; certificates
+are parsed lazily, on first use.
 
-* ``manifest.json`` — format version and corpus statistics;
-* ``certificates.der`` — every unique certificate as length-prefixed DER
-  (parseable without this library: each record is a 4-byte big-endian
-  length followed by a standard X.509 DER blob), in certificate-id order;
-* ``entities.json`` / ``handshakes.json`` — the interning tables for
-  ground-truth tags (id 0 is the empty tag) and handshake records;
-* ``scans.jsonl`` — one JSON object per scan holding **parallel columns**
-  (``ip``, ``cert``, ``entity``, ``hs``) of equal length, observations
-  referencing the tables above by id (``hs`` -1 means no handshake).
+**Formats 1 and 2** (ZIP archives: row- and column-oriented
+``scans.jsonl``) are still loaded transparently through the one-shot
+materializing converter path; ``repro convert`` rewrites them as
+format 3.  :func:`save_dataset_v2` keeps the v2 writer alive for
+compatibility fixtures and benchmarks.
 
-**Format v1** (row-oriented ``scans.jsonl``, certificates sorted by
-fingerprint) is still loaded transparently.
-
-DER is the ground-truth encoding: loading re-parses every certificate
-through :meth:`Certificate.from_der`, so a stored corpus exercises exactly
-the same parse path a real scan corpus would.
+DER is the ground-truth encoding: every certificate read re-parses
+through :meth:`Certificate.from_der`, so a stored corpus exercises
+exactly the same parse path a real scan corpus would.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import pathlib
-import shutil
 import struct
 import zipfile
+from array import array
 from typing import Mapping, Union
 
 from ..obs import runtime as obs
@@ -41,9 +43,18 @@ from ..scanner.records import Observation, Scan
 from ..scanner.shards import ScanShard, certificate_order
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
+from .encoding import (
+    SegmentWriter,
+    is_segment_container,
+    le_bytes,
+    pack_der_record,
+    pack_fingerprints,
+    read_container_meta,
+)
 
 __all__ = [
     "save_dataset",
+    "save_dataset_v2",
     "load_dataset",
     "read_manifest",
     "read_certificates",
@@ -52,101 +63,67 @@ __all__ = [
     "FORMAT_VERSION",
 ]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Formats :func:`load_dataset` understands.
-SUPPORTED_FORMATS = (1, 2)
+SUPPORTED_FORMATS = (1, 2, 3)
 
 _LENGTH = struct.Struct(">I")
 
-#: Fixed member timestamp (the ZIP epoch): archive bytes — and therefore
-#: the corpus digest — depend only on corpus content, never on wall time.
+#: Fixed member timestamp (the ZIP epoch) for the legacy v2 writer.
 _ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
-#: Salt matching :func:`repro.io.artifacts.file_digest`, so the digest a
-#: streaming write computes incrementally equals the digest a later
-#: :class:`~repro.io.backends.ArchiveBackend` re-derives from the file.
-_ARCHIVE_DIGEST_SALT = b"repro-archive/1\n"
+#: The four spooled observation columns (scan_idx regenerates at close).
+_SPOOLED = (("ip", "I"), ("cert_id", "I"), ("entity_id", "I"),
+            ("handshake_id", "i"))
 
 
 # ---------------------------------------------------------------------------
-# Writing (always format v2)
+# Writing (always format 3)
 # ---------------------------------------------------------------------------
-
-class _HashingSink:
-    """Write-only, *non-seekable* file wrapper that hashes as it writes.
-
-    Declaring ``seekable() == False`` forces :mod:`zipfile` into its
-    streaming mode (sizes/CRCs in data descriptors instead of seek-back
-    local-header patches), which is what makes hash-as-you-write sound:
-    every byte passes through exactly once, in file order.
-    """
-
-    def __init__(self, raw) -> None:
-        self._raw = raw
-        self._digest = hashlib.sha256(_ARCHIVE_DIGEST_SALT)
-        self._position = 0
-
-    def write(self, data) -> int:
-        self._digest.update(data)
-        self._raw.write(data)
-        self._position += len(data)
-        return len(data)
-
-    def tell(self) -> int:
-        return self._position
-
-    def flush(self) -> None:
-        self._raw.flush()
-
-    @staticmethod
-    def seekable() -> bool:
-        return False
-
-    def hexdigest(self) -> str:
-        return self._digest.hexdigest()
-
-
-def _member(name: str) -> zipfile.ZipInfo:
-    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
-    info.compress_type = zipfile.ZIP_DEFLATED
-    return info
-
 
 class StreamingDatasetWriter:
-    """Incremental ``.rpz`` writer: shards in, archive + digest out.
+    """Incremental ``.rpz`` writer: shards in, container + digest out.
 
     Feed per-day :class:`~repro.scanner.shards.ScanShard` columns with
     :meth:`add_shard` in (day, source) order; each shard is re-interned
     against the writer's global tables (replaying exactly the corpus
-    first-appearance order an in-memory merge produces) and its scan line
-    is spooled to a temp file next to the target — peak memory stays
-    O(largest shard) + O(interning tables), never O(corpus).
-    :meth:`close` assembles the final archive in canonical member order
-    through a hashing non-seekable sink and returns the corpus digest,
-    which equals both ``ArchiveBackend(path).corpus_digest()`` and the
-    digest of a :func:`save_dataset` write of the same corpus, byte for
-    byte.
+    first-appearance order an in-memory merge produces) and its column
+    bytes are spooled to per-column temp files next to the target — peak
+    memory stays O(largest shard) + O(interning tables), never
+    O(corpus).  :meth:`close` assembles the final format 3 container
+    through the hashing :class:`~repro.io.encoding.SegmentWriter` and
+    returns the corpus digest, which equals both
+    ``ArchiveBackend(path).corpus_digest()`` and the digest of a
+    :func:`save_dataset` write of the same corpus, byte for byte.
     """
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
-        self._spool_path = self.path.with_name(self.path.name + ".scans.tmp")
-        self._spool = open(self._spool_path, "wb")
+        self._spools = {
+            name: open(self._spool_path(name), "wb")
+            for name, _ in _SPOOLED
+        }
         self._fingerprint_ids: dict[bytes, int] = {}
         self._fingerprints: list[bytes] = []
         self._entity_ids: dict[str, int] = {"": 0}
         self._entities: list[str] = [""]
         self._handshake_ids: dict[HandshakeRecord, int] = {}
         self._handshakes: list[HandshakeRecord] = []
+        self._scan_days: list[int] = []
+        self._scan_sources: list[str] = []
+        self._scan_counts: list[int] = []
         self.n_scans = 0
         self.n_observations = 0
         self.digest: "str | None" = None
 
+    def _spool_path(self, name: str) -> pathlib.Path:
+        return self.path.with_name(f"{self.path.name}.{name}.tmp")
+
     # --- feeding ---------------------------------------------------------------
 
     def add_shard(self, shard: ScanShard) -> None:
-        """Intern one day shard's tables and spool its scan line."""
+        """Intern one day shard's tables and spool its columns."""
         cert_map = [
             self._intern(self._fingerprint_ids, self._fingerprints, fingerprint)
             for fingerprint in shard.fingerprints
@@ -159,16 +136,16 @@ class StreamingDatasetWriter:
             self._intern(self._handshake_ids, self._handshakes, record)
             for record in shard.handshakes
         ]
-        self._write_scan_line(
+        self._append_scan(
             shard.day,
             shard.source,
-            [cert_map[cert_id] for cert_id in shard.cert_id],
-            [entity_map[entity_id] for entity_id in shard.entity_id],
-            [
+            shard.ip,
+            array("I", map(cert_map.__getitem__, shard.cert_id)),
+            array("I", map(entity_map.__getitem__, shard.entity_id)),
+            array("i", (
                 handshake_map[handshake_id] if handshake_id >= 0 else -1
                 for handshake_id in shard.handshake_id
-            ],
-            shard.ip.tolist(),
+            )),
         )
         obs.inc("scanner.shards_streamed")
 
@@ -201,84 +178,112 @@ class StreamingDatasetWriter:
             record: index for index, record in enumerate(self._handshakes)
         }
 
-    def _write_scan_line(
-        self, day, source, cert, entity, handshake, ip
-    ) -> None:
-        row = {
-            "day": day,
-            "source": source,
-            "ip": ip,
-            "cert": cert,
-            "entity": entity,
-            "hs": handshake,
-        }
-        self._spool.write(json.dumps(row, separators=(",", ":")).encode("utf-8"))
-        self._spool.write(b"\n")
+    def _append_scan(self, day, source, ip, cert, entity, handshake) -> None:
+        """Spool one scan's columns (already in global ids)."""
+        self._spools["ip"].write(le_bytes(ip))
+        self._spools["cert_id"].write(le_bytes(cert))
+        self._spools["entity_id"].write(le_bytes(entity))
+        self._spools["handshake_id"].write(le_bytes(handshake))
+        self._scan_days.append(day)
+        self._scan_sources.append(source)
+        self._scan_counts.append(len(ip))
         self.n_scans += 1
         self.n_observations += len(ip)
 
     # --- finishing -------------------------------------------------------------
 
+    def _scan_idx_chunks(self):
+        """Generate the scan_idx column from the per-scan counts."""
+        for scan_index, count in enumerate(self._scan_counts):
+            if count:
+                yield le_bytes(array("I", (scan_index,)) * count)
+
     def close(self, certificates: Mapping[bytes, Certificate]) -> str:
-        """Assemble the archive and return its corpus digest."""
+        """Assemble the container and return its corpus digest."""
         with obs.span("corpus/stream_close", scans=self.n_scans):
             try:
-                self._spool.close()
+                for spool in self._spools.values():
+                    spool.close()
                 order = certificate_order(self._fingerprints, certificates)
-                manifest = {
-                    "format": FORMAT_VERSION,
-                    "n_scans": self.n_scans,
-                    "n_certificates": len(certificates),
-                    "n_observations": self.n_observations,
-                }
-                with open(self.path, "wb") as raw:
-                    sink = _HashingSink(raw)
-                    with zipfile.ZipFile(
-                        sink, "w", compression=zipfile.ZIP_DEFLATED
-                    ) as archive:
-                        archive.writestr(
-                            _member("manifest.json"), json.dumps(manifest, indent=2)
-                        )
-                        with archive.open(_member("certificates.der"), "w") as member:
-                            for fingerprint in order:
-                                der = certificates[fingerprint].to_der()
-                                member.write(_LENGTH.pack(len(der)))
-                                member.write(der)
-                        archive.writestr(
-                            _member("entities.json"),
-                            json.dumps(self._entities, separators=(",", ":")),
-                        )
-                        archive.writestr(
-                            _member("handshakes.json"),
-                            json.dumps(
-                                [list(record) for record in self._handshakes],
-                                separators=(",", ":"),
-                            ),
-                        )
-                        with archive.open(_member("scans.jsonl"), "w") as member:
-                            with open(self._spool_path, "rb") as spool:
-                                shutil.copyfileobj(spool, member, 1 << 20)
-                    self.digest = sink.hexdigest()
+                writer = SegmentWriter(
+                    self.path,
+                    meta={
+                        "kind": "corpus",
+                        "n_scans": self.n_scans,
+                        "n_certificates": len(certificates),
+                        "n_observations": self.n_observations,
+                    },
+                    format=FORMAT_VERSION,
+                )
+                try:
+                    writer.add_chunks(
+                        "scan_idx", self._scan_idx_chunks(),
+                        kind="array", typecode="I",
+                    )
+                    for name, typecode in _SPOOLED:
+                        with open(self._spool_path(name), "rb") as spool:
+                            writer.add_stream(
+                                name, spool, kind="array", typecode=typecode
+                            )
+                    writer.add_bytes(
+                        "fingerprints",
+                        pack_fingerprints(self._fingerprints), stride=32,
+                    )
+                    writer.add_json("entities", self._entities)
+                    writer.add_json(
+                        "handshakes",
+                        [list(record) for record in self._handshakes],
+                    )
+                    writer.add_array(
+                        "scan_days", array("i", self._scan_days)
+                    )
+                    writer.add_json("scan_sources", self._scan_sources)
+                    bounds = array("Q", (0,))
+                    for count in self._scan_counts:
+                        bounds.append(bounds[-1] + count)
+                    writer.add_array("scan_bounds", bounds)
+                    writer.add_bytes(
+                        "cert_order", pack_fingerprints(order), stride=32
+                    )
+                    offsets = array("Q", (0,))
+
+                    def der_chunks():
+                        for fingerprint in order:
+                            record = pack_der_record(
+                                certificates[fingerprint].to_der()
+                            )
+                            offsets.append(offsets[-1] + len(record))
+                            yield record
+
+                    writer.add_chunks("certificates.der", der_chunks())
+                    writer.add_array("cert_offsets", offsets)
+                    self.digest = writer.close()
+                except BaseException:
+                    writer.abort()
+                    raise
             finally:
-                self._spool_path.unlink(missing_ok=True)
+                for name, _ in _SPOOLED:
+                    self._spool_path(name).unlink(missing_ok=True)
         return self.digest
 
     def abort(self) -> None:
-        """Discard the spool without writing an archive."""
-        self._spool.close()
-        self._spool_path.unlink(missing_ok=True)
+        """Discard the spools without writing a container."""
+        for spool in self._spools.values():
+            spool.close()
+        for name, _ in _SPOOLED:
+            self._spool_path(name).unlink(missing_ok=True)
 
 
 def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> str:
-    """Write the corpus to one ``.rpz`` archive (overwrites).
+    """Write the corpus to one format 3 ``.rpz`` container (overwrites).
 
     Runs on the same :class:`StreamingDatasetWriter` machinery the
-    shard-streaming generation path uses — same member order, same fixed
-    timestamps, same streaming zip mode — so an in-memory build and a
-    streamed build of the same corpus produce byte-identical archives.
-    Certificates and scan columns are streamed member-by-member and
-    record-by-record, so peak memory stays O(one scan), not O(corpus).
-    Returns the archive's corpus digest.
+    shard-streaming generation path uses — same segment order, same
+    incremental digest — so an in-memory build and a streamed build of
+    the same corpus produce byte-identical containers.  Columns are
+    spooled scan-by-scan and certificates stream record-by-record, so
+    peak memory stays O(one scan), not O(corpus).  Returns the
+    container's corpus digest.
     """
     columns = dataset.columns
     writer = StreamingDatasetWriter(path)
@@ -289,13 +294,13 @@ def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> str:
         position = 0
         for scan in dataset.scans:
             end = position + len(scan)
-            writer._write_scan_line(
+            writer._append_scan(
                 scan.day,
                 scan.source,
-                columns.cert_id[position:end].tolist(),
-                columns.entity_id[position:end].tolist(),
-                columns.handshake_id[position:end].tolist(),
-                columns.ip[position:end].tolist(),
+                columns.ip[position:end],
+                columns.cert_id[position:end],
+                columns.entity_id[position:end],
+                columns.handshake_id[position:end],
             )
             position = end
     except BaseException:
@@ -305,10 +310,73 @@ def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> str:
 
 
 # ---------------------------------------------------------------------------
-# Reading (v1 and v2)
+# Legacy v2 writer (compatibility fixtures, conversion baselines)
 # ---------------------------------------------------------------------------
 
-def _read_manifest(archive: zipfile.ZipFile) -> dict:
+def save_dataset_v2(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> str:
+    """Write the legacy columnar ZIP archive (format 2).
+
+    Kept for backward-compatibility fixtures and as the materializing
+    baseline the mmap benchmarks compare against; new corpora should use
+    :func:`save_dataset`.  Returns the archive's corpus digest.
+    """
+    from .artifacts import file_digest
+
+    columns = dataset.columns
+    order = certificate_order(columns.fingerprints, dataset.certificates)
+    manifest = {
+        "format": 2,
+        "n_scans": len(dataset.scans),
+        "n_certificates": len(dataset.certificates),
+        "n_observations": dataset.n_observations,
+    }
+
+    def member(name: str) -> zipfile.ZipInfo:
+        info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+        info.compress_type = zipfile.ZIP_DEFLATED
+        return info
+
+    with zipfile.ZipFile(path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+        archive.writestr(member("manifest.json"), json.dumps(manifest, indent=2))
+        with archive.open(member("certificates.der"), "w") as blob:
+            for fingerprint in order:
+                der = dataset.certificates[fingerprint].to_der()
+                blob.write(_LENGTH.pack(len(der)))
+                blob.write(der)
+        archive.writestr(
+            member("entities.json"),
+            json.dumps(columns.entities, separators=(",", ":")),
+        )
+        archive.writestr(
+            member("handshakes.json"),
+            json.dumps(
+                [list(record) for record in columns.handshakes],
+                separators=(",", ":"),
+            ),
+        )
+        with archive.open(member("scans.jsonl"), "w") as blob:
+            position = 0
+            for scan in dataset.scans:
+                end = position + len(scan)
+                row = {
+                    "day": scan.day,
+                    "source": scan.source,
+                    "ip": list(columns.ip[position:end]),
+                    "cert": list(columns.cert_id[position:end]),
+                    "entity": list(columns.entity_id[position:end]),
+                    "hs": list(columns.handshake_id[position:end]),
+                }
+                blob.write(json.dumps(row, separators=(",", ":")).encode())
+                blob.write(b"\n")
+                position = end
+    return file_digest(path)
+
+
+# ---------------------------------------------------------------------------
+# Reading (v1/v2 ZIP archives — the materializing converter path)
+# ---------------------------------------------------------------------------
+
+def _read_zip_manifest(archive: zipfile.ZipFile) -> dict:
     try:
         manifest = json.loads(archive.read("manifest.json"))
     except ValueError as error:
@@ -388,9 +456,18 @@ def _read_scans_v2(archive: zipfile.ZipFile, by_index: list[Certificate]) -> lis
 
 
 def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
-    """Load a corpus written by :func:`save_dataset` (format v1 or v2)."""
+    """Load a corpus written by :func:`save_dataset` (format 1, 2, or 3).
+
+    Format 3 containers open **mapped**: O(1) open, columns as
+    ``memoryview``s over an ``mmap``, certificates parsed lazily.
+    Format 1/2 ZIP archives take the legacy materializing path.
+    """
+    if is_segment_container(path):
+        from .backends import MappedBackend
+
+        return ScanDataset.from_backend(MappedBackend(path))
     with zipfile.ZipFile(path) as archive:
-        manifest = _read_manifest(archive)
+        manifest = _read_zip_manifest(archive)
         certificates = _unpack_certificates(archive.read("certificates.der"))
         if manifest["format"] == 1:
             scans = _read_scans_v1(archive, certificates)
@@ -411,23 +488,44 @@ def load_dataset(path: Union[str, pathlib.Path]) -> ScanDataset:
 # --- piecemeal readers (the ArchiveBackend protocol surface) -------------------
 
 def read_manifest(path: Union[str, pathlib.Path]) -> dict:
-    """Parse and sanity-check an archive's manifest without loading it."""
+    """Parse and sanity-check a corpus' manifest without loading it.
+
+    O(1) for format 3 containers (trailer + manifest only); for ZIP
+    archives it reads just the manifest member.
+    """
+    if is_segment_container(path):
+        info = read_container_meta(path)
+        if info["format"] not in SUPPORTED_FORMATS:
+            raise ValueError(f"unsupported corpus format {info['format']!r}")
+        manifest = {"format": info["format"]}
+        manifest.update({
+            key: value for key, value in info["meta"].items() if key != "kind"
+        })
+        return manifest
     with zipfile.ZipFile(path) as archive:
-        return _read_manifest(archive)
+        return _read_zip_manifest(archive)
 
 
 def read_certificates(path: Union[str, pathlib.Path]) -> dict[bytes, Certificate]:
-    """fingerprint → certificate for every certificate in the archive."""
+    """fingerprint → certificate for every certificate in the corpus."""
+    if is_segment_container(path):
+        from .backends import MappedBackend
+
+        return dict(MappedBackend(path).load_certificates())
     with zipfile.ZipFile(path) as archive:
-        _read_manifest(archive)
+        _read_zip_manifest(archive)
         certificates = _unpack_certificates(archive.read("certificates.der"))
     return {cert.fingerprint: cert for cert in certificates}
 
 
 def read_scans(path: Union[str, pathlib.Path]) -> list[Scan]:
-    """The archive's scans (row view), in stored order."""
+    """The corpus' scans (row view), in stored order."""
+    if is_segment_container(path):
+        from .backends import MappedBackend
+
+        return MappedBackend(path).load_scans()
     with zipfile.ZipFile(path) as archive:
-        manifest = _read_manifest(archive)
+        manifest = _read_zip_manifest(archive)
         certificates = _unpack_certificates(archive.read("certificates.der"))
         if manifest["format"] == 1:
             return _read_scans_v1(archive, certificates)

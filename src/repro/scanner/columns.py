@@ -57,6 +57,23 @@ def _columnarize_chunk(
     return columns, obs_runtime.task_delta(mark)
 
 
+#: The five per-observation columns, with their canonical typecodes.
+COLUMN_TYPECODES = (
+    ("scan_idx", "I"), ("ip", "I"), ("cert_id", "I"),
+    ("entity_id", "I"), ("handshake_id", "i"),
+)
+
+
+def _materialize_column(column) -> array:
+    """Copy a mapped memoryview column into a process-local array."""
+    if isinstance(column, array):
+        return column
+    materialized = array(column.format)
+    materialized.frombytes(column.cast("B"))
+    obs_runtime.inc("io.bytes_materialized", column.nbytes)
+    return materialized
+
+
 class ObservationColumns:
     """Parallel columns over every observation of a corpus.
 
@@ -67,11 +84,21 @@ class ObservationColumns:
     * ``cert_id``   — interned fingerprint id (``fingerprints[cert_id]``);
     * ``entity_id`` — interned ground-truth tag (0 is the empty tag);
     * ``handshake_id`` — interned handshake record (-1 when not collected).
+
+    Each column is either a host ``array`` (a freshly interned or
+    materialized corpus) or a little-endian ``memoryview`` cast over an
+    ``mmap`` of a format 3 container (:meth:`from_segments`) — both
+    support the same indexing/slicing/iteration surface, so every
+    consumer works unchanged.  Mapped columns are read-only; call
+    :meth:`materialize` before mutating.  The fingerprint table of a
+    mapped corpus stays a flat 32-byte-stride blob until first use and
+    is sliced (and dict-inverted) lazily.
     """
 
     __slots__ = (
         "scan_idx", "ip", "cert_id", "entity_id", "handshake_id",
-        "fingerprints", "fingerprint_ids", "entities", "handshakes",
+        "_fingerprints", "_fingerprint_ids", "_fp_blob",
+        "entities", "handshakes", "_source",
     )
 
     def __init__(self) -> None:
@@ -81,14 +108,121 @@ class ObservationColumns:
         self.entity_id = array("I")
         self.handshake_id = array("i")
         #: cert_id → fingerprint, in first-appearance order.
-        self.fingerprints: list[bytes] = []
-        self.fingerprint_ids: dict[bytes, int] = {}
+        self._fingerprints: "Optional[list[bytes]]" = []
+        self._fingerprint_ids: "Optional[dict[bytes, int]]" = {}
+        self._fp_blob = None
         #: entity_id → tag; id 0 is always the empty tag.
         self.entities: list[str] = [""]
         self.handshakes: list[HandshakeRecord] = []
+        #: Keeps the backing mmap reader alive for mapped columns.
+        self._source = None
 
     def __len__(self) -> int:
         return len(self.cert_id)
+
+    # --- mapped construction ---------------------------------------------------
+
+    @classmethod
+    def from_segments(
+        cls,
+        scan_idx, ip, cert_id, entity_id, handshake_id,
+        fp_blob,
+        entities: "list[str]",
+        handshakes: "list[HandshakeRecord]",
+        source=None,
+    ) -> "ObservationColumns":
+        """Wrap already-decoded column buffers (typically mmap views).
+
+        The five columns may be ``memoryview`` casts over a mapped
+        container; ``fp_blob`` is the flat 32-byte-stride fingerprint
+        blob, sliced lazily on first table access.  ``source`` (the
+        segment reader) is retained so the mapping outlives the caller.
+        """
+        columns = cls.__new__(cls)
+        columns.scan_idx = scan_idx
+        columns.ip = ip
+        columns.cert_id = cert_id
+        columns.entity_id = entity_id
+        columns.handshake_id = handshake_id
+        columns._fingerprints = None
+        columns._fingerprint_ids = None
+        columns._fp_blob = fp_blob
+        columns.entities = entities
+        columns.handshakes = handshakes
+        columns._source = source
+        return columns
+
+    @property
+    def fingerprints(self) -> "list[bytes]":
+        """cert_id → fingerprint (sliced lazily from a mapped blob)."""
+        table = self._fingerprints
+        if table is None:
+            blob = bytes(self._fp_blob)
+            if len(blob) % 32:
+                raise ValueError("fingerprint blob not a digest-size multiple")
+            table = self._fingerprints = [
+                blob[base:base + 32] for base in range(0, len(blob), 32)
+            ]
+            obs_runtime.inc("io.bytes_materialized", len(blob))
+        return table
+
+    @fingerprints.setter
+    def fingerprints(self, table: "list[bytes]") -> None:
+        self._fingerprints = table
+        self._fp_blob = None
+
+    @property
+    def fingerprint_ids(self) -> "dict[bytes, int]":
+        """fingerprint → cert_id (inverted lazily for mapped corpora)."""
+        ids = self._fingerprint_ids
+        if ids is None:
+            ids = self._fingerprint_ids = {
+                fingerprint: cert_id
+                for cert_id, fingerprint in enumerate(self.fingerprints)
+            }
+        return ids
+
+    @fingerprint_ids.setter
+    def fingerprint_ids(self, ids: "dict[bytes, int]") -> None:
+        self._fingerprint_ids = ids
+
+    @property
+    def is_mapped(self) -> bool:
+        """True while any column is a view over a mapped container."""
+        return any(
+            isinstance(getattr(self, name), memoryview)
+            for name, _ in COLUMN_TYPECODES
+        )
+
+    def materialize(self) -> "ObservationColumns":
+        """Copy every mapped column into process-local arrays (in place).
+
+        The explicit escape hatch for mutation paths: mapped columns are
+        read-only, so anything that needs :meth:`append` must
+        materialize first.  Bytes copied out of the map are counted in
+        ``io.bytes_materialized``.
+        """
+        for name, _ in COLUMN_TYPECODES:
+            setattr(self, name, _materialize_column(getattr(self, name)))
+        self.fingerprints  # force the table
+        self.fingerprint_ids
+        self._source = None
+        return self
+
+    def nbytes_by_column(self) -> "dict[str, int]":
+        """Column name → payload byte size (mapped or materialized)."""
+        sizes = {}
+        for name, _ in COLUMN_TYPECODES:
+            column = getattr(self, name)
+            if isinstance(column, memoryview):
+                sizes[name] = column.nbytes
+            else:
+                sizes[name] = len(column) * column.itemsize
+        if self._fp_blob is not None:
+            sizes["fingerprints"] = len(self._fp_blob)
+        else:
+            sizes["fingerprints"] = 32 * len(self.fingerprints)
+        return sizes
 
     @classmethod
     def from_scans(
@@ -186,6 +320,10 @@ class ObservationColumns:
         handshake_ids: dict[HandshakeRecord, int],
     ) -> None:
         """Intern and append one observation."""
+        if not isinstance(self.scan_idx, array):
+            raise TypeError(
+                "mapped columns are read-only; call materialize() first"
+            )
         self.scan_idx.append(scan_index)
         self.ip.append(obs.ip)
         self.cert_id.append(self.intern_fingerprint(obs.fingerprint))
@@ -258,6 +396,12 @@ class ObservationIndex:
             order[cursor[cert_id]] = position
             cursor[cert_id] += 1
         self._order = order
+
+    def materialize(self) -> "ObservationIndex":
+        """Copy mapped CSR arrays into process-local storage (in place)."""
+        self._offsets = _materialize_column(self._offsets)
+        self._order = _materialize_column(self._order)
+        return self
 
     def positions(self, cert_id: int) -> array:
         """Observation positions of one certificate, in corpus order."""
@@ -364,6 +508,15 @@ class CertIntervals:
         self.min_ips = array("I", bytes(4 * n_certs))
         scan_idx = columns.scan_idx
         ip_col = columns.ip
+        self._sweep(index, n_certs, scan_idx, ip_col)
+
+    def materialize(self) -> "CertIntervals":
+        """Copy mapped interval arrays into process-local storage."""
+        for name in self.__slots__:
+            setattr(self, name, _materialize_column(getattr(self, name)))
+        return self
+
+    def _sweep(self, index, n_certs, scan_idx, ip_col) -> None:
         for cert_id in range(n_certs):
             positions = index.positions(cert_id)
             if not positions:

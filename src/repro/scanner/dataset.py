@@ -154,7 +154,21 @@ class ScanDataset:
 
     @classmethod
     def from_backend(cls, backend: "DatasetBackend") -> "ScanDataset":
-        """Materialize a dataset from any corpus-storage backend."""
+        """Materialize a dataset from any corpus-storage backend.
+
+        A mapped backend (format 3 container) takes the zero-copy fast
+        path: the dataset adopts the memoryview-backed columns and the
+        lazy certificate mapping directly, so opening stays O(1) — no
+        row rehydration, no DER parsing, no column copies.
+        """
+        if getattr(backend, "mapped", False):
+            dataset = cls(
+                backend.load_scans(),
+                backend.load_certificates(),
+                backend=backend,
+            )
+            dataset._columns = backend.columns
+            return dataset
         dataset = cls(
             list(backend.load_scans()),
             dict(backend.load_certificates()),
@@ -249,6 +263,81 @@ class ScanDataset:
             self._intervals = intervals
         if matrix is not None:
             self._feature_matrix = matrix
+
+    def materialize(self) -> "ScanDataset":
+        """Copy every mapped view into process-local storage (in place).
+
+        The explicit escape hatch out of the zero-copy regime: after
+        this, no column, kernel array, or certificate depends on the
+        backing ``mmap`` and the dataset pickles by value.  Bytes copied
+        out of the map are counted in ``io.bytes_materialized``.
+        """
+        if self._columns is not None:
+            self._columns.materialize()
+        if self._observation_index is not None:
+            self._observation_index.materialize()
+        if self._intervals is not None:
+            self._intervals.materialize()
+        if not isinstance(self.certificates, dict):
+            self.certificates = dict(self.certificates)
+        return self
+
+    # --- pickling (process fan-out) --------------------------------------------
+    #
+    # Workers receive datasets through the pool initializer.  A mapped
+    # dataset ships as its container *path* plus whatever kernels are
+    # already built: the worker re-maps the file on unpickle, so N
+    # workers share one physical copy of the columns through the page
+    # cache instead of each deserializing its own.  Non-mapped datasets
+    # pickle by value, materializing any stray mapped kernel first
+    # (memoryviews cannot pickle).
+
+    def __getstate__(self) -> dict:
+        if getattr(self.backend, "mapped", False):
+            index = self._observation_index
+            if index is not None:
+                # Ship the CSR arrays alone — the index object itself
+                # references the mapped (unpicklable) columns.
+                index.materialize()
+            return {
+                "__mapped__": True,
+                "backend": self.backend,  # ships as the container path
+                "index": (
+                    (index._offsets, index._order)
+                    if index is not None else None
+                ),
+                "_intervals": (
+                    self._intervals.materialize()
+                    if self._intervals is not None else None
+                ),
+                "_feature_matrix": self._feature_matrix,
+                "_corpus_digest": self._corpus_digest,
+            }
+        if self._columns is not None and self._columns.is_mapped:
+            self._columns.materialize()
+        if self._observation_index is not None:
+            self._observation_index.materialize()
+        if self._intervals is not None:
+            self._intervals.materialize()
+        if not isinstance(self.certificates, dict):
+            self.certificates = dict(self.certificates)
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        if state.pop("__mapped__", False):
+            remapped = ScanDataset.from_backend(state.pop("backend"))
+            self.__dict__.update(remapped.__dict__)
+            arrays = state.pop("index")
+            if arrays is not None:
+                # Rebuild the index around the re-mapped columns from
+                # the shipped CSR arrays (no O(n) counting sort).
+                index = ObservationIndex.__new__(ObservationIndex)
+                index.columns = self._columns
+                index._offsets, index._order = arrays
+                self._observation_index = index
+            self.__dict__.update(state)
+            return
+        self.__dict__.update(state)
 
     def corpus_digest(self, workers: int = 1) -> str:
         """The content digest keying this corpus' cached artifacts.

@@ -31,7 +31,6 @@ equality against real row lists) at O(1) memory.
 
 from __future__ import annotations
 
-import struct
 from array import array
 from collections.abc import Sequence
 from typing import Iterator, List, Union
@@ -50,9 +49,6 @@ __all__ = [
     "shard_scan",
     "scans_over_columns",
 ]
-
-_IP_KEY = struct.Struct(">I")
-
 
 class ScanShard:
     """One scan day as sorted parallel columns plus local interning tables.
@@ -259,8 +255,13 @@ def finalize_shard(
     table entries no sorted row references (e.g. a website whose every
     address was blacklisted) disappear.
     """
-    pack = _IP_KEY.pack
-    keys = [pack(ip[i]) + fingerprints[cert_id[i]] for i in range(count)]
+    # Imported lazily: repro.io pulls in the backend/artifact layer,
+    # which imports this module.
+    from ..io.encoding import pack_sort_key
+
+    keys = [
+        pack_sort_key(ip[i], fingerprints[cert_id[i]]) for i in range(count)
+    ]
     order = sorted(range(count), key=keys.__getitem__)
 
     sorted_ip = array("I", bytes(4 * count))

@@ -21,7 +21,11 @@ via ``REPRO_OBS=1`` — additionally turns on the deep instrumentation in
 the scan engine, dedup, linking, and kernels, recording into
 :attr:`Study.metrics` and the same tracer.  ``workers > 1`` fans the
 independent per-feature Table 6 passes out over a process pool; results
-(and worker-aggregated metrics) are identical to the serial path.
+(and worker-aggregated metrics) are identical to the serial path.  A
+dataset opened from a format 3 container ships to those workers as its
+container *path* — each worker re-maps the file, so the fan-out shares
+one physical copy of the columns through the page cache instead of
+pickling them per process.
 """
 
 from __future__ import annotations

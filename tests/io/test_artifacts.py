@@ -1,13 +1,10 @@
 """Tests for the content-addressed artifact cache (repro.io.artifacts)."""
 
-import zipfile
-
-import pytest
-
 import repro.io.artifacts as artifacts_mod
 from repro.core.kernels import FeatureMatrix
 from repro.io import ArtifactCache, load_dataset, save_dataset
 from repro.io.artifacts import columns_digest
+from repro.io.encoding import SegmentReader
 from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -161,12 +158,14 @@ class TestInvalidation:
         cold = make_study(tiny_synthetic, fresh_dataset(tiny_synthetic), cache)
         cold.dedup()
         path = cache.path_for(cold.dataset.corpus_digest())
-        with zipfile.ZipFile(path) as archive:
-            members = {name: archive.read(name) for name in archive.namelist()}
-        members["kernels.pkl"] = b"not a pickle"
-        with zipfile.ZipFile(path, "w") as archive:
-            for name, blob in members.items():
-                archive.writestr(name, blob)
+        # Overwrite the feature-matrix pickle segment in place (same
+        # length, so the manifest stays valid): only the kernels section
+        # should invalidate.
+        entry = SegmentReader(path).entry("matrix.values")
+        blob = bytearray(path.read_bytes())
+        garbage = b"not a pickle"
+        blob[entry["offset"]:entry["offset"] + len(garbage)] = garbage
+        path.write_bytes(bytes(blob))
 
         dataset = fresh_dataset(tiny_synthetic)
         registry = MetricsRegistry()

@@ -77,7 +77,7 @@ class TestArchiveBackend:
         path = tmp_path / "c.rpz"
         save_dataset(dataset, path)
         info = ArchiveBackend(path).describe()
-        assert info["format"] == 2
+        assert info["format"] == 3
         assert info["n_observations"] == 3
 
     def test_piecemeal_loads(self, tmp_path):

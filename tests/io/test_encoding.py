@@ -1,0 +1,140 @@
+"""Tests for the shared segment-container encoding layer."""
+
+import struct
+from array import array
+
+import pytest
+
+from repro.io.artifacts import file_digest
+from repro.io.encoding import (
+    CONTAINER_MAGIC,
+    SegmentError,
+    SegmentReader,
+    SegmentWriter,
+    as_array,
+    is_segment_container,
+    le_bytes,
+    pack_fingerprints,
+    read_container_meta,
+    typecode_of,
+    unpack_array,
+    unpack_fingerprints,
+)
+
+
+@pytest.fixture()
+def container(tmp_path):
+    path = tmp_path / "sample.rps"
+    writer = SegmentWriter(path, meta={"kind": "sample", "n": 3})
+    writer.add_array("ids", array("I", [7, 11, 13]))
+    writer.add_bytes("blob", b"x" * 96, stride=32)
+    writer.add_json("tables", {"a": 1, "b": [2, 3]})
+    writer.add_pickle("extra", {"nested": (1, 2)})
+    digest = writer.close()
+    return path, digest
+
+
+class TestRoundTrip:
+    def test_magic_and_detection(self, container, tmp_path):
+        path, _ = container
+        assert path.read_bytes().startswith(CONTAINER_MAGIC)
+        assert is_segment_container(path)
+        other = tmp_path / "not.rps"
+        other.write_bytes(b"PK\x03\x04 definitely a zip")
+        assert not is_segment_container(other)
+
+    def test_segments_round_trip(self, container):
+        path, _ = container
+        reader = SegmentReader(path)
+        assert list(reader.array("ids")) == [7, 11, 13]
+        assert bytes(reader.raw("blob")) == b"x" * 96
+        assert reader.json("tables") == {"a": 1, "b": [2, 3]}
+        assert reader.pickle("extra") == {"nested": (1, 2)}
+        assert reader.meta == {"kind": "sample", "n": 3}
+        assert reader.format == 3
+
+    def test_alignment(self, container):
+        path, _ = container
+        reader = SegmentReader(path)
+        for name in reader.names():
+            assert reader.entry(name)["offset"] % 16 == 0
+
+    def test_writer_digest_matches_file_digest(self, container):
+        path, digest = container
+        assert digest == file_digest(path)
+
+    def test_meta_readable_without_full_parse(self, container):
+        path, _ = container
+        info = read_container_meta(path)
+        assert info["format"] == 3
+        assert info["meta"]["kind"] == "sample"
+        assert set(info["segments"]) == {"ids", "blob", "tables", "extra"}
+
+    def test_duplicate_segment_rejected(self, tmp_path):
+        writer = SegmentWriter(tmp_path / "dup.rps")
+        writer.add_array("ids", array("I", [1]))
+        with pytest.raises(SegmentError):
+            writer.add_array("ids", array("I", [2]))
+        writer.abort()
+
+    def test_missing_segment_raises(self, container):
+        path, _ = container
+        with pytest.raises(SegmentError):
+            SegmentReader(path).raw("no-such-segment")
+
+
+class TestCorruption:
+    def test_truncated_trailer_rejected(self, container):
+        path, _ = container
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        with pytest.raises(SegmentError):
+            SegmentReader(path)
+
+    def test_corrupt_manifest_rejected(self, container):
+        path, _ = container
+        blob = bytearray(path.read_bytes())
+        # The trailer points at the manifest; garble the manifest bytes.
+        manifest_offset, manifest_len, _ = struct.unpack(
+            "<QQ8s", bytes(blob[-24:])
+        )
+        blob[manifest_offset : manifest_offset + 4] = b"\x00\x00\x00\x00"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SegmentError):
+            SegmentReader(path)
+
+    def test_bad_magic_rejected(self, container):
+        path, _ = container
+        blob = bytearray(path.read_bytes())
+        blob[:4] = b"JUNK"
+        path.write_bytes(bytes(blob))
+        assert not is_segment_container(path)
+        with pytest.raises(SegmentError):
+            SegmentReader(path)
+
+
+class TestHelpers:
+    def test_le_bytes_round_trips_through_unpack(self):
+        values = array("i", [-5, 0, 9, 2**30])
+        packed = le_bytes(values)
+        assert unpack_array("i", packed) == values
+
+    def test_fingerprint_packing(self):
+        fps = [bytes([i]) * 32 for i in range(4)]
+        blob = pack_fingerprints(fps)
+        assert len(blob) == 128
+        assert unpack_fingerprints(blob) == fps
+
+    def test_typecode_of_memoryview(self):
+        values = array("Q", [1, 2, 3])
+        view = memoryview(le_bytes(values)).cast("Q")
+        assert typecode_of(view) == "Q"
+        assert typecode_of(values) == "Q"
+
+    def test_as_array_copies_views_and_passes_arrays(self):
+        values = array("I", [4, 5])
+        assert as_array(values) is values
+        view = memoryview(le_bytes(values)).cast("I")
+        promoted = as_array(view)
+        assert isinstance(promoted, array)
+        assert promoted == values

@@ -5,7 +5,14 @@ import zipfile
 
 import pytest
 
-from repro.io.store import FORMAT_VERSION, load_dataset, save_dataset
+from repro.io.encoding import SegmentReader
+from repro.io.store import (
+    FORMAT_VERSION,
+    load_dataset,
+    read_manifest,
+    save_dataset,
+    save_dataset_v2,
+)
 from repro.scanner.dataset import ScanDataset
 from repro.scanner.records import Observation, Scan
 from repro.tls.handshake import HandshakeRecord
@@ -92,8 +99,7 @@ class TestFormat:
         dataset = small_dataset()
         path = tmp_path / "m.rpz"
         save_dataset(dataset, path)
-        with zipfile.ZipFile(path) as archive:
-            manifest = json.loads(archive.read("manifest.json"))
+        manifest = read_manifest(path)
         assert manifest["format"] == FORMAT_VERSION
         assert manifest["n_scans"] == 2
         assert manifest["n_certificates"] == 2
@@ -107,11 +113,20 @@ class TestFormat:
         dataset = small_dataset()
         path = tmp_path / "der.rpz"
         save_dataset(dataset, path)
-        with zipfile.ZipFile(path) as archive:
-            blob = archive.read("certificates.der")
+        # The certificates segment keeps the length-prefixed DER record
+        # encoding of formats 1/2: parseable without this library.
+        blob = bytes(SegmentReader(path).raw("certificates.der"))
         (first_len,) = struct.unpack_from(">I", blob, 0)
         cert = Certificate.from_der(blob[4:4 + first_len])
         assert cert.fingerprint in dataset.certificates
+
+    def test_segment_alignment(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "align.rpz"
+        save_dataset(dataset, path)
+        reader = SegmentReader(path)
+        for name in reader.names():
+            assert reader.entry(name)["offset"] % 16 == 0, name
 
     def test_unsupported_version_rejected(self, tmp_path):
         path = tmp_path / "bad.rpz"
@@ -224,12 +239,50 @@ class TestV1Compatibility:
         assert loaded.handshake_of(cert.fingerprint) == handshake
         assert loaded.entities_of(cert.fingerprint) == {"device:3"}
 
-    def test_v1_and_v2_load_identically(self, tmp_path):
+    def test_v1_and_v3_load_identically(self, tmp_path):
         dataset = small_dataset()
-        v1, v2 = tmp_path / "one.rpz", tmp_path / "two.rpz"
+        v1, v3 = tmp_path / "one.rpz", tmp_path / "two.rpz"
         save_dataset_v1(dataset, v1)
-        save_dataset(dataset, v2)
-        from_v1, from_v2 = load_dataset(v1), load_dataset(v2)
-        for left, right in zip(from_v1.scans, from_v2.scans):
-            assert left.observations == right.observations
-        assert set(from_v1.certificates) == set(from_v2.certificates)
+        save_dataset(dataset, v3)
+        from_v1, from_v3 = load_dataset(v1), load_dataset(v3)
+        for left, right in zip(from_v1.scans, from_v3.scans):
+            assert left.observations == list(right.observations)
+        assert set(from_v1.certificates) == set(from_v3.certificates)
+
+
+class TestV2Compatibility:
+    def test_v2_archive_still_loads(self, tmp_path):
+        dataset = small_dataset()
+        path = tmp_path / "legacy2.rpz"
+        save_dataset_v2(dataset, path)
+        assert read_manifest(path)["format"] == 2
+        loaded = load_dataset(path)
+        assert len(loaded.scans) == len(dataset.scans)
+        assert set(loaded.certificates) == set(dataset.certificates)
+        for original, restored in zip(dataset.scans, loaded.scans):
+            assert restored.observations == original.observations
+
+    def test_v2_handshakes_and_entities_load(self, tmp_path):
+        cert = make_cert(cn="v2hs", key_seed=6)
+        handshake = HandshakeRecord(version=0x0303, cipher=0xC013,
+                                    tcp_window=29200, ip_ttl=64)
+        scan = Scan(
+            day=DAY0, source="test",
+            observations=[Observation(1, cert.fingerprint, "device:5", handshake)],
+        )
+        dataset = ScanDataset([scan], {cert.fingerprint: cert})
+        path = tmp_path / "legacy2-hs.rpz"
+        save_dataset_v2(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.handshake_of(cert.fingerprint) == handshake
+        assert loaded.entities_of(cert.fingerprint) == {"device:5"}
+
+    def test_v2_and_v3_load_identically(self, tmp_path):
+        dataset = small_dataset()
+        v2, v3 = tmp_path / "two.rpz", tmp_path / "three.rpz"
+        save_dataset_v2(dataset, v2)
+        save_dataset(dataset, v3)
+        from_v2, from_v3 = load_dataset(v2), load_dataset(v3)
+        for left, right in zip(from_v2.scans, from_v3.scans):
+            assert left.observations == list(right.observations)
+        assert set(from_v2.certificates) == set(from_v3.certificates)

@@ -85,7 +85,9 @@ class TestCommands:
         corpus, _ = saved_corpus
         assert main(["info", str(corpus)]) == 0
         out = capsys.readouterr().out
-        assert "backend: archive" in out
+        assert "backend: mapped" in out
+        assert "format: 3" in out
+        assert "per-column bytes:" in out
         assert "n_scans" in out
         assert "n_certificates" in out
         assert "n_observations" in out
@@ -178,6 +180,41 @@ class TestStreamOut:
         assert environment.exists()
         # The streamed corpus is a first-class analysis input.
         assert main(["info", str(streamed)]) == 0
+
+
+class TestConvert:
+    @pytest.fixture()
+    def legacy_corpus(self, saved_corpus, tmp_path):
+        """A v2 zip archive holding the same corpus as saved_corpus."""
+        from repro.io import load_dataset, save_dataset_v2
+
+        corpus, _ = saved_corpus
+        legacy = tmp_path / "legacy.rpz"
+        save_dataset_v2(load_dataset(corpus), legacy)
+        return corpus, legacy
+
+    def test_convert_produces_native_equivalent(
+        self, legacy_corpus, tmp_path, capsys
+    ):
+        corpus, legacy = legacy_corpus
+        out = tmp_path / "upgraded.rpz"
+        assert main(["convert", str(legacy), "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "format 2" in printed
+        assert "corpus digest:" in printed
+        # The converter re-interns in canonical corpus order, so the
+        # upgraded archive is bitwise-identical to a native format 3 save.
+        assert out.read_bytes() == corpus.read_bytes()
+
+    def test_convert_default_output_path(self, legacy_corpus, capsys):
+        _, legacy = legacy_corpus
+        assert main(["convert", str(legacy)]) == 0
+        assert legacy.with_name("legacy.v3.rpz").exists()
+
+    def test_convert_rejects_format3_input(self, saved_corpus):
+        corpus, _ = saved_corpus
+        with pytest.raises(SystemExit, match="already a format 3"):
+            main(["convert", str(corpus)])
 
 
 class TestObservability:

@@ -61,22 +61,34 @@ class TestArchiveFailures:
         with pytest.raises(KeyError):
             load_dataset(path)
 
-    def test_truncated_certificate_blob(self, tmp_path):
+    def test_truncated_container(self, tmp_path):
         cert = make_cert(cn="t", key_seed=1)
         dataset = make_dataset([(DAY0, [(1, cert)])])
         path = tmp_path / "t.rpz"
         save_dataset(dataset, path)
-        with zipfile.ZipFile(path) as archive:
-            manifest = archive.read("manifest.json")
-            blob = archive.read("certificates.der")
-            scans = archive.read("scans.jsonl")
         broken = tmp_path / "broken.rpz"
-        with zipfile.ZipFile(broken, "w") as archive:
-            archive.writestr("manifest.json", manifest)
-            archive.writestr("certificates.der", blob[:-10])
-            archive.writestr("scans.jsonl", scans)
+        blob = path.read_bytes()
+        broken.write_bytes(blob[:-10])
         with pytest.raises(Exception):
             load_dataset(broken)
+
+    def test_corrupt_certificate_record(self, tmp_path):
+        cert = make_cert(cn="t", key_seed=1)
+        dataset = make_dataset([(DAY0, [(1, cert)])])
+        path = tmp_path / "t.rpz"
+        save_dataset(dataset, path)
+        from repro.io.encoding import SegmentReader
+
+        entry = SegmentReader(path).entry("certificates.der")
+        blob = bytearray(path.read_bytes())
+        # Flip bytes inside the first DER record (past the length prefix).
+        for offset in range(entry["offset"] + 8, entry["offset"] + 16):
+            blob[offset] ^= 0xFF
+        broken = tmp_path / "broken.rpz"
+        broken.write_bytes(bytes(blob))
+        loaded = load_dataset(broken)
+        with pytest.raises(Exception):
+            loaded.certificates[cert.fingerprint]
 
     def test_not_a_zip(self, tmp_path):
         path = tmp_path / "junk.rpz"
