@@ -8,7 +8,13 @@
   byte-identical output), which is how the ``xlarge`` preset is meant to
   be generated;
 * ``info``     — print a saved corpus' manifest (format, backend,
-  row counts, per-column byte sizes for format 3 containers);
+  row counts, per-column byte sizes for format 3 containers); the
+  corpus digest streams over the file bytes, so no column is paged in;
+* ``append``   — O(day) incremental ingestion: scan one extra day of
+  the same synthetic world and delta-append it to an existing format 3
+  container (unchanged byte ranges raw-copied, never re-encoded); with
+  ``--cache-dir`` the grown corpus' lineage is recorded so cached
+  kernels of the base serve the grown corpus via one delta-merge;
 * ``convert``  — upgrade a v1/v2 ``.rpz`` archive to the mmap-native
   format 3 container (written next to the input by default);
 * ``census``   — the §5 comparison (validity, lifetimes, keys, issuers);
@@ -114,6 +120,25 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--cache-dir", metavar="DIR",
                       help="also report the corpus' artifact-cache status "
                            "(digest, cached sections) under this directory")
+
+    append = commands.add_parser(
+        "append",
+        help="scan one extra day and delta-append it to a format 3 corpus",
+    )
+    append.add_argument("corpus", help="existing format 3 .rpz container")
+    append.add_argument("--out", required=True, metavar="PATH",
+                        help="grown container path (byte-identical to a "
+                             "full rebuild that includes the day)")
+    append.add_argument("--preset", choices=tuple(_PRESETS), default="tiny",
+                        help="synthetic world the corpus was generated from")
+    append.add_argument("--seed", type=int, default=2016)
+    append.add_argument("--day", type=int, required=True,
+                        help="scan day to append (must sort after every "
+                             "day already in the corpus)")
+    append.add_argument("--handshakes", action="store_true",
+                        help="collect TLS/transport traits per observation")
+    _add_obs_flags(append)
+    _add_cache_flags(append)
 
     convert = commands.add_parser(
         "convert",
@@ -268,6 +293,9 @@ def _cmd_info(args) -> int:
         print("per-column bytes:")
         for name in sorted(segments):
             print(f"  {name}: {segments[name]:,d}")
+    # Streams over the file bytes: even on a mapped container no column
+    # segment is paged in (io.bytes_materialized stays 0).
+    print(f"corpus digest: {backend.corpus_digest()}")
     print(f"workers: {args.workers}")
     if getattr(args, "cache_dir", None):
         from .io import ArtifactCache
@@ -279,6 +307,47 @@ def _cmd_info(args) -> int:
                   f"at {status['path']}")
         else:
             print(f"cache: miss (no artifact at {status['path']})")
+    return 0
+
+
+def _cmd_append(args) -> int:
+    from .datasets.synthetic import _world_campaigns
+    from .internet.population import WorldConfig
+    from .io import load_dataset
+    from .scanner.engine import ScanEngine
+
+    settings = dict(_PRESETS[args.preset])
+    stride = settings.pop("stride")
+    # Rebuild the deterministic world; per-day RNG streams are keyed by
+    # (seed, campaign, day), so the day's shards are byte-identical to
+    # what a full generate run would have produced for that day.
+    world, campaigns = _world_campaigns(
+        WorldConfig(seed=args.seed, **settings), stride
+    )
+    engine = ScanEngine(world, collect_handshakes=args.handshakes)
+    shards = [
+        engine.run_shard(campaign, args.day)
+        for campaign in sorted(campaigns, key=lambda c: c.name)
+        if args.day in campaign.scan_days
+    ]
+    if not shards:
+        raise SystemExit(
+            f"no campaign in preset '{args.preset}' scans day {args.day}"
+        )
+    dataset = load_dataset(args.corpus)
+    try:
+        grown = dataset.extend_from_shard(
+            shards, engine.certificate_store, args.out,
+            cache=_make_cache(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"appended day {args.day} ({len(shards)} scans, "
+        f"{format_count(grown.n_observations - dataset.n_observations)} "
+        f"observations) -> {args.out}"
+    )
+    print(f"corpus digest: {grown.corpus_digest()}")
     return 0
 
 
@@ -493,6 +562,7 @@ def _with_observability(args, handler) -> int:
 _HANDLERS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
+    "append": _cmd_append,
     "convert": _cmd_convert,
     "census": _cmd_census,
     "link": _cmd_link,

@@ -114,23 +114,95 @@ class FeatureMatrix:
             extracted = _extract_sharded(list(certificates.values()), workers)
         else:
             extracted = (_extract_all(cert) for cert in certificates.values())
-        for row, values in enumerate(extracted):
-            for feature, value in zip(features, values):
-                if value is None:
-                    raw[feature][row] = -1
-                    if feature is Feature.COMMON_NAME:
-                        cn_linkable[row] = -1
-                    continue
-                ids = value_ids[feature]
-                value_id = ids.get(value)
-                if value_id is None:
-                    value_id = ids[value] = len(matrix.values[feature])
-                    matrix.values[feature].append(value)
-                raw[feature][row] = value_id
-                if feature is Feature.COMMON_NAME:
-                    cn_linkable[row] = (
-                        -1 if dropped_for_linking(feature, value) else value_id
-                    )
+        _intern_extracted(matrix, extracted, features, raw, cn_linkable,
+                          value_ids)
+        matrix.raw_ids = raw
+        matrix.linkable_ids = dict(raw)
+        matrix.linkable_ids[Feature.COMMON_NAME] = cn_linkable
+        return matrix
+
+    @classmethod
+    def extended(
+        cls,
+        base: "FeatureMatrix",
+        certificates: Dict[bytes, Certificate],
+        workers: int = 1,
+    ) -> "FeatureMatrix":
+        """Rebuild the matrix over a grown certificate table, extracting
+        only the certificates the base has no row for.
+
+        An append can interleave newly observed certificates *ahead* of
+        the base's unobserved tail in the grown table order, and value
+        ids are assigned on first appearance in row order — so only the
+        rows from the first divergence onward are re-interned.  The rows
+        *before* it — the base's observed prefix, which an append never
+        reorders — interned identically in the base build: their id
+        columns are copied wholesale, and each value table is seeded
+        with the prefix of the base's (ids are dense in first-appearance
+        order, so the values those rows introduced are exactly
+        ``base.values[feature][:max_prefix_id + 1]``).  The expensive
+        part — DER parsing and the per-certificate attribute walk — runs
+        only over the appended certificates; re-interned base rows
+        recover their extracted tuples exactly from the base matrix
+        (``values[feature][raw_ids[feature][row]]`` inverts the
+        interning).  Bitwise-identical to :meth:`from_certificates` over
+        the grown table.
+        """
+        fingerprints = list(certificates)
+        base_rows = base.rows
+        base_fps = base.fingerprints
+        features = tuple(Feature)
+        limit = min(len(fingerprints), len(base_fps))
+        prefix = limit
+        for row in range(limit):
+            if fingerprints[row] != base_fps[row]:
+                prefix = row
+                break
+        new_fps = [
+            fp for fp in fingerprints[prefix:] if fp not in base_rows
+        ]
+        new_certs = [certificates[fp] for fp in new_fps]
+        if workers > 1 and len(new_certs) > 1:
+            extracted = _extract_sharded(new_certs, workers)
+        else:
+            extracted = [_extract_all(cert) for cert in new_certs]
+        new_values = dict(zip(new_fps, extracted))
+        base_values = base.values
+        base_raw = base.raw_ids
+
+        def recovered(fingerprint: bytes) -> tuple:
+            row = base_rows.get(fingerprint)
+            if row is None:
+                return new_values[fingerprint]
+            return tuple(
+                base_values[feature][base_raw[feature][row]]
+                if base_raw[feature][row] >= 0 else None
+                for feature in features
+            )
+
+        matrix = cls()
+        n = len(fingerprints)
+        matrix.fingerprints = fingerprints
+        matrix.rows = {fp: row for row, fp in enumerate(fingerprints)}
+        raw = {feature: array("i", bytes(4 * n)) for feature in features}
+        value_ids: Dict[Feature, Dict[Hashable, int]] = {
+            feature: {} for feature in features
+        }
+        cn_linkable = array("i", bytes(4 * n))
+        if prefix:
+            for feature in features:
+                head = base_raw[feature][:prefix]
+                seeded_count = max(head, default=-1) + 1
+                seeded = base_values[feature][:seeded_count]
+                matrix.values[feature] = seeded
+                value_ids[feature] = dict(zip(seeded, range(seeded_count)))
+                raw[feature][:prefix] = head
+            cn_linkable[:prefix] = \
+                base.linkable_ids[Feature.COMMON_NAME][:prefix]
+        _intern_extracted(
+            matrix, (recovered(fp) for fp in fingerprints[prefix:]),
+            features, raw, cn_linkable, value_ids, start_row=prefix,
+        )
         matrix.raw_ids = raw
         matrix.linkable_ids = dict(raw)
         matrix.linkable_ids[Feature.COMMON_NAME] = cn_linkable
@@ -147,6 +219,41 @@ class FeatureMatrix:
     def linkable_id(self, feature: Feature, fingerprint: bytes) -> int:
         """The interned linkable value id (-1 = absent or dropped)."""
         return self.linkable_ids[feature][self.rows[fingerprint]]
+
+
+def _intern_extracted(
+    matrix: "FeatureMatrix",
+    extracted,
+    features: tuple,
+    raw: Dict[Feature, array],
+    cn_linkable: array,
+    value_ids: Dict[Feature, Dict[Hashable, int]],
+    start_row: int = 0,
+) -> None:
+    """Intern extracted feature tuples into the id columns, in row order.
+
+    Shared by the cold build and the delta extension: value ids are
+    assigned on first appearance in row order, so resuming the loop at
+    ``start_row`` over tables seeded from a prefix build reproduces the
+    cold build's interning exactly.
+    """
+    for row, values in enumerate(extracted, start_row):
+        for feature, value in zip(features, values):
+            if value is None:
+                raw[feature][row] = -1
+                if feature is Feature.COMMON_NAME:
+                    cn_linkable[row] = -1
+                continue
+            ids = value_ids[feature]
+            value_id = ids.get(value)
+            if value_id is None:
+                value_id = ids[value] = len(matrix.values[feature])
+                matrix.values[feature].append(value)
+            raw[feature][row] = value_id
+            if feature is Feature.COMMON_NAME:
+                cn_linkable[row] = (
+                    -1 if dropped_for_linking(feature, value) else value_id
+                )
 
 
 def _init_matrix_worker(obs_enabled: bool) -> None:

@@ -13,7 +13,9 @@ from .environment import AnalysisEnvironment, load_environment, save_environment
 from .store import (
     FORMAT_VERSION,
     SUPPORTED_FORMATS,
+    AppendResult,
     StreamingDatasetWriter,
+    append_shards,
     load_dataset,
     read_certificates,
     read_manifest,
@@ -39,6 +41,8 @@ __all__ = [
     "is_segment_container",
     "FORMAT_VERSION",
     "SUPPORTED_FORMATS",
+    "AppendResult",
+    "append_shards",
     "StreamingDatasetWriter",
     "load_dataset",
     "read_certificates",

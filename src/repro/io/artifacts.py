@@ -49,8 +49,19 @@ must survive pickling into pool workers).
 Any failure to read, decode, or sanity-check an artifact — truncation,
 a schema bump, a digest mismatch, a pre-format-3 ZIP artifact — degrades
 to a rebuild, never to an error; counters ``artifacts.hit`` / ``miss`` /
-``invalidated`` (one per requested section) record which way each load
-went.
+``invalidated`` / ``extended`` (one per requested section) record which
+way each load went.
+
+Delta-chain lineage (PR 7): a ``lineage.json`` sidecar maps each
+appended corpus digest to ``{"base": ..., "chain": [...]}`` — the
+``(base_digest, delta_chain)`` cache key of incremental ingestion.  A
+kernels load that misses on the exact digest walks the chain for the
+nearest cached ancestor, delta-merges its kernels over the appended
+rows (the ``artifacts/extend`` span, counter ``artifacts.extended``),
+and persists the result so the next load is a direct hit.  The ``.rpa``
+files themselves stay purely content-addressed and byte-identical to
+cold builds; only the sidecar knows about ancestry, and any corruption
+in it or in an ancestor artifact degrades to a full rebuild.
 """
 
 from __future__ import annotations
@@ -59,7 +70,6 @@ import hashlib
 import json
 import os
 import pathlib
-import struct
 from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
@@ -70,10 +80,13 @@ from ..scanner.columns import (
     CertIntervals,
     ObservationColumns,
     ObservationIndex,
+    RowDelta,
 )
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
 from .encoding import (
+    DIGEST_META,
+    DIGEST_SCAN,
     FP_LEN,
     SegmentReader,
     SegmentWriter,
@@ -106,14 +119,18 @@ ARTIFACT_SCHEMA = 2
 #: Streaming chunk size for archive-byte digests.
 _CHUNK = 1 << 20
 
-_META = struct.Struct("<II")
-_SCAN = struct.Struct("<iI")
-
 #: Segment-name prefixes of each manifest section.
 _SECTION_PREFIXES = {
     "kernels": ("columns.", "index.", "intervals.", "matrix."),
     "validation": ("val.",),
 }
+
+#: Sidecar recording which corpus digests are delta-appends of which
+#: bases — the ``(base_digest, delta_chain)`` keying of warm loads.
+_LINEAGE_NAME = "lineage.json"
+
+#: Longest ancestor chain a lineage-aware load will consider.
+_LINEAGE_MAX_CHAIN = 64
 
 
 # ---------------------------------------------------------------------------
@@ -149,10 +166,10 @@ def columns_digest(
     making the digest independent of certificate-dict insertion order).
     """
     digest = hashlib.sha256(b"repro-corpus/1\n")
-    digest.update(_META.pack(len(scan_meta), len(certificates)))
+    digest.update(DIGEST_META.pack(len(scan_meta), len(certificates)))
     for day, source in scan_meta:
         encoded = source.encode("utf-8")
-        digest.update(_SCAN.pack(day, len(encoded)))
+        digest.update(DIGEST_SCAN.pack(day, len(encoded)))
         digest.update(encoded)
     for column in (columns.scan_idx, columns.ip, columns.cert_id,
                    columns.entity_id, columns.handshake_id):
@@ -323,6 +340,22 @@ def _decode_index(
             or len(index._order) != len(columns):
         raise ValueError("artifact index shape mismatch")
     return index
+
+
+def _fingerprint_prefix_matches(
+    columns: ObservationColumns, base_fp
+) -> bool:
+    """True when the grown corpus' interning order starts with the base's.
+
+    Delta appends preserve the base fingerprint table as a strict
+    prefix; anything else means the lineage sidecar is stale for this
+    corpus and the merge must not be trusted.
+    """
+    blob = columns._fp_blob
+    if blob is not None:
+        return bytes(blob[: len(base_fp)]) == bytes(base_fp)
+    prefix = columns.fingerprints[: len(base_fp) // FP_LEN]
+    return b"".join(prefix) == bytes(base_fp)
 
 
 def _decode_intervals(reader: SegmentReader, n_certs: int) -> CertIntervals:
@@ -508,7 +541,18 @@ class ArtifactCache:
         digest = dataset.corpus_digest(workers=workers)
         path = self.path_for(digest)
         if not path.exists():
-            obs.inc("artifacts.miss", n_sections)
+            # No artifact for this exact corpus — but if the corpus is a
+            # recorded delta-append of a cached base, one delta-merge
+            # over the base's kernels serves it (and is persisted, so
+            # the next load is a direct hit).  Validation is never
+            # delta-merged: appended certificates can complete chains
+            # that were incomplete in the base.
+            outcome = self._load_extended(dataset, digest, workers)
+            if outcome == "extended":
+                loaded.kernels = True
+            obs.inc(f"artifacts.{outcome}")
+            if trust_store is not None:
+                obs.inc("artifacts.miss")
             return loaded
         try:
             reader = SegmentReader(path)
@@ -567,6 +611,128 @@ class ArtifactCache:
                 except Exception:
                     obs.inc("artifacts.invalidated")
         return loaded
+
+    # --- lineage (delta-chain warm loads) --------------------------------------
+
+    def _lineage_path(self) -> pathlib.Path:
+        return self.root / _LINEAGE_NAME
+
+    def _read_lineage(self) -> dict:
+        """The lineage sidecar, tolerantly: corruption reads as empty."""
+        try:
+            data = json.loads(self._lineage_path().read_text())
+        except Exception:
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def record_lineage(self, digest: str, base_digest: str) -> None:
+        """Record that ``digest`` is ``base_digest`` plus one delta append.
+
+        The sidecar keys warm loads by ``(base_digest, delta_chain)``:
+        artifact files stay purely content-addressed (``<digest>.rpa``,
+        byte-identical to a cold build's), while the lineage map lets a
+        load for a digest with no artifact walk its ancestor chain,
+        delta-merge the nearest cached base, and persist the result.
+        Appends chain: day N+2 records day N+1 as base and inherits its
+        chain, so any cached ancestor can serve any descendant.
+        """
+        if digest == base_digest:
+            return
+        lineage = self._read_lineage()
+        base_entry = lineage.get(base_digest) or {}
+        chain = [
+            entry for entry in base_entry.get("chain") or []
+            if isinstance(entry, str)
+        ]
+        chain.append(base_digest)
+        lineage[digest] = {
+            "base": base_digest, "chain": chain[-_LINEAGE_MAX_CHAIN:],
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self._lineage_path().with_name(
+            f"{_LINEAGE_NAME}.tmp-{os.getpid()}"
+        )
+        tmp.write_text(json.dumps(lineage, indent=2, sort_keys=True))
+        os.replace(tmp, self._lineage_path())
+
+    def _load_extended(self, dataset, digest: str, workers: int) -> str:
+        """Serve a digest with no artifact by delta-merging an ancestor's.
+
+        Returns the counter the kernels section should bump:
+        ``"extended"`` on success, ``"miss"`` when there is no usable
+        lineage, ``"invalidated"`` when an ancestor artifact exists but
+        fails to decode, sanity-check, or merge (the corruption → full
+        rebuild fallback).
+        """
+        columns = dataset._columns
+        if columns is None:
+            # Without the grown columns there is no delta to splice.
+            return "miss"
+        entry = self._read_lineage().get(digest)
+        if not isinstance(entry, dict):
+            return "miss"
+        candidates = [entry.get("base"),
+                      *reversed(entry.get("chain") or [])]
+        base_digest = None
+        seen: set = set()
+        for candidate in candidates:
+            if not isinstance(candidate, str) or candidate in seen:
+                continue
+            seen.add(candidate)
+            if self.path_for(candidate).exists():
+                base_digest = candidate
+                break
+        if base_digest is None:
+            return "miss"
+        try:
+            with obs.span("artifacts/extend", base=base_digest[:12]):
+                reader = SegmentReader(self.path_for(base_digest))
+                meta = reader.meta
+                if meta.get("kind") != "artifacts" \
+                        or meta.get("schema") != ARTIFACT_SCHEMA \
+                        or meta.get("digest") != base_digest \
+                        or "kernels" not in (meta.get("sections") or ()):
+                    raise ValueError("lineage base artifact unusable")
+                base_rows = meta.get("n_observations")
+                if not isinstance(base_rows, int) \
+                        or base_rows > len(columns):
+                    raise ValueError("lineage base shape mismatch")
+                base_index = ObservationIndex.__new__(ObservationIndex)
+                base_index.columns = None
+                base_index._offsets = reader.array("index.offsets")
+                base_index._order = reader.array("index.order")
+                base_certs = len(base_index._offsets) - 1
+                if len(base_index._order) != base_rows \
+                        or base_certs > len(columns.fingerprints):
+                    raise ValueError("lineage base shape mismatch")
+                base_fp = reader.raw("columns.fingerprints")
+                if len(base_fp) != FP_LEN * base_certs \
+                        or not _fingerprint_prefix_matches(columns, base_fp):
+                    raise ValueError("lineage base fingerprint mismatch")
+                base_intervals = _decode_intervals(reader, base_certs)
+                stored = unpack_fingerprints(
+                    reader.bytes("matrix.fingerprints", materialize=True)
+                )
+                base_matrix = _decode_matrix(reader, dict.fromkeys(stored))
+                from ..core.kernels import FeatureMatrix
+
+                delta = RowDelta(columns, base_rows, base_certs)
+                index = ObservationIndex.extended(base_index, delta)
+                intervals = CertIntervals.extended(base_intervals, delta)
+                matrix = FeatureMatrix.extended(
+                    base_matrix, dataset.certificates, workers=workers
+                )
+        except Exception:
+            return "invalidated"
+        dataset.adopt_kernels(
+            columns=columns, index=index, intervals=intervals, matrix=matrix
+        )
+        try:
+            # Persist so the next load of this digest is a direct hit.
+            self.store(dataset, workers=workers)
+        except Exception:
+            pass
+        return "extended"
 
     # --- write ---------------------------------------------------------------
 

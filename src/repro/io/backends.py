@@ -350,7 +350,11 @@ class MappedBackend:
 
         Equal to the digest :class:`~repro.io.store.StreamingDatasetWriter`
         computed while writing the file, so artifacts cached against a
-        streamed write are found again on a mapped open.
+        streamed write are found again on a mapped open.  Reads the file
+        through ordinary buffered I/O — no column segment is mapped or
+        materialized (``io.bytes_materialized`` stays 0), which keeps
+        ``repro info`` and lineage lookups O(file bytes) with zero
+        decode work.
         """
         if self._corpus_digest is None:
             from .artifacts import file_digest

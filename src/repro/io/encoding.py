@@ -62,6 +62,8 @@ from ..obs import runtime as obs
 
 __all__ = [
     "CONTAINER_MAGIC",
+    "DIGEST_META",
+    "DIGEST_SCAN",
     "FP_LEN",
     "SegmentError",
     "SegmentReader",
@@ -98,6 +100,9 @@ _ALIGN = 16
 #: re-derives from the file bytes.
 _DIGEST_SALT = b"repro-archive/1\n"
 
+#: Writer slice size for large buffers (see ``SegmentWriter._write``).
+_WRITE_CHUNK = 1 << 20
+
 #: SHA-256 fingerprints are always 32 bytes; fingerprint sequences
 #: serialize as one flat blob sliced on decode.
 FP_LEN = 32
@@ -109,6 +114,13 @@ _DER_LENGTH = struct.Struct(">I")
 
 #: Big-endian u32 — the (ip, fingerprint) shard sort key prefix.
 _BE_U32 = struct.Struct(">I")
+
+#: Little-endian (n_scans, n_certificates) header of the in-memory
+#: corpus digest (:func:`repro.io.artifacts.columns_digest`).
+DIGEST_META = struct.Struct("<II")
+
+#: Little-endian (day, source length) per-scan line of the same digest.
+DIGEST_SCAN = struct.Struct("<iI")
 
 
 class SegmentError(ValueError):
@@ -248,9 +260,21 @@ class SegmentWriter:
     # --- low-level -------------------------------------------------------------
 
     def _write(self, data) -> None:
-        self._digest.update(data)
-        self._raw.write(data)
-        self._position += len(data)
+        # Large buffers (the delta-append path raw-copies whole base
+        # segments as single memoryviews) go out in 1 MiB slices: same
+        # bytes and digest, measurably better filesystem throughput
+        # than one giant write.
+        size = len(data)
+        if size > _WRITE_CHUNK:
+            view = memoryview(data)
+            for offset in range(0, size, _WRITE_CHUNK):
+                piece = view[offset:offset + _WRITE_CHUNK]
+                self._digest.update(piece)
+                self._raw.write(piece)
+        else:
+            self._digest.update(data)
+            self._raw.write(data)
+        self._position += size
 
     def _align(self) -> None:
         pad = -self._position % _ALIGN

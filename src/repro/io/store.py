@@ -35,7 +35,8 @@ import pathlib
 import struct
 import zipfile
 from array import array
-from typing import Mapping, Union
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
 
 from ..obs import runtime as obs
 from ..scanner.dataset import ScanDataset
@@ -44,12 +45,14 @@ from ..scanner.shards import ScanShard, certificate_order
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
 from .encoding import (
+    SegmentReader,
     SegmentWriter,
     is_segment_container,
     le_bytes,
     pack_der_record,
     pack_fingerprints,
     read_container_meta,
+    unpack_fingerprints,
 )
 
 __all__ = [
@@ -59,6 +62,8 @@ __all__ = [
     "read_manifest",
     "read_certificates",
     "read_scans",
+    "append_shards",
+    "AppendResult",
     "StreamingDatasetWriter",
     "FORMAT_VERSION",
 ]
@@ -307,6 +312,274 @@ def save_dataset(dataset: ScanDataset, path: Union[str, pathlib.Path]) -> str:
         writer.abort()
         raise
     return writer.close(dataset.certificates)
+
+
+# ---------------------------------------------------------------------------
+# Incremental ingestion (O(day) corpus appends)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AppendResult:
+    """What one :func:`append_shards` call did."""
+
+    #: The grown container.
+    path: pathlib.Path
+    #: Its corpus digest (equals ``file_digest(path)``).
+    digest: str
+    #: Scan count / row count / observed-certificate-table size of the
+    #: base container — the delta boundary for the ``extended`` kernels.
+    base_scans: int
+    base_observations: int
+    base_observed_certs: int
+    #: Grown totals (match the new container's manifest meta).
+    n_scans: int
+    n_observations: int
+    n_certificates: int
+    #: Distinct scan days this append introduced, in order.
+    new_days: tuple
+    #: Base bytes re-emitted as raw copies (never decoded or re-encoded).
+    bytes_reused: int
+
+
+def append_shards(
+    base: Union[str, pathlib.Path],
+    shards: Union[ScanShard, Sequence[ScanShard]],
+    certificates: Mapping[bytes, Certificate],
+    path: Union[str, pathlib.Path],
+) -> AppendResult:
+    """Grow a format 3 corpus by one or more appended scan shards.
+
+    The O(day) ingestion path: the base container is opened O(1)
+    (trailer + manifest), each shard's day-local tables are re-interned
+    against the base tables — replaying exactly the global
+    first-appearance order :class:`StreamingDatasetWriter` would produce
+    had the shard been streamed into the original build — and the grown
+    container is emitted by **raw-copying** the unchanged byte ranges
+    (the five column segments, the fingerprint table, the observed
+    certificate order, and every retained DER record) and appending only
+    the delta tail.  Small metadata segments (interning tables, scan
+    metadata) are re-encoded from the grown values.  The result is
+    byte-identical to a from-scratch build over the grown corpus, so its
+    digest — and every artifact keyed by it — is append-path-invariant.
+
+    Shards must arrive in strictly increasing ``(day, source)`` order
+    and sort after the base's last scan; anything else raises
+    ``ValueError`` (out-of-order ingestion would reorder the corpus and
+    break append invariance).  ``certificates`` must cover every
+    appended certificate not already in the base (a fresh
+    ``ScanEngine.certificate_store`` for the day suffices; entries whose
+    fingerprint the base already holds are raw-copied from the base).
+    """
+    if isinstance(shards, ScanShard):
+        shards = [shards]
+    else:
+        shards = list(shards)
+    if not shards:
+        raise ValueError("nothing to append")
+    base_path = pathlib.Path(base)
+    path = pathlib.Path(path)
+    reader = SegmentReader(base_path)
+    meta = reader.meta
+    if reader.format != FORMAT_VERSION or meta.get("kind") != "corpus":
+        raise ValueError(f"not a format 3 corpus container: {base_path}")
+    new_days = tuple(dict.fromkeys(shard.day for shard in shards))
+    with obs.span("ingest/append_day", shards=len(shards),
+                  days=len(new_days)):
+        result = _append_shards(reader, shards, certificates, path)
+    obs.inc("ingest.days", len(new_days))
+    obs.inc("ingest.rows", result.n_observations - result.base_observations)
+    obs.inc("ingest.certs",
+            result.n_certificates - meta["n_certificates"])
+    obs.inc("ingest.bytes_reused", result.bytes_reused)
+    return result
+
+
+def _append_shards(
+    reader: SegmentReader,
+    shards: "list[ScanShard]",
+    certificates: Mapping[bytes, Certificate],
+    path: pathlib.Path,
+) -> AppendResult:
+    meta = reader.meta
+    base_scans = meta["n_scans"]
+    base_rows = meta["n_observations"]
+
+    # --- base tables (small: interning tables + per-scan metadata) -----------
+    fp_blob = reader.raw("fingerprints")
+    fingerprints = unpack_fingerprints(fp_blob)
+    base_observed = len(fingerprints)
+    fingerprint_ids = {fp: i for i, fp in enumerate(fingerprints)}
+    entities = reader.json("entities")
+    entity_ids = {tag: i for i, tag in enumerate(entities)}
+    handshakes = [
+        HandshakeRecord(*record) for record in reader.json("handshakes")
+    ]
+    handshake_ids = {record: i for i, record in enumerate(handshakes)}
+    scan_days = list(reader.array("scan_days"))
+    scan_sources = reader.json("scan_sources")
+
+    # --- ordering guard ------------------------------------------------------
+    last = (scan_days[-1], scan_sources[-1]) if scan_days else None
+    for shard in shards:
+        key = (shard.day, shard.source)
+        if last is not None and key <= last:
+            raise ValueError(
+                f"appended scan {key!r} does not sort after {last!r}; "
+                "shards must arrive in strictly increasing (day, source) "
+                "order"
+            )
+        last = key
+
+    # --- replay the global interning order over the delta --------------------
+    intern = StreamingDatasetWriter._intern
+    remapped = []
+    new_rows = 0
+    for shard in shards:
+        cert_map = [
+            intern(fingerprint_ids, fingerprints, fingerprint)
+            for fingerprint in shard.fingerprints
+        ]
+        entity_map = [
+            intern(entity_ids, entities, tag) for tag in shard.entities
+        ]
+        handshake_map = [
+            intern(handshake_ids, handshakes, record)
+            for record in shard.handshakes
+        ]
+        remapped.append((
+            shard.ip,
+            array("I", map(cert_map.__getitem__, shard.cert_id)),
+            array("I", map(entity_map.__getitem__, shard.entity_id)),
+            array("i", (
+                handshake_map[handshake_id] if handshake_id >= 0 else -1
+                for handshake_id in shard.handshake_id
+            )),
+        ))
+        new_rows += len(shard.ip)
+        scan_days.append(shard.day)
+        scan_sources.append(shard.source)
+
+    # --- grown certificate order ---------------------------------------------
+    # Equivalent to certificate_order(fingerprints, base ∪ certificates)
+    # without materializing the union: the base order already ends with
+    # its never-observed extras sorted, so the grown extras are those
+    # plus the never-before-seen appended certificates (a C-level keys
+    # difference), minus anything the delta just observed.
+    base_order = unpack_fingerprints(reader.raw("cert_order"))
+    base_position = {fp: i for i, fp in enumerate(base_order)}
+    extra = certificates.keys() - base_position.keys()
+    extra.update(base_order[base_observed:])
+    extra.difference_update(fingerprints[base_observed:])
+    order = list(fingerprints) + sorted(extra)
+    base_offsets = reader.array("cert_offsets")
+    der_blob = reader.raw("certificates.der")
+
+    writer = SegmentWriter(
+        path,
+        meta={
+            "kind": "corpus",
+            "n_scans": base_scans + len(shards),
+            "n_certificates": len(order),
+            "n_observations": base_rows + new_rows,
+        },
+        format=FORMAT_VERSION,
+    )
+    reused = 0
+    try:
+        base_scan_idx = reader.raw("scan_idx")
+
+        def scan_idx_chunks():
+            yield base_scan_idx
+            for offset, (ip, _, _, _) in enumerate(remapped):
+                if len(ip):
+                    yield le_bytes(array("I", (base_scans + offset,)) * len(ip))
+
+        writer.add_chunks(
+            "scan_idx", scan_idx_chunks(), kind="array", typecode="I"
+        )
+        reused += len(base_scan_idx)
+        for slot, (name, typecode) in enumerate(_SPOOLED):
+            base_column = reader.raw(name)
+
+            def column_chunks(base_column=base_column, slot=slot):
+                yield base_column
+                for columns in remapped:
+                    yield le_bytes(columns[slot])
+
+            writer.add_chunks(
+                name, column_chunks(), kind="array", typecode=typecode
+            )
+            reused += len(base_column)
+        writer.add_chunks(
+            "fingerprints",
+            (fp_blob, pack_fingerprints(fingerprints[base_observed:])),
+            kind="bytes", stride=32,
+        )
+        reused += len(fp_blob)
+        writer.add_json("entities", entities)
+        writer.add_json(
+            "handshakes", [list(record) for record in handshakes]
+        )
+        writer.add_array("scan_days", array("i", scan_days))
+        writer.add_json("scan_sources", scan_sources)
+        bounds = array("Q", reader.array("scan_bounds"))
+        for ip, _, _, _ in remapped:
+            bounds.append(bounds[-1] + len(ip))
+        writer.add_array("scan_bounds", bounds)
+        writer.add_chunks(
+            "cert_order",
+            (fp_blob,
+             pack_fingerprints(fingerprints[base_observed:]),
+             pack_fingerprints(order[len(fingerprints):])),
+            kind="bytes", stride=32,
+        )
+        reused += len(fp_blob)
+        prefix_end = base_offsets[base_observed]
+        offsets = array("Q", base_offsets[:base_observed + 1])
+
+        def der_chunks():
+            nonlocal reused
+            if prefix_end:
+                yield der_blob[:prefix_end]
+                reused += prefix_end
+            for fingerprint in order[base_observed:]:
+                position = base_position.get(fingerprint)
+                if position is not None:
+                    record = der_blob[
+                        base_offsets[position]:base_offsets[position + 1]
+                    ]
+                    reused += len(record)
+                else:
+                    cert = certificates.get(fingerprint)
+                    if cert is None:
+                        raise ValueError(
+                            "missing certificate DER for appended "
+                            f"fingerprint {fingerprint.hex()}"
+                        )
+                    record = pack_der_record(cert.to_der())
+                offsets.append(offsets[-1] + len(record))
+                yield record
+
+        writer.add_chunks("certificates.der", der_chunks())
+        writer.add_array("cert_offsets", offsets)
+        digest = writer.close()
+    except BaseException:
+        writer.abort()
+        raise
+    return AppendResult(
+        path=path,
+        digest=digest,
+        base_scans=base_scans,
+        base_observations=base_rows,
+        base_observed_certs=base_observed,
+        n_scans=base_scans + len(shards),
+        n_observations=base_rows + new_rows,
+        n_certificates=len(order),
+        new_days=tuple(dict.fromkeys(
+            day for day in scan_days[base_scans:]
+        )),
+        bytes_reused=reused,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -19,6 +19,14 @@ the ``cert_id`` column, built once in O(n) with a counting sort: for any
 certificate, the positions of all its observations are one contiguous
 slice, so every per-certificate query is O(k) in that certificate's own
 sighting count.
+
+Incremental ingestion: when a corpus grows by appending scan days
+(:func:`repro.io.store.append_shards`), the new rows form a pure tail —
+existing positions, scan indexes, and interned ids never change.
+:class:`RowDelta` groups that tail by certificate once, and the
+``extended`` constructors on :class:`ObservationIndex` and
+:class:`CertIntervals` splice it into the base structures in O(delta)
+instead of rebuilding in O(corpus), bitwise-identical to a full rebuild.
 """
 
 from __future__ import annotations
@@ -31,7 +39,9 @@ from ..obs import runtime as obs_runtime
 from ..tls.handshake import HandshakeRecord
 from .records import Observation, Scan
 
-__all__ = ["ObservationColumns", "ObservationIndex", "CertIntervals"]
+__all__ = [
+    "ObservationColumns", "ObservationIndex", "CertIntervals", "RowDelta",
+]
 
 
 def _init_columns_worker(obs_enabled: bool) -> None:
@@ -206,6 +216,7 @@ class ObservationColumns:
             setattr(self, name, _materialize_column(getattr(self, name)))
         self.fingerprints  # force the table
         self.fingerprint_ids
+        self._fp_blob = None  # the table is now authoritative (and mutable)
         self._source = None
         return self
 
@@ -345,6 +356,11 @@ class ObservationColumns:
         """The stable integer id of a fingerprint (assigned on first use)."""
         cert_id = self.fingerprint_ids.get(fingerprint)
         if cert_id is None:
+            if self._fp_blob is not None:
+                raise TypeError(
+                    "mapped fingerprint table is read-only; call "
+                    "materialize() first"
+                )
             cert_id = self.fingerprint_ids[fingerprint] = len(self.fingerprints)
             self.fingerprints.append(fingerprint)
         return cert_id
@@ -369,6 +385,50 @@ class ObservationColumns:
                 self.handshakes[handshake_id] if handshake_id >= 0 else None
             ),
         )
+
+
+class RowDelta:
+    """The appended tail of a grown corpus, grouped by certificate.
+
+    An append (:func:`repro.io.store.append_shards`) only ever adds rows
+    at the end: base positions, scan indexes, and interned ids are
+    immutable.  One pass over ``columns.cert_id[base_rows:]`` buckets
+    the new row positions per certificate, so the ``extended``
+    constructors touch only the certificates the delta mentions —
+    O(delta), not O(corpus).
+    """
+
+    __slots__ = ("columns", "base_rows", "base_certs", "positions")
+
+    def __init__(
+        self, columns: ObservationColumns, base_rows: int, base_certs: int
+    ) -> None:
+        if base_rows > len(columns):
+            raise ValueError("delta base beyond the corpus end")
+        if base_certs > len(columns.fingerprints):
+            raise ValueError("delta base beyond the certificate table")
+        self.columns = columns
+        self.base_rows = base_rows
+        self.base_certs = base_certs
+        #: cert_id → new row positions (increasing, all ≥ ``base_rows``).
+        positions: dict[int, array] = {}
+        for offset, cert_id in enumerate(columns.cert_id[base_rows:]):
+            bucket = positions.get(cert_id)
+            if bucket is None:
+                bucket = positions[cert_id] = array("I")
+            bucket.append(base_rows + offset)
+        self.positions = positions
+
+    def __len__(self) -> int:
+        return len(self.columns) - self.base_rows
+
+
+def _byte_view(column) -> memoryview:
+    """A writable-compatible flat byte view over an array or memoryview."""
+    view = memoryview(column)
+    if view.format != "B":
+        view = view.cast("B")
+    return view
 
 
 class ObservationIndex:
@@ -396,6 +456,63 @@ class ObservationIndex:
             order[cursor[cert_id]] = position
             cursor[cert_id] += 1
         self._order = order
+
+    @classmethod
+    def extended(
+        cls, base: "ObservationIndex", delta: RowDelta
+    ) -> "ObservationIndex":
+        """Splice a row delta into a base index — O(delta + n_certs).
+
+        Every appended position is larger than every base position, so a
+        certificate's grown CSR slice is exactly its base slice followed
+        by its delta bucket; untouched certificates keep their base
+        bytes verbatim (copied in contiguous runs, never walked).
+        Bitwise-identical to rebuilding over the grown columns.
+        """
+        columns = delta.columns
+        n_certs = len(columns.fingerprints)
+        base_offsets = base._offsets
+        base_order = base._order
+        if len(base_offsets) != delta.base_certs + 1 \
+                or len(base_order) != delta.base_rows:
+            raise ValueError("row delta does not extend this index")
+        positions = delta.positions
+        base_certs = delta.base_certs
+        offsets = array("I", bytes(4 * (n_certs + 1)))
+        total = 0
+        for cert_id in range(n_certs):
+            if cert_id < base_certs:
+                total += base_offsets[cert_id + 1] - base_offsets[cert_id]
+            bucket = positions.get(cert_id)
+            if bucket is not None:
+                total += len(bucket)
+            offsets[cert_id + 1] = total
+        order = array("I", bytes(4 * len(columns)))
+        dst = _byte_view(order)
+        src = _byte_view(base_order)
+        write = copied = 0
+        for cert_id in sorted(positions):
+            # Flush the base bytes of every certificate up to (and
+            # including) this one in a single contiguous copy.
+            boundary = 4 * base_offsets[min(cert_id + 1, base_certs)]
+            if boundary > copied:
+                dst[write:write + boundary - copied] = src[copied:boundary]
+                write += boundary - copied
+                copied = boundary
+            chunk = _byte_view(positions[cert_id])
+            dst[write:write + len(chunk)] = chunk
+            write += len(chunk)
+        tail = 4 * base_offsets[base_certs]
+        if tail > copied:
+            dst[write:write + tail - copied] = src[copied:tail]
+            write += tail - copied
+        if write != 4 * len(columns):
+            raise ValueError("row delta does not cover the grown corpus")
+        index = cls.__new__(cls)
+        index.columns = columns
+        index._offsets = offsets
+        index._order = order
+        return index
 
     def materialize(self) -> "ObservationIndex":
         """Copy mapped CSR arrays into process-local storage (in place)."""
@@ -509,6 +626,73 @@ class CertIntervals:
         scan_idx = columns.scan_idx
         ip_col = columns.ip
         self._sweep(index, n_certs, scan_idx, ip_col)
+
+    @classmethod
+    def extended(
+        cls, base: "CertIntervals", delta: RowDelta
+    ) -> "CertIntervals":
+        """Splice a row delta into base interval arrays — O(delta).
+
+        Appended rows belong to strictly newer scans than anything in
+        the base, so the base's final per-scan run is already finalized;
+        each touched certificate just replays the sweep over its delta
+        bucket seeded from its base scalars (or from scratch for a
+        certificate first observed in the delta).  Bitwise-identical to
+        rebuilding over the grown index.
+        """
+        columns = delta.columns
+        n_certs = len(columns.fingerprints)
+        base_certs = delta.base_certs
+        if len(base.first_scan) != base_certs:
+            raise ValueError("row delta does not extend these intervals")
+        intervals = cls.__new__(cls)
+        for name in cls.__slots__:
+            typecode = "i" if name in ("first_scan", "last_scan") else "I"
+            column = array(typecode, bytes(4 * n_certs))
+            src = _byte_view(getattr(base, name))
+            _byte_view(column)[:4 * base_certs] = src
+            setattr(intervals, name, column)
+        for cert_id in range(base_certs, n_certs):
+            intervals.first_scan[cert_id] = -1
+            intervals.last_scan[cert_id] = -1
+        scan_idx = columns.scan_idx
+        ip_col = columns.ip
+        for cert_id, bucket in delta.positions.items():
+            sightings = iter(bucket)
+            first_pos = next(sightings)
+            run_scan = scan_idx[first_pos]
+            run_ips = {ip_col[first_pos]}
+            if intervals.first_scan[cert_id] < 0:
+                intervals.first_scan[cert_id] = run_scan
+                n_scans = 1
+                max_ips = min_ips = 0
+            else:
+                n_scans = intervals.n_scans[cert_id] + 1
+                max_ips = intervals.max_ips[cert_id]
+                min_ips = intervals.min_ips[cert_id]
+            for pos in sightings:
+                scan = scan_idx[pos]
+                if scan != run_scan:
+                    size = len(run_ips)
+                    if size > max_ips:
+                        max_ips = size
+                    if min_ips == 0 or size < min_ips:
+                        min_ips = size
+                    run_scan = scan
+                    run_ips = {ip_col[pos]}
+                    n_scans += 1
+                else:
+                    run_ips.add(ip_col[pos])
+            size = len(run_ips)
+            if size > max_ips:
+                max_ips = size
+            if min_ips == 0 or size < min_ips:
+                min_ips = size
+            intervals.last_scan[cert_id] = run_scan
+            intervals.n_scans[cert_id] = n_scans
+            intervals.max_ips[cert_id] = max_ips
+            intervals.min_ips[cert_id] = min_ips
+        return intervals
 
     def materialize(self) -> "CertIntervals":
         """Copy mapped interval arrays into process-local storage."""

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 from ..internet.population import World
 from ..x509.certificate import Certificate
 from .campaign import ScanCampaign
-from .columns import CertIntervals, ObservationColumns, ObservationIndex
+from .columns import CertIntervals, ObservationColumns, ObservationIndex, RowDelta
 from .engine import ScanEngine
 from .records import Scan
 from .shards import columns_equal, merge_shards, scans_over_columns
@@ -263,6 +263,62 @@ class ScanDataset:
             self._intervals = intervals
         if matrix is not None:
             self._feature_matrix = matrix
+
+    def extend_from_shard(
+        self,
+        shards,
+        certificates: dict[bytes, Certificate],
+        path,
+        cache=None,
+        workers: int = 1,
+    ) -> "ScanDataset":
+        """Append one day's shard(s) and return the grown mapped dataset.
+
+        The O(day) ingestion entry point over a format 3 mapped corpus:
+        :func:`repro.io.store.append_shards` emits the grown container
+        (raw-copying every unchanged byte range), the new container is
+        re-opened zero-copy, and any kernel this dataset has already
+        built — CSR index, interval arrays, feature matrix — is
+        delta-merged onto the grown corpus through the ``extended``
+        constructors instead of being rebuilt, all bitwise-identical to
+        a cold build.  When ``cache`` (an
+        :class:`~repro.io.artifacts.ArtifactCache`) is given, the grown
+        digest's lineage is recorded so a warm artifact hit on the base
+        corpus can serve the grown one via one delta-merge.
+        """
+        if not getattr(self.backend, "mapped", False):
+            raise ValueError(
+                "extend_from_shard requires a format 3 mapped dataset "
+                "(open the corpus via load_dataset)"
+            )
+        from ..io.backends import MappedBackend
+        from ..io.store import append_shards
+
+        result = append_shards(self.backend.path, shards, certificates, path)
+        grown = ScanDataset.from_backend(MappedBackend(result.path))
+        grown._corpus_digest = result.digest
+        if self._observation_index is not None or self._intervals is not None:
+            delta = RowDelta(
+                grown.columns, result.base_observations,
+                result.base_observed_certs,
+            )
+            if self._observation_index is not None:
+                grown._observation_index = ObservationIndex.extended(
+                    self._observation_index, delta
+                )
+            if self._intervals is not None:
+                grown._intervals = CertIntervals.extended(
+                    self._intervals, delta
+                )
+        if self._feature_matrix is not None:
+            from ..core.kernels import FeatureMatrix
+
+            grown._feature_matrix = FeatureMatrix.extended(
+                self._feature_matrix, grown.certificates, workers=workers
+            )
+        if cache is not None:
+            cache.record_lineage(result.digest, self.corpus_digest())
+        return grown
 
     def materialize(self) -> "ScanDataset":
         """Copy every mapped view into process-local storage (in place).

@@ -115,7 +115,14 @@ class ScanEngine:
         return shard_scan(self.run_shard(campaign, day))
 
     def run_shard(self, campaign: ScanCampaign, day: int) -> ScanShard:
-        """Execute one scan directly into a columnar day shard."""
+        """Execute one scan directly into a columnar day shard.
+
+        Deterministic per (world seed, campaign, day) — which is what
+        makes O(day) ingestion possible: a later session can rebuild the
+        world, run just the new day's shard, and delta-append it to an
+        existing corpus (``repro append``) with bytes identical to a
+        full rebuild that included the day.
+        """
         with obs.span(f"scan/day={day}", campaign=campaign.name) as span:
             self._probes_attempted = 0
             self._probes_blacklisted = 0
@@ -582,7 +589,13 @@ class ScanEngine:
 
     @property
     def certificate_store(self) -> dict[bytes, Certificate]:
-        """Canonical Certificate for every fingerprint emitted so far."""
+        """Canonical Certificate for every fingerprint emitted so far.
+
+        The certificate source for corpus writes — both
+        :class:`~repro.io.store.StreamingDatasetWriter` and the
+        delta-append path (:func:`repro.io.store.append_shards`) resolve
+        shard fingerprints to DER through this mapping.
+        """
         return self._store
 
     def _intern(self, cert: Certificate) -> bytes:

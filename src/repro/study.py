@@ -176,7 +176,12 @@ class Study:
 
         On a hit the run reports an ``artifacts.load`` stage and the
         corresponding ``kernels`` / ``validation`` stages never exist —
-        no phantom zero-duration spans in the profile.
+        no phantom zero-duration spans in the profile.  A corpus that is
+        a recorded delta-append of a cached base (``repro append
+        --cache-dir``) still warm-starts its kernels: the cache
+        delta-merges the base's artifacts over the appended rows instead
+        of missing (see ``artifacts.extended`` in
+        :mod:`repro.io.artifacts`).
         """
         if self.cache is None or self._artifacts_attempted:
             return

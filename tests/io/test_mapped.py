@@ -199,3 +199,34 @@ class TestBackendDispatch:
         v3, v2, _ = corpus_paths
         assert isinstance(load_dataset(v3).backend, MappedBackend)
         assert isinstance(load_dataset(v2).backend, ArchiveBackend)
+
+
+class TestMutationGuards:
+    """Mapped columns are read-only; mutators must say so by name."""
+
+    def test_append_on_mapped_columns_raises(self, corpus_paths):
+        from repro.scanner.records import Observation
+
+        v3, _, _ = corpus_paths
+        columns = load_dataset(v3).columns
+        observation = Observation(
+            ip=1, fingerprint=b"\xaa" * 32, entity="site:x", handshake=None
+        )
+        with pytest.raises(TypeError, match=r"materialize\(\)"):
+            columns.append(0, observation, entity_ids={}, handshake_ids={})
+
+    def test_intern_new_fingerprint_on_mapped_table_raises(self, corpus_paths):
+        v3, _, _ = corpus_paths
+        columns = load_dataset(v3).columns
+        # Known fingerprints still resolve (read path stays open)...
+        known = columns.fingerprints[0]
+        assert columns.intern_fingerprint(known) == 0
+        # ...but growing the mapped table is refused by name.
+        with pytest.raises(TypeError, match=r"materialize\(\)"):
+            columns.intern_fingerprint(b"\xbb" * 32)
+
+    def test_materialize_reopens_mutation(self, corpus_paths):
+        v3, _, _ = corpus_paths
+        columns = load_dataset(v3).columns.materialize()
+        before = len(columns.fingerprints)
+        assert columns.intern_fingerprint(b"\xbb" * 32) == before

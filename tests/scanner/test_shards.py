@@ -11,6 +11,7 @@ keep holding the shard path to it.
 from array import array
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.datasets.synthetic import generate, generate_streamed
 from repro.internet.population import WorldConfig, build_world
@@ -310,3 +311,63 @@ class TestStreamingWriter:
         writer.abort()
         assert not path.exists()
         assert not list(tmp_path.iterdir())
+
+
+class TestRechunkedMergeProperty:
+    """Chunk-boundary invariance of shard interning (hypothesis).
+
+    The incremental-ingestion invariant in its purest form: interning
+    shard tables in local-id order, shard by shard, reproduces the
+    global serial first-appearance order *no matter where the stream is
+    cut*.  ``merge_shards`` over arbitrary chunks of a day stream,
+    recombined with ``ObservationColumns._merge_shards``, must be
+    bitwise-identical to one one-shot merge — under any hash seed.
+    """
+
+    _DAY_SHARDS = None
+
+    @classmethod
+    def _day_shards(cls):
+        if cls._DAY_SHARDS is None:
+            world = build_world(SMALL_CONFIG)
+            engine = ScanEngine(world)
+            days = tuple(
+                SMALL_CONFIG.start_day + offset
+                for offset in range(100, 148, 8)
+            )
+            campaigns = (
+                ScanCampaign("alpha", days), ScanCampaign("beta", days[::2]),
+            )
+            schedule = sorted(
+                ((day, campaign)
+                 for campaign in campaigns for day in campaign.scan_days),
+                key=lambda task: (task[0], task[1].name),
+            )
+            cls._DAY_SHARDS = tuple(
+                engine.run_shard(campaign, day) for day, campaign in schedule
+            )
+        return cls._DAY_SHARDS
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_rechunk_is_bitwise_identical(self, data):
+        shards = self._day_shards()
+        cuts = data.draw(
+            st.sets(st.integers(1, len(shards) - 1)),
+            label="chunk boundaries",
+        )
+        bounds = [0, *sorted(cuts), len(shards)]
+        one_shot, scan_meta = merge_shards(shards)
+        assert [(day, source) for day, source, _, _ in scan_meta] == \
+            [(shard.day, shard.source) for shard in shards]
+        chunks = []
+        for start, stop in zip(bounds, bounds[1:]):
+            chunk, _ = merge_shards(shards[start:stop])
+            # merge_shards numbers scans from 0 within each call; restore
+            # the global scan index before recombining.
+            chunk.scan_idx = array(
+                "I", (index + start for index in chunk.scan_idx)
+            )
+            chunks.append(chunk)
+        merged = ObservationColumns._merge_shards(chunks)
+        assert columns_equal(merged, one_shot)
