@@ -17,6 +17,15 @@
   kernels of the base serve the grown corpus via one delta-merge;
 * ``convert``  — upgrade a v1/v2 ``.rpz`` archive to the mmap-native
   format 3 container (written next to the input by default);
+* ``shard``    — scan one day of a preset world and write it as a
+  shard-drop file (``.rps``): the hand-off unit the watch daemon
+  ingests;
+* ``ingest``   — the continuous twin of ``append``: a daemon polling a
+  drop directory (``--watch``) and delta-appending each arriving day,
+  with the live observability plane (``--serve HOST:PORT`` exposes
+  ``/metrics``, ``/healthz``, ``/vars``) and a streaming trace sink;
+* ``top``      — ASCII dashboard over a live ``/vars`` endpoint
+  (counters with rates, resource gauges, stage-latency p50/p99);
 * ``census``   — the §5 comparison (validity, lifetimes, keys, issuers);
 * ``link``     — the §6 linking pipeline and Table 6 summary;
 * ``track``    — the §7 tracking applications;
@@ -139,6 +148,64 @@ def build_parser() -> argparse.ArgumentParser:
                         help="collect TLS/transport traits per observation")
     _add_obs_flags(append)
     _add_cache_flags(append)
+
+    shard = commands.add_parser(
+        "shard",
+        help="scan one day and write a shard-drop file (.rps) for the "
+             "watch daemon",
+    )
+    shard.add_argument("--preset", choices=tuple(_PRESETS), default="tiny",
+                       help="synthetic world the watched corpus was "
+                            "generated from")
+    shard.add_argument("--seed", type=int, default=2016)
+    shard.add_argument("--day", type=int, required=True,
+                       help="scan day to package")
+    shard.add_argument("--handshakes", action="store_true",
+                       help="collect TLS/transport traits per observation")
+    shard.add_argument("--drop-dir", default=".", metavar="DIR",
+                       help="directory to drop the file into "
+                            "(default: current directory)")
+    shard.add_argument("--out", metavar="PATH",
+                       help="explicit drop path "
+                            "(default: DIR/day-<day>.rps)")
+    _add_obs_flags(shard)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="daemon: watch a drop directory and delta-append each "
+             "arriving day to a format 3 corpus",
+    )
+    ingest.add_argument("corpus", help="format 3 .rpz container to grow")
+    ingest.add_argument("--watch", required=True, metavar="DIR",
+                        help="drop directory to poll for .rps files")
+    ingest.add_argument("--interval", type=float, default=2.0,
+                        help="poll interval in seconds (default: 2)")
+    ingest.add_argument("--once", action="store_true",
+                        help="one poll pass over pending drops, then exit")
+    ingest.add_argument("--max-days", type=int, default=None, metavar="N",
+                        help="exit after N drop files have been ingested")
+    ingest.add_argument("--serve", metavar="HOST:PORT",
+                        help="expose the live plane (/metrics /healthz "
+                             "/vars) on this endpoint (port 0: ephemeral)")
+    ingest.add_argument("--trace-stream", metavar="PATH",
+                        help="stream completed spans to a size-capped "
+                             "rotating JSONL file (sampling via "
+                             "REPRO_OBS_SAMPLE)")
+    ingest.add_argument("--retain", type=int, default=512, metavar="N",
+                        help="completed spans to keep in memory for /vars "
+                             "(default: 512)")
+
+    top = commands.add_parser(
+        "top",
+        help="ASCII dashboard over a live /vars endpoint",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:9110",
+                     help="live plane base URL (default: "
+                          "http://127.0.0.1:9110)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between frames (default: 2)")
+    top.add_argument("--iterations", type=int, default=1, metavar="N",
+                     help="frames to render before exiting (default: 1)")
 
     convert = commands.add_parser(
         "convert",
@@ -310,30 +377,39 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _cmd_append(args) -> int:
+def _day_shards(preset: str, seed: int, day: int, handshakes: bool):
+    """One day's scan shards for a preset world (append and shard share).
+
+    Rebuilds the deterministic world; per-day RNG streams are keyed by
+    (seed, campaign, day), so the day's shards are byte-identical to
+    what a full generate run would have produced for that day.
+    """
     from .datasets.synthetic import _world_campaigns
     from .internet.population import WorldConfig
-    from .io import load_dataset
     from .scanner.engine import ScanEngine
 
-    settings = dict(_PRESETS[args.preset])
+    settings = dict(_PRESETS[preset])
     stride = settings.pop("stride")
-    # Rebuild the deterministic world; per-day RNG streams are keyed by
-    # (seed, campaign, day), so the day's shards are byte-identical to
-    # what a full generate run would have produced for that day.
     world, campaigns = _world_campaigns(
-        WorldConfig(seed=args.seed, **settings), stride
+        WorldConfig(seed=seed, **settings), stride
     )
-    engine = ScanEngine(world, collect_handshakes=args.handshakes)
+    engine = ScanEngine(world, collect_handshakes=handshakes)
     shards = [
-        engine.run_shard(campaign, args.day)
+        engine.run_shard(campaign, day)
         for campaign in sorted(campaigns, key=lambda c: c.name)
-        if args.day in campaign.scan_days
+        if day in campaign.scan_days
     ]
     if not shards:
-        raise SystemExit(
-            f"no campaign in preset '{args.preset}' scans day {args.day}"
-        )
+        raise SystemExit(f"no campaign in preset '{preset}' scans day {day}")
+    return shards, engine
+
+
+def _cmd_append(args) -> int:
+    from .io import load_dataset
+
+    shards, engine = _day_shards(
+        args.preset, args.seed, args.day, args.handshakes
+    )
     dataset = load_dataset(args.corpus)
     try:
         grown = dataset.extend_from_shard(
@@ -469,6 +545,147 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    import pathlib
+
+    from .io import write_shard_drop
+
+    shards, engine = _day_shards(
+        args.preset, args.seed, args.day, args.handshakes
+    )
+    if args.out:
+        path = pathlib.Path(args.out)
+    else:
+        path = pathlib.Path(args.drop_dir) / f"day-{args.day:05d}.rps"
+    try:
+        digest = write_shard_drop(shards, engine.certificate_store, path)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    rows = sum(len(shard) for shard in shards)
+    print(f"dropped day {args.day} ({len(shards)} scans, "
+          f"{format_count(rows)} observations) -> {path}")
+    print(f"drop digest: {digest}")
+    return 0
+
+
+def _parse_endpoint(spec: str) -> "tuple[str, int]":
+    """``HOST:PORT`` / ``:PORT`` / ``PORT`` → a bind address."""
+    host, separator, port = spec.rpartition(":")
+    if not separator:
+        host, port = "", spec
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise SystemExit(f"--serve endpoint is not HOST:PORT: {spec!r}")
+
+
+def _cmd_ingest(args) -> int:
+    import signal
+    import threading
+
+    from .io.watch import WatchIngestor
+    from .obs import (
+        LatencyRecorder,
+        LiveServer,
+        MetricsRegistry,
+        ResourceSampler,
+        RotatingJsonlSink,
+        Tracer,
+    )
+    from .obs import runtime as obs_runtime
+
+    if args.interval <= 0:
+        raise SystemExit("--interval must be positive seconds")
+    trace = Tracer(process="ingest-watch")
+    metrics = MetricsRegistry()
+    trace.retain = args.retain
+    trace.add_sink(LatencyRecorder(metrics))
+    sink = None
+    if args.trace_stream:
+        sink = RotatingJsonlSink(args.trace_stream, process="ingest-watch")
+        trace.add_sink(sink)
+    health = {}
+    ingestor = WatchIngestor(args.corpus, args.watch, health=health)
+    sampler = ResourceSampler(metrics, interval=max(args.interval, 0.5))
+    server = None
+    stop = threading.Event()
+    previous_handlers = {}
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    with obs_runtime.activated(trace, metrics):
+        sampler.start()
+        try:
+            if args.serve is not None:
+                host, port = _parse_endpoint(args.serve)
+                server = LiveServer(
+                    trace, metrics, health=health, host=host, port=port
+                ).start()
+                print(f"live plane at {server.url} "
+                      f"(/metrics /healthz /vars)", flush=True)
+            if args.once:
+                ingested = len(ingestor.poll())
+            else:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        previous_handlers[signum] = signal.signal(
+                            signum, _request_stop
+                        )
+                    except (ValueError, OSError):
+                        pass  # not the main thread, or unsupported signal
+                print(f"watching {args.watch} every {args.interval:g}s "
+                      f"(SIGINT/SIGTERM to stop)", flush=True)
+                ingested = ingestor.run(
+                    interval=args.interval, stop=stop,
+                    max_days=args.max_days,
+                )
+        finally:
+            for signum, handler in previous_handlers.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError):
+                    pass
+            if server is not None:
+                server.stop()
+            sampler.stop()
+            if sink is not None:
+                sink.close()
+    print(f"ingested {ingested} drop file(s) "
+          f"({ingestor.rejected} rejected) into {args.corpus}")
+    if "last_append_day" in health:
+        print(f"last appended day: {health['last_append_day']}")
+        print(f"corpus digest: {health['last_digest']}")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from .obs import render_top
+
+    base = args.url.rstrip("/")
+    previous = None
+    last_time = None
+    for iteration in range(max(1, args.iterations)):
+        if iteration:
+            time.sleep(args.interval)
+            print()
+        try:
+            with urllib.request.urlopen(base + "/vars", timeout=10) as response:
+                snapshot = json.loads(response.read().decode())
+        except (urllib.error.URLError, OSError) as exc:
+            raise SystemExit(f"cannot reach {base}/vars: {exc}")
+        now = time.monotonic()
+        interval = now - last_time if last_time is not None else None
+        print(render_top(snapshot, previous=previous, interval=interval))
+        previous, last_time = snapshot, now
+    return 0
+
+
 def _export_metrics(metrics, dest: str) -> None:
     """Prometheus text dump to stdout (``-``) or a file."""
     from .obs import prometheus_text
@@ -563,6 +780,9 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "info": _cmd_info,
     "append": _cmd_append,
+    "shard": _cmd_shard,
+    "ingest": _cmd_ingest,
+    "top": _cmd_top,
     "convert": _cmd_convert,
     "census": _cmd_census,
     "link": _cmd_link,
@@ -576,7 +796,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handler = _HANDLERS[args.command]
-    if args.command == "profile":
+    # profile and ingest own their tracer/registry lifecycle (ingest
+    # keeps them live for the daemon's whole run); top is a pure client.
+    if args.command in ("profile", "ingest", "top"):
         return handler(args)
     return _with_observability(args, handler)
 

@@ -14,15 +14,19 @@ from .store import (
     FORMAT_VERSION,
     SUPPORTED_FORMATS,
     AppendResult,
+    ShardDrop,
     StreamingDatasetWriter,
     append_shards,
     load_dataset,
     read_certificates,
     read_manifest,
     read_scans,
+    read_shard_drop,
     save_dataset,
     save_dataset_v2,
+    write_shard_drop,
 )
+from .watch import DROP_SUFFIX, WatchIngestor
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -50,4 +54,9 @@ __all__ = [
     "read_scans",
     "save_dataset",
     "save_dataset_v2",
+    "ShardDrop",
+    "write_shard_drop",
+    "read_shard_drop",
+    "DROP_SUFFIX",
+    "WatchIngestor",
 ]

@@ -70,6 +70,7 @@ import hashlib
 import json
 import os
 import pathlib
+import warnings
 from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
@@ -131,6 +132,27 @@ _LINEAGE_NAME = "lineage.json"
 
 #: Longest ancestor chain a lineage-aware load will consider.
 _LINEAGE_MAX_CHAIN = 64
+
+#: One-time-per-process latch for the lineage-truncation warning (the
+#: watch daemon appends a day at a time; warning on every append past
+#: the cap would drown the log with the same fact).
+_LINEAGE_WARNED = False
+
+
+def _warn_lineage_truncated(length: int) -> None:
+    global _LINEAGE_WARNED
+    if _LINEAGE_WARNED:
+        return
+    _LINEAGE_WARNED = True
+    warnings.warn(
+        f"artifact lineage chain reached {length} entries and was capped "
+        f"at {_LINEAGE_MAX_CHAIN}; ancestors past the cap can no longer "
+        "warm-load descendants (cache falls back to cold rebuilds). "
+        "Persist a fresh artifact for the current corpus to reset the "
+        "chain.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -645,6 +667,13 @@ class ArtifactCache:
             if isinstance(entry, str)
         ]
         chain.append(base_digest)
+        if len(chain) > _LINEAGE_MAX_CHAIN:
+            # Ancestors past the cap can no longer warm-load descendants;
+            # the cache silently degrading to cold rebuilds is worth one
+            # audible heads-up per process.
+            obs.inc("artifacts.lineage_truncated",
+                    len(chain) - _LINEAGE_MAX_CHAIN)
+            _warn_lineage_truncated(len(chain))
         lineage[digest] = {
             "base": base_digest, "chain": chain[-_LINEAGE_MAX_CHAIN:],
         }

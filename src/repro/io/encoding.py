@@ -387,12 +387,20 @@ class SegmentReader:
     (bumping ``io.mmap_open_total``); ``array``/``bytes`` reads return
     zero-copy ``memoryview``s over the map on little-endian hosts, so
     column bytes page in lazily as queries touch them.
+
+    :attr:`bytes_materialized` counts this reader's own decoded bytes
+    (the per-reader slice of the global ``io.bytes_materialized``
+    counter), so the live plane's :class:`~repro.obs.resources
+    .ResourceSampler` can attribute paging per watched container.
     """
 
     def __init__(self, path: Union[str, pathlib.Path]) -> None:
         self.path = pathlib.Path(path)
         self._mmap: Optional[mmap.mmap] = None
         self._view: Optional[memoryview] = None
+        #: Bytes this reader has decoded out of the map (copies only —
+        #: zero-copy ``memoryview`` reads stay at zero, by design).
+        self.bytes_materialized = 0
         with open(self.path, "rb") as handle:
             head = handle.read(len(CONTAINER_MAGIC))
             if head != CONTAINER_MAGIC:
@@ -474,6 +482,11 @@ class SegmentReader:
 
     # --- data access -----------------------------------------------------------
 
+    def _materialized(self, nbytes: int) -> None:
+        """Count decoded bytes, globally and against this reader."""
+        self.bytes_materialized += nbytes
+        obs.inc("io.bytes_materialized", nbytes)
+
     def raw(self, name: str) -> memoryview:
         """The segment's raw mapped bytes (zero-copy)."""
         entry = self.entry(name)
@@ -494,7 +507,7 @@ class SegmentReader:
         if sys.byteorder == "little":
             return raw.cast(entry["typecode"])
         column = unpack_array(entry["typecode"], raw)
-        obs.inc("io.bytes_materialized", entry["length"])
+        self._materialized(entry["length"])
         return column
 
     def bytes(self, name: str, materialize: bool = False):
@@ -502,7 +515,7 @@ class SegmentReader:
         raw = self.raw(name)
         if not materialize:
             return raw
-        obs.inc("io.bytes_materialized", len(raw))
+        self._materialized(len(raw))
         return bytes(raw)
 
     def json(self, name: str):
@@ -510,7 +523,7 @@ class SegmentReader:
         if entry["kind"] != "json":
             raise SegmentError(f"segment {name!r} is not JSON")
         raw = self.raw(name)
-        obs.inc("io.bytes_materialized", len(raw))
+        self._materialized(len(raw))
         return json.loads(bytes(raw))
 
     def pickle(self, name: str):
@@ -518,7 +531,7 @@ class SegmentReader:
         if entry["kind"] != "pickle":
             raise SegmentError(f"segment {name!r} is not a pickle")
         raw = self.raw(name)
-        obs.inc("io.bytes_materialized", len(raw))
+        self._materialized(len(raw))
         return pickle.loads(raw)
 
 

@@ -47,7 +47,9 @@ from ..x509.certificate import Certificate
 from .encoding import (
     SegmentReader,
     SegmentWriter,
+    as_array,
     is_segment_container,
+    iter_der_records,
     le_bytes,
     pack_der_record,
     pack_fingerprints,
@@ -66,6 +68,9 @@ __all__ = [
     "AppendResult",
     "StreamingDatasetWriter",
     "FORMAT_VERSION",
+    "ShardDrop",
+    "write_shard_drop",
+    "read_shard_drop",
 ]
 
 FORMAT_VERSION = 3
@@ -580,6 +585,159 @@ def _append_shards(
         )),
         bytes_reused=reused,
     )
+
+
+# ---------------------------------------------------------------------------
+# Shard drop files (the watch daemon's wire format)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardDrop:
+    """One day's scan shards read back from a drop file."""
+
+    #: The scan day every shard in the file belongs to.
+    day: int
+    #: The day's shards, in (day, source) order.
+    shards: tuple
+    #: fingerprint → :class:`Certificate` covering every shard sighting.
+    certificates: dict
+
+
+def write_shard_drop(
+    shards: Union[ScanShard, Sequence[ScanShard]],
+    certificates: Mapping[bytes, Certificate],
+    path: Union[str, pathlib.Path],
+) -> str:
+    """Write one day's shards as a portable format 3 drop file (``.rps``).
+
+    The hand-off unit between a scan producer and the ``repro ingest
+    --watch`` daemon: everything :func:`append_shards` needs for one day
+    — the day's :class:`~repro.scanner.shards.ScanShard` columns plus the
+    DER of every certificate they sight — in a single self-describing
+    container.  Shards must all share one day and arrive in source
+    order; ``certificates`` must cover every shard fingerprint.
+
+    The file is assembled next to ``path`` and moved into place with one
+    atomic rename, so a polling watcher never observes a partial drop.
+    Returns the container digest.
+    """
+    if isinstance(shards, ScanShard):
+        shards = [shards]
+    else:
+        shards = list(shards)
+    if not shards:
+        raise ValueError("nothing to drop")
+    day = shards[0].day
+    if any(shard.day != day for shard in shards):
+        raise ValueError("a shard drop holds exactly one day")
+    sources = [shard.source for shard in shards]
+    if sources != sorted(sources) or len(set(sources)) != len(sources):
+        raise ValueError("shards must be in strictly increasing source order")
+    needed = []
+    seen = set()
+    for shard in shards:
+        for fingerprint in shard.fingerprints:
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                needed.append(fingerprint)
+    missing = [fp for fp in needed if fp not in certificates]
+    if missing:
+        raise ValueError(
+            f"missing certificate DER for {len(missing)} drop "
+            f"fingerprint(s), first {missing[0].hex()}"
+        )
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    writer = SegmentWriter(
+        tmp,
+        meta={
+            "kind": "shard-drop",
+            "day": day,
+            "shards": [
+                {"source": shard.source, "n": len(shard)} for shard in shards
+            ],
+            "n_certificates": len(needed),
+        },
+        format=FORMAT_VERSION,
+    )
+    try:
+        for index, shard in enumerate(shards):
+            prefix = f"s{index}."
+            writer.add_array(prefix + "ip", shard.ip)
+            writer.add_array(prefix + "cert_id", shard.cert_id)
+            writer.add_array(prefix + "entity_id", shard.entity_id)
+            writer.add_array(prefix + "handshake_id", shard.handshake_id)
+            writer.add_bytes(
+                prefix + "fingerprints",
+                pack_fingerprints(shard.fingerprints), stride=32,
+            )
+            writer.add_json(prefix + "entities", shard.entities)
+            writer.add_json(
+                prefix + "handshakes",
+                [list(record) for record in shard.handshakes],
+            )
+        writer.add_bytes(
+            "cert_fingerprints", pack_fingerprints(needed), stride=32
+        )
+        offsets = array("Q", (0,))
+
+        def der_chunks():
+            for fingerprint in needed:
+                record = pack_der_record(certificates[fingerprint].to_der())
+                offsets.append(offsets[-1] + len(record))
+                yield record
+
+        writer.add_chunks("certificates.der", der_chunks())
+        writer.add_array("cert_offsets", offsets)
+        digest = writer.close()
+    except BaseException:
+        writer.abort()
+        raise
+    tmp.replace(path)
+    obs.inc("ingest.drops_written")
+    return digest
+
+
+def read_shard_drop(path: Union[str, pathlib.Path]) -> ShardDrop:
+    """Load a :func:`write_shard_drop` file back into shards + DER.
+
+    Columns are materialized (a drop is consumed once, not queried in
+    place), certificates re-parsed through ``Certificate.from_der`` —
+    the same ground-truth path every stored corpus takes.
+    """
+    reader = SegmentReader(path)
+    try:
+        meta = reader.meta
+        if reader.format != FORMAT_VERSION or meta.get("kind") != "shard-drop":
+            raise ValueError(f"not a shard drop container: {path}")
+        day = meta["day"]
+        shards = []
+        for index, entry in enumerate(meta["shards"]):
+            prefix = f"s{index}."
+            shards.append(ScanShard(
+                day,
+                entry["source"],
+                as_array(reader.array(prefix + "ip")),
+                as_array(reader.array(prefix + "cert_id")),
+                as_array(reader.array(prefix + "entity_id")),
+                as_array(reader.array(prefix + "handshake_id")),
+                unpack_fingerprints(reader.raw(prefix + "fingerprints")),
+                list(reader.json(prefix + "entities")),
+                [
+                    HandshakeRecord(*record)
+                    for record in reader.json(prefix + "handshakes")
+                ],
+            ))
+        fingerprints = unpack_fingerprints(reader.raw("cert_fingerprints"))
+        certificates = {
+            fingerprint: Certificate.from_der(der)
+            for fingerprint, der in zip(
+                fingerprints, iter_der_records(reader.raw("certificates.der"))
+            )
+        }
+    finally:
+        reader.close()
+    return ShardDrop(day=day, shards=tuple(shards), certificates=certificates)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,161 @@
+"""The ``repro ingest --watch`` daemon: a polling shard-drop ingester.
+
+The O(day) append path (:func:`~repro.io.store.append_shards`) assumed
+someone calls it; this module is that someone, run continuously.  A scan
+producer writes one :func:`~repro.io.store.write_shard_drop` file per
+day into a drop directory (atomic rename, so a drop is either absent or
+complete); :class:`WatchIngestor` polls the directory, orders pending
+drops by scan day (an O(1) ``read_container_meta`` peek per file — the
+columns stay unread until ingestion), and delta-appends each into the
+watched corpus.
+
+Crash-safety mirrors the drop writer: the grown container is assembled
+next to the corpus and swapped in with one atomic rename, so a reader
+mapping the corpus never sees a partial append and a daemon killed
+mid-ingest leaves the previous corpus intact and the drop file pending.
+Processed drops are renamed ``<name>.done``; drops the append rejects
+(wrong day order, missing certificates, truncated container) become
+``<name>.rejected`` and never block later days.
+
+Because every ingest *is* ``append_shards``, the grown corpus is
+byte-identical to what a direct ``repro append`` of the same day would
+produce — append-path invariance extends to the daemon.
+
+Observability: the ingester publishes ``ingest.last_day`` /
+``ingest.watch_polls`` and mutates a caller-shared health dict
+(``last_append_day``, ``files_ingested``, ``files_rejected``,
+``last_error``) that the live plane's ``/healthz`` endpoint surfaces.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from typing import Dict, List, Optional, Union
+
+from ..obs import runtime as obs
+from .encoding import SegmentError, read_container_meta
+from .store import AppendResult, append_shards, read_shard_drop
+
+__all__ = ["WatchIngestor", "DROP_SUFFIX"]
+
+#: The drop-file extension the watcher polls for (``repro shard`` writes).
+DROP_SUFFIX = ".rps"
+
+
+class WatchIngestor:
+    """Polls a drop directory and delta-appends arriving days.
+
+    One instance owns one corpus; :meth:`poll` is re-entrant-free and
+    single-threaded by design (appends must serialize — each one's base
+    is the previous one's output).  :meth:`run` wraps polling in a
+    stoppable loop for daemon use.
+    """
+
+    def __init__(
+        self,
+        corpus: Union[str, pathlib.Path],
+        drop_dir: Union[str, pathlib.Path],
+        health: Optional[Dict] = None,
+    ) -> None:
+        self.corpus = pathlib.Path(corpus)
+        self.drop_dir = pathlib.Path(drop_dir)
+        #: Mutated in place on every ingest; share it with a
+        #: :class:`~repro.obs.live.LiveServer` to surface it at /healthz.
+        self.health = health if health is not None else {}
+        self.health.setdefault("corpus", str(self.corpus))
+        self.health.setdefault("drop_dir", str(self.drop_dir))
+        self.health.setdefault("files_ingested", 0)
+        self.health.setdefault("files_rejected", 0)
+        self.polls = 0
+        self.ingested = 0
+        self.rejected = 0
+
+    # --- discovery -------------------------------------------------------------
+
+    def pending(self) -> List[pathlib.Path]:
+        """Complete drop files awaiting ingestion, in scan-day order.
+
+        Day order is what ``append_shards`` requires; name order breaks
+        ties deterministically.  Files whose trailer cannot be read yet
+        are skipped this poll (the writer renames atomically, so this
+        only happens for foreign files, which will be rejected once
+        they stop changing — never for an in-progress ``.tmp``).
+        """
+        candidates = []
+        for path in sorted(self.drop_dir.glob(f"*{DROP_SUFFIX}")):
+            try:
+                meta = read_container_meta(path)
+                day = meta["meta"]["day"]
+            except (SegmentError, KeyError, OSError, ValueError):
+                self._reject(path, "unreadable drop container")
+                continue
+            candidates.append((day, path.name, path))
+        return [path for _, _, path in sorted(candidates)]
+
+    # --- ingestion -------------------------------------------------------------
+
+    def ingest(self, path: pathlib.Path) -> Optional[AppendResult]:
+        """Append one drop file; returns the result, or None on reject."""
+        try:
+            drop = read_shard_drop(path)
+            grown = self.corpus.with_name(self.corpus.name + ".growing")
+            result = append_shards(
+                self.corpus, list(drop.shards), drop.certificates, grown
+            )
+            grown.replace(self.corpus)
+        except (SegmentError, ValueError, OSError, KeyError) as error:
+            self._reject(path, str(error))
+            return None
+        path.replace(path.with_name(path.name + ".done"))
+        self.ingested += 1
+        self.health["files_ingested"] = self.ingested
+        self.health["last_append_day"] = drop.day
+        self.health["last_digest"] = result.digest
+        obs.gauge("ingest.last_day", float(drop.day))
+        obs.inc("ingest.files_ingested")
+        return result
+
+    def _reject(self, path: pathlib.Path, reason: str) -> None:
+        try:
+            path.replace(path.with_name(path.name + ".rejected"))
+        except OSError:
+            pass
+        self.rejected += 1
+        self.health["files_rejected"] = self.rejected
+        self.health["last_error"] = f"{path.name}: {reason}"
+        obs.inc("ingest.files_rejected")
+
+    def poll(self) -> List[AppendResult]:
+        """One pass over the drop directory; returns the day appends."""
+        self.polls += 1
+        obs.inc("ingest.watch_polls")
+        results = []
+        for path in self.pending():
+            result = self.ingest(path)
+            if result is not None:
+                results.append(result)
+        return results
+
+    def run(
+        self,
+        interval: float = 2.0,
+        stop: Optional[threading.Event] = None,
+        max_days: Optional[int] = None,
+    ) -> int:
+        """Poll until stopped (or until ``max_days`` days have landed).
+
+        Returns the number of ingested drop files.  ``stop`` is shared
+        with the hosting process (the CLI sets it from SIGINT); the loop
+        wakes immediately when it fires.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive seconds")
+        stop = stop if stop is not None else threading.Event()
+        ingested = 0
+        while not stop.is_set():
+            ingested += len(self.poll())
+            if max_days is not None and ingested >= max_days:
+                break
+            stop.wait(interval)
+        return ingested

@@ -1,31 +1,45 @@
 """Exporters: JSONL traces, Prometheus-style text, ASCII span trees.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * :func:`write_trace` — the machine-readable artifact (``--trace
   out.jsonl``): one JSON object per line, a ``meta`` header first, then
   every span in completion order (schema in ``docs/observability.md``);
+* :class:`RotatingJsonlSink` — the streaming twin for daemons: a span
+  completion sink (``Tracer.add_sink``) that flushes each span as it
+  finishes into size-capped, atomically-rotated JSONL files, with a
+  deterministic 1-in-N sampling knob (``REPRO_OBS_SAMPLE``);
 * :func:`prometheus_text` — a scrape-style text dump of the registry
-  (``repro_dedup_certs_collapsed_total 123``), sorted for diffing;
+  (``repro_dedup_certs_collapsed_total 123``), sorted for diffing —
+  also what the live plane's ``/metrics`` endpoint serves;
 * :func:`render_span_tree` — the human summary ``repro profile`` prints:
   the span hierarchy with wall/CPU seconds and share of the run, with
   high-cardinality siblings (``scan/day=…`` ×222) collapsed into one
-  aggregate line.
+  aggregate line (summed parallel aggregates are marked ``(parallel)``
+  and shown against their parent's wall clock).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import re
 from typing import Dict, List, Optional, Union
 
 from .metrics import MetricsRegistry
-from .trace import Tracer
+from .trace import Span, Tracer
 
-__all__ = ["write_trace", "prometheus_text", "render_span_tree", "counter_table"]
+__all__ = [
+    "write_trace", "prometheus_text", "render_span_tree", "counter_table",
+    "RotatingJsonlSink", "SAMPLE_ENV",
+]
 
 TRACE_SCHEMA = 1
+
+#: Environment knob: span sampling rate for streaming sinks (a float in
+#: (0, 1]; 0.1 keeps every 10th completed span, deterministically).
+SAMPLE_ENV = "REPRO_OBS_SAMPLE"
 
 #: Siblings sharing a ``name=value`` pattern collapse past this count.
 _COLLAPSE_AT = 4
@@ -52,17 +66,50 @@ def _metric_name(name: str, suffix: str = "") -> str:
     return "repro_" + _NAME_SANITIZE.sub("_", name) + suffix
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _grouped(names, suffix: str = "") -> "list[tuple[str, list[str]]]":
+    """Registry names grouped by their sanitized exposition name.
+
+    Dots sanitize to underscores, so distinct registry names can land on
+    the same output metric (``a.b`` and ``a_b``).  Exposition text allows
+    one ``TYPE`` line per metric, so colliding names become one metric
+    family with the original registry name carried in a ``name`` label.
+    """
+    groups: Dict[str, List[str]] = {}
+    for name in sorted(names):
+        groups.setdefault(_metric_name(name, suffix), []).append(name)
+    return sorted(groups.items())
+
+
 def prometheus_text(metrics: MetricsRegistry) -> str:
     """The registry in Prometheus exposition format (sorted, diffable)."""
     lines: List[str] = []
-    for name in sorted(metrics.counters):
-        full = _metric_name(name, "_total")
+    for full, group in _grouped(metrics.counters, "_total"):
         lines.append(f"# TYPE {full} counter")
-        lines.append(f"{full} {metrics.counters[name]}")
-    for name in sorted(metrics.gauges):
-        full = _metric_name(name)
+        if len(group) == 1:
+            lines.append(f"{full} {metrics.counters[group[0]]}")
+        else:
+            lines.extend(
+                f'{full}{{name="{_escape_label(name)}"}} '
+                f"{metrics.counters[name]}"
+                for name in group
+            )
+    for full, group in _grouped(metrics.gauges):
         lines.append(f"# TYPE {full} gauge")
-        lines.append(f"{full} {metrics.gauges[name]:g}")
+        if len(group) == 1:
+            lines.append(f"{full} {metrics.gauges[group[0]]:g}")
+        else:
+            lines.extend(
+                f'{full}{{name="{_escape_label(name)}"}} '
+                f"{metrics.gauges[name]:g}"
+                for name in group
+            )
     for name in sorted(metrics.histograms):
         bounds, counts, total, n = metrics.histograms[name]
         full = _metric_name(name)
@@ -77,6 +124,104 @@ def prometheus_text(metrics: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+class RotatingJsonlSink:
+    """Streaming JSONL trace sink for long-running processes.
+
+    Attach with ``tracer.add_sink(sink)``: every completed span is
+    serialized and flushed immediately, so a crash loses at most the
+    span in flight and a daemon never buffers an unbounded trace.  When
+    the live file exceeds ``max_bytes`` it is rotated atomically —
+    ``path`` → ``path.1`` → … → ``path.<max_files-1>``, oldest deleted —
+    via ``os.replace``, so a tailing reader always sees a complete file.
+
+    Sampling: ``sample`` (default: the ``REPRO_OBS_SAMPLE`` environment
+    knob) is a rate in (0, 1]; the sink keeps every ``round(1/rate)``-th
+    completed span, counted deterministically, so two identical runs
+    sample identical spans.  Each file opens with a ``meta`` header line
+    recording the schema, process, rotation sequence, and the stride.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        max_bytes: int = 4 << 20,
+        max_files: int = 4,
+        sample: Optional[float] = None,
+        process: str = "main",
+    ) -> None:
+        if max_files < 1:
+            raise ValueError("max_files must be at least 1")
+        if sample is None:
+            raw = os.environ.get(SAMPLE_ENV)
+            sample = float(raw) if raw else 1.0
+        if not 0.0 < sample <= 1.0:
+            raise ValueError(f"sample rate out of (0, 1]: {sample}")
+        self.path = pathlib.Path(path)
+        self.max_bytes = max_bytes
+        self.max_files = max_files
+        self.stride = max(1, round(1.0 / sample))
+        self.process = process
+        self.seen = 0
+        self.written = 0
+        self.rotations = 0
+        self._handle = None
+        self._size = 0
+
+    # --- the completion-sink protocol -----------------------------------------
+
+    def __call__(self, span: Span) -> None:
+        self.seen += 1
+        if (self.seen - 1) % self.stride:
+            return
+        record = span.to_dict()
+        record["type"] = "span"
+        line = json.dumps(record, default=str) + "\n"
+        if self._handle is None:
+            self._open()
+        self._handle.write(line)
+        self._handle.flush()
+        self._size += len(line)
+        self.written += 1
+        if self._size >= self.max_bytes:
+            self._rotate()
+
+    # --- file management -------------------------------------------------------
+
+    def _open(self) -> None:
+        header = json.dumps({
+            "type": "meta", "schema": TRACE_SCHEMA, "process": self.process,
+            "streaming": True, "sequence": self.rotations,
+            "sample_stride": self.stride,
+        }) + "\n"
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(header)
+        self._handle.flush()
+        self._size = len(header)
+
+    def _rotate(self) -> None:
+        self._handle.close()
+        self._handle = None
+        for index in range(self.max_files - 1, 0, -1):
+            older = self._rotated_path(index)
+            newer = (
+                self.path if index == 1 else self._rotated_path(index - 1)
+            )
+            if newer.exists():
+                os.replace(newer, older)
+        if self.max_files == 1:
+            self.path.unlink(missing_ok=True)
+        self.rotations += 1
+
+    def _rotated_path(self, index: int) -> pathlib.Path:
+        return self.path.with_name(f"{self.path.name}.{index}")
+
+    def close(self) -> None:
+        """Flush and close the live file (rotated files stay in place)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
 def counter_table(metrics: MetricsRegistry) -> str:
     """Compact human counter summary (name, value), sorted."""
     if not metrics.counters:
@@ -89,7 +234,15 @@ def counter_table(metrics: MetricsRegistry) -> str:
 
 
 def render_span_tree(trace: Tracer, max_depth: Optional[int] = None) -> str:
-    """ASCII tree of the trace: wall, CPU, and share of the run."""
+    """ASCII tree of the trace: wall, CPU, and share of the run.
+
+    ``share`` is each span's wall clock as a fraction of the run total.
+    Collapsed aggregate rows *sum* their members' wall time, and members
+    that ran concurrently (worker fan-out) can sum past their parent's
+    elapsed wall — such rows are marked ``(parallel)`` and their share is
+    computed against the parent's wall clock instead, so ``164.1%`` reads
+    as "1.6× parallelism inside this stage", not a bookkeeping error.
+    """
     spans = trace.export_spans()
     if not spans:
         return "(no spans recorded)"
@@ -108,23 +261,28 @@ def render_span_tree(trace: Tracer, max_depth: Optional[int] = None) -> str:
         f"{'span':<{name_width}} {'wall':>9} {'cpu':>9} {'share':>7}",
     ]
 
-    def emit(record: dict, depth: int) -> None:
+    def emit(record: dict, depth: int, parent_wall: float) -> None:
         indent = "  " * depth
         label = indent + record["name"]
         count = record.get("_count")
         if count:
             label += f"  x{count}"
+        share_base = total_wall
+        if count and parent_wall and record["wall"] > parent_wall:
+            # Summed concurrent siblings exceed the stage's elapsed time.
+            label += "  (parallel)"
+            share_base = parent_wall
         lines.append(
             f"{label:<{name_width}} {record['wall']:>8.3f}s "
-            f"{record['cpu']:>8.3f}s {record['wall'] / total_wall:>6.1%}"
+            f"{record['cpu']:>8.3f}s {record['wall'] / share_base:>6.1%}"
         )
         if max_depth is not None and depth + 1 >= max_depth:
             return
         for child in _collapsed(children.get(record["id"], [])):
-            emit(child, depth + 1)
+            emit(child, depth + 1, record["wall"])
 
     for root in _collapsed(roots):
-        emit(root, 0)
+        emit(root, 0, total_wall)
     return "\n".join(lines)
 
 

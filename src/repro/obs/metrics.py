@@ -21,15 +21,47 @@ scheduled across workers.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = ["MetricsRegistry", "DEFAULT_BUCKETS", "estimate_quantile"]
 
 #: Default histogram bucket upper bounds — a 1/2/5 ladder wide enough for
 #: group sizes, scan counts, and millisecond timings alike.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
 )
+
+
+def estimate_quantile(histogram: Sequence, q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile of one bucketed histogram entry.
+
+    ``histogram`` is the registry's ``[bounds, counts, sum, n]`` cell.
+    The estimate interpolates linearly inside the bucket holding the
+    target rank — exact to within one bucket of the 1/2/5 ladder, which
+    is the usual Prometheus ``histogram_quantile`` accuracy contract.
+    Samples past the last bound (the ``+Inf`` bucket) clamp to the last
+    finite bound; an empty histogram returns None.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q}")
+    bounds, counts, _, n = histogram
+    if not n:
+        return None
+    rank = q * n
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        cumulative += count
+        if cumulative >= rank:
+            if index >= len(bounds):
+                # Overflow bucket: no finite upper edge to interpolate to.
+                return float(bounds[-1])
+            lower = float(bounds[index - 1]) if index else 0.0
+            upper = float(bounds[index])
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * fraction
+    return float(bounds[-1])
 
 
 class MetricsRegistry:

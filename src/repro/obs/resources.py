@@ -1,0 +1,194 @@
+"""Process resource telemetry: memory, descriptors, CPU, paging deltas.
+
+The readers here are zero-dependency ``/proc`` parsers (promoted out of
+``benchmarks/bench_perf_substrates.py``, which now imports them), each
+degrading to ``None`` where the kernel surface is missing so callers can
+run unchanged off-Linux:
+
+* :func:`rss_bytes` / :func:`uss_bytes` — resident and unique set sizes
+  from ``/proc/self/smaps_rollup`` (USS = ``Private_Clean`` +
+  ``Private_Dirty``: the pages this process holds that nobody shares —
+  mapped corpus columns live in the shared page cache, so a worker's USS
+  is exactly what the fan-out *adds* per process);
+* :func:`open_fds` — open descriptor count from ``/proc/self/fd``;
+* :func:`cpu_seconds` — user+system CPU from ``os.times()`` (portable).
+
+:func:`sample_into` publishes one reading of everything as gauges on a
+:class:`~repro.obs.metrics.MetricsRegistry` (``process.rss_bytes``,
+``process.uss_bytes``, ``process.open_fds``, ``process.cpu_seconds``),
+plus paging telemetry: the global ``io.bytes_materialized`` counter's
+delta since the previous sample as ``io.bytes_materialized_delta``, and
+a cumulative ``io.materialized_bytes.<label>`` gauge per watched mapped
+container (the bytes its reader has decoded out of the map so far).
+
+:class:`ResourceSampler` wraps that in a daemon thread for long-running
+processes — the live plane's ``/metrics`` endpoint then exports current
+resource gauges on every scrape.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "smaps_rollup",
+    "rss_bytes",
+    "uss_bytes",
+    "open_fds",
+    "cpu_seconds",
+    "sample_into",
+    "ResourceSampler",
+]
+
+_SMAPS_PATH = "/proc/self/smaps_rollup"
+_FD_PATH = "/proc/self/fd"
+
+_KIB_FIELDS = ("Rss", "Pss", "Private_Clean", "Private_Dirty", "Swap")
+
+
+def smaps_rollup() -> Optional[Dict[str, int]]:
+    """Parsed ``/proc/self/smaps_rollup`` in bytes, or None off-Linux."""
+    try:
+        with open(_SMAPS_PATH) as rollup:
+            text = rollup.read()
+    except OSError:
+        return None
+    fields: Dict[str, int] = {}
+    for line in text.splitlines():
+        name, _, rest = line.partition(":")
+        if name in _KIB_FIELDS:
+            fields[name] = int(rest.split()[0]) * 1024
+    return fields
+
+
+def rss_bytes() -> Optional[int]:
+    """This process's resident set size, or None off-Linux."""
+    fields = smaps_rollup()
+    return None if fields is None else fields.get("Rss")
+
+
+def uss_bytes() -> Optional[int]:
+    """This process's unique set size, or None off-Linux.
+
+    ``Private_Clean + Private_Dirty``: the pages this process holds that
+    no one else shares.  Mapped columns live in the (shared) page cache,
+    so a worker's USS is exactly the memory the fan-out *adds* per
+    process.
+    """
+    fields = smaps_rollup()
+    if fields is None:
+        return None
+    return fields.get("Private_Clean", 0) + fields.get("Private_Dirty", 0)
+
+
+def open_fds() -> Optional[int]:
+    """Open file-descriptor count, or None where /proc/self/fd is absent."""
+    try:
+        return len(os.listdir(_FD_PATH))
+    except OSError:
+        return None
+
+
+def cpu_seconds() -> float:
+    """User + system CPU seconds consumed by this process (portable)."""
+    times = os.times()
+    return times.user + times.system
+
+
+def sample_into(
+    registry: MetricsRegistry,
+    watched: Optional[dict] = None,
+    previous_materialized: Optional[int] = None,
+) -> Dict[str, float]:
+    """Publish one resource reading as gauges; returns what was set.
+
+    ``watched`` maps a label to an object with a ``bytes_materialized``
+    attribute (a :class:`~repro.io.encoding.SegmentReader` or a backend
+    exposing its reader) — each is published as the cumulative gauge
+    ``io.materialized_bytes.<label>``.  ``previous_materialized`` is the
+    global ``io.bytes_materialized`` counter at the previous sample; when
+    given, the delta is published as ``io.bytes_materialized_delta``.
+    """
+    sampled: Dict[str, float] = {}
+    memory = smaps_rollup()
+    if memory is not None:
+        sampled["process.rss_bytes"] = float(memory.get("Rss", 0))
+        sampled["process.uss_bytes"] = float(
+            memory.get("Private_Clean", 0) + memory.get("Private_Dirty", 0)
+        )
+    fds = open_fds()
+    if fds is not None:
+        sampled["process.open_fds"] = float(fds)
+    sampled["process.cpu_seconds"] = cpu_seconds()
+    if previous_materialized is not None:
+        current = registry.counters.get("io.bytes_materialized", 0)
+        sampled["io.bytes_materialized_delta"] = float(
+            current - previous_materialized
+        )
+    for label, reader in (watched or {}).items():
+        sampled[f"io.materialized_bytes.{label}"] = float(
+            getattr(reader, "bytes_materialized", 0)
+        )
+    for name, value in sampled.items():
+        registry.gauge(name, value)
+    return sampled
+
+
+class ResourceSampler:
+    """Background thread publishing resource gauges at a fixed cadence.
+
+    The thread is a daemon — it never blocks interpreter exit — and
+    wakes immediately on :meth:`stop`.  One sample is taken synchronously
+    at :meth:`start`, so the gauges exist before the first scrape.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, interval: float = 5.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive seconds")
+        self.registry = registry
+        self.interval = interval
+        self.samples = 0
+        self._watched: Dict[str, object] = {}
+        self._previous: Optional[int] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def watch(self, label: str, reader) -> None:
+        """Track a mapped container's per-reader materialization gauge."""
+        self._watched[label] = reader
+
+    def sample(self) -> Dict[str, float]:
+        """One synchronous reading (also what the thread runs)."""
+        sampled = sample_into(
+            self.registry, self._watched, previous_materialized=self._previous
+        )
+        self._previous = self.registry.counters.get("io.bytes_materialized", 0)
+        self.samples += 1
+        return sampled
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self.sample()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-resources", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop the thread (idempotent; joins briefly)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

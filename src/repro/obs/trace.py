@@ -19,6 +19,15 @@ home with their task results; :meth:`Tracer.adopt` re-numbers them into
 the parent's id space and hangs the worker's root spans under the span
 that was active when the fan-out started (see :mod:`repro.obs.runtime`).
 
+Long-running processes (the ``repro ingest --watch`` daemon, the future
+``repro serve``) cannot buffer a whole run's spans: :meth:`Tracer.add_sink`
+streams each span to a callback the moment it completes (the
+:class:`~repro.obs.export.RotatingJsonlSink` and the live plane's
+latency recorder plug in here), and :attr:`Tracer.retain` bounds the
+in-memory completed-span list to a recent tail.  Both are off by
+default; the completion path then costs one extra ``None`` check, and
+``mark()``/``export_spans()`` keep their exact batch semantics.
+
 When tracing is off, call sites receive :data:`NULL_SPAN` — a shared
 no-op context manager — so instrumentation costs one ``None`` check.
 """
@@ -74,6 +83,8 @@ class Span:
         popped = tracer._stack.pop()
         assert popped is self, "span exit order violated"
         tracer.spans.append(self)
+        if tracer._live is not None:
+            tracer._live(self)
 
     def to_dict(self) -> dict:
         """Plain-data form (picklable, JSON-serializable)."""
@@ -122,6 +133,14 @@ class Tracer:
         self.spans: List[Span] = []
         self._stack: List[Span] = []
         self._next_id = 1
+        #: Streaming mode (None when off — the batch default): completion
+        #: callback driving the sinks and the retain trim.
+        self._live = None
+        self._sinks: "tuple" = ()
+        self._retain: Optional[int] = None
+        #: Spans trimmed off the front of ``spans`` by the retain bound;
+        #: offsets ``mark()`` so delta exports stay consistent.
+        self._dropped = 0
 
     def span(self, name: str, **attributes: Any) -> Span:
         """A new span, parented under the currently open one on entry."""
@@ -133,12 +152,67 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def export_spans(self, since: int = 0) -> List[dict]:
-        """Completed spans (after index ``since``) as plain data."""
-        return [span.to_dict() for span in self.spans[since:]]
+        """Completed spans (after watermark ``since``) as plain data."""
+        return [
+            span.to_dict()
+            for span in self.spans[max(0, since - self._dropped):]
+        ]
 
     def mark(self) -> int:
         """Watermark for :meth:`export_spans` deltas."""
-        return len(self.spans)
+        return self._dropped + len(self.spans)
+
+    @property
+    def completed_total(self) -> int:
+        """Spans completed over the tracer's lifetime (trimmed or not)."""
+        return self._dropped + len(self.spans)
+
+    # --- streaming (the live plane) -------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Stream every completed span to ``sink(span)`` as it finishes.
+
+        Sinks run synchronously on the completing thread, in add order.
+        Exporters that buffer or rotate (``RotatingJsonlSink``) and the
+        live latency recorder both plug in here; a sink must never
+        raise (a raising sink would abort the instrumented work).
+        """
+        self._sinks = (*self._sinks, sink)
+        self._live = self._on_complete
+
+    def remove_sink(self, sink) -> None:
+        """Detach a previously added sink (missing sinks are ignored)."""
+        self._sinks = tuple(s for s in self._sinks if s is not sink)
+        if not self._sinks and self._retain is None:
+            self._live = None
+
+    @property
+    def retain(self) -> Optional[int]:
+        """Completed-span tail length to keep in memory (None: unbounded)."""
+        return self._retain
+
+    @retain.setter
+    def retain(self, value: Optional[int]) -> None:
+        if value is not None and value < 1:
+            raise ValueError("retain must be a positive span count")
+        self._retain = value
+        if value is not None:
+            self._live = self._on_complete
+            self._trim()
+        elif not self._sinks:
+            self._live = None
+
+    def _on_complete(self, span: Span) -> None:
+        for sink in self._sinks:
+            sink(span)
+        if self._retain is not None:
+            self._trim()
+
+    def _trim(self) -> None:
+        excess = len(self.spans) - self._retain
+        if excess > 0:
+            del self.spans[:excess]
+            self._dropped += excess
 
     def adopt(self, exported: List[dict], parent_id: Optional[int] = None) -> None:
         """Graft spans exported from another tracer into this tree.
@@ -167,3 +241,5 @@ class Tracer:
             span.cpu = record.get("cpu", 0.0)
             span.process = record.get("process", "worker")
             self.spans.append(span)
+            if self._live is not None:
+                self._live(span)

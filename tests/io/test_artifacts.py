@@ -336,3 +336,59 @@ class TestDigestEncoding:
         )
         other = ScanDataset(scans, dict(dataset.certificates))
         assert other.corpus_digest() != dataset.corpus_digest()
+
+
+class TestLineageTruncation:
+    """The 64-entry lineage cap: counted, warned once, chain bounded."""
+
+    def test_cap_increments_counter_and_warns_once(self, tmp_path, monkeypatch):
+        import json
+        import warnings
+
+        monkeypatch.setattr(artifacts_mod, "_LINEAGE_MAX_CHAIN", 3)
+        monkeypatch.setattr(artifacts_mod, "_LINEAGE_WARNED", False)
+        registry = MetricsRegistry()
+        obs_runtime.activate(metrics=registry)
+        try:
+            cache = ArtifactCache(tmp_path / "cache")
+            digests = [f"d{i}" for i in range(7)]
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                for base, digest in zip(digests, digests[1:]):
+                    cache.record_lineage(digest, base)
+        finally:
+            obs_runtime.deactivate()
+        # Chains grow 1, 2, 3, then overflow by one on each later append.
+        assert registry.counters["artifacts.lineage_truncated"] == 3
+        lineage_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        # One audible heads-up per process, not one per append.
+        assert len(lineage_warnings) == 1
+        assert "capped" in str(lineage_warnings[0].message)
+        assert "cold rebuild" in str(lineage_warnings[0].message)
+        lineage = json.loads(
+            (tmp_path / "cache" / "lineage.json").read_text()
+        )
+        # Every stored chain stays within the cap, newest ancestors kept.
+        assert all(len(entry["chain"]) <= 3 for entry in lineage.values())
+        assert lineage["d6"]["chain"] == ["d3", "d4", "d5"]
+        assert lineage["d6"]["base"] == "d5"
+
+    def test_under_cap_records_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(artifacts_mod, "_LINEAGE_WARNED", False)
+        registry = MetricsRegistry()
+        obs_runtime.activate(metrics=registry)
+        try:
+            cache = ArtifactCache(tmp_path / "cache")
+            cache.record_lineage("d1", "d0")
+            cache.record_lineage("d2", "d1")
+        finally:
+            obs_runtime.deactivate()
+        assert "artifacts.lineage_truncated" not in registry.counters
+        assert artifacts_mod._LINEAGE_WARNED is False
+
+    def test_self_lineage_is_noop(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        cache.record_lineage("same", "same")
+        assert not (tmp_path / "cache" / "lineage.json").exists()

@@ -1,0 +1,276 @@
+"""Shard-drop files and the `repro ingest --watch` polling ingester.
+
+The wire contract: :func:`write_shard_drop` packages one scan day's
+shards + certificate DER into a single atomic ``.rps`` container,
+:func:`read_shard_drop` reproduces the shards exactly, and a
+:class:`WatchIngestor` that consumes drops grows the watched corpus
+*byte-identically* to a direct :func:`append_shards` of the same days —
+append-path invariance extends through the daemon's wire format.
+"""
+
+import threading
+
+import pytest
+
+from repro.internet.population import WorldConfig, build_world
+from repro.io.store import (
+    StreamingDatasetWriter,
+    read_shard_drop,
+    write_shard_drop,
+)
+from repro.io.watch import WatchIngestor
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.scanner.campaign import ScanCampaign
+from repro.scanner.engine import ScanEngine
+
+CONFIG = WorldConfig(
+    seed=31, n_devices=40, n_websites=12, n_generic_access=8,
+    n_enterprise=2, n_hosting=2, unused_roots=1,
+)
+
+#: Four scan days; "beta" scans every other one, so the second-to-last
+#: day drops two shards and the last day drops one.
+DAYS = tuple(CONFIG.start_day + offset for offset in range(60, 92, 8))
+
+
+def _schedule(campaigns):
+    return sorted(
+        ((day, campaign) for campaign in campaigns for day in campaign.scan_days),
+        key=lambda task: (task[0], task[1].name),
+    )
+
+
+def _write(world, campaigns, path, days):
+    """A corpus covering exactly ``days``, from a fresh engine."""
+    engine = ScanEngine(world)
+    writer = StreamingDatasetWriter(path)
+    for day, campaign in _schedule(campaigns):
+        if day in days:
+            writer.add_shard(engine.run_shard(campaign, day))
+    return writer.close(engine.certificate_store)
+
+
+def _day_shards(world, campaigns, day):
+    """Scan only ``day``; returns its shards plus the day's certificates."""
+    engine = ScanEngine(world)
+    shards = [
+        engine.run_shard(campaign, scan_day)
+        for scan_day, campaign in _schedule(campaigns) if scan_day == day
+    ]
+    return shards, dict(engine.certificate_store)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return (ScanCampaign("alpha", DAYS), ScanCampaign("beta", DAYS[::2]))
+
+
+@pytest.fixture(scope="module")
+def corpus(world, campaigns, tmp_path_factory):
+    """Full corpus, bases missing the last day(s), and per-day drops."""
+    directory = tmp_path_factory.mktemp("watch")
+    full = directory / "full.rpz"
+    base1 = directory / "base1.rpz"
+    base2 = directory / "base2.rpz"
+    _write(world, campaigns, full, set(DAYS))
+    _write(world, campaigns, base1, set(DAYS[:-1]))
+    _write(world, campaigns, base2, set(DAYS[:-2]))
+    tail = {
+        day: _day_shards(world, campaigns, day) for day in DAYS[-2:]
+    }
+    return {"dir": directory, "full": full, "base1": base1, "base2": base2,
+            "tail": tail}
+
+
+@pytest.fixture()
+def metrics():
+    registry = MetricsRegistry()
+    obs_runtime.activate(metrics=registry)
+    try:
+        yield registry
+    finally:
+        obs_runtime.deactivate()
+
+
+def _drop(corpus, day, path):
+    shards, certificates = corpus["tail"][day]
+    return write_shard_drop(shards, certificates, path)
+
+
+class TestShardDropFormat:
+    def test_round_trip_reproduces_shards_and_certificates(
+        self, corpus, tmp_path
+    ):
+        day = DAYS[-2]  # two campaigns scan it: a multi-shard drop
+        shards, certificates = corpus["tail"][day]
+        assert len(shards) == 2
+        path = tmp_path / "drop.rps"
+        write_shard_drop(shards, certificates, path)
+        drop = read_shard_drop(path)
+        assert drop.day == day
+        assert len(drop.shards) == len(shards)
+        for original, loaded in zip(shards, drop.shards):
+            assert loaded.day == original.day
+            assert loaded.source == original.source
+            assert list(loaded.ip) == list(original.ip)
+            assert list(loaded.cert_id) == list(original.cert_id)
+            assert list(loaded.entity_id) == list(original.entity_id)
+            assert list(loaded.handshake_id) == list(original.handshake_id)
+            assert loaded.fingerprints == list(original.fingerprints)
+            assert loaded.entities == list(original.entities)
+            assert loaded.handshakes == list(original.handshakes)
+        # Only the fingerprints the shards sight ride along, DER-exact.
+        sighted = {
+            fp for shard in shards for fp in shard.fingerprints
+        }
+        assert set(drop.certificates) == sighted
+        for fingerprint, certificate in drop.certificates.items():
+            assert certificate.to_der() == certificates[fingerprint].to_der()
+
+    def test_write_is_atomic(self, corpus, tmp_path):
+        path = tmp_path / "drop.rps"
+        _drop(corpus, DAYS[-1], path)
+        assert path.exists()
+        assert not path.with_name("drop.rps.tmp").exists()
+
+    def test_rejects_empty_mixed_and_unsorted(self, corpus, tmp_path):
+        path = tmp_path / "bad.rps"
+        with pytest.raises(ValueError, match="nothing to drop"):
+            write_shard_drop([], {}, path)
+        shards_a, certs_a = corpus["tail"][DAYS[-2]]
+        shards_b, certs_b = corpus["tail"][DAYS[-1]]
+        with pytest.raises(ValueError, match="exactly one day"):
+            write_shard_drop(
+                [shards_a[0], shards_b[0]], {**certs_a, **certs_b}, path
+            )
+        with pytest.raises(ValueError, match="source order"):
+            write_shard_drop(list(reversed(shards_a)), certs_a, path)
+        with pytest.raises(ValueError, match="source order"):
+            write_shard_drop([shards_a[0], shards_a[0]], certs_a, path)
+        assert not path.exists(), "validation must precede any write"
+
+    def test_rejects_missing_certificates(self, corpus, tmp_path):
+        path = tmp_path / "bad.rps"
+        shards, certificates = corpus["tail"][DAYS[-1]]
+        short = dict(certificates)
+        short.pop(shards[0].fingerprints[0])
+        with pytest.raises(ValueError, match="missing certificate"):
+            write_shard_drop(shards, short, path)
+        assert not path.exists()
+
+    def test_single_shard_needs_no_list(self, corpus, tmp_path):
+        shards, certificates = corpus["tail"][DAYS[-1]]
+        assert len(shards) == 1
+        path = tmp_path / "drop.rps"
+        write_shard_drop(shards[0], certificates, path)
+        assert read_shard_drop(path).shards[0].source == shards[0].source
+
+    def test_read_rejects_non_drop_container(self, corpus):
+        with pytest.raises(ValueError, match="not a shard drop"):
+            read_shard_drop(corpus["full"])
+
+
+class TestWatchIngestor:
+    def test_single_drop_grows_corpus_byte_identically(
+        self, corpus, tmp_path, metrics
+    ):
+        watched = tmp_path / "watched.rpz"
+        watched.write_bytes(corpus["base1"].read_bytes())
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        _drop(corpus, DAYS[-1], drops / "day-last.rps")
+        health = {}
+        ingestor = WatchIngestor(watched, drops, health=health)
+        results = ingestor.poll()
+        assert len(results) == 1
+        assert results[0].new_days == (DAYS[-1],)
+        # The daemon's growth is indistinguishable from a direct append
+        # of the same day — and from a full from-scratch build.
+        assert watched.read_bytes() == corpus["full"].read_bytes()
+        assert (drops / "day-last.rps.done").exists()
+        assert not (drops / "day-last.rps").exists()
+        assert health["last_append_day"] == DAYS[-1]
+        assert health["files_ingested"] == 1
+        assert health["last_digest"] == results[0].digest
+        assert metrics.counters["ingest.files_ingested"] == 1
+        assert metrics.counters["ingest.watch_polls"] == 1
+        assert metrics.gauges["ingest.last_day"] == float(DAYS[-1])
+
+    def test_pending_orders_by_day_not_name(self, corpus, tmp_path, metrics):
+        watched = tmp_path / "watched.rpz"
+        watched.write_bytes(corpus["base2"].read_bytes())
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        # Name order says the later day first; day order must win, or the
+        # earlier day would be rejected as out-of-order.
+        _drop(corpus, DAYS[-1], drops / "aa.rps")
+        _drop(corpus, DAYS[-2], drops / "zz.rps")
+        ingestor = WatchIngestor(watched, drops)
+        pending = ingestor.pending()
+        assert [path.name for path in pending] == ["zz.rps", "aa.rps"]
+        results = ingestor.poll()
+        assert [result.new_days for result in results] == [
+            (DAYS[-2],), (DAYS[-1],),
+        ]
+        assert watched.read_bytes() == corpus["full"].read_bytes()
+        assert ingestor.rejected == 0
+
+    def test_unreadable_drop_rejected_without_blocking(
+        self, corpus, tmp_path, metrics
+    ):
+        watched = tmp_path / "watched.rpz"
+        watched.write_bytes(corpus["base1"].read_bytes())
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        (drops / "garbage.rps").write_bytes(b"not a container")
+        _drop(corpus, DAYS[-1], drops / "good.rps")
+        health = {}
+        ingestor = WatchIngestor(watched, drops, health=health)
+        results = ingestor.poll()
+        # The bad file is quarantined; the good day still lands.
+        assert len(results) == 1
+        assert watched.read_bytes() == corpus["full"].read_bytes()
+        assert (drops / "garbage.rps.rejected").exists()
+        assert "garbage.rps" in health["last_error"]
+        assert health["files_rejected"] == 1
+        assert metrics.counters["ingest.files_rejected"] == 1
+
+    def test_out_of_order_day_rejected_corpus_untouched(
+        self, corpus, tmp_path, metrics
+    ):
+        watched = tmp_path / "watched.rpz"
+        watched.write_bytes(corpus["full"].read_bytes())
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        # The corpus already holds this day: append must refuse it.
+        _drop(corpus, DAYS[-1], drops / "stale.rps")
+        ingestor = WatchIngestor(watched, drops)
+        assert ingestor.poll() == []
+        assert (drops / "stale.rps.rejected").exists()
+        assert watched.read_bytes() == corpus["full"].read_bytes()
+        assert not (tmp_path / "watched.rpz.growing").exists()
+
+    def test_run_honors_max_days_and_stop(self, corpus, tmp_path, metrics):
+        watched = tmp_path / "watched.rpz"
+        watched.write_bytes(corpus["base1"].read_bytes())
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        _drop(corpus, DAYS[-1], drops / "day-last.rps")
+        ingestor = WatchIngestor(watched, drops)
+        assert ingestor.run(interval=0.01, max_days=1) == 1
+        assert watched.read_bytes() == corpus["full"].read_bytes()
+        # A pre-fired stop event returns without a single poll wait.
+        stop = threading.Event()
+        stop.set()
+        assert ingestor.run(interval=60.0, stop=stop) == 0
+
+    def test_run_interval_validation(self, corpus, tmp_path):
+        ingestor = WatchIngestor(tmp_path / "c.rpz", tmp_path)
+        with pytest.raises(ValueError, match="interval"):
+            ingestor.run(interval=0.0)

@@ -1,16 +1,20 @@
 """Exporter formats: JSONL trace, Prometheus text, ASCII span tree."""
 
 import json
+import re
+
+import pytest
 
 from repro.obs import (
     MetricsRegistry,
+    RotatingJsonlSink,
     Tracer,
     counter_table,
     prometheus_text,
     render_span_tree,
     write_trace,
 )
-from repro.obs.export import TRACE_SCHEMA
+from repro.obs.export import SAMPLE_ENV, TRACE_SCHEMA
 
 
 def _sample_tracer() -> Tracer:
@@ -64,6 +68,161 @@ class TestPrometheusText:
         assert prometheus_text(MetricsRegistry()) == ""
 
 
+class TestPrometheusEdgeCases:
+    """Sanitization collisions, label escaping, bucket-line ordering."""
+
+    def test_colliding_names_share_one_type_line(self):
+        # "a.b" and "a_b" both sanitize to repro_a_b_total; exposition
+        # format allows one TYPE line per metric, so the family carries
+        # the registry name in a label instead.
+        metrics = MetricsRegistry()
+        metrics.inc("ingest.files", 3)
+        metrics.inc("ingest_files", 5)
+        text = prometheus_text(metrics)
+        assert text.count("# TYPE repro_ingest_files_total counter") == 1
+        assert 'repro_ingest_files_total{name="ingest.files"} 3' in text
+        assert 'repro_ingest_files_total{name="ingest_files"} 5' in text
+        # No bare (unlabeled) sample may coexist with the labeled ones.
+        assert not re.search(r"^repro_ingest_files_total \d", text, re.M)
+
+    def test_colliding_gauges_get_name_labels(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("io.bytes", 1.5)
+        metrics.gauge("io_bytes", 2.5)
+        text = prometheus_text(metrics)
+        assert text.count("# TYPE repro_io_bytes gauge") == 1
+        assert 'repro_io_bytes{name="io.bytes"} 1.5' in text
+        assert 'repro_io_bytes{name="io_bytes"} 2.5' in text
+
+    def test_non_colliding_names_stay_unlabeled(self):
+        metrics = MetricsRegistry()
+        metrics.inc("dedup.collapsed", 1)
+        metrics.inc("dedup.considered", 2)
+        text = prometheus_text(metrics)
+        assert "repro_dedup_collapsed_total 1" in text
+        assert "{" not in text
+
+    def test_label_values_escape_backslash_quote_newline(self):
+        # Three registry names that all sanitize to the same family and
+        # contain every character the exposition format escapes.
+        metrics = MetricsRegistry()
+        metrics.inc('x"y', 1)
+        metrics.inc("x\\y", 2)
+        metrics.inc("x\ny", 3)
+        text = prometheus_text(metrics)
+        assert text.count("# TYPE repro_x_y_total counter") == 1
+        assert 'repro_x_y_total{name="x\\"y"} 1' in text
+        assert 'repro_x_y_total{name="x\\\\y"} 2' in text
+        assert 'repro_x_y_total{name="x\\ny"} 3' in text
+        # The escaped output itself must stay one physical line per sample.
+        assert all("# TYPE" in line or line.startswith("repro_")
+                   for line in text.splitlines())
+
+    def test_histogram_buckets_ordered_and_cumulative(self):
+        metrics = MetricsRegistry()
+        metrics.observe_many("lat", [0.5, 3, 3, 40, 10**9])
+        text = prometheus_text(metrics)
+        lines = text.splitlines()
+        bucket_lines = [line for line in lines
+                        if line.startswith("repro_lat_bucket")]
+        bounds = [re.search(r'le="([^"]+)"', line).group(1)
+                  for line in bucket_lines]
+        # +Inf renders last, finite bounds in strictly increasing order.
+        assert bounds[-1] == "+Inf"
+        finite = [float(bound) for bound in bounds[:-1]]
+        assert finite == sorted(finite)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts), "cumulative counts must be monotone"
+        assert counts[-1] == 5  # +Inf covers every sample, overflow included
+        # _sum and _count close the family, after every bucket line.
+        order = [lines.index(line) for line in bucket_lines]
+        sum_index = next(i for i, line in enumerate(lines)
+                         if line.startswith("repro_lat_sum "))
+        count_index = lines.index("repro_lat_count 5")
+        assert max(order) < sum_index < count_index
+
+
+class TestRotatingJsonlSink:
+    def _stream(self, sink, names):
+        tracer = Tracer(process="stream-test")
+        tracer.add_sink(sink)
+        for name in names:
+            with tracer.span(name):
+                pass
+        return tracer
+
+    def test_streams_spans_with_meta_header(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        sink = RotatingJsonlSink(path, process="stream-test")
+        self._stream(sink, ["a", "b"])
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0] == {
+            "type": "meta", "schema": TRACE_SCHEMA, "process": "stream-test",
+            "streaming": True, "sequence": 0, "sample_stride": 1,
+        }
+        assert [record["name"] for record in lines[1:]] == ["a", "b"]
+        assert all(record["type"] == "span" for record in lines[1:])
+        assert (sink.seen, sink.written) == (2, 2)
+
+    def test_each_span_is_flushed_immediately(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        sink = RotatingJsonlSink(path)
+        self._stream(sink, ["early"])
+        # Readable before close: a crash loses at most the span in flight.
+        assert "early" in path.read_text()
+        sink.close()
+
+    def test_rotation_is_size_capped_and_bounded(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        # max_bytes=1: every span write trips a rotation.
+        sink = RotatingJsonlSink(path, max_bytes=1, max_files=3)
+        self._stream(sink, [f"s{i}" for i in range(5)])
+        sink.close()
+        assert sink.rotations == 5
+        rotated_1 = tmp_path / "live.jsonl.1"
+        rotated_2 = tmp_path / "live.jsonl.2"
+        assert rotated_1.exists() and rotated_2.exists()
+        assert not (tmp_path / "live.jsonl.3").exists(), "max_files bounds"
+        # The newest rotated file holds the last span and its sequence.
+        lines = [json.loads(line)
+                 for line in rotated_1.read_text().splitlines()]
+        assert lines[0]["sequence"] == 4
+        assert lines[1]["name"] == "s4"
+        assert json.loads(rotated_2.read_text().splitlines()[1])["name"] == "s3"
+
+    def test_sampling_stride_is_deterministic(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        sink = RotatingJsonlSink(path, sample=0.5)
+        assert sink.stride == 2
+        self._stream(sink, [f"s{i}" for i in range(6)])
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["sample_stride"] == 2
+        # Keeps the 1st, 3rd, 5th completion — deterministically.
+        assert [record["name"] for record in lines[1:]] == ["s0", "s2", "s4"]
+        assert (sink.seen, sink.written) == (6, 3)
+
+    def test_sample_rate_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV, "0.25")
+        sink = RotatingJsonlSink(tmp_path / "live.jsonl")
+        assert sink.stride == 4
+
+    def test_invalid_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="sample rate"):
+            RotatingJsonlSink(tmp_path / "x.jsonl", sample=0.0)
+        with pytest.raises(ValueError, match="sample rate"):
+            RotatingJsonlSink(tmp_path / "x.jsonl", sample=1.5)
+        with pytest.raises(ValueError, match="max_files"):
+            RotatingJsonlSink(tmp_path / "x.jsonl", max_files=0)
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = RotatingJsonlSink(tmp_path / "live.jsonl")
+        self._stream(sink, ["a"])
+        sink.close()
+        sink.close()
+
+
 class TestCounterTable:
     def test_sorted_and_aligned(self):
         metrics = MetricsRegistry()
@@ -102,3 +261,41 @@ class TestSpanTree:
 
     def test_empty_tracer(self):
         assert "no spans" in render_span_tree(Tracer())
+
+    @staticmethod
+    def _fanned_out_trace(child_wall):
+        """A stage whose 4 collapsed children carry fabricated wall time."""
+        records = [{
+            "id": 1, "parent": None, "name": "link", "start": 0.0,
+            "wall": 1.0, "cpu": 0.9, "process": "main", "attrs": {},
+        }]
+        records.extend({
+            "id": index, "parent": 1, "name": f"link/feature={index}",
+            "start": 0.01, "wall": child_wall, "cpu": child_wall,
+            "process": f"worker-{index}", "attrs": {},
+        } for index in range(2, 6))
+        tracer = Tracer()
+        tracer.adopt(records)
+        return tracer
+
+    def test_parallel_aggregates_marked_and_shared_against_parent(self):
+        # 4 workers × 0.5s inside a 1.0s stage: the collapsed row sums to
+        # 2.0s — more wall than its parent elapsed.  It must be marked
+        # (parallel) and its share computed against the parent's wall
+        # (200% = 2× parallelism), not the run total.
+        rendered = self._fanned_out_trace(child_wall=0.5)
+        lines = render_span_tree(rendered).splitlines()
+        aggregate = next(line for line in lines if "link/feature=*" in line)
+        assert "x4" in aggregate
+        assert "(parallel)" in aggregate
+        assert "200.0%" in aggregate
+
+    def test_serial_aggregates_stay_unmarked(self):
+        # 4 × 0.2s inside a 1.0s stage sums below the parent's elapsed
+        # wall: a plain sequential aggregate, shared against the run.
+        rendered = self._fanned_out_trace(child_wall=0.2)
+        lines = render_span_tree(rendered).splitlines()
+        aggregate = next(line for line in lines if "link/feature=*" in line)
+        assert "x4" in aggregate
+        assert "(parallel)" not in aggregate
+        assert "80.0%" in aggregate

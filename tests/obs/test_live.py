@@ -1,0 +1,177 @@
+"""The live plane: LiveServer endpoints, LatencyRecorder, repro top."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    LatencyRecorder,
+    LiveServer,
+    MetricsRegistry,
+    Tracer,
+    render_top,
+)
+from repro.obs.live import LATENCY_BUCKETS_MS
+
+
+def _fetch(url: str) -> "tuple[bytes, str]":
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read(), response.headers.get("Content-Type", "")
+
+
+@pytest.fixture()
+def plane():
+    """A started server over a tracer/registry pair with data in both."""
+    tracer = Tracer(process="live-test")
+    registry = MetricsRegistry()
+    registry.inc("ingest.files_ingested", 3)
+    registry.gauge("process.rss_bytes", 4096.0)
+    tracer.add_sink(LatencyRecorder(registry))
+    with tracer.span("ingest/poll"):
+        pass
+    health = {"last_append_day": 413}
+    server = LiveServer(tracer, registry, health=health).start()
+    try:
+        yield server, tracer, registry, health
+    finally:
+        server.stop()
+
+
+class TestLiveServer:
+    def test_ephemeral_port_bound_and_url(self, plane):
+        server, _, _, _ = plane
+        assert server.port != 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_endpoint_serves_prometheus_text(self, plane):
+        server, _, _, _ = plane
+        body, ctype = _fetch(server.url + "/metrics")
+        text = body.decode()
+        assert ctype.startswith("text/plain")
+        assert "repro_ingest_files_ingested_total 3" in text
+        assert "repro_process_rss_bytes 4096" in text
+        assert "# TYPE repro_latency_ingest histogram" in text
+
+    def test_healthz_reports_liveness_and_health_dict(self, plane):
+        server, _, _, health = plane
+        body, ctype = _fetch(server.url + "/healthz")
+        payload = json.loads(body)
+        assert ctype.startswith("application/json")
+        assert payload["status"] == "ok"
+        assert payload["process"] == "live-test"
+        assert payload["spans_completed"] == 1
+        assert payload["last_span"]["name"] == "ingest/poll"
+        assert payload["last_append_day"] == 413
+        # The health dict is shared live: a mutation shows on next scrape.
+        health["last_append_day"] = 414
+        assert json.loads(_fetch(server.url + "/healthz")[0])[
+            "last_append_day"] == 414
+
+    def test_vars_snapshot_with_quantiles_and_span_tail(self, plane):
+        server, tracer, _, _ = plane
+        for index in range(30):
+            with tracer.span(f"ingest/poll{index}"):
+                pass
+        payload = json.loads(_fetch(server.url + "/vars")[0])
+        assert payload["counters"]["ingest.files_ingested"] == 3
+        assert payload["gauges"]["process.rss_bytes"] == 4096.0
+        latency = payload["histograms"]["latency.ingest"]
+        assert latency["count"] == 31
+        assert latency["p50"] is not None
+        assert latency["p99"] is not None
+        assert latency["p50"] <= latency["p99"]
+        # The span tail is bounded (default 20) and holds the newest spans.
+        assert len(payload["spans"]) == 20
+        assert payload["spans"][-1]["name"] == "ingest/poll29"
+
+    def test_unknown_path_is_404(self, plane):
+        server, _, _, _ = plane
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            _fetch(server.url + "/nope")
+        assert caught.value.code == 404
+
+    def test_request_counter_and_query_strings(self, plane):
+        server, _, _, _ = plane
+        before = server.requests
+        _fetch(server.url + "/healthz?probe=1")
+        assert server.requests == before + 1
+
+    def test_double_start_rejected_and_stop_idempotent(self, plane):
+        server, _, _, _ = plane
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+        server.stop()
+        server.stop()
+
+
+class TestLatencyRecorder:
+    def test_root_spans_bucket_under_their_first_component(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        tracer.add_sink(LatencyRecorder(registry))
+        with tracer.span("ingest/append_day"):
+            with tracer.span("ingest/append_day/copy"):
+                pass
+        # Only the root recorded; the child would double-count its parent.
+        assert set(registry.histograms) == {"latency.ingest"}
+        bounds, _, _, n = registry.histograms["latency.ingest"]
+        assert n == 1
+        assert bounds == LATENCY_BUCKETS_MS
+
+    def test_distinct_roots_get_distinct_stages(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        tracer.add_sink(LatencyRecorder(registry))
+        with tracer.span("scan"):
+            pass
+        with tracer.span("dedup"):
+            pass
+        assert set(registry.histograms) == {"latency.scan", "latency.dedup"}
+
+
+class TestRenderTop:
+    SNAPSHOT = {
+        "health": {
+            "process": "ingest-watch", "pid": 99, "uptime_seconds": 12.0,
+            "spans_completed": 5, "last_append_day": 413,
+            "files_ingested": 2,
+        },
+        "gauges": {
+            "process.rss_bytes": 2048.0, "process.uss_bytes": 1024.0,
+            "process.cpu_seconds": 1.5, "process.open_fds": 12,
+        },
+        "counters": {"ingest.files_ingested": 2, "ingest.watch_polls": 40},
+        "histograms": {
+            "latency.ingest": {"count": 3, "p50": 1.5, "p99": 4.0},
+            "not_latency": {"count": 1, "p50": 1.0, "p99": 1.0},
+        },
+    }
+
+    def test_first_frame_totals(self):
+        frame = render_top(self.SNAPSHOT)
+        assert "repro top — ingest-watch (pid 99)" in frame
+        assert "uptime 12s" in frame
+        assert "rss 2.0KiB" in frame
+        assert "uss 1.0KiB" in frame
+        assert "cpu 1.5s" in frame
+        assert "fds 12" in frame
+        assert "last append day 413" in frame
+        assert "ingest.files_ingested" in frame
+        assert "/s" not in frame  # no rates without a previous frame
+        assert "p50=1.50 p99=4.00" in frame
+        # Only latency.* histograms render in the latency section.
+        assert "not_latency" not in frame
+
+    def test_second_frame_shows_rates(self):
+        previous = {
+            "counters": {"ingest.files_ingested": 0, "ingest.watch_polls": 20}
+        }
+        frame = render_top(self.SNAPSHOT, previous=previous, interval=2.0)
+        assert "1.0/s" in frame   # (2 - 0) / 2s
+        assert "10.0/s" in frame  # (40 - 20) / 2s
+
+    def test_sparse_snapshot_renders(self):
+        frame = render_top({"health": {}, "gauges": {}, "counters": {}})
+        assert frame.startswith("repro top — ?")

@@ -1,10 +1,11 @@
 """MetricsRegistry semantics: recording, snapshots, deltas, merges."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.obs import MetricsRegistry
-from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.metrics import DEFAULT_BUCKETS, estimate_quantile
 
 
 class TestRecording:
@@ -72,6 +73,57 @@ class TestDeltaAndMerge:
         registry.merge(None)
         registry.merge({})
         assert registry.counters == {}
+
+
+class TestEstimateQuantile:
+    """The p50/p99 estimator the live plane serves from bucket cells."""
+
+    def test_empty_histogram_is_none(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1)
+        empty = [DEFAULT_BUCKETS, [0] * (len(DEFAULT_BUCKETS) + 1), 0.0, 0]
+        assert estimate_quantile(empty, 0.5) is None
+
+    def test_quantile_out_of_range_raises(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1)
+        cell = registry.histograms["h"]
+        with pytest.raises(ValueError, match="quantile"):
+            estimate_quantile(cell, 1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            estimate_quantile(cell, -0.1)
+
+    def test_interpolates_inside_the_bucket(self):
+        # One sample in the (0, 1] bucket: the q-quantile interpolates
+        # linearly across that bucket's width.
+        registry = MetricsRegistry()
+        registry.observe("h", 1)
+        cell = registry.histograms["h"]
+        assert estimate_quantile(cell, 0.5) == pytest.approx(0.5)
+        assert estimate_quantile(cell, 1.0) == pytest.approx(1.0)
+
+    def test_rank_walks_the_cumulative_counts(self):
+        # 2 samples ≤ 1 and 2 samples in (2, 5]: the median sits at the
+        # first bucket's upper edge, p99 deep inside the (2, 5] bucket.
+        registry = MetricsRegistry()
+        registry.observe_many("h", [1, 1, 3, 4])
+        cell = registry.histograms["h"]
+        assert estimate_quantile(cell, 0.5) == pytest.approx(1.0)
+        p99 = estimate_quantile(cell, 0.99)
+        assert 2.0 < p99 <= 5.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 10**9)  # +Inf bucket
+        cell = registry.histograms["h"]
+        assert estimate_quantile(cell, 0.5) == DEFAULT_BUCKETS[-1]
+
+    def test_bounds_respect_custom_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 15.0, buckets=(10.0, 20.0))
+        cell = registry.histograms["h"]
+        estimate = estimate_quantile(cell, 0.5)
+        assert 10.0 < estimate <= 20.0
 
 
 _EVENTS = st.lists(

@@ -1,0 +1,146 @@
+"""Resource telemetry: /proc readers, gauge publication, the sampler."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, ResourceSampler
+from repro.obs import resources
+
+
+FAKE_ROLLUP = """\
+560d2c80c000-7ffc99ed3000 ---p 00000000 00:00 0    [rollup]
+Rss:                 300 kB
+Pss:                 200 kB
+Shared_Clean:         50 kB
+Private_Clean:        20 kB
+Private_Dirty:        80 kB
+Swap:                  4 kB
+"""
+
+
+@pytest.fixture()
+def fake_proc(tmp_path, monkeypatch):
+    """Deterministic /proc stand-in so parsing asserts exact bytes."""
+    rollup = tmp_path / "smaps_rollup"
+    rollup.write_text(FAKE_ROLLUP)
+    monkeypatch.setattr(resources, "_SMAPS_PATH", str(rollup))
+    return rollup
+
+
+class TestProcReaders:
+    def test_smaps_rollup_parses_kib_fields_to_bytes(self, fake_proc):
+        fields = resources.smaps_rollup()
+        assert fields == {
+            "Rss": 300 * 1024, "Pss": 200 * 1024,
+            "Private_Clean": 20 * 1024, "Private_Dirty": 80 * 1024,
+            "Swap": 4 * 1024,
+        }
+
+    def test_rss_and_uss_derive_from_rollup(self, fake_proc):
+        assert resources.rss_bytes() == 300 * 1024
+        # USS = Private_Clean + Private_Dirty: nobody-shares-these pages.
+        assert resources.uss_bytes() == (20 + 80) * 1024
+
+    def test_missing_proc_degrades_to_none(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            resources, "_SMAPS_PATH", str(tmp_path / "absent")
+        )
+        monkeypatch.setattr(resources, "_FD_PATH", str(tmp_path / "no-fds"))
+        assert resources.smaps_rollup() is None
+        assert resources.rss_bytes() is None
+        assert resources.uss_bytes() is None
+        assert resources.open_fds() is None
+
+    def test_open_fds_counts_directory_entries(self, tmp_path, monkeypatch):
+        fd_dir = tmp_path / "fd"
+        fd_dir.mkdir()
+        for name in "012":
+            (fd_dir / name).write_text("")
+        monkeypatch.setattr(resources, "_FD_PATH", str(fd_dir))
+        assert resources.open_fds() == 3
+
+    def test_cpu_seconds_is_monotone_nonnegative(self):
+        first = resources.cpu_seconds()
+        sum(range(200_000))
+        assert resources.cpu_seconds() >= first >= 0.0
+
+
+class _Reader:
+    def __init__(self, bytes_materialized):
+        self.bytes_materialized = bytes_materialized
+
+
+class TestSampleInto:
+    def test_publishes_process_gauges(self, fake_proc):
+        registry = MetricsRegistry()
+        sampled = resources.sample_into(registry)
+        assert registry.gauges["process.rss_bytes"] == 300 * 1024
+        assert registry.gauges["process.uss_bytes"] == 100 * 1024
+        assert registry.gauges["process.cpu_seconds"] >= 0.0
+        assert "process.open_fds" in registry.gauges
+        assert sampled == {
+            name: registry.gauges[name] for name in sampled
+        }
+
+    def test_materialized_delta_against_previous(self, fake_proc):
+        registry = MetricsRegistry()
+        registry.inc("io.bytes_materialized", 700)
+        resources.sample_into(registry, previous_materialized=200)
+        assert registry.gauges["io.bytes_materialized_delta"] == 500.0
+
+    def test_watched_readers_get_per_container_gauges(self, fake_proc):
+        registry = MetricsRegistry()
+        resources.sample_into(
+            registry, watched={"corpus": _Reader(4096), "cache": _Reader(0)}
+        )
+        assert registry.gauges["io.materialized_bytes.corpus"] == 4096.0
+        assert registry.gauges["io.materialized_bytes.cache"] == 0.0
+
+
+class TestResourceSampler:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            ResourceSampler(MetricsRegistry(), interval=0.0)
+
+    def test_start_samples_synchronously(self, fake_proc):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval=60.0)
+        sampler.start()
+        try:
+            # Gauges exist before the first timer tick fires.
+            assert registry.gauges["process.rss_bytes"] == 300 * 1024
+            assert sampler.samples == 1
+            with pytest.raises(RuntimeError, match="already started"):
+                sampler.start()
+        finally:
+            sampler.stop()
+        sampler.stop()  # idempotent
+
+    def test_sample_tracks_materialization_deltas(self, fake_proc):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval=60.0)
+        sampler.sample()  # primes the previous counter reading
+        registry.inc("io.bytes_materialized", 123)
+        sampler.sample()
+        assert registry.gauges["io.bytes_materialized_delta"] == 123.0
+        assert sampler.samples == 2
+
+    def test_watch_publishes_reader_gauges(self, fake_proc):
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval=60.0)
+        sampler.watch("corpus", _Reader(2048))
+        sampler.sample()
+        assert registry.gauges["io.materialized_bytes.corpus"] == 2048.0
+
+    def test_background_thread_keeps_sampling(self, fake_proc):
+        import time
+
+        registry = MetricsRegistry()
+        sampler = ResourceSampler(registry, interval=0.01)
+        sampler.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while sampler.samples < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            sampler.stop()
+        assert sampler.samples >= 3

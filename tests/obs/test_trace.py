@@ -1,5 +1,6 @@
 """Span/Tracer unit tests and the span-tree integrity property."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -101,6 +102,93 @@ class TestTracer:
             pass
         parent.adopt(worker.export_spans(), parent_id=anchor.span_id)
         assert parent.spans[-1].parent_id == anchor.span_id
+
+
+class TestStreaming:
+    """The live plane's hooks: completion sinks and the retain bound."""
+
+    def test_sinks_see_spans_in_completion_order(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_sink(lambda span: seen.append(span.name))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert seen == ["inner", "outer"]
+
+    def test_sinks_run_in_add_order(self):
+        tracer = Tracer()
+        calls = []
+        tracer.add_sink(lambda span: calls.append("first"))
+        tracer.add_sink(lambda span: calls.append("second"))
+        with tracer.span("s"):
+            pass
+        assert calls == ["first", "second"]
+
+    def test_remove_sink_detaches_and_restores_off_path(self):
+        tracer = Tracer()
+        seen = []
+        sink = seen.append
+        tracer.add_sink(sink)
+        with tracer.span("while-attached"):
+            pass
+        tracer.remove_sink(sink)
+        with tracer.span("after-detach"):
+            pass
+        assert [span.name for span in seen] == ["while-attached"]
+        # With no sinks and no retain, completion is back to one None check.
+        assert tracer._live is None
+        tracer.remove_sink(sink)  # missing sinks are ignored
+
+    def test_retain_bounds_memory_but_not_totals(self):
+        tracer = Tracer()
+        tracer.retain = 2
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.spans] == ["s3", "s4"]
+        assert tracer.completed_total == 5
+        assert tracer.mark() == 5
+
+    def test_retain_preserves_mark_export_delta_semantics(self):
+        tracer = Tracer()
+        tracer.retain = 3
+        with tracer.span("old"):
+            pass
+        mark = tracer.mark()
+        for index in range(3):
+            with tracer.span(f"new{index}"):
+                pass
+        # "old" was trimmed, but the watermark still slices correctly.
+        exported = tracer.export_spans(since=mark)
+        assert [record["name"] for record in exported] == [
+            "new0", "new1", "new2",
+        ]
+
+    def test_retain_trims_immediately_when_set(self):
+        tracer = Tracer()
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        tracer.retain = 1
+        assert [span.name for span in tracer.spans] == ["s3"]
+        tracer.retain = None
+        assert tracer._live is None
+
+    def test_retain_validation(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="positive"):
+            tracer.retain = 0
+
+    def test_adopt_streams_to_sinks(self):
+        worker = Tracer(process="w")
+        with worker.span("task"):
+            pass
+        parent = Tracer()
+        seen = []
+        parent.add_sink(lambda span: seen.append(span.name))
+        parent.adopt(worker.export_spans())
+        assert seen == ["task"]
 
 
 # Trees as nested lists: each element is a node, its value the children.

@@ -362,3 +362,106 @@ class TestAppendCommand:
         # out of column segments.
         assert registry.counters.get("io.bytes_materialized", 0) == 0
         assert registry.counters.get("io.mmap_open_total", 0) == 0
+
+
+class TestLivePlaneCommands:
+    """`repro shard`, `repro ingest --watch`, and `repro top`."""
+
+    def test_parser_shard_requires_day(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard"])
+        args = build_parser().parse_args(["shard", "--day", "120"])
+        assert args.preset == "tiny"
+        assert args.drop_dir == "."
+        assert args.out is None
+
+    def test_parser_ingest_requires_watch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "c.rpz"])
+        args = build_parser().parse_args(["ingest", "c.rpz", "--watch", "d"])
+        assert args.interval == 2.0
+        assert not args.once
+        assert args.max_days is None
+        assert args.serve is None
+        assert args.trace_stream is None
+        assert args.retain == 512
+
+    def test_parser_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.url == "http://127.0.0.1:9110"
+        assert args.interval == 2.0
+        assert args.iterations == 1
+
+    def test_parse_endpoint(self):
+        from repro.cli import _parse_endpoint
+
+        assert _parse_endpoint("9110") == ("127.0.0.1", 9110)
+        assert _parse_endpoint(":8080") == ("127.0.0.1", 8080)
+        assert _parse_endpoint("0.0.0.0:80") == ("0.0.0.0", 80)
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            _parse_endpoint("nope")
+
+    def test_ingest_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(SystemExit, match="interval"):
+            main(["ingest", str(tmp_path / "c.rpz"), "--watch",
+                  str(tmp_path), "--interval", "0"])
+
+    def test_shard_then_ingest_matches_generate(
+        self, saved_corpus, tmp_path, capsys
+    ):
+        corpus, _ = saved_corpus
+        watched = tmp_path / "watched.rpz"
+        last_day = TestAppendCommand._truncated_base(watched, seed=7)
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        assert main(
+            ["shard", "--preset", "tiny", "--seed", "7",
+             "--day", str(last_day), "--drop-dir", str(drops)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"dropped day {last_day}" in out
+        assert "drop digest:" in out
+        drop = drops / f"day-{last_day:05d}.rps"
+        assert drop.exists()
+        trace_stream = tmp_path / "stream.jsonl"
+        assert main(
+            ["ingest", str(watched), "--watch", str(drops), "--once",
+             "--serve", "127.0.0.1:0", "--trace-stream", str(trace_stream)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "live plane at http://127.0.0.1:" in out
+        assert "ingested 1 drop file(s) (0 rejected)" in out
+        assert f"last appended day: {last_day}" in out
+        # The daemon-ingested corpus is byte-identical to a full
+        # generate run — the watch path preserves append invariance.
+        assert watched.read_bytes() == corpus.read_bytes()
+        assert drop.with_name(drop.name + ".done").exists()
+        # The streaming sink left a parseable JSONL trace behind.
+        import json
+
+        lines = trace_stream.read_text().splitlines()
+        assert json.loads(lines[0])["streaming"] is True
+
+    def test_top_renders_live_snapshot(self, capsys):
+        from repro.obs import LiveServer, MetricsRegistry, Tracer
+
+        tracer = Tracer(process="cli-top")
+        registry = MetricsRegistry()
+        registry.inc("ingest.files_ingested", 2)
+        with tracer.span("ingest/poll"):
+            pass
+        server = LiveServer(
+            tracer, registry, health={"last_append_day": 7}
+        ).start()
+        try:
+            assert main(["top", "--url", server.url, "--iterations", "1"]) == 0
+        finally:
+            server.stop()
+        out = capsys.readouterr().out
+        assert "repro top — cli-top" in out
+        assert "last append day 7" in out
+        assert "ingest.files_ingested" in out
+
+    def test_top_unreachable_endpoint_fails(self):
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["top", "--url", "http://127.0.0.1:1", "--iterations", "1"])
