@@ -146,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "day already in the corpus)")
     append.add_argument("--handshakes", action="store_true",
                         help="collect TLS/transport traits per observation")
+    append.add_argument("--compact-after", type=int, metavar="N",
+                        help="when the grown corpus' recorded delta chain "
+                             "reaches N ancestors, consolidate it into one "
+                             "flat artifact and reset the lineage chain "
+                             "(requires --cache-dir)")
     _add_obs_flags(append)
     _add_cache_flags(append)
 
@@ -194,6 +199,48 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--retain", type=int, default=512, metavar="N",
                         help="completed spans to keep in memory for /vars "
                              "(default: 512)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="daemon: answer online queries (/cert /key /track /census) "
+             "over a saved corpus via asyncio HTTP",
+    )
+    serve.add_argument("corpus", help="saved .rpz corpus to serve")
+    serve.add_argument("--environment", required=True, metavar="PATH",
+                       help="saved .rpe analysis environment")
+    serve.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="bind endpoint (default 127.0.0.1:0 — an "
+                            "ephemeral port, printed at boot)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="process-pool size for heavy queries (census "
+                            "slices, group consistency); workers re-map "
+                            "the container and share its pages")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip the startup warm-up (stages then build "
+                            "lazily on first query)")
+    serve.add_argument("--max-seconds", type=float, default=None, metavar="S",
+                       help="exit after S seconds (smoke-test use)")
+    _add_cache_flags(serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a running repro serve with concurrent mixed lookups "
+             "and report qps + latency percentiles",
+    )
+    loadgen.add_argument("url", help="server base URL, e.g. "
+                                     "http://127.0.0.1:8321")
+    loadgen.add_argument("--requests", type=int, default=2000,
+                         help="total requests to issue (default: 2000)")
+    loadgen.add_argument("--concurrency", type=int, default=16,
+                         help="concurrent keep-alive connections "
+                              "(default: 16)")
+    loadgen.add_argument("--mix", metavar="SPEC",
+                         help="endpoint weights, e.g. "
+                              "cert=8,track=2,key=1,census=1 (default)")
+    loadgen.add_argument("--seed", type=int, default=2016,
+                         help="workload shuffle seed")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the report as one JSON object")
 
     top = commands.add_parser(
         "top",
@@ -411,10 +458,10 @@ def _cmd_append(args) -> int:
         args.preset, args.seed, args.day, args.handshakes
     )
     dataset = load_dataset(args.corpus)
+    cache = _make_cache(args)
     try:
         grown = dataset.extend_from_shard(
-            shards, engine.certificate_store, args.out,
-            cache=_make_cache(args),
+            shards, engine.certificate_store, args.out, cache=cache,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -424,6 +471,14 @@ def _cmd_append(args) -> int:
         f"observations) -> {args.out}"
     )
     print(f"corpus digest: {grown.corpus_digest()}")
+    if cache is not None and args.compact_after is not None:
+        chain = cache.chain_length(grown.corpus_digest())
+        if chain >= args.compact_after:
+            if cache.compact(grown) is not None:
+                print(
+                    f"compacted delta chain ({chain} ancestors) into a "
+                    f"flat artifact"
+                )
     return 0
 
 
@@ -686,6 +741,116 @@ def _cmd_top(args) -> int:
     return 0
 
 
+async def _serve_main(engine, live, host, port, max_seconds) -> None:
+    import asyncio
+    import signal
+    from contextlib import suppress
+
+    from .serve import QueryServer
+
+    server = await QueryServer(engine, live=live, host=host, port=port).start()
+    print(f"serving queries at {server.url} "
+          f"(/cert /key /track /census /sample /metrics /healthz /vars)",
+          flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+    try:
+        if max_seconds is not None:
+            with suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=max_seconds)
+        else:
+            await stop.wait()
+    finally:
+        await server.stop()
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .obs import LatencyRecorder, LiveServer, MetricsRegistry, \
+        ResourceSampler, Tracer
+    from .obs import runtime as obs_runtime
+    from .serve import QueryEngine
+
+    host, port = _parse_endpoint(args.listen)
+    cache_dir = None if args.no_cache else args.cache_dir
+    trace = Tracer(process="serve")
+    metrics = MetricsRegistry()
+    trace.add_sink(LatencyRecorder(metrics))
+    health = {}
+    sampler = ResourceSampler(metrics, interval=1.0)
+    with obs_runtime.activated(trace, metrics):
+        engine = QueryEngine.open(
+            args.corpus, args.environment,
+            workers=args.workers, cache_dir=cache_dir,
+        )
+        if not args.no_warm:
+            print("warming query stages...", flush=True)
+            engine.warm()
+        health.update({
+            "corpus": str(args.corpus),
+            "digest": engine.digest,
+            "workers": args.workers,
+        })
+        live = LiveServer(trace, metrics, health=health, host=host, port=port)
+        sampler.start()
+        try:
+            asyncio.run(
+                _serve_main(engine, live, host, port, args.max_seconds)
+            )
+        except KeyboardInterrupt:
+            pass
+        finally:
+            sampler.stop()
+            engine.close()
+    return 0
+
+
+def _parse_mix(spec: str) -> "dict[str, int]":
+    """``cert=8,track=2`` → endpoint weight dict."""
+    mix = {}
+    for item in spec.split(","):
+        name, separator, weight = item.partition("=")
+        if not separator or not weight.isdigit():
+            raise SystemExit(f"--mix entries are NAME=WEIGHT: {item!r}")
+        mix[name.strip()] = int(weight)
+    return mix
+
+
+def _cmd_loadgen(args) -> int:
+    import json as json_module
+
+    from .serve.loadgen import run_loadgen
+
+    mix = _parse_mix(args.mix) if args.mix else None
+    report = run_loadgen(
+        args.url.rstrip("/"), requests=args.requests,
+        concurrency=args.concurrency, mix=mix, seed=args.seed,
+    )
+    if args.json:
+        print(json_module.dumps({
+            "requests": report.requests,
+            "errors": report.errors,
+            "seconds": report.seconds,
+            "qps": report.qps,
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
+            "max_ms": report.max_ms,
+            "by_status": {
+                str(status): count
+                for status, count in report.by_status.items()
+            },
+        }, sort_keys=True))
+    else:
+        print(report.render())
+    return 1 if report.errors else 0
+
+
 def _export_metrics(metrics, dest: str) -> None:
     """Prometheus text dump to stdout (``-``) or a file."""
     from .obs import prometheus_text
@@ -782,6 +947,8 @@ _HANDLERS = {
     "append": _cmd_append,
     "shard": _cmd_shard,
     "ingest": _cmd_ingest,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "top": _cmd_top,
     "convert": _cmd_convert,
     "census": _cmd_census,
@@ -796,9 +963,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handler = _HANDLERS[args.command]
-    # profile and ingest own their tracer/registry lifecycle (ingest
-    # keeps them live for the daemon's whole run); top is a pure client.
-    if args.command in ("profile", "ingest", "top"):
+    # profile, ingest, and serve own their tracer/registry lifecycle
+    # (the daemons keep them live for their whole run); top and loadgen
+    # are pure clients.
+    if args.command in ("profile", "ingest", "serve", "top", "loadgen"):
         return handler(args)
     return _with_observability(args, handler)
 

@@ -684,6 +684,70 @@ class ArtifactCache:
         tmp.write_text(json.dumps(lineage, indent=2, sort_keys=True))
         os.replace(tmp, self._lineage_path())
 
+    def chain_length(self, digest: str) -> int:
+        """Recorded delta ancestors behind ``digest`` (0 = flat/unknown)."""
+        entry = self._read_lineage().get(digest)
+        if not isinstance(entry, dict):
+            return 0
+        return len([
+            ancestor for ancestor in entry.get("chain") or []
+            if isinstance(ancestor, str)
+        ])
+
+    def compact(
+        self, dataset: "ScanDataset", workers: int = 1
+    ) -> Optional[pathlib.Path]:
+        """Consolidate ``dataset``'s delta chain into one flat artifact.
+
+        Guarantees a direct-hit (``kernels`` section) artifact exists
+        for the dataset's digest — warm-loading through the lineage
+        chain first, building cold only what is still missing — then
+        drops the digest's lineage entry and every ancestor entry it
+        chains through.  Future appends restart their chain at this
+        digest, so a long-running ingest loop that compacts every N
+        days never approaches the 64-ancestor cap.  Returns the flat
+        artifact's path; on failure to persist, the lineage is left
+        untouched and None is returned.  A dataset that is already
+        flat (no lineage entry, artifact present) is a no-op.
+        """
+        digest = dataset.corpus_digest(workers=workers)
+        entry = self._read_lineage().get(digest)
+        if "kernels" not in self.status(digest)["sections"]:
+            if None in dataset.kernel_state:
+                # A successful warm load through the chain persists the
+                # flat artifact itself; cold-build any kernel it could
+                # not serve before storing.
+                self.load(dataset, workers=workers)
+            dataset.build_columns(workers=workers)
+            dataset.index
+            dataset.intervals
+            dataset.build_feature_matrix(workers=workers)
+            if "kernels" not in self.status(digest)["sections"] \
+                    and self.store(dataset, workers=workers) is None:
+                return None
+        if not isinstance(entry, dict):
+            return self.path_for(digest)
+        stale = {digest}
+        base = entry.get("base")
+        if isinstance(base, str):
+            stale.add(base)
+        stale.update(
+            ancestor for ancestor in entry.get("chain") or []
+            if isinstance(ancestor, str)
+        )
+        lineage = {
+            key: value for key, value in self._read_lineage().items()
+            if key not in stale
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self._lineage_path().with_name(
+            f"{_LINEAGE_NAME}.tmp-{os.getpid()}"
+        )
+        tmp.write_text(json.dumps(lineage, indent=2, sort_keys=True))
+        os.replace(tmp, self._lineage_path())
+        obs.inc("artifacts.compacted")
+        return self.path_for(digest)
+
     def _load_extended(self, dataset, digest: str, workers: int) -> str:
         """Serve a digest with no artifact by delta-merging an ancestor's.
 

@@ -25,6 +25,8 @@ Three backends ship:
 from __future__ import annotations
 
 import pathlib
+from bisect import bisect_left
+from collections import OrderedDict
 from typing import (
     Dict,
     List,
@@ -41,7 +43,13 @@ from ..scanner.columns import ObservationColumns
 from ..scanner.records import Scan
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
-from .encoding import SegmentError, SegmentReader, unpack_fingerprints
+from .encoding import (
+    FP_HASH_SEGMENT,
+    SegmentError,
+    SegmentReader,
+    fingerprint_hash_find,
+    unpack_fingerprints,
+)
 
 __all__ = [
     "DatasetBackend",
@@ -207,19 +215,43 @@ class ArchiveBackend:
 class LazyCertificates(Mapping):
     """fingerprint → :class:`Certificate` over a mapped container.
 
-    The key list is sliced from the 32-byte-stride ``cert_order``
-    segment on first use; each certificate's DER parses on first
-    ``[]`` access (O(1) via the parallel ``cert_offsets`` segment) and
-    is cached.  Nothing is parsed at construction, which is what keeps
-    a mapped corpus open O(1).
+    Lookup is O(1) via the persisted ``cert_hash`` open-addressing
+    segment (probed directly against the mapped ``cert_order`` bytes —
+    no per-key Python objects are ever built); containers written
+    before the segment existed fall back to a binary search over a
+    lazily built row permutation sorted by fingerprint.  Each
+    certificate's DER parses on first ``[]`` access (O(1) via the
+    parallel ``cert_offsets`` segment) and lands in a **bounded** LRU
+    memo, so a serve workload hammering a hot set parses each
+    certificate once (``io.der_parse_total`` counts actual parses)
+    while a full-corpus sweep cannot grow memory without bound.
+    Nothing is parsed at construction, which is what keeps a mapped
+    corpus open O(1).
     """
 
-    def __init__(self, reader: SegmentReader) -> None:
+    #: Default bound on the decoded-certificate memo (entries).  At
+    #: ~2–10 KiB per decoded certificate this caps the memo around a
+    #: few hundred MiB worst case — far below the corpus itself.
+    DEFAULT_CACHE_SIZE = 65536
+
+    def __init__(
+        self,
+        reader: SegmentReader,
+        cache_size: Optional[int] = None,
+    ) -> None:
         self._reader = reader
         self._order: "Optional[list[bytes]]" = None
-        self._ids: "Optional[dict[bytes, int]]" = None
         self._offsets = None
-        self._cache: Dict[bytes, Certificate] = {}
+        self._fp_blob = None
+        self._hash = None
+        self._hash_checked = False
+        #: Fallback for pre-``cert_hash`` containers: row indexes
+        #: sorted by fingerprint bytes, binary-searched per lookup.
+        self._sorted_rows: "Optional[list[int]]" = None
+        self._cache: "OrderedDict[bytes, Certificate]" = OrderedDict()
+        self._cache_size = (
+            self.DEFAULT_CACHE_SIZE if cache_size is None else cache_size
+        )
 
     def fingerprints(self) -> "list[bytes]":
         """Every certificate fingerprint, in canonical stored order."""
@@ -229,6 +261,32 @@ class LazyCertificates(Mapping):
             )
         return self._order
 
+    def _row_of(self, fingerprint: bytes) -> Optional[int]:
+        """``cert_order`` row for a fingerprint, or ``None`` if absent."""
+        if self._fp_blob is None:
+            self._fp_blob = self._reader.raw("cert_order")
+        if not self._hash_checked:
+            self._hash_checked = True
+            if FP_HASH_SEGMENT in self._reader:
+                self._hash = self._reader.array(FP_HASH_SEGMENT)
+        if self._hash is not None:
+            return fingerprint_hash_find(
+                self._hash, self._fp_blob, fingerprint
+            )
+        order = self.fingerprints()
+        if self._sorted_rows is None:
+            self._sorted_rows = sorted(
+                range(len(order)), key=order.__getitem__
+            )
+        position = bisect_left(
+            self._sorted_rows, fingerprint, key=order.__getitem__
+        )
+        if position < len(self._sorted_rows):
+            row = self._sorted_rows[position]
+            if order[row] == fingerprint:
+                return row
+        return None
+
     def __len__(self) -> int:
         return self._reader.meta["n_certificates"]
 
@@ -236,31 +294,33 @@ class LazyCertificates(Mapping):
         return iter(self.fingerprints())
 
     def __contains__(self, fingerprint) -> bool:
-        if self._ids is None:
-            self._ids = {
-                value: index
-                for index, value in enumerate(self.fingerprints())
-            }
-        return fingerprint in self._ids
+        if not isinstance(fingerprint, bytes):
+            return False
+        return self._row_of(fingerprint) is not None
 
     def __getitem__(self, fingerprint: bytes) -> Certificate:
         certificate = self._cache.get(fingerprint)
-        if certificate is None:
-            if self._ids is None:
-                self._ids = {
-                    value: index
-                    for index, value in enumerate(self.fingerprints())
-                }
-            index = self._ids[fingerprint]
-            if self._offsets is None:
-                self._offsets = self._reader.array("cert_offsets")
-            blob = self._reader.raw("certificates.der")
-            start = self._offsets[index] + _DER_PREFIX
-            end = self._offsets[index + 1]
-            der = bytes(blob[start:end])
-            obs.inc("io.bytes_materialized", len(der))
-            certificate = Certificate.from_der(der)
-            self._cache[fingerprint] = certificate
+        if certificate is not None:
+            self._cache.move_to_end(fingerprint)
+            return certificate
+        row = (
+            self._row_of(fingerprint)
+            if isinstance(fingerprint, bytes) else None
+        )
+        if row is None:
+            raise KeyError(fingerprint)
+        if self._offsets is None:
+            self._offsets = self._reader.array("cert_offsets")
+        blob = self._reader.raw("certificates.der")
+        start = self._offsets[row] + _DER_PREFIX
+        end = self._offsets[row + 1]
+        der = bytes(blob[start:end])
+        obs.inc("io.bytes_materialized", len(der))
+        obs.inc("io.der_parse_total")
+        certificate = Certificate.from_der(der)
+        self._cache[fingerprint] = certificate
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
         return certificate
 
 

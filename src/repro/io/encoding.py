@@ -64,11 +64,14 @@ __all__ = [
     "CONTAINER_MAGIC",
     "DIGEST_META",
     "DIGEST_SCAN",
+    "FP_HASH_SEGMENT",
     "FP_LEN",
     "SegmentError",
     "SegmentReader",
     "SegmentWriter",
     "as_array",
+    "build_fingerprint_hash",
+    "fingerprint_hash_find",
     "is_segment_container",
     "iter_der_records",
     "le_bytes",
@@ -226,6 +229,70 @@ def iter_der_records(blob) -> Iterable[bytes]:
 def pack_sort_key(ip: int, fingerprint: bytes) -> bytes:
     """The canonical (big-endian ip, fingerprint) shard sort key."""
     return _BE_U32.pack(ip) + fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint hash-index segment (O(1) fingerprint → row over the map)
+# ---------------------------------------------------------------------------
+
+#: Segment name of the persisted fingerprint → ``cert_order`` row index.
+FP_HASH_SEGMENT = "cert_hash"
+
+#: Minimum slot count of a hash-index table (keeps the mask math valid
+#: for empty and near-empty corpora).
+_FP_HASH_MIN_SLOTS = 8
+
+
+def _fp_hash_slots(count: int) -> int:
+    """Slot count for ``count`` fingerprints: power of two, load ≤ 0.5."""
+    slots = _FP_HASH_MIN_SLOTS
+    while slots < 2 * count:
+        slots <<= 1
+    return slots
+
+
+def build_fingerprint_hash(fingerprints: Sequence[bytes]) -> array:
+    """The persisted fingerprint hash index as a little-endian u32 table.
+
+    An open-addressing table over ``cert_order``: each slot holds
+    ``row + 1`` (0 marks an empty slot), the home slot is the first
+    8 bytes of the fingerprint (SHA-256 output is already uniform) masked
+    to the power-of-two table size, and collisions probe linearly.  Rows
+    insert in order, so the table is a pure function of the fingerprint
+    sequence — a delta-append that replays the same grown order emits a
+    byte-identical segment to a from-scratch build, preserving the
+    append-path-invariant container digest.
+    """
+    slots = _fp_hash_slots(len(fingerprints))
+    mask = slots - 1
+    table = array("I", bytes(4 * slots))
+    for row, fingerprint in enumerate(fingerprints):
+        slot = int.from_bytes(fingerprint[:8], "little") & mask
+        while table[slot]:
+            slot = (slot + 1) & mask
+        table[slot] = row + 1
+    return table
+
+
+def fingerprint_hash_find(table, fp_blob, fingerprint: bytes):
+    """Probe a hash-index table for a fingerprint's ``cert_order`` row.
+
+    ``table`` is the (mapped) u32 slot table, ``fp_blob`` the raw
+    32-byte-stride ``cert_order`` bytes; returns the row, or ``None``
+    when the fingerprint is not in the corpus.  O(1) expected — each
+    probe pages in only the one 32-byte fingerprint it compares against.
+    """
+    mask = len(table) - 1
+    slot = int.from_bytes(fingerprint[:8], "little") & mask
+    while True:
+        stored = table[slot]
+        if not stored:
+            return None
+        row = stored - 1
+        base = row * FP_LEN
+        if fp_blob[base:base + FP_LEN] == fingerprint:
+            return row
+        slot = (slot + 1) & mask
 
 
 # ---------------------------------------------------------------------------

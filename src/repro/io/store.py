@@ -45,9 +45,11 @@ from ..scanner.shards import ScanShard, certificate_order
 from ..tls.handshake import HandshakeRecord
 from ..x509.certificate import Certificate
 from .encoding import (
+    FP_HASH_SEGMENT,
     SegmentReader,
     SegmentWriter,
     as_array,
+    build_fingerprint_hash,
     is_segment_container,
     iter_der_records,
     le_bytes,
@@ -267,6 +269,9 @@ class StreamingDatasetWriter:
 
                     writer.add_chunks("certificates.der", der_chunks())
                     writer.add_array("cert_offsets", offsets)
+                    writer.add_array(
+                        FP_HASH_SEGMENT, build_fingerprint_hash(order)
+                    )
                     self.digest = writer.close()
                 except BaseException:
                     writer.abort()
@@ -567,6 +572,10 @@ def _append_shards(
 
         writer.add_chunks("certificates.der", der_chunks())
         writer.add_array("cert_offsets", offsets)
+        # Rebuilt from the grown order, never copied: the table is a pure
+        # function of the fingerprint sequence, so this emission is
+        # byte-identical to a from-scratch build's.
+        writer.add_array(FP_HASH_SEGMENT, build_fingerprint_hash(order))
         digest = writer.close()
     except BaseException:
         writer.abort()

@@ -159,6 +159,34 @@ class LiveServer:
             ),
         }
 
+    def handle_path(self, path: str) -> "Optional[tuple[bytes, str]]":
+        """Route one observability path to ``(body, content_type)``.
+
+        The single routing table behind both transports: the threaded
+        handler below and the asyncio query plane (``repro.serve.http``)
+        call this, so the two servers cannot drift.  Returns ``None``
+        for paths the plane does not own (the caller 404s, or falls
+        through to its own routes); exceptions propagate (the caller
+        maps them to 500).
+        """
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return (
+                self.metrics_text().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/healthz":
+            return (
+                (json.dumps(self.healthz(), default=str) + "\n").encode(),
+                "application/json",
+            )
+        if path == "/vars":
+            return (
+                (json.dumps(self.vars(), default=str) + "\n").encode(),
+                "application/json",
+            )
+        return None
+
     # --- lifecycle -------------------------------------------------------------
 
     def start(self) -> "LiveServer":
@@ -169,22 +197,12 @@ class LiveServer:
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server protocol
                 plane.requests += 1
-                path = self.path.split("?", 1)[0]
                 try:
-                    if path == "/metrics":
-                        body = plane.metrics_text().encode()
-                        ctype = "text/plain; version=0.0.4; charset=utf-8"
-                    elif path == "/healthz":
-                        body = (json.dumps(plane.healthz(), default=str)
-                                + "\n").encode()
-                        ctype = "application/json"
-                    elif path == "/vars":
-                        body = (json.dumps(plane.vars(), default=str)
-                                + "\n").encode()
-                        ctype = "application/json"
-                    else:
+                    routed = plane.handle_path(self.path)
+                    if routed is None:
                         self.send_error(404, "unknown endpoint")
                         return
+                    body, ctype = routed
                 except Exception as exc:  # pragma: no cover - defensive
                     self.send_error(500, str(exc))
                     return

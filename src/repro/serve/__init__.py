@@ -1,0 +1,26 @@
+"""The online query plane: ``repro serve`` / ``repro loadgen``.
+
+The paper's outputs are batch reports; this package answers the same
+questions online, over the zero-copy mapped corpus:
+
+* :mod:`repro.serve.engine` — :class:`QueryEngine`, the transport-free
+  query core: endpoint payloads, the digest-keyed result LRU, and the
+  process-pool fan-out for heavy queries;
+* :mod:`repro.serve.http` — :class:`QueryServer`, a stdlib asyncio
+  HTTP/1.1 front end with keep-alive, reusing the live observability
+  plane's ``/metrics`` / ``/healthz`` / ``/vars`` routes;
+* :mod:`repro.serve.loadgen` — the closed-loop load generator behind
+  ``repro loadgen`` and ``benchmarks/bench_perf_serve.py``.
+"""
+
+from .engine import QueryEngine, QueryError
+from .http import QueryServer
+from .loadgen import LoadgenReport, run_loadgen
+
+__all__ = [
+    "QueryEngine",
+    "QueryError",
+    "QueryServer",
+    "LoadgenReport",
+    "run_loadgen",
+]

@@ -1,0 +1,510 @@
+"""The transport-free query core behind ``repro serve``.
+
+:class:`QueryEngine` owns one warmed :class:`~repro.study.Study` over a
+corpus and answers the online questions as JSON-serializable payloads:
+
+* ``/cert/<fingerprint>``   — one certificate's identity, validation
+  verdict, and observation history;
+* ``/key/<spki>/group``     — the public-key reissue group (§6.3) plus
+  its four-level location consistency;
+* ``/track/<ip>``           — the tracked devices (§7) ever sighted at
+  an address;
+* ``/census`` (and ``/census/valid`` / ``/census/invalid``) — the §5
+  population statistics as one document;
+* ``/sample``               — deterministic query seeds (fingerprints,
+  key ids, addresses) for load generators.
+
+Perf architecture, per the three levers this module exists for:
+
+* **O(1) lookups** ride the persisted ``cert_hash`` segment through
+  :class:`~repro.io.backends.LazyCertificates` — no dict of a million
+  fingerprints is ever built in the serving process;
+* a **bounded LRU of serialized responses**, keyed by ``(corpus
+  digest, path)`` so a grown corpus can never serve a stale answer,
+  makes the hot set sub-millisecond and allocation-free;
+* **heavy queries fan out over a ProcessPoolExecutor** whose workers
+  re-map the container path (and adopt cached kernels when an artifact
+  cache is given) — they share physical pages with the parent, so p99
+  stays flat as concurrency grows instead of serializing on the GIL.
+
+The engine is transport-free on purpose: :mod:`repro.serve.http` is a
+thin asyncio shell over :meth:`QueryEngine.respond`, and the parity
+tests drive the engine directly against the batch pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.features import Feature
+from ..core.kernels import fused_group_consistency
+from ..core.linking import link_on_feature
+from ..obs import runtime as obs_runtime
+from ..study import Study
+
+__all__ = ["QueryEngine", "QueryError"]
+
+
+class QueryError(Exception):
+    """A query the engine rejects, with the HTTP status it maps to."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _format_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 255) for shift in (24, 16, 8, 0))
+
+
+def _parse_ip(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) == 4:
+        try:
+            octets = [int(part) for part in parts]
+        except ValueError:
+            octets = None
+        if octets is not None and all(0 <= o <= 255 for o in octets):
+            value = 0
+            for octet in octets:
+                value = (value << 8) | octet
+            return value
+    if text.isdigit():
+        return int(text)
+    raise QueryError(400, f"not an IPv4 address: {text!r}")
+
+
+def _parse_fingerprint(text: str) -> bytes:
+    try:
+        fingerprint = bytes.fromhex(text)
+    except ValueError:
+        raise QueryError(400, f"not a hex fingerprint: {text!r}")
+    if len(fingerprint) != 32:
+        raise QueryError(400, "fingerprints are 32 bytes of hex")
+    return fingerprint
+
+
+def _census_population(dataset, fingerprints: Sequence[bytes]) -> dict:
+    """The §5 statistics for one certificate population.
+
+    Shared verbatim by the in-process path and the pool workers, so the
+    fan-out cannot drift from the serial answer.
+    """
+    from ..core.analysis.issuers import self_signed_fraction, top_issuers
+    from ..core.analysis.keys import key_sharing
+    from ..core.analysis.longevity import lifetimes, validity_periods
+
+    fingerprints = list(fingerprints)
+    if not fingerprints:
+        return {"n": 0}
+    validity = validity_periods(dataset, fingerprints)
+    lifetime = lifetimes(dataset, fingerprints)
+    keys = key_sharing(dataset, fingerprints)
+    return {
+        "n": len(fingerprints),
+        "validity_median_days": validity.median,
+        "lifetime_median_days": lifetime.median_days,
+        "single_scan_fraction": lifetime.single_scan_fraction,
+        "key_shared_fraction": keys.shared_fraction,
+        "self_signed_fraction": self_signed_fraction(dataset, fingerprints),
+        "top_issuers": [
+            [issuer, count]
+            for issuer, count in top_issuers(dataset, fingerprints)
+        ],
+    }
+
+
+# --- pool workers ---------------------------------------------------------------
+#
+# Workers hold the corpus as process-global state installed once by the
+# initializer: tasks ship only fingerprint lists, never columns.  The
+# re-mapped container shares physical pages with the parent through the
+# OS page cache, and an artifact cache (when configured) hands each
+# worker the prebuilt kernels as mapped views over the same ``.rpa``.
+
+_WORKER_STATE: dict = {}
+
+
+def _serve_worker_init(
+    corpus_path: str,
+    environment_path: Optional[str],
+    cache_dir: Optional[str],
+    parent_obs: bool,
+) -> None:
+    from ..io import load_dataset, load_environment
+    from ..io.artifacts import ArtifactCache
+
+    obs_runtime.install_worker(parent_obs)
+    dataset = load_dataset(corpus_path)
+    if cache_dir is not None:
+        ArtifactCache(cache_dir).load(dataset, workers=1)
+    as_of = None
+    if environment_path is not None:
+        as_of = load_environment(environment_path).routing.origin_as
+    _WORKER_STATE["dataset"] = dataset
+    _WORKER_STATE["as_of"] = as_of
+
+
+def _consistency_task(
+    fingerprints: Sequence[bytes],
+) -> Tuple[float, float, float, float]:
+    return fused_group_consistency(
+        _WORKER_STATE["dataset"], list(fingerprints), _WORKER_STATE["as_of"]
+    )
+
+
+def _census_task(fingerprints: Sequence[bytes]) -> dict:
+    return _census_population(_WORKER_STATE["dataset"], fingerprints)
+
+
+class QueryEngine:
+    """One warmed study, served as online queries."""
+
+    #: Bound on the serialized-response LRU (entries).
+    DEFAULT_RESULT_CACHE = 8192
+
+    #: Capped list lengths inside payloads (observation histories and
+    #: group rosters stay bounded no matter how hot a certificate is).
+    MAX_LISTED = 100
+
+    def __init__(
+        self,
+        study: Study,
+        corpus_path: Optional[str] = None,
+        environment_path: Optional[str] = None,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        result_cache_size: Optional[int] = None,
+    ) -> None:
+        self.study = study
+        self.dataset = study.dataset
+        self.corpus_path = str(corpus_path) if corpus_path else None
+        self.environment_path = (
+            str(environment_path) if environment_path else None
+        )
+        self.workers = workers
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.digest = self.dataset.corpus_digest()
+        self._results: "OrderedDict[tuple, bytes]" = OrderedDict()
+        self._result_cache_size = (
+            self.DEFAULT_RESULT_CACHE
+            if result_cache_size is None else result_cache_size
+        )
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._key_groups: "Optional[Dict[str, tuple]]" = None
+        self._track_index: "Optional[Dict[int, List[int]]]" = None
+        self._warmed = False
+
+    @classmethod
+    def open(
+        cls,
+        corpus: Union[str, "object"],
+        environment: Union[str, "object"],
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        result_cache_size: Optional[int] = None,
+    ) -> "QueryEngine":
+        """Wire an engine over a saved corpus + environment pair."""
+        from ..io import load_dataset, load_environment
+        from ..io.artifacts import ArtifactCache
+
+        dataset = load_dataset(corpus)
+        loaded = load_environment(environment)
+        cache = ArtifactCache(cache_dir) if cache_dir else None
+        study = Study(
+            dataset=dataset,
+            trust_store=loaded.trust_store,
+            as_of=loaded.routing.origin_as,
+            registry=loaded.registry,
+            workers=workers,
+            cache=cache,
+        )
+        return cls(
+            study,
+            corpus_path=str(corpus),
+            environment_path=str(environment),
+            workers=workers,
+            cache_dir=cache_dir,
+            result_cache_size=result_cache_size,
+        )
+
+    # --- lifecycle -------------------------------------------------------------
+
+    def warm(self) -> "QueryEngine":
+        """Build every stage queries touch, once, before traffic.
+
+        Validation, kernels, dedup, the linking pipeline, the tracked
+        device population, the key→group map, and the address→device
+        index all materialize here; a warmed engine answers cold
+        lookups without ever entering a study stage.
+        """
+        if self._warmed:
+            return self
+        with obs_runtime.span("serve/warm"):
+            study = self.study
+            study.validation()
+            study.kernels()
+            study.pipeline()
+            devices = study.tracked_devices()
+            result = link_on_feature(
+                self.dataset, list(study.unique_invalid), Feature.PUBLIC_KEY
+            )
+            key_groups: Dict[str, tuple] = {}
+            for group in result.groups:
+                spki = self.dataset.certificate(
+                    group.fingerprints[0]
+                ).public_key.fingerprint.hex()
+                key_groups[spki] = group.fingerprints
+            self._key_groups = key_groups
+            track_index: Dict[int, List[int]] = {}
+            for position, device in enumerate(devices):
+                for _, _, ip in device.sightings:
+                    bucket = track_index.setdefault(ip, [])
+                    if not bucket or bucket[-1] != position:
+                        bucket.append(position)
+            self._track_index = track_index
+        self._warmed = True
+        return self
+
+    @property
+    def pool(self) -> Optional[ProcessPoolExecutor]:
+        """The heavy-query pool (None when fan-out is unavailable)."""
+        if self.workers <= 1 or self.corpus_path is None:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_serve_worker_init,
+                initargs=(
+                    self.corpus_path, self.environment_path,
+                    self.cache_dir, obs_runtime.enabled(),
+                ),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # --- response cache --------------------------------------------------------
+
+    def cached(self, path: str) -> Optional[bytes]:
+        """The serialized response for ``path``, if already computed."""
+        key = (self.digest, path)
+        with self._lock:
+            body = self._results.get(key)
+            if body is not None:
+                self._results.move_to_end(key)
+        return body
+
+    def _store(self, path: str, payload: dict) -> bytes:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        key = (self.digest, path)
+        with self._lock:
+            self._results[key] = body
+            if len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+        return body
+
+    # --- routing ---------------------------------------------------------------
+
+    def respond(self, path: str) -> bytes:
+        """Route one query path to its serialized JSON response."""
+        cached = self.cached(path)
+        if cached is not None:
+            return cached
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 2 and parts[0] == "cert":
+            payload = self.cert(parts[1])
+        elif len(parts) == 3 and parts[0] == "key" and parts[2] == "group":
+            payload = self.key_group(parts[1])
+        elif len(parts) == 2 and parts[0] == "track":
+            payload = self.track(parts[1])
+        elif parts == ["census"]:
+            payload = self.census()
+        elif len(parts) == 2 and parts[0] == "census" \
+                and parts[1] in ("valid", "invalid"):
+            payload = self.census_slice(parts[1])
+        elif parts == ["sample"]:
+            payload = self.sample()
+        else:
+            raise QueryError(404, f"unknown query path: {path}")
+        return self._store(path, payload)
+
+    # --- endpoints -------------------------------------------------------------
+
+    def cert(self, fingerprint_hex: str) -> dict:
+        """One certificate: identity, verdict, observation history."""
+        fingerprint = _parse_fingerprint(fingerprint_hex)
+        dataset = self.dataset
+        try:
+            certificate = dataset.certificate(fingerprint)
+        except KeyError:
+            raise QueryError(404, f"unknown certificate: {fingerprint_hex}")
+        validation = self.study.validation()
+        appearances = dataset.appearances(fingerprint)
+        payload = {
+            "fingerprint": fingerprint.hex(),
+            "subject_cn": certificate.subject_cn,
+            "issuer_cn": certificate.issuer_cn,
+            "spki": certificate.public_key.fingerprint.hex(),
+            "validity_period_days": certificate.validity_period_days,
+            "self_signed": certificate.is_self_signed(),
+            "status": (
+                validation.results[fingerprint].status.value
+                if fingerprint in validation.results else None
+            ),
+            "invalid": fingerprint in validation.invalid,
+            "n_appearances": len(appearances),
+            "n_ips": len({ip for _, ip in appearances}),
+            "appearances": [
+                [dataset.scans[scan_idx].day, _format_ip(ip)]
+                for scan_idx, ip in appearances[:self.MAX_LISTED]
+            ],
+        }
+        if appearances:
+            first, last = dataset.first_last_day(fingerprint)
+            payload["first_day"] = first
+            payload["last_day"] = last
+            payload["lifetime_days"] = dataset.lifetime_days(fingerprint)
+        else:
+            payload["first_day"] = payload["last_day"] = None
+            payload["lifetime_days"] = 0
+        return payload
+
+    def key_group(self, spki_hex: str) -> dict:
+        """The §6.3 public-key group behind one SPKI fingerprint."""
+        self.warm()
+        assert self._key_groups is not None
+        fingerprints = self._key_groups.get(spki_hex.lower())
+        if fingerprints is None:
+            raise QueryError(404, f"no linked group for key {spki_hex}")
+        consistency = self._group_consistency(fingerprints)
+        return {
+            "spki": spki_hex.lower(),
+            "size": len(fingerprints),
+            "fingerprints": [
+                fingerprint.hex()
+                for fingerprint in fingerprints[:self.MAX_LISTED]
+            ],
+            "consistency": {
+                "ip": consistency[0],
+                "prefix24": consistency[1],
+                "prefix16": consistency[2],
+                "as": consistency[3],
+            },
+        }
+
+    def _group_consistency(
+        self, fingerprints: Sequence[bytes]
+    ) -> Tuple[float, float, float, float]:
+        pool = self.pool
+        if pool is not None:
+            return pool.submit(_consistency_task, list(fingerprints)).result()
+        return fused_group_consistency(
+            self.dataset, list(fingerprints), self.study.as_of
+        )
+
+    def track(self, ip_text: str) -> dict:
+        """Every tracked device (§7) ever sighted at one address."""
+        self.warm()
+        assert self._track_index is not None
+        ip = _parse_ip(ip_text)
+        devices = self.study.tracked_devices()
+        rows = []
+        for position in self._track_index.get(ip, ()):
+            device = devices[position]
+            rows.append({
+                "device_key": device.device_key,
+                "n_fingerprints": len(device.fingerprints),
+                "first_day": device.first_day,
+                "last_day": device.last_day,
+                "span_days": device.span_days,
+                "trackable": device.is_trackable(),
+                "ips": sorted({
+                    _format_ip(sighting_ip)
+                    for _, _, sighting_ip in device.sightings
+                }),
+            })
+        return {"ip": _format_ip(ip), "n_devices": len(rows), "devices": rows}
+
+    def census(self) -> dict:
+        """The §5 invalidity census over the whole corpus."""
+        validation = self.study.validation()
+        valid = sorted(validation.valid)
+        invalid = sorted(validation.invalid)
+        pool = self.pool
+        if pool is not None:
+            futures = [
+                pool.submit(_census_task, valid),
+                pool.submit(_census_task, invalid),
+            ]
+            valid_stats, invalid_stats = [
+                future.result() for future in futures
+            ]
+        else:
+            valid_stats = _census_population(self.dataset, valid)
+            invalid_stats = _census_population(self.dataset, invalid)
+        return {
+            "digest": self.digest,
+            "n_certificates": len(self.dataset.certificates),
+            "n_scans": len(self.dataset.scans),
+            "n_observations": self.dataset.n_observations,
+            "considered": validation.considered,
+            "invalid_fraction": validation.invalid_fraction,
+            "valid": valid_stats,
+            "invalid": invalid_stats,
+        }
+
+    def census_slice(self, population: str) -> dict:
+        """One population's census slice (``valid`` / ``invalid``)."""
+        validation = self.study.validation()
+        fingerprints = sorted(
+            validation.valid if population == "valid" else validation.invalid
+        )
+        pool = self.pool
+        if pool is not None:
+            stats = pool.submit(_census_task, fingerprints).result()
+        else:
+            stats = _census_population(self.dataset, fingerprints)
+        stats["population"] = population
+        stats["digest"] = self.digest
+        return stats
+
+    def sample(self, n: int = 256) -> dict:
+        """Deterministic query seeds for load generators.
+
+        Strided over the sorted populations, so a loadgen run touches
+        the corpus uniformly rather than one hot page.
+        """
+        self.warm()
+        assert self._key_groups is not None and self._track_index is not None
+
+        def strided(values: list, count: int) -> list:
+            if not values:
+                return []
+            step = max(1, len(values) // count)
+            return values[::step][:count]
+
+        fingerprints = strided(
+            sorted(self.study.validation().results), n
+        )
+        return {
+            "digest": self.digest,
+            "fingerprints": [
+                fingerprint.hex() for fingerprint in fingerprints
+            ],
+            "keys": strided(sorted(self._key_groups), n),
+            "ips": [
+                _format_ip(ip) for ip in strided(
+                    sorted(self._track_index), n
+                )
+            ],
+        }

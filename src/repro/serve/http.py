@@ -1,0 +1,177 @@
+"""The asyncio HTTP/1.1 shell over :class:`~repro.serve.engine.QueryEngine`.
+
+Stdlib only, like :mod:`repro.obs.live` — but built on ``asyncio`` with
+keep-alive connections, because the serve workload is thousands of
+small concurrent lookups where per-request connection setup would
+dominate.  The division of labor keeps the event loop unblocked:
+
+* responses already in the engine's LRU are written straight from the
+  loop (a dict hit — no executor round trip, no serialization);
+* cache misses run :meth:`QueryEngine.respond` on the default thread
+  executor, and heavy queries inside it fan out to the engine's
+  process pool — the loop keeps serving hot lookups meanwhile;
+* observability paths (``/metrics``, ``/healthz``, ``/vars``) are
+  routed through the *same* :meth:`LiveServer.handle_path` table the
+  threaded plane uses, so the two transports cannot drift.
+
+Every request bumps ``serve.requests`` (exported as
+``repro_serve_requests_total``) and lands one sample in the
+``latency.serve`` histogram on the live plane's bucket ladder.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Optional, Tuple
+
+from ..obs.live import LATENCY_BUCKETS_MS, LiveServer
+from ..obs.metrics import MetricsRegistry
+from .engine import QueryEngine, QueryError
+
+__all__ = ["QueryServer"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+
+
+class QueryServer:
+    """One listening query plane over one engine."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        live: Optional[LiveServer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.live = live
+        self.registry = (
+            live.registry if live is not None else MetricsRegistry()
+        )
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # --- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> "QueryServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.live is not None and self.live._started is None:
+            # The live plane's own thread never starts here — this
+            # server fronts its routes — but /healthz uptime should
+            # still tick from serve boot.
+            self.live._started = time.time()
+        return self
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.engine.close()
+
+    # --- protocol --------------------------------------------------------------
+
+    async def _connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, *rest = (
+                        request_line.decode("latin-1").split()
+                    )
+                except ValueError:
+                    break
+                keep_alive = not rest or rest[0] != "HTTP/1.0"
+                while True:
+                    header = await reader.readline()
+                    if header in (b"", b"\r\n", b"\n"):
+                        break
+                    lowered = header.lower()
+                    if lowered.startswith(b"connection:"):
+                        keep_alive = b"close" not in lowered
+                status, body, ctype = await self._respond(method, target)
+                connection = "keep-alive" if keep_alive else "close"
+                writer.write(
+                    (
+                        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        f"Content-Type: {ctype}\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        f"Connection: {connection}\r\n\r\n"
+                    ).encode() + body
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, method: str, target: str
+    ) -> Tuple[int, bytes, str]:
+        started = time.perf_counter()
+        self.registry.inc("serve.requests")
+        try:
+            if method != "GET":
+                raise QueryError(405, f"method not served: {method}")
+            path = target.split("?", 1)[0]
+            if self.live is not None:
+                routed = self.live.handle_path(path)
+                if routed is not None:
+                    return (200, *routed)
+            body = self.engine.cached(path)
+            if body is None:
+                body = await asyncio.get_running_loop().run_in_executor(
+                    None, self.engine.respond, path
+                )
+            return 200, body, "application/json"
+        except QueryError as error:
+            self.registry.inc("serve.errors")
+            return (
+                error.status,
+                (json.dumps({"error": error.message}) + "\n").encode(),
+                "application/json",
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            self.registry.inc("serve.errors")
+            return (
+                500,
+                (json.dumps({"error": str(error)}) + "\n").encode(),
+                "application/json",
+            )
+        finally:
+            self.registry.observe(
+                "latency.serve",
+                (time.perf_counter() - started) * 1000.0,
+                buckets=LATENCY_BUCKETS_MS,
+            )

@@ -1,0 +1,223 @@
+"""The closed-loop load generator behind ``repro loadgen``.
+
+Drives a running query plane with N concurrent keep-alive connections,
+each issuing its share of a mixed workload back-to-back, and reports
+wall-clock throughput plus the client-side latency distribution.  The
+workload is seeded from the server's own ``/sample`` endpoint, so the
+generator needs nothing but a URL — the fingerprints, key ids, and
+addresses it queries are real members of the served corpus.
+
+Stdlib only (``asyncio`` streams); nearest-rank percentiles over the
+full latency vector, no sketching — a bench harness should gate on
+exact numbers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LoadgenReport", "build_workload", "run_loadgen"]
+
+#: Default endpoint weights: lookup-dominated, like a monitoring fleet
+#: resolving certificates it just observed, with a trickle of tracking
+#: and census traffic.
+DEFAULT_MIX = {"cert": 8, "track": 2, "key": 1, "census": 1}
+
+
+@dataclass(frozen=True)
+class LoadgenReport:
+    """One load run's outcome."""
+
+    requests: int
+    errors: int
+    seconds: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+    max_ms: float
+    by_status: Dict[int, int]
+
+    def render(self) -> str:
+        return (
+            f"{self.requests} requests in {self.seconds:.2f}s  "
+            f"({self.qps:,.0f} qps, {self.errors} errors)\n"
+            f"latency p50 {self.p50_ms:.2f}ms  p99 {self.p99_ms:.2f}ms  "
+            f"max {self.max_ms:.2f}ms"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(q * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
+def _parse_url(url: str) -> Tuple[str, int]:
+    stripped = url.split("://", 1)[-1].split("/", 1)[0]
+    host, _, port = stripped.rpartition(":")
+    if not host:
+        raise ValueError(f"loadgen needs host:port, got {url!r}")
+    return host, int(port)
+
+
+async def _fetch(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+) -> Tuple[int, bytes]:
+    """One GET on an open keep-alive connection."""
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n".encode()
+    )
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        if header.lower().startswith(b"content-length:"):
+            length = int(header.split(b":", 1)[1])
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _fetch_once(host: str, port: int, path: str) -> Tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await _fetch(reader, writer, path)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def build_workload(
+    sample: dict,
+    requests: int,
+    mix: Optional[Dict[str, int]] = None,
+    seed: int = 2016,
+) -> List[str]:
+    """Expand a ``/sample`` payload into a shuffled request path list."""
+    mix = dict(DEFAULT_MIX if mix is None else mix)
+    pools = {
+        "cert": [f"/cert/{fp}" for fp in sample.get("fingerprints", [])],
+        "track": [f"/track/{ip}" for ip in sample.get("ips", [])],
+        "key": [f"/key/{key}/group" for key in sample.get("keys", [])],
+        "census": ["/census", "/census/valid", "/census/invalid"],
+    }
+    weighted: List[Tuple[str, List[str]]] = [
+        (kind, pool) for kind, pool in pools.items()
+        if mix.get(kind, 0) > 0 and pool
+    ]
+    if not weighted:
+        raise ValueError("workload mix selects no populated endpoint")
+    total_weight = sum(mix[kind] for kind, _ in weighted)
+    paths: List[str] = []
+    for kind, pool in weighted:
+        share = max(1, round(requests * mix[kind] / total_weight))
+        paths.extend(pool[index % len(pool)] for index in range(share))
+    paths = paths[:requests]
+    random.Random(seed).shuffle(paths)
+    return paths
+
+
+async def _drive(
+    host: str,
+    port: int,
+    paths: Sequence[str],
+    concurrency: int,
+) -> Tuple[List[float], Dict[int, int], int]:
+    latencies: List[float] = []
+    by_status: Dict[int, int] = {}
+    errors = 0
+    shares = [
+        list(paths[offset::concurrency]) for offset in range(concurrency)
+    ]
+
+    async def worker(share: Sequence[str]) -> None:
+        nonlocal errors
+        if not share:
+            return
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for path in share:
+                started = perf_counter()
+                try:
+                    status, _ = await _fetch(reader, writer, path)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    # Reconnect once; the request still counts.
+                    reader, writer = await asyncio.open_connection(host, port)
+                    status, _ = await _fetch(reader, writer, path)
+                latencies.append((perf_counter() - started) * 1000.0)
+                by_status[status] = by_status.get(status, 0) + 1
+                if status >= 400:
+                    errors += 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    await asyncio.gather(*(worker(share) for share in shares))
+    return latencies, by_status, errors
+
+
+async def run_loadgen_async(
+    url: str,
+    requests: int = 2000,
+    concurrency: int = 16,
+    mix: Optional[Dict[str, int]] = None,
+    seed: int = 2016,
+    paths: Optional[Sequence[str]] = None,
+) -> LoadgenReport:
+    host, port = _parse_url(url)
+    if paths is None:
+        status, body = await _fetch_once(host, port, "/sample")
+        if status != 200:
+            raise RuntimeError(f"/sample returned HTTP {status}")
+        paths = build_workload(json.loads(body), requests, mix, seed)
+    started = perf_counter()
+    latencies, by_status, errors = await _drive(
+        host, port, paths, concurrency
+    )
+    seconds = perf_counter() - started
+    latencies.sort()
+    return LoadgenReport(
+        requests=len(latencies),
+        errors=errors,
+        seconds=seconds,
+        qps=len(latencies) / seconds if seconds else 0.0,
+        p50_ms=_percentile(latencies, 0.50),
+        p99_ms=_percentile(latencies, 0.99),
+        max_ms=latencies[-1] if latencies else 0.0,
+        by_status=by_status,
+    )
+
+
+def run_loadgen(
+    url: str,
+    requests: int = 2000,
+    concurrency: int = 16,
+    mix: Optional[Dict[str, int]] = None,
+    seed: int = 2016,
+    paths: Optional[Sequence[str]] = None,
+) -> LoadgenReport:
+    """Synchronous wrapper: drive ``url`` and return the report."""
+    return asyncio.run(run_loadgen_async(
+        url, requests=requests, concurrency=concurrency,
+        mix=mix, seed=seed, paths=paths,
+    ))

@@ -1,7 +1,18 @@
 """Tests for the pluggable dataset backends."""
 
+import pytest
+
 from repro.io import save_dataset
-from repro.io.backends import ArchiveBackend, DatasetBackend, InMemoryBackend
+from repro.io.backends import (
+    ArchiveBackend,
+    DatasetBackend,
+    InMemoryBackend,
+    LazyCertificates,
+    MappedBackend,
+)
+from repro.io.encoding import FP_HASH_SEGMENT, SegmentReader, SegmentWriter
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import MetricsRegistry
 from repro.scanner.dataset import ScanDataset
 
 from ..core.helpers import DAY0, make_cert, make_dataset
@@ -87,3 +98,94 @@ class TestArchiveBackend:
         backend = ArchiveBackend(path)
         assert set(backend.load_certificates()) == set(dataset.certificates)
         assert len(backend.load_scans()) == 2
+
+
+@pytest.fixture()
+def metrics():
+    registry = MetricsRegistry()
+    obs_runtime.activate(metrics=registry)
+    try:
+        yield registry
+    finally:
+        obs_runtime.deactivate()
+
+
+@pytest.fixture()
+def mapped(tmp_path):
+    dataset = corpus()
+    path = tmp_path / "mapped.rpz"
+    save_dataset(dataset, path)
+    return dataset, path
+
+
+def _strip_hash_segment(src, dst):
+    """Rewrite a container without ``cert_hash`` (a pre-segment corpus)."""
+    reader = SegmentReader(src)
+    writer = SegmentWriter(dst, meta=dict(reader.meta))
+    for name in reader.names():
+        if name == FP_HASH_SEGMENT:
+            continue
+        entry = reader.entry(name)
+        writer.add_chunks(
+            name, (reader.raw(name),), kind=entry["kind"],
+            typecode=entry.get("typecode"), stride=entry.get("stride"),
+        )
+    writer.close()
+
+
+class TestLazyCertificates:
+    def test_saved_containers_carry_the_hash_segment(self, mapped):
+        _, path = mapped
+        assert FP_HASH_SEGMENT in SegmentReader(path)
+
+    def test_lookups_use_the_persisted_hash_index(self, mapped):
+        dataset, path = mapped
+        certs = MappedBackend(path).load_certificates()
+        for fingerprint, expected in dataset.certificates.items():
+            assert certs[fingerprint].subject_cn == expected.subject_cn
+        assert certs._hash is not None
+        assert certs._sorted_rows is None
+
+    def test_parse_memo_counts_actual_parses_only(self, mapped, metrics):
+        dataset, path = mapped
+        certs = MappedBackend(path).load_certificates()
+        fingerprints = list(dataset.certificates)
+        for fingerprint in fingerprints:
+            certs[fingerprint]
+        assert metrics.counters["io.der_parse_total"] == len(fingerprints)
+        for fingerprint in fingerprints * 3:
+            certs[fingerprint]
+        assert metrics.counters["io.der_parse_total"] == len(fingerprints)
+
+    def test_memo_is_bounded_and_evicts_lru(self, mapped, metrics):
+        _, path = mapped
+        certs = LazyCertificates(SegmentReader(path), cache_size=1)
+        first, second = list(certs)[:2]
+        certs[first]
+        certs[second]  # evicts first
+        certs[second]  # hit
+        certs[first]   # reparse
+        assert metrics.counters["io.der_parse_total"] == 3
+
+    def test_missing_and_malformed_keys(self, mapped):
+        _, path = mapped
+        certs = MappedBackend(path).load_certificates()
+        with pytest.raises(KeyError):
+            certs[b"\x00" * 32]
+        assert b"\x00" * 32 not in certs
+        assert "not-bytes" not in certs
+
+    def test_containers_without_the_segment_fall_back(
+        self, mapped, tmp_path
+    ):
+        dataset, path = mapped
+        legacy = tmp_path / "legacy.rpz"
+        _strip_hash_segment(path, legacy)
+        assert FP_HASH_SEGMENT not in SegmentReader(legacy)
+        certs = MappedBackend(legacy).load_certificates()
+        for fingerprint, expected in dataset.certificates.items():
+            assert certs[fingerprint].subject_cn == expected.subject_cn
+        assert certs._hash is None
+        assert certs._sorted_rows is not None
+        with pytest.raises(KeyError):
+            certs[b"\xff" * 32]

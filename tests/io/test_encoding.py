@@ -8,6 +8,8 @@ import pytest
 from repro.io.artifacts import file_digest
 from repro.io.encoding import (
     CONTAINER_MAGIC,
+    build_fingerprint_hash,
+    fingerprint_hash_find,
     SegmentError,
     SegmentReader,
     SegmentWriter,
@@ -138,3 +140,53 @@ class TestHelpers:
         promoted = as_array(view)
         assert isinstance(promoted, array)
         assert promoted == values
+
+
+class TestFingerprintHash:
+    @staticmethod
+    def _fps(count, seed=0):
+        import hashlib
+
+        return [
+            hashlib.sha256(f"{seed}:{index}".encode()).digest()
+            for index in range(count)
+        ]
+
+    def test_table_is_power_of_two_with_half_load(self):
+        for count in (0, 1, 3, 4, 5, 100, 1000):
+            table = build_fingerprint_hash(self._fps(count))
+            slots = len(table)
+            assert slots & (slots - 1) == 0
+            assert slots >= 8
+            assert count <= slots / 2 or slots == 8 and count <= 4
+            assert sum(1 for slot in table if slot) == count
+
+    def test_build_is_deterministic(self):
+        fps = self._fps(257)
+        assert bytes(build_fingerprint_hash(fps)) == \
+            bytes(build_fingerprint_hash(fps))
+
+    def test_find_hits_every_member_and_misses_strangers(self):
+        fps = self._fps(300)
+        table = build_fingerprint_hash(fps)
+        blob = pack_fingerprints(fps)
+        for row, fingerprint in enumerate(fps):
+            assert fingerprint_hash_find(table, blob, fingerprint) == row
+        for stranger in self._fps(50, seed=1):
+            assert fingerprint_hash_find(table, blob, stranger) is None
+
+    def test_colliding_prefixes_probe_linearly(self):
+        # Same first 8 bytes => same home slot; only the tail differs.
+        prefix = b"\x42" * 8
+        fps = [prefix + bytes([index]) * 24 for index in range(5)]
+        table = build_fingerprint_hash(fps)
+        blob = pack_fingerprints(fps)
+        for row, fingerprint in enumerate(fps):
+            assert fingerprint_hash_find(table, blob, fingerprint) == row
+        assert fingerprint_hash_find(table, blob, prefix + b"\xff" * 24) \
+            is None
+
+    def test_empty_table_finds_nothing(self):
+        table = build_fingerprint_hash([])
+        assert len(table) == 8
+        assert fingerprint_hash_find(table, b"", b"\x00" * 32) is None

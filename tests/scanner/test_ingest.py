@@ -342,3 +342,87 @@ class TestCacheLineage:
         base = load_dataset(corpus["base"])
         loaded = cache.load(base)
         assert not loaded.kernels
+
+
+class TestCompaction:
+    """`ArtifactCache.compact`: flatten a delta chain into a direct hit."""
+
+    def _chain(self, world, campaigns, tmp_path, cache):
+        """base(store) -> day1 -> day2, artifacts only at the base."""
+        base_path = tmp_path / "day0.rpz"
+        _write(world, campaigns, base_path, set(DAYS[:-2]))
+        base = load_dataset(base_path)
+        base.index, base.intervals, base.feature_matrix
+        cache.store(base)
+        shards, day_certs = _day_shards(world, campaigns, {DAYS[-2]})
+        mid = base.extend_from_shard(
+            shards, day_certs, tmp_path / "day1.rpz", cache=cache,
+        )
+        shards, day_certs = _day_shards(world, campaigns, {DAYS[-1]})
+        mid.extend_from_shard(
+            shards, day_certs, tmp_path / "day2.rpz", cache=cache,
+        )
+        return tmp_path / "day2.rpz"
+
+    def test_compact_flattens_and_prunes_lineage(
+        self, world, campaigns, tmp_path, metrics
+    ):
+        import json as json_module
+
+        cache = ArtifactCache(tmp_path / "cache")
+        grown_path = self._chain(world, campaigns, tmp_path, cache)
+        fresh = load_dataset(grown_path)
+        digest = fresh.corpus_digest()
+        assert cache.chain_length(digest) == 2
+
+        path = cache.compact(fresh)
+        assert path == cache.path_for(digest)
+        assert path.exists()
+        assert "kernels" in cache.status(digest)["sections"]
+        assert cache.chain_length(digest) == 0
+        lineage = json_module.loads(
+            (tmp_path / "cache" / "lineage.json").read_text()
+        )
+        assert digest not in lineage
+        assert not lineage  # every chained ancestor entry pruned too
+        assert metrics.counters["artifacts.compacted"] == 1
+
+        # A flat corpus compacts as a no-op.
+        assert cache.compact(load_dataset(grown_path)) == path
+        assert metrics.counters["artifacts.compacted"] == 1
+
+        # And the next load is a direct hit, no chain walk.
+        loaded = cache.load(load_dataset(grown_path))
+        assert loaded.kernels
+        assert metrics.counters["artifacts.hit"] >= 1
+
+    def test_compact_cold_builds_missing_kernels(
+        self, world, campaigns, tmp_path
+    ):
+        corpus_path = tmp_path / "flat.rpz"
+        _write(world, campaigns, corpus_path, set(DAYS[:-2]))
+        cache = ArtifactCache(tmp_path / "cache")
+        fresh = load_dataset(corpus_path)
+        path = cache.compact(fresh)
+        assert path is not None and path.exists()
+        assert "kernels" in cache.status(fresh.corpus_digest())["sections"]
+
+    def test_future_appends_restart_the_chain(
+        self, world, campaigns, tmp_path
+    ):
+        cache = ArtifactCache(tmp_path / "cache")
+        base_path = tmp_path / "day0.rpz"
+        _write(world, campaigns, base_path, set(DAYS[:-1]))
+        base = load_dataset(base_path)
+        base_digest = base.corpus_digest()
+        cache.compact(base)
+        shards, day_certs = _day_shards(world, campaigns, {DAYS[-1]})
+        base.extend_from_shard(
+            shards, day_certs, tmp_path / "day1.rpz", cache=cache,
+        )
+        grown = load_dataset(tmp_path / "day1.rpz")
+        digest = grown.corpus_digest()
+        assert cache.chain_length(digest) == 1
+        entry = cache._read_lineage()[digest]
+        assert entry["base"] == base_digest
+        assert entry["chain"] == [base_digest]

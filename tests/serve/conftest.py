@@ -1,0 +1,57 @@
+"""Shared serve fixtures: one saved corpus + environment, one warmed engine.
+
+The engine under test is wired over the *saved* container (mapped
+backend, artifact cache), while the parity oracle is an independent
+:class:`~repro.study.Study` over a separately loaded dataset — the two
+share no object state, so any agreement is earned.
+"""
+
+import pytest
+
+from repro.io import (
+    AnalysisEnvironment,
+    load_dataset,
+    save_dataset,
+    save_environment,
+)
+from repro.serve import QueryEngine
+from repro.study import Study
+
+
+@pytest.fixture(scope="session")
+def serve_paths(tmp_path_factory, tiny_synthetic):
+    directory = tmp_path_factory.mktemp("serve")
+    corpus = directory / "corpus.rpz"
+    environment = directory / "env.rpe"
+    save_dataset(tiny_synthetic.scans, corpus)
+    save_environment(
+        AnalysisEnvironment.of_world(tiny_synthetic.world), environment
+    )
+    return {
+        "corpus": corpus,
+        "environment": environment,
+        "cache": directory / "cache",
+    }
+
+
+@pytest.fixture(scope="session")
+def engine(serve_paths):
+    engine = QueryEngine.open(
+        serve_paths["corpus"], serve_paths["environment"],
+        cache_dir=str(serve_paths["cache"]),
+    )
+    engine.warm()
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="session")
+def oracle(serve_paths, tiny_synthetic):
+    """An independent Study over the same saved corpus."""
+    world = tiny_synthetic.world
+    return Study(
+        dataset=load_dataset(serve_paths["corpus"]),
+        trust_store=world.trust_store,
+        as_of=world.routing.origin_as,
+        registry=world.registry,
+    )

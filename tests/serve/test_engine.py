@@ -1,0 +1,255 @@
+"""Server-vs-batch parity: every endpoint equals the direct pipeline answer."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.features import Feature
+from repro.core.kernels import fused_group_consistency
+from repro.core.linking import link_on_feature
+from repro.serve import QueryEngine, QueryError
+from repro.serve.engine import _format_ip, _parse_ip
+
+
+def _payload(engine, path):
+    return json.loads(engine.respond(path))
+
+
+class TestAddressCodec:
+    def test_round_trip(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            value = rng.randrange(1 << 32)
+            assert _parse_ip(_format_ip(value)) == value
+
+    def test_rejects_garbage(self):
+        for text in ("10.0.0", "1.2.3.999", "certainly-not", ""):
+            with pytest.raises(QueryError) as err:
+                _parse_ip(text)
+            assert err.value.status == 400
+
+
+class TestCertParity:
+    def test_random_fingerprints_match_dataset(self, engine, oracle):
+        validation = oracle.validation()
+        population = sorted(validation.results)
+        rng = random.Random(2016)
+        for fingerprint in rng.sample(population, 50):
+            payload = _payload(engine, f"/cert/{fingerprint.hex()}")
+            certificate = oracle.dataset.certificate(fingerprint)
+            appearances = oracle.dataset.appearances(fingerprint)
+            assert payload["fingerprint"] == fingerprint.hex()
+            assert payload["subject_cn"] == certificate.subject_cn
+            assert payload["issuer_cn"] == certificate.issuer_cn
+            assert payload["spki"] == \
+                certificate.public_key.fingerprint.hex()
+            assert payload["validity_period_days"] == \
+                certificate.validity_period_days
+            assert payload["self_signed"] == certificate.is_self_signed()
+            assert payload["status"] == \
+                validation.results[fingerprint].status.value
+            assert payload["invalid"] == (fingerprint in validation.invalid)
+            assert payload["n_appearances"] == len(appearances)
+            assert payload["n_ips"] == len({ip for _, ip in appearances})
+            if appearances:
+                first, last = oracle.dataset.first_last_day(fingerprint)
+                assert payload["first_day"] == first
+                assert payload["last_day"] == last
+                assert payload["lifetime_days"] == \
+                    oracle.dataset.lifetime_days(fingerprint)
+
+    def test_unknown_fingerprint_is_404(self, engine):
+        with pytest.raises(QueryError) as err:
+            engine.respond("/cert/" + "00" * 32)
+        assert err.value.status == 404
+
+    def test_malformed_fingerprint_is_400(self, engine):
+        for bogus in ("zz" * 32, "abcd"):
+            with pytest.raises(QueryError) as err:
+                engine.respond(f"/cert/{bogus}")
+            assert err.value.status == 400
+
+
+class TestKeyGroupParity:
+    def test_groups_match_link_on_feature(self, engine, oracle):
+        result = link_on_feature(
+            oracle.dataset, list(oracle.unique_invalid), Feature.PUBLIC_KEY
+        )
+        assert result.groups, "tiny corpus should link key groups"
+        rng = random.Random(2016)
+        for group in rng.sample(result.groups, min(20, len(result.groups))):
+            spki = oracle.dataset.certificate(
+                group.fingerprints[0]
+            ).public_key.fingerprint.hex()
+            payload = _payload(engine, f"/key/{spki}/group")
+            assert payload["size"] == len(group.fingerprints)
+            assert payload["fingerprints"] == [
+                fingerprint.hex()
+                for fingerprint in
+                group.fingerprints[:QueryEngine.MAX_LISTED]
+            ]
+            ip, p24, p16, asn = fused_group_consistency(
+                oracle.dataset, list(group.fingerprints), oracle.as_of
+            )
+            assert payload["consistency"] == pytest.approx({
+                "ip": ip, "prefix24": p24, "prefix16": p16, "as": asn,
+            })
+
+    def test_unknown_key_is_404(self, engine):
+        with pytest.raises(QueryError) as err:
+            engine.respond("/key/" + "11" * 32 + "/group")
+        assert err.value.status == 404
+
+
+class TestTrackParity:
+    def test_random_ips_match_tracked_devices(self, engine, oracle):
+        devices = oracle.tracked_devices()
+        sighted = sorted({
+            ip for device in devices for _, _, ip in device.sightings
+        })
+        rng = random.Random(2016)
+        for ip in rng.sample(sighted, min(30, len(sighted))):
+            payload = _payload(engine, f"/track/{_format_ip(ip)}")
+            expected = [
+                device for device in devices
+                if any(s_ip == ip for _, _, s_ip in device.sightings)
+            ]
+            assert payload["n_devices"] == len(expected)
+            by_key = {row["device_key"]: row for row in payload["devices"]}
+            for device in expected:
+                row = by_key[device.device_key]
+                assert row["n_fingerprints"] == len(device.fingerprints)
+                assert row["first_day"] == device.first_day
+                assert row["last_day"] == device.last_day
+                assert row["span_days"] == device.span_days
+                assert row["trackable"] == device.is_trackable()
+
+    def test_unsighted_ip_answers_empty(self, engine, oracle):
+        devices = oracle.tracked_devices()
+        sighted = {
+            ip for device in devices for _, _, ip in device.sightings
+        }
+        unseen = next(
+            value for value in range(1, 1 << 32) if value not in sighted
+        )
+        payload = _payload(engine, f"/track/{_format_ip(unseen)}")
+        assert payload == {
+            "ip": _format_ip(unseen), "n_devices": 0, "devices": [],
+        }
+
+
+class TestCensusParity:
+    def test_headline_numbers_match_study(self, engine, oracle):
+        from repro.core.analysis.issuers import (
+            self_signed_fraction,
+            top_issuers,
+        )
+        from repro.core.analysis.keys import key_sharing
+        from repro.core.analysis.longevity import lifetimes, validity_periods
+
+        validation = oracle.validation()
+        payload = _payload(engine, "/census")
+        assert payload["considered"] == validation.considered
+        assert payload["invalid_fraction"] == \
+            pytest.approx(validation.invalid_fraction)
+        for name, population in (
+            ("valid", sorted(validation.valid)),
+            ("invalid", sorted(validation.invalid)),
+        ):
+            stats = payload[name]
+            assert stats["n"] == len(population)
+            assert stats["validity_median_days"] == pytest.approx(
+                validity_periods(oracle.dataset, population).median
+            )
+            lifetime = lifetimes(oracle.dataset, population)
+            assert stats["lifetime_median_days"] == \
+                pytest.approx(lifetime.median_days)
+            assert stats["single_scan_fraction"] == \
+                pytest.approx(lifetime.single_scan_fraction)
+            assert stats["key_shared_fraction"] == pytest.approx(
+                key_sharing(oracle.dataset, population).shared_fraction
+            )
+            assert stats["self_signed_fraction"] == pytest.approx(
+                self_signed_fraction(oracle.dataset, population)
+            )
+            assert stats["top_issuers"] == [
+                [issuer, count] for issuer, count in
+                top_issuers(oracle.dataset, population)
+            ]
+
+    def test_slice_equals_full_census_section(self, engine):
+        census = _payload(engine, "/census")
+        for name in ("valid", "invalid"):
+            piece = _payload(engine, f"/census/{name}")
+            expected = dict(census[name])
+            expected.update(population=name, digest=census["digest"])
+            assert piece == expected
+
+
+class TestResultCache:
+    def test_hot_responses_are_cached_bytes(self, engine):
+        path = "/census"
+        engine.respond(path)
+        assert engine.cached(path) is not None
+        assert engine.respond(path) == engine.cached(path)
+
+    def test_cache_is_keyed_by_corpus_digest(self, engine):
+        path = "/census"
+        engine.respond(path)
+        real = engine.digest
+        try:
+            engine.digest = "different-corpus"
+            assert engine.cached(path) is None
+        finally:
+            engine.digest = real
+        assert engine.cached(path) is not None
+
+    def test_cache_is_bounded(self, serve_paths):
+        small = QueryEngine.open(
+            serve_paths["corpus"], serve_paths["environment"],
+            cache_dir=str(serve_paths["cache"]), result_cache_size=2,
+        )
+        sample = json.loads(small.respond("/sample"))
+        for fingerprint in sample["fingerprints"][:4]:
+            small.respond(f"/cert/{fingerprint}")
+        cached = sum(
+            small.cached(f"/cert/{fingerprint}") is not None
+            for fingerprint in sample["fingerprints"][:4]
+        )
+        assert cached <= 2
+        small.close()
+
+
+class TestSample:
+    def test_sample_is_deterministic_and_resolvable(self, engine):
+        first = _payload(engine, "/sample")
+        assert first == _payload(engine, "/sample")
+        assert first["fingerprints"] and first["keys"] and first["ips"]
+        engine.respond(f"/cert/{first['fingerprints'][0]}")
+        engine.respond(f"/key/{first['keys'][0]}/group")
+        engine.respond(f"/track/{first['ips'][0]}")
+
+    def test_unknown_path_is_404(self, engine):
+        for path in ("/", "/nope", "/cert", "/key/aa/groups", "/census/x"):
+            with pytest.raises(QueryError) as err:
+                engine.respond(path)
+            assert err.value.status == 404
+
+
+class TestPoolParity:
+    def test_pooled_heavy_queries_match_serial(self, serve_paths, engine):
+        pooled = QueryEngine.open(
+            serve_paths["corpus"], serve_paths["environment"],
+            workers=2, cache_dir=str(serve_paths["cache"]),
+        )
+        pooled.warm()
+        try:
+            assert pooled.pool is not None
+            assert pooled.respond("/census") == engine.respond("/census")
+            sample = json.loads(engine.respond("/sample"))
+            for key in sample["keys"][:3]:
+                assert pooled.respond(f"/key/{key}/group") == \
+                    engine.respond(f"/key/{key}/group")
+        finally:
+            pooled.close()

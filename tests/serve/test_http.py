@@ -1,0 +1,147 @@
+"""End-to-end tests for the asyncio query plane and the load generator."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.live import LiveServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.serve import QueryServer, run_loadgen
+from repro.serve.loadgen import DEFAULT_MIX, LoadgenReport, build_workload
+
+
+@pytest.fixture(scope="module")
+def loop():
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    yield loop
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def server(engine, loop):
+    live = LiveServer(
+        Tracer(process="serve-test"),
+        MetricsRegistry(),
+        health={"corpus": "tiny"},
+    )
+    server = QueryServer(engine, live=live)
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=30)
+    yield server
+    asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=30)
+
+
+def _get(server, path):
+    try:
+        with urllib.request.urlopen(server.url + path, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestTransportParity:
+    def test_every_endpoint_matches_the_engine(self, server, engine):
+        sample = json.loads(engine.respond("/sample"))
+        paths = ["/census", "/census/valid", "/census/invalid", "/sample"]
+        paths += [f"/cert/{fp}" for fp in sample["fingerprints"][:5]]
+        paths += [f"/key/{key}/group" for key in sample["keys"][:5]]
+        paths += [f"/track/{ip}" for ip in sample["ips"][:5]]
+        for path in paths:
+            status, body = _get(server, path)
+            assert status == 200, path
+            assert body == engine.respond(path), path
+
+    def test_unknown_path_is_json_404(self, server):
+        status, body = _get(server, "/certainly/not/served")
+        assert status == 404
+        assert "error" in json.loads(body)
+
+    def test_malformed_fingerprint_is_json_400(self, server):
+        status, body = _get(server, "/cert/nothex")
+        assert status == 400
+        assert "error" in json.loads(body)
+
+    def test_non_get_is_405(self, server):
+        request = urllib.request.Request(
+            server.url + "/census", data=b"{}", method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                status = response.status
+        except urllib.error.HTTPError as error:
+            status = error.code
+        assert status == 405
+
+
+class TestObservabilityPlane:
+    def test_metrics_exports_serve_counters(self, server):
+        _get(server, "/census")
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_serve_requests_total" in text
+        assert "repro_latency_serve_bucket" in text
+
+    def test_healthz_carries_owner_health(self, server):
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["corpus"] == "tiny"
+        assert payload["uptime_seconds"] > 0
+
+    def test_concurrent_scrapes_under_load(self, server, engine):
+        """/metrics stays coherent while the query plane is saturated."""
+        sample = json.loads(engine.respond("/sample"))
+        paths = build_workload(sample, 300, DEFAULT_MIX, seed=7)
+        scrapes = []
+
+        def scrape():
+            for _ in range(10):
+                status, body = _get(server, "/metrics")
+                scrapes.append((status, body))
+
+        scrapers = [threading.Thread(target=scrape) for _ in range(3)]
+        for thread in scrapers:
+            thread.start()
+        report = run_loadgen(server.url, concurrency=8, paths=paths)
+        for thread in scrapers:
+            thread.join(timeout=30)
+        assert report.errors == 0
+        assert len(scrapes) == 30
+        for status, body in scrapes:
+            assert status == 200
+            assert b"repro_serve_requests_total" in body
+
+
+class TestLoadgen:
+    def test_build_workload_is_seeded_and_mixed(self, engine):
+        sample = json.loads(engine.respond("/sample"))
+        first = build_workload(sample, 100, seed=11)
+        assert first == build_workload(sample, 100, seed=11)
+        assert first != build_workload(sample, 100, seed=12)
+        assert len(first) == 100
+        kinds = {path.split("/")[1] for path in first}
+        assert {"cert", "track", "key", "census"} <= kinds
+
+    def test_empty_mix_is_rejected(self, engine):
+        sample = json.loads(engine.respond("/sample"))
+        with pytest.raises(ValueError):
+            build_workload(sample, 10, {"cert": 0})
+
+    def test_end_to_end_run_is_clean(self, server):
+        report = run_loadgen(server.url, requests=200, concurrency=8)
+        assert isinstance(report, LoadgenReport)
+        assert report.requests == 200
+        assert report.errors == 0
+        assert report.by_status == {200: 200}
+        assert 0.0 < report.p50_ms <= report.p99_ms <= report.max_ms
+        assert report.qps > 0
+        assert "qps" in report.render()

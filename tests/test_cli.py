@@ -465,3 +465,101 @@ class TestLivePlaneCommands:
     def test_top_unreachable_endpoint_fails(self):
         with pytest.raises(SystemExit, match="cannot reach"):
             main(["top", "--url", "http://127.0.0.1:1", "--iterations", "1"])
+
+
+class TestCompactAfter:
+    """`repro append --compact-after N` flattens long delta chains."""
+
+    def test_parser_accepts_compact_after(self):
+        args = build_parser().parse_args(
+            ["append", "c.rpz", "--out", "g.rpz", "--day", "5555",
+             "--compact-after", "30"]
+        )
+        assert args.compact_after == 30
+
+    def test_append_compacts_when_chain_reaches_bound(
+        self, saved_corpus, tmp_path, capsys
+    ):
+        import json
+
+        from repro.io import load_dataset
+        from repro.io.artifacts import ArtifactCache
+
+        base = tmp_path / "base.rpz"
+        last_day = TestAppendCommand._truncated_base(base, seed=7)
+        grown = tmp_path / "grown.rpz"
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["append", str(base), "--out", str(grown), "--preset", "tiny",
+             "--seed", "7", "--day", str(last_day),
+             "--cache-dir", str(cache_dir), "--compact-after", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compacted delta chain (1 ancestors)" in out
+        assert json.loads((cache_dir / "lineage.json").read_text()) == {}
+        digest = load_dataset(grown).corpus_digest()
+        cache = ArtifactCache(cache_dir)
+        assert "kernels" in cache.status(digest)["sections"]
+
+    def test_append_below_bound_keeps_the_chain(
+        self, saved_corpus, tmp_path, capsys
+    ):
+        import json
+
+        base = tmp_path / "base.rpz"
+        last_day = TestAppendCommand._truncated_base(base, seed=7)
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["append", str(base), "--out", str(tmp_path / "grown.rpz"),
+             "--preset", "tiny", "--seed", "7", "--day", str(last_day),
+             "--cache-dir", str(cache_dir), "--compact-after", "5"]
+        )
+        assert code == 0
+        assert "compacted" not in capsys.readouterr().out
+        lineage = json.loads((cache_dir / "lineage.json").read_text())
+        assert len(lineage) == 1
+
+
+class TestServeCommands:
+    def test_parser_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "c.rpz", "--environment", "e.rpe"]
+        )
+        assert args.listen == "127.0.0.1:0"
+        assert args.workers == 1
+        assert not args.no_warm
+        assert args.max_seconds is None
+
+    def test_parser_serve_requires_environment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "c.rpz"])
+
+    def test_parser_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen", "http://127.0.0.1:1"])
+        assert args.requests == 2000
+        assert args.concurrency == 16
+        assert args.mix is None
+        assert args.seed == 2016
+        assert not args.json
+
+    def test_parse_mix(self):
+        from repro.cli import _parse_mix
+
+        assert _parse_mix("cert=8,track=2") == {"cert": 8, "track": 2}
+        with pytest.raises(SystemExit, match="NAME=WEIGHT"):
+            _parse_mix("cert")
+
+    def test_serve_boots_warms_and_exits(self, saved_corpus, capsys):
+        corpus, environment = saved_corpus
+        code = main(
+            ["serve", str(corpus), "--environment", str(environment),
+             "--max-seconds", "0.5", "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving queries at http://127.0.0.1:" in out
+
+    def test_loadgen_unreachable_server_fails(self):
+        with pytest.raises(Exception):
+            main(["loadgen", "http://127.0.0.1:1", "--requests", "10"])
