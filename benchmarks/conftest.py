@@ -27,6 +27,11 @@ def pytest_collection_modifyitems(items):
     for item in items:
         if this_dir in pathlib.Path(str(item.fspath)).parents:
             item.add_marker(pytest.mark.benchmark)
+    # The fleet bench saturates the box — four shard processes, a router,
+    # and two loadgen client loops — so it runs after every single-process
+    # bench: the knife-edge timing gates (kernel speedups, obs overhead)
+    # must not inherit its scheduler and page-cache wake.
+    items.sort(key=lambda item: "bench_perf_fleet" in str(item.fspath))
 
 
 @pytest.fixture(scope="session")

@@ -242,6 +242,48 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--json", action="store_true",
                          help="emit the report as one JSON object")
 
+    split = commands.add_parser(
+        "split",
+        help="partition a format 3 corpus into K self-contained shard "
+             "containers plus a fleet.json manifest (analysis-closed, "
+             "deterministic, O(bytes) raw-copy)",
+    )
+    split.add_argument("corpus", help="saved format 3 .rpz corpus")
+    split.add_argument("--environment", required=True, metavar="PATH",
+                       help="saved .rpe analysis environment (pins the "
+                            "linking plan and validation pool)")
+    split.add_argument("--out", required=True, metavar="DIR",
+                       help="fleet directory for the shard containers, "
+                            "owners sidecar, and fleet.json")
+    split.add_argument("--shards", type=int, default=4,
+                       help="shard count (default: 4)")
+    _add_cache_flags(split)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="daemon: split (if needed), boot one warmed serve process "
+             "per shard, and front them with the byte-parity router",
+    )
+    fleet.add_argument("corpus", help="saved format 3 .rpz corpus")
+    fleet.add_argument("--environment", required=True, metavar="PATH",
+                       help="saved .rpe analysis environment")
+    fleet.add_argument("--fleet-dir", required=True, metavar="DIR",
+                       help="fleet directory (reused when fleet.json "
+                            "already matches the corpus; else built by "
+                            "splitting)")
+    fleet.add_argument("--shards", type=int, default=4,
+                       help="shard count when splitting (default: 4)")
+    fleet.add_argument("--listen", default="127.0.0.1:0",
+                       metavar="HOST:PORT",
+                       help="router bind endpoint (default 127.0.0.1:0 "
+                            "— an ephemeral port, printed at boot)")
+    fleet.add_argument("--workers", type=int, default=1,
+                       help="process-pool size inside each shard server")
+    fleet.add_argument("--max-seconds", type=float, default=None,
+                       metavar="S",
+                       help="exit after S seconds (smoke-test use)")
+    _add_cache_flags(fleet)
+
     top = commands.add_parser(
         "top",
         help="ASCII dashboard over a live /vars endpoint",
@@ -845,10 +887,105 @@ def _cmd_loadgen(args) -> int:
                 str(status): count
                 for status, count in report.by_status.items()
             },
+            "by_endpoint": report.by_endpoint,
         }, sort_keys=True))
     else:
         print(report.render())
     return 1 if report.errors else 0
+
+
+def _cmd_split(args) -> int:
+    from .io.split import split_corpus
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    manifest = split_corpus(
+        args.corpus, args.environment, args.out,
+        shards=args.shards, cache_dir=cache_dir,
+    )
+    print(f"split {args.corpus} into {manifest.shards} shards "
+          f"at {manifest.directory}")
+    for info in manifest.shard_infos:
+        print(f"  shard {info.index}: {info.path.name}  "
+              f"{info.n_certificates} certs  "
+              f"{info.n_observations} rows  {info.digest[:12]}")
+    print(f"  manifest: {manifest.path.name}  "
+          f"parent {manifest.parent_digest[:12]}")
+    return 0
+
+
+async def _fleet_main(router, n_shards: int, max_seconds) -> None:
+    import asyncio
+    import signal
+    from contextlib import suppress
+
+    await router.start()
+    print(f"serving queries at {router.url} "
+          f"(fleet router over {n_shards} shards: "
+          f"/cert /key /track /census /sample /as /metrics /healthz)",
+          flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
+    try:
+        if max_seconds is not None:
+            with suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(stop.wait(), timeout=max_seconds)
+        else:
+            await stop.wait()
+    finally:
+        await router.stop()
+
+
+def _cmd_fleet(args) -> int:
+    import asyncio
+    import pathlib
+
+    from .io.artifacts import file_digest
+    from .io.split import (
+        FLEET_MANIFEST_NAME,
+        load_fleet_manifest,
+        split_corpus,
+        verify_fleet,
+    )
+    from .serve.router import FleetRouter, boot_fleet, shutdown_fleet
+
+    host, port = _parse_endpoint(args.listen)
+    cache_dir = None if args.no_cache else args.cache_dir
+    fleet_dir = pathlib.Path(args.fleet_dir)
+    manifest_path = fleet_dir / FLEET_MANIFEST_NAME
+    manifest = None
+    if manifest_path.exists():
+        manifest = load_fleet_manifest(manifest_path)
+        if (manifest.parent_digest != file_digest(args.corpus)
+                or manifest.shards != args.shards):
+            manifest = None  # stale fleet: re-split below
+    if manifest is None:
+        print(f"splitting {args.corpus} into {args.shards} shards...",
+              flush=True)
+        manifest = split_corpus(
+            args.corpus, args.environment, fleet_dir,
+            shards=args.shards, cache_dir=cache_dir,
+        )
+    verify_fleet(manifest)
+    print(f"booting {manifest.shards} shard servers...", flush=True)
+    processes, urls = boot_fleet(
+        manifest, args.environment,
+        cache_dir=cache_dir, workers=args.workers,
+    )
+    for shard, url in enumerate(urls):
+        print(f"  shard {shard} at {url}", flush=True)
+    try:
+        router = FleetRouter(manifest, urls, host=host, port=port)
+        asyncio.run(_fleet_main(router, len(urls), args.max_seconds))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        shutdown_fleet(processes)
+    return 0
 
 
 def _export_metrics(metrics, dest: str) -> None:
@@ -949,6 +1086,8 @@ _HANDLERS = {
     "ingest": _cmd_ingest,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "split": _cmd_split,
+    "fleet": _cmd_fleet,
     "top": _cmd_top,
     "convert": _cmd_convert,
     "census": _cmd_census,
@@ -966,7 +1105,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # profile, ingest, and serve own their tracer/registry lifecycle
     # (the daemons keep them live for their whole run); top and loadgen
     # are pure clients.
-    if args.command in ("profile", "ingest", "serve", "top", "loadgen"):
+    if args.command in ("profile", "ingest", "serve", "top", "loadgen",
+                        "fleet"):
         return handler(args)
     return _with_observability(args, handler)
 

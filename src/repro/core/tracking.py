@@ -34,6 +34,8 @@ __all__ = [
     "analyze_movement",
     "ReassignmentReport",
     "infer_reassignment_policies",
+    "ASAssignmentStats",
+    "summarize_as_assignment",
 ]
 
 TRACKABLE_MIN_DAYS = 365
@@ -100,10 +102,13 @@ def build_tracked_devices(
                 rows.append((scan_idx, dataset.scans[scan_idx].day, ip))
         return tuple(sorted(rows))
 
-    for index, group in enumerate(pipeline.groups):
+    for group in pipeline.groups:
+        # Content-addressed key (the group's smallest fingerprint — the
+        # roster tuple is sorted) so the same group gets the same key
+        # regardless of which corpus partition produced it.
         devices.append(
             TrackedDevice(
-                device_key=f"group:{index}",
+                device_key=f"group:{group.fingerprints[0].hex()[:16]}",
                 fingerprints=group.fingerprints,
                 sightings=sightings_of(group.fingerprints),
             )
@@ -262,6 +267,33 @@ class ReassignmentReport:
         return sum(1 for v in values if v >= cutoff) / len(values) if values else 0.0
 
 
+def _device_assignment(
+    device: TrackedDevice, as_of: ASLookup
+) -> Optional[tuple[int, bool, float]]:
+    """(home AS, statically assigned, flip rate) for one tracked device.
+
+    The home AS is the one hosting the device most often (ties broken by
+    first appearance); a device is static when it kept one address across
+    its history; the flip rate is the share of consecutive scan pairs
+    between which the address changed.  ``None`` when no sighting
+    resolves to an AS.
+    """
+    path = device.ip_path()
+    as_counts: dict[int, int] = {}
+    for day, ip in path:
+        asn = as_of(ip, day)
+        if asn is not None:
+            as_counts[asn] = as_counts.get(asn, 0) + 1
+    if not as_counts:
+        return None
+    home_as = max(as_counts, key=as_counts.get)
+    ips = [ip for _, ip in path]
+    static = len(set(ips)) == 1
+    flips = sum(1 for a, b in zip(ips, ips[1:]) if a != b)
+    flip_rate = flips / (len(ips) - 1) if len(ips) > 1 else 0.0
+    return home_as, static, flip_rate
+
+
 def infer_reassignment_policies(
     devices: list[TrackedDevice],
     as_of: ASLookup,
@@ -278,19 +310,10 @@ def infer_reassignment_policies(
     for device in devices:
         if not device.is_trackable(min_days):
             continue
-        path = device.ip_path()
-        as_counts: dict[int, int] = {}
-        for day, ip in path:
-            asn = as_of(ip, day)
-            if asn is not None:
-                as_counts[asn] = as_counts.get(asn, 0) + 1
-        if not as_counts:
+        assignment = _device_assignment(device, as_of)
+        if assignment is None:
             continue
-        home_as = max(as_counts, key=as_counts.get)
-        ips = [ip for _, ip in path]
-        static = len(set(ips)) == 1
-        flips = sum(1 for a, b in zip(ips, ips[1:]) if a != b)
-        flip_rate = flips / (len(ips) - 1) if len(ips) > 1 else 0.0
+        home_as, static, flip_rate = assignment
         per_as.setdefault(home_as, []).append((static, flip_rate))
 
     static_fraction: dict[int, float] = {}
@@ -311,3 +334,71 @@ def infer_reassignment_policies(
         cdf=CDF.of(static_fraction.values()),
         highly_dynamic_ases=tuple(sorted(highly_dynamic)),
     )
+
+
+@dataclass(frozen=True)
+class ASAssignmentStats:
+    """§7.4 assignment-policy counts for one AS.
+
+    Pure integer counts so partial tallies from disjoint device
+    partitions merge exactly (field-wise sums) — the sharded serve tier
+    relies on this.
+    """
+
+    asn: int
+    n_devices: int
+    n_static: int
+    #: Devices whose address changed between (essentially) every scan
+    #: pair — per-device flip rate ≥ 0.999.
+    n_fully_dynamic: int
+
+    @property
+    def static_fraction(self) -> float:
+        return self.n_static / self.n_devices if self.n_devices else 0.0
+
+    @property
+    def dynamic_share(self) -> float:
+        return self.n_fully_dynamic / self.n_devices if self.n_devices else 0.0
+
+    def is_mostly_static(self, cutoff: float = 0.90) -> bool:
+        """≥``cutoff`` of the AS's devices kept one address (paper §7.4)."""
+        return self.n_devices > 0 and self.static_fraction >= cutoff
+
+    @property
+    def is_highly_dynamic(self) -> bool:
+        """Reassigns nearly every device between every scan pair."""
+        return self.n_devices > 0 and self.dynamic_share >= 0.75
+
+
+def summarize_as_assignment(
+    devices: list[TrackedDevice],
+    as_of: ASLookup,
+    min_days: int = TRACKABLE_MIN_DAYS,
+) -> dict[int, ASAssignmentStats]:
+    """Per-AS assignment counts over every trackable device.
+
+    Unlike :func:`infer_reassignment_policies` this applies no minimum
+    device count — thresholds belong to the caller, so counts computed
+    over shards of a partitioned corpus can be summed first and
+    thresholded once.
+    """
+    counts: dict[int, list[int]] = {}
+    for device in devices:
+        if not device.is_trackable(min_days):
+            continue
+        assignment = _device_assignment(device, as_of)
+        if assignment is None:
+            continue
+        home_as, static, flip_rate = assignment
+        row = counts.setdefault(home_as, [0, 0, 0])
+        row[0] += 1
+        if static:
+            row[1] += 1
+        if flip_rate >= 0.999:
+            row[2] += 1
+    return {
+        asn: ASAssignmentStats(
+            asn=asn, n_devices=row[0], n_static=row[1], n_fully_dynamic=row[2]
+        )
+        for asn, row in counts.items()
+    }

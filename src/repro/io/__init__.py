@@ -9,6 +9,15 @@ from .backends import (
     MappedBackend,
 )
 from .encoding import SegmentReader, SegmentWriter, is_segment_container
+from .split import (
+    FleetManifest,
+    FleetOwners,
+    ShardInfo,
+    load_fleet_manifest,
+    read_shard_fleet,
+    split_corpus,
+    verify_fleet,
+)
 from .environment import AnalysisEnvironment, load_environment, save_environment
 from .store import (
     FORMAT_VERSION,
@@ -43,6 +52,13 @@ __all__ = [
     "SegmentReader",
     "SegmentWriter",
     "is_segment_container",
+    "FleetManifest",
+    "FleetOwners",
+    "ShardInfo",
+    "load_fleet_manifest",
+    "read_shard_fleet",
+    "split_corpus",
+    "verify_fleet",
     "FORMAT_VERSION",
     "SUPPORTED_FORMATS",
     "AppendResult",

@@ -391,6 +391,22 @@ class SegmentWriter:
         encoded = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         self.add_chunks(name, (encoded,), kind="pickle")
 
+    def add_raw(self, name: str, chunks: Iterable, entry: dict) -> None:
+        """Raw-copy one segment under another container's manifest entry.
+
+        ``entry`` is a :meth:`SegmentReader.entry` dict; its kind and
+        extra keys (typecode, stride) carry over verbatim while offset
+        and length are re-derived from the bytes actually written —
+        ``chunks`` may be the source segment whole, or any re-sliced
+        subset of it (the corpus splitter copies per-certificate DER
+        ranges this way without decoding them).
+        """
+        extra = {
+            key: value for key, value in entry.items()
+            if key not in ("name", "kind", "offset", "length")
+        }
+        self.add_chunks(name, chunks, kind=entry["kind"], **extra)
+
     def add_stream(
         self, name: str, handle: IO[bytes], kind: str = "bytes",
         chunk_size: int = 1 << 20, **extra,

@@ -10,12 +10,17 @@ questions online, over the zero-copy mapped corpus:
   HTTP/1.1 front end with keep-alive, reusing the live observability
   plane's ``/metrics`` / ``/healthz`` / ``/vars`` routes;
 * :mod:`repro.serve.loadgen` — the closed-loop load generator behind
-  ``repro loadgen`` and ``benchmarks/bench_perf_serve.py``.
+  ``repro loadgen`` and ``benchmarks/bench_perf_serve.py``;
+* :mod:`repro.serve.router` — :class:`FleetRouter`, the sharded-fleet
+  front tier behind ``repro fleet``: consistent point routing over the
+  ``owners.rpo`` sidecar plus exact scatter-gather merges, byte-
+  identical to a single server over the whole corpus.
 """
 
 from .engine import QueryEngine, QueryError
 from .http import QueryServer
 from .loadgen import LoadgenReport, run_loadgen
+from .router import FleetRouter, boot_fleet, shutdown_fleet
 
 __all__ = [
     "QueryEngine",
@@ -23,4 +28,7 @@ __all__ = [
     "QueryServer",
     "LoadgenReport",
     "run_loadgen",
+    "FleetRouter",
+    "boot_fleet",
+    "shutdown_fleet",
 ]

@@ -43,10 +43,14 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..core.features import Feature
 from ..core.kernels import fused_group_consistency
 from ..core.linking import link_on_feature
+from ..core.tracking import ASAssignmentStats, summarize_as_assignment
 from ..obs import runtime as obs_runtime
 from ..study import Study
 
-__all__ = ["QueryEngine", "QueryError"]
+__all__ = ["QueryEngine", "QueryError", "REASSIGNMENT_MIN_DEVICES"]
+
+#: §7.4's minimum tracked-device population for a per-AS policy verdict.
+REASSIGNMENT_MIN_DEVICES = 10
 
 
 class QueryError(Exception):
@@ -89,6 +93,20 @@ def _parse_fingerprint(text: str) -> bytes:
     return fingerprint
 
 
+def _parse_asn(text: str) -> int:
+    if not text.isdigit():
+        raise QueryError(400, f"not an AS number: {text!r}")
+    return int(text)
+
+
+def _strided(values: list, count: int) -> list:
+    """``count`` elements strided uniformly over ``values``."""
+    if not values:
+        return []
+    step = max(1, len(values) // count)
+    return values[::step][:count]
+
+
 def _census_population(dataset, fingerprints: Sequence[bytes]) -> dict:
     """The §5 statistics for one certificate population.
 
@@ -116,6 +134,63 @@ def _census_population(dataset, fingerprints: Sequence[bytes]) -> dict:
             [issuer, count]
             for issuer, count in top_issuers(dataset, fingerprints)
         ],
+    }
+
+
+def _census_aggregates(dataset, fingerprints: Sequence[bytes]) -> dict:
+    """Mergeable partial sums behind one population's census slice.
+
+    Everything here is an integer count or an integer-valued histogram,
+    so partial tallies computed over disjoint certificate partitions
+    (the shards of a split corpus) sum to exactly the whole-corpus
+    tally — the fleet router reconstitutes :func:`_census_population`'s
+    medians and fractions from these without a single float crossing
+    the wire.  Issuers carry the smallest member fingerprint so the
+    router can reproduce ``top_issuers``'s stable tie-break (equal
+    counts keep first-appearance order over the ascending-fingerprint
+    iteration).
+    """
+    from ..core.analysis.issuers import _EMPTY_LABEL
+
+    fingerprints = sorted(fingerprints)
+    validity: dict[int, int] = {}
+    lifetime: dict[int, int] = {}
+    n_single_scan = 0
+    n_self_signed = 0
+    key_counts: dict = {}
+    issuers: dict[str, list] = {}
+    for fingerprint in fingerprints:
+        certificate = dataset.certificate(fingerprint)
+        days = certificate.validity_period_days
+        validity[days] = validity.get(days, 0) + 1
+        life = dataset.lifetime_days(fingerprint)
+        lifetime[life] = lifetime.get(life, 0) + 1
+        if len(dataset.scan_indexes_of(fingerprint)) == 1:
+            n_single_scan += 1
+        if certificate.is_self_signed():
+            n_self_signed += 1
+        key = certificate.public_key
+        key_counts[key] = key_counts.get(key, 0) + 1
+        cn = certificate.issuer_cn
+        label = cn if cn else _EMPTY_LABEL
+        entry = issuers.get(label)
+        if entry is None:
+            issuers[label] = [1, fingerprint.hex()]
+        else:
+            entry[0] += 1
+    n_key_shared = sum(
+        count for count in key_counts.values() if count > 1
+    )
+    return {
+        "n": len(fingerprints),
+        "validity_days": {str(days): n for days, n in validity.items()},
+        "lifetime_days": {str(days): n for days, n in lifetime.items()},
+        "n_single_scan": n_single_scan,
+        "n_key_shared": n_key_shared,
+        "n_self_signed": n_self_signed,
+        "issuers": {
+            label: [count, min_fp] for label, (count, min_fp) in issuers.items()
+        },
     }
 
 
@@ -180,9 +255,13 @@ class QueryEngine:
         workers: int = 1,
         cache_dir: Optional[str] = None,
         result_cache_size: Optional[int] = None,
+        fleet: Optional[dict] = None,
     ) -> None:
         self.study = study
         self.dataset = study.dataset
+        #: The container's ``fleet`` meta when this engine serves one
+        #: shard of a split corpus (None for a whole corpus).
+        self.fleet = fleet
         self.corpus_path = str(corpus_path) if corpus_path else None
         self.environment_path = (
             str(environment_path) if environment_path else None
@@ -199,6 +278,7 @@ class QueryEngine:
         self._pool: Optional[ProcessPoolExecutor] = None
         self._key_groups: "Optional[Dict[str, tuple]]" = None
         self._track_index: "Optional[Dict[int, List[int]]]" = None
+        self._as_stats: "Optional[Dict[int, ASAssignmentStats]]" = None
         self._warmed = False
 
     @classmethod
@@ -210,13 +290,22 @@ class QueryEngine:
         cache_dir: Optional[str] = None,
         result_cache_size: Optional[int] = None,
     ) -> "QueryEngine":
-        """Wire an engine over a saved corpus + environment pair."""
+        """Wire an engine over a saved corpus + environment pair.
+
+        A shard container produced by ``repro split`` carries a
+        ``fleet`` meta block; the engine then pins the parent's linking
+        plan and pools the parent's off-shard CA certificates into
+        validation, so every shard-local verdict, group, and device
+        matches the parent corpus restricted to the shard.
+        """
         from ..io import load_dataset, load_environment
         from ..io.artifacts import ArtifactCache
+        from ..io.split import read_shard_fleet
 
         dataset = load_dataset(corpus)
         loaded = load_environment(environment)
         cache = ArtifactCache(cache_dir) if cache_dir else None
+        fleet, extras = read_shard_fleet(corpus)
         study = Study(
             dataset=dataset,
             trust_store=loaded.trust_store,
@@ -224,6 +313,10 @@ class QueryEngine:
             registry=loaded.registry,
             workers=workers,
             cache=cache,
+            extra_intermediates=extras,
+            link_plan=(
+                fleet.get("link_plan") if fleet is not None else None
+            ),
         )
         return cls(
             study,
@@ -232,6 +325,7 @@ class QueryEngine:
             workers=workers,
             cache_dir=cache_dir,
             result_cache_size=result_cache_size,
+            fleet=fleet,
         )
 
     # --- lifecycle -------------------------------------------------------------
@@ -269,6 +363,7 @@ class QueryEngine:
                     if not bucket or bucket[-1] != position:
                         bucket.append(position)
             self._track_index = track_index
+            self._as_stats = summarize_as_assignment(devices, study.as_of)
         self._warmed = True
         return self
 
@@ -334,6 +429,15 @@ class QueryEngine:
             payload = self.census_slice(parts[1])
         elif parts == ["sample"]:
             payload = self.sample()
+        elif len(parts) == 3 and parts[0] == "as" \
+                and parts[2] == "reassignment":
+            payload = self.as_reassignment(parts[1])
+        elif parts == ["fleet", "census"]:
+            payload = self.fleet_census()
+        elif parts == ["fleet", "seeds"]:
+            payload = self.fleet_seeds()
+        elif len(parts) == 3 and parts[0] == "fleet" and parts[1] == "as":
+            payload = self.fleet_as(parts[2])
         else:
             raise QueryError(404, f"unknown query path: {path}")
         return self._store(path, payload)
@@ -433,7 +537,32 @@ class QueryEngine:
                     for _, _, sighting_ip in device.sightings
                 }),
             })
+        # Keys are content-addressed, so this order is partition-stable:
+        # a fleet router concatenating shard answers re-sorts the same way.
+        rows.sort(key=lambda row: row["device_key"])
         return {"ip": _format_ip(ip), "n_devices": len(rows), "devices": rows}
+
+    def as_reassignment(self, asn_text: str) -> dict:
+        """§7.4's reassignment-policy verdict for one AS."""
+        self.warm()
+        assert self._as_stats is not None
+        asn = _parse_asn(asn_text)
+        stats = self._as_stats.get(asn)
+        if stats is None or stats.n_devices < REASSIGNMENT_MIN_DEVICES:
+            raise QueryError(
+                404, f"no tracked-device population for AS {asn}"
+            )
+        return {
+            "asn": asn,
+            "digest": self.digest,
+            "n_devices": stats.n_devices,
+            "n_static": stats.n_static,
+            "n_fully_dynamic": stats.n_fully_dynamic,
+            "static_fraction": stats.static_fraction,
+            "dynamic_share": stats.dynamic_share,
+            "mostly_static": stats.is_mostly_static(),
+            "highly_dynamic": stats.is_highly_dynamic,
+        }
 
     def census(self) -> dict:
         """The §5 invalidity census over the whole corpus."""
@@ -482,29 +611,96 @@ class QueryEngine:
         """Deterministic query seeds for load generators.
 
         Strided over the sorted populations, so a loadgen run touches
-        the corpus uniformly rather than one hot page.
+        the corpus uniformly rather than one hot page.  ``asns`` lists
+        only ASes that clear the §7.4 device threshold, so every seeded
+        ``/as/<asn>/reassignment`` answers 200.
         """
         self.warm()
         assert self._key_groups is not None and self._track_index is not None
-
-        def strided(values: list, count: int) -> list:
-            if not values:
-                return []
-            step = max(1, len(values) // count)
-            return values[::step][:count]
-
-        fingerprints = strided(
+        assert self._as_stats is not None
+        fingerprints = _strided(
             sorted(self.study.validation().results), n
+        )
+        asns = sorted(
+            asn for asn, stats in self._as_stats.items()
+            if stats.n_devices >= REASSIGNMENT_MIN_DEVICES
         )
         return {
             "digest": self.digest,
             "fingerprints": [
                 fingerprint.hex() for fingerprint in fingerprints
             ],
-            "keys": strided(sorted(self._key_groups), n),
+            "keys": _strided(sorted(self._key_groups), n),
             "ips": [
-                _format_ip(ip) for ip in strided(
+                _format_ip(ip) for ip in _strided(
                     sorted(self._track_index), n
                 )
             ],
+            "asns": _strided(asns, n),
+        }
+
+    # --- fleet-internal endpoints ----------------------------------------------
+    #
+    # Partial aggregates the scatter-gather router sums across shards.
+    # Integer counts and histograms only: every merged answer must be
+    # byte-identical to the one a single server computes over the whole
+    # corpus, so no shard ever ships a float the router would have to
+    # re-derive rounding for.
+
+    def fleet_census(self) -> dict:
+        """Mergeable census partials for this engine's certificates."""
+        validation = self.study.validation()
+        return {
+            "digest": self.digest,
+            "n_certificates": len(self.dataset.certificates),
+            "n_scans": len(self.dataset.scans),
+            "n_observations": self.dataset.n_observations,
+            "n_valid": len(validation.valid),
+            "n_invalid": len(validation.invalid),
+            "valid": _census_aggregates(
+                self.dataset, sorted(validation.valid)
+            ),
+            "invalid": _census_aggregates(
+                self.dataset, sorted(validation.invalid)
+            ),
+        }
+
+    def fleet_seeds(self) -> dict:
+        """Whole seed populations (unstrided) for router-side merging.
+
+        Addresses and AS numbers ship as integers: the router must
+        merge-sort numerically before striding, and dotted-quad strings
+        do not sort like the addresses they name.
+        """
+        self.warm()
+        assert self._key_groups is not None and self._track_index is not None
+        assert self._as_stats is not None
+        return {
+            "digest": self.digest,
+            "fingerprints": [
+                fingerprint.hex()
+                for fingerprint in sorted(self.study.validation().results)
+            ],
+            "keys": sorted(self._key_groups),
+            "ips": sorted(self._track_index),
+            "as_devices": {
+                str(asn): stats.n_devices
+                for asn, stats in self._as_stats.items()
+            },
+        }
+
+    def fleet_as(self, asn_text: str) -> dict:
+        """Raw §7.4 counts for one AS (200 with zeros when unseen)."""
+        self.warm()
+        assert self._as_stats is not None
+        asn = _parse_asn(asn_text)
+        stats = self._as_stats.get(asn) or ASAssignmentStats(
+            asn=asn, n_devices=0, n_static=0, n_fully_dynamic=0
+        )
+        return {
+            "asn": asn,
+            "digest": self.digest,
+            "n_devices": stats.n_devices,
+            "n_static": stats.n_static,
+            "n_fully_dynamic": stats.n_fully_dynamic,
         }

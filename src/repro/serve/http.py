@@ -16,7 +16,11 @@ dominate.  The division of labor keeps the event loop unblocked:
 
 Every request bumps ``serve.requests`` (exported as
 ``repro_serve_requests_total``) and lands one sample in the
-``latency.serve`` histogram on the live plane's bucket ladder.
+per-endpoint ``latency.serve.<endpoint>`` histogram family on the live
+plane's bucket ladder.  With observability on (``REPRO_OBS=1``), each
+request additionally completes one ``serve/<endpoint>`` span carrying
+status, response size, and duration attributes — streamed through
+whatever sinks the active tracer wears.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import json
 import time
 from typing import Optional, Tuple
 
+from ..obs import runtime as obs_runtime
 from ..obs.live import LATENCY_BUCKETS_MS, LiveServer
 from ..obs.metrics import MetricsRegistry
 from .engine import QueryEngine, QueryError
@@ -36,6 +41,41 @@ _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 500: "Internal Server Error",
 }
+
+#: Endpoint labels with their own latency family; anything else lands
+#: in ``other`` so arbitrary request paths cannot mint new metrics.
+_ENDPOINTS = frozenset({
+    "cert", "key", "track", "census", "sample", "as", "fleet",
+    "metrics", "healthz", "vars",
+})
+
+
+def endpoint_of(target: str) -> str:
+    """The bounded endpoint label for one request target."""
+    path = target.split("?", 1)[0]
+    head = next((part for part in path.split("/") if part), "")
+    return head if head in _ENDPOINTS else "other"
+
+
+def _record_span(
+    name: str, started: float, **attributes: "object"
+) -> None:
+    """Complete one backdated span covering [started, now].
+
+    Request handling suspends at ``await`` points, so a span held open
+    across the request would interleave with other requests' spans and
+    break the tracer's LIFO stack.  Instead the span is entered and
+    exited back-to-back once the response is known, with its start
+    rewound to the request's arrival — sinks (the live latency
+    recorder, streaming JSONL) see the true duration.
+    """
+    tracer = obs_runtime.tracer()
+    if tracer is None:
+        return
+    span = tracer.span(name, **attributes)
+    span.__enter__()
+    span.start = started - tracer.epoch
+    span.__exit__(None, None, None)
 
 
 class QueryServer:
@@ -140,7 +180,10 @@ class QueryServer:
         self, method: str, target: str
     ) -> Tuple[int, bytes, str]:
         started = time.perf_counter()
+        endpoint = endpoint_of(target)
         self.registry.inc("serve.requests")
+        status = 500
+        body = b""
         try:
             if method != "GET":
                 raise QueryError(405, f"method not served: {method}")
@@ -148,30 +191,34 @@ class QueryServer:
             if self.live is not None:
                 routed = self.live.handle_path(path)
                 if routed is not None:
+                    status = 200
+                    body = routed[0]
                     return (200, *routed)
             body = self.engine.cached(path)
             if body is None:
                 body = await asyncio.get_running_loop().run_in_executor(
                     None, self.engine.respond, path
                 )
+            status = 200
             return 200, body, "application/json"
         except QueryError as error:
             self.registry.inc("serve.errors")
-            return (
-                error.status,
-                (json.dumps({"error": error.message}) + "\n").encode(),
-                "application/json",
-            )
+            status = error.status
+            body = (json.dumps({"error": error.message}) + "\n").encode()
+            return status, body, "application/json"
         except Exception as error:  # pragma: no cover - defensive
             self.registry.inc("serve.errors")
-            return (
-                500,
-                (json.dumps({"error": str(error)}) + "\n").encode(),
-                "application/json",
-            )
+            status = 500
+            body = (json.dumps({"error": str(error)}) + "\n").encode()
+            return 500, body, "application/json"
         finally:
             self.registry.observe(
-                "latency.serve",
+                f"latency.serve.{endpoint}",
                 (time.perf_counter() - started) * 1000.0,
                 buckets=LATENCY_BUCKETS_MS,
             )
+            if obs_runtime.enabled():
+                _record_span(
+                    f"serve/{endpoint}", started,
+                    status=status, bytes=len(body),
+                )

@@ -17,7 +17,7 @@ from __future__ import annotations
 import asyncio
 import json
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,14 +41,26 @@ class LoadgenReport:
     p99_ms: float
     max_ms: float
     by_status: Dict[int, int]
+    #: Route label → {requests, p50_ms, p99_ms, max_ms}: the client-side
+    #: latency distribution per endpoint, so a bench can attribute tail
+    #: latency to scatter-gather routes vs point lookups.
+    by_endpoint: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def render(self) -> str:
-        return (
+        lines = [
             f"{self.requests} requests in {self.seconds:.2f}s  "
-            f"({self.qps:,.0f} qps, {self.errors} errors)\n"
+            f"({self.qps:,.0f} qps, {self.errors} errors)",
             f"latency p50 {self.p50_ms:.2f}ms  p99 {self.p99_ms:.2f}ms  "
-            f"max {self.max_ms:.2f}ms"
-        )
+            f"max {self.max_ms:.2f}ms",
+        ]
+        for route in sorted(self.by_endpoint):
+            stats = self.by_endpoint[route]
+            lines.append(
+                f"  {route:<10} {stats['requests']:>7.0f} req  "
+                f"p50 {stats['p50_ms']:.2f}ms  p99 {stats['p99_ms']:.2f}ms  "
+                f"max {stats['max_ms']:.2f}ms"
+            )
+        return "\n".join(lines)
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
@@ -117,6 +129,9 @@ def build_workload(
         "track": [f"/track/{ip}" for ip in sample.get("ips", [])],
         "key": [f"/key/{key}/group" for key in sample.get("keys", [])],
         "census": ["/census", "/census/valid", "/census/invalid"],
+        "as": [
+            f"/as/{asn}/reassignment" for asn in sample.get("asns", [])
+        ],
     }
     weighted: List[Tuple[str, List[str]]] = [
         (kind, pool) for kind, pool in pools.items()
@@ -134,14 +149,21 @@ def build_workload(
     return paths
 
 
+def _route_of(path: str) -> str:
+    """The route label of one request path (its first segment)."""
+    head = next((part for part in path.split("/") if part), "")
+    return head or "root"
+
+
 async def _drive(
     host: str,
     port: int,
     paths: Sequence[str],
     concurrency: int,
-) -> Tuple[List[float], Dict[int, int], int]:
+) -> Tuple[List[float], Dict[int, int], int, Dict[str, List[float]]]:
     latencies: List[float] = []
     by_status: Dict[int, int] = {}
+    per_route: Dict[str, List[float]] = {}
     errors = 0
     shares = [
         list(paths[offset::concurrency]) for offset in range(concurrency)
@@ -161,7 +183,9 @@ async def _drive(
                     # Reconnect once; the request still counts.
                     reader, writer = await asyncio.open_connection(host, port)
                     status, _ = await _fetch(reader, writer, path)
-                latencies.append((perf_counter() - started) * 1000.0)
+                elapsed = (perf_counter() - started) * 1000.0
+                latencies.append(elapsed)
+                per_route.setdefault(_route_of(path), []).append(elapsed)
                 by_status[status] = by_status.get(status, 0) + 1
                 if status >= 400:
                     errors += 1
@@ -173,7 +197,7 @@ async def _drive(
                 pass
 
     await asyncio.gather(*(worker(share) for share in shares))
-    return latencies, by_status, errors
+    return latencies, by_status, errors, per_route
 
 
 async def run_loadgen_async(
@@ -191,11 +215,20 @@ async def run_loadgen_async(
             raise RuntimeError(f"/sample returned HTTP {status}")
         paths = build_workload(json.loads(body), requests, mix, seed)
     started = perf_counter()
-    latencies, by_status, errors = await _drive(
+    latencies, by_status, errors, per_route = await _drive(
         host, port, paths, concurrency
     )
     seconds = perf_counter() - started
     latencies.sort()
+    by_endpoint: Dict[str, Dict[str, float]] = {}
+    for route, values in per_route.items():
+        values.sort()
+        by_endpoint[route] = {
+            "requests": len(values),
+            "p50_ms": _percentile(values, 0.50),
+            "p99_ms": _percentile(values, 0.99),
+            "max_ms": values[-1],
+        }
     return LoadgenReport(
         requests=len(latencies),
         errors=errors,
@@ -205,6 +238,7 @@ async def run_loadgen_async(
         p99_ms=_percentile(latencies, 0.99),
         max_ms=latencies[-1] if latencies else 0.0,
         by_status=by_status,
+        by_endpoint=by_endpoint,
     )
 
 

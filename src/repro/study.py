@@ -83,6 +83,8 @@ class Study:
         metrics: Optional[MetricsRegistry] = None,
         observe: bool = False,
         cache: Optional["ArtifactCache"] = None,
+        extra_intermediates: Iterable[bytes] = (),
+        link_plan: Optional[Iterable[str]] = None,
     ) -> None:
         self.dataset = dataset
         self.trust_store = trust_store
@@ -90,6 +92,22 @@ class Study:
         self.registry = registry
         #: Process fan-out for the independent per-feature passes.
         self.workers = workers
+        #: Extra intermediate-CA DERs pooled into §4.2 chain building on
+        #: top of the corpus's own certificates.  A shard of a split
+        #: corpus carries the parent's CA set here so its verdicts match
+        #: the parent's exactly (transvalid chains need issuers that may
+        #: live on other shards).
+        self.extra_intermediates = tuple(extra_intermediates)
+        #: Pinned §6.4.3 field order (feature names).  When set — e.g.
+        #: from a shard container's ``fleet.link_plan`` — the iterative
+        #: pipeline links in exactly this order instead of re-deriving it
+        #: from shard-local consistency scores, so shard-local groups are
+        #: the global groups restricted to the shard.  An empty tuple
+        #: pins "link nothing".
+        self.link_plan = (
+            None if link_plan is None
+            else tuple(Feature(name) for name in link_plan)
+        )
         #: The study's span tree; every stage records here.  Adopts the
         #: globally active tracer when one exists, so a CLI run gets one
         #: unified tree covering corpus generation and analysis.
@@ -193,16 +211,26 @@ class Study:
             )
         if loaded.kernels:
             self._kernels_built = True
-        if loaded.validation is not None and self._validation is None:
+        if (
+            loaded.validation is not None
+            and self._validation is None
+            and not self.extra_intermediates
+        ):
+            # Cached verdicts are keyed by corpus + trust-store digest
+            # only; extra intermediates change chain building, so a
+            # study carrying them must recompute (and never store).
             self._validation = loaded.validation
 
     def _store_artifacts(self) -> None:
         """Persist the currently built artifacts (no-op without a cache)."""
         if self.cache is None:
             return
+        validation = (
+            None if self.extra_intermediates else self._validation
+        )
         with self._stage("artifacts.store"):
             self.cache.store(
-                self.dataset, validation=self._validation,
+                self.dataset, validation=validation,
                 trust_store=self.trust_store, workers=self.workers,
             )
 
@@ -215,7 +243,8 @@ class Study:
         if self._validation is None:
             with self._stage("validation"):
                 self._validation = validate_dataset(
-                    self.dataset, self.trust_store
+                    self.dataset, self.trust_store,
+                    extra_intermediates=self.extra_intermediates,
                 )
             self._store_artifacts()
         return self._validation
@@ -294,16 +323,31 @@ class Study:
         return self._evaluations
 
     def pipeline(self) -> PipelineResult:
-        """The iterative §6.4.3 linking (cached)."""
+        """The iterative §6.4.3 linking (cached).
+
+        With a pinned :attr:`link_plan` the per-feature evaluations are
+        never consulted (or computed) — the pipeline links in the given
+        order directly.
+        """
         if self._pipeline is None:
-            evaluations = self.feature_evaluations()
-            with self._stage("pipeline"):
-                self._pipeline = iterative_link(
-                    self.dataset,
-                    self.unique_invalid,
-                    self.as_of,
-                    evaluations=evaluations,
-                )
+            if self.link_plan is not None:
+                self.kernels()
+                with self._stage("pipeline"):
+                    self._pipeline = iterative_link(
+                        self.dataset,
+                        self.unique_invalid,
+                        self.as_of,
+                        field_order=self.link_plan,
+                    )
+            else:
+                evaluations = self.feature_evaluations()
+                with self._stage("pipeline"):
+                    self._pipeline = iterative_link(
+                        self.dataset,
+                        self.unique_invalid,
+                        self.as_of,
+                        evaluations=evaluations,
+                    )
         return self._pipeline
 
     def lifetime_improvement(self) -> LifetimeImprovement:

@@ -8,6 +8,7 @@ import pytest
 from repro.core.features import Feature
 from repro.core.kernels import fused_group_consistency
 from repro.core.linking import link_on_feature
+from repro.core.tracking import summarize_as_assignment
 from repro.serve import QueryEngine, QueryError
 from repro.serve.engine import _format_ip, _parse_ip
 
@@ -219,6 +220,55 @@ class TestResultCache:
         )
         assert cached <= 2
         small.close()
+
+
+class TestASReassignmentParity:
+    def test_summaries_match_tracking_oracle(self, engine, oracle):
+        from repro.serve.engine import REASSIGNMENT_MIN_DEVICES
+
+        stats_by_as = summarize_as_assignment(
+            oracle.tracked_devices(), oracle.as_of
+        )
+        served = {
+            asn: stats for asn, stats in stats_by_as.items()
+            if stats.n_devices >= REASSIGNMENT_MIN_DEVICES
+        }
+        assert served, "tiny corpus must seed at least one servable AS"
+        for asn, stats in served.items():
+            payload = _payload(engine, f"/as/{asn}/reassignment")
+            assert payload["asn"] == asn
+            assert payload["n_devices"] == stats.n_devices
+            assert payload["n_static"] == stats.n_static
+            assert payload["n_fully_dynamic"] == stats.n_fully_dynamic
+            assert payload["static_fraction"] == stats.static_fraction
+            assert payload["dynamic_share"] == stats.dynamic_share
+            assert payload["mostly_static"] == stats.is_mostly_static()
+            assert payload["highly_dynamic"] == stats.is_highly_dynamic
+
+    def test_thin_population_is_404(self, engine, oracle):
+        from repro.serve.engine import REASSIGNMENT_MIN_DEVICES
+
+        stats_by_as = summarize_as_assignment(
+            oracle.tracked_devices(), oracle.as_of
+        )
+        thin = [
+            asn for asn, stats in stats_by_as.items()
+            if stats.n_devices < REASSIGNMENT_MIN_DEVICES
+        ]
+        unseen = next(
+            value for value in range(64999, 66000)
+            if value not in stats_by_as
+        )
+        for asn in thin + [unseen]:
+            with pytest.raises(QueryError) as err:
+                engine.respond(f"/as/{asn}/reassignment")
+            assert err.value.status == 404
+
+    def test_malformed_asn_is_400(self, engine):
+        for text in ("notanas", "-5", "1.5"):
+            with pytest.raises(QueryError) as err:
+                engine.respond(f"/as/{text}/reassignment")
+            assert err.value.status == 400
 
 
 class TestSample:

@@ -1,0 +1,260 @@
+"""The sharded fleet: split determinism, standalone shards, byte parity.
+
+The contract under test is the strongest one the router makes: every
+public endpoint answered through the K-shard fleet is **byte-identical**
+to the single server over the whole corpus — including 4xx bodies.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.io import (
+    FleetOwners,
+    load_dataset,
+    load_fleet_manifest,
+    split_corpus,
+    verify_fleet,
+)
+from repro.io.backends import MappedBackend
+from repro.obs.live import LiveServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.serve import FleetRouter, QueryEngine, QueryServer
+
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def fleet(serve_paths, tmp_path_factory):
+    out = tmp_path_factory.mktemp("fleet")
+    return split_corpus(
+        serve_paths["corpus"], serve_paths["environment"], out,
+        shards=SHARDS, cache_dir=str(serve_paths["cache"]),
+    )
+
+
+@pytest.fixture(scope="module")
+def loop():
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    yield loop
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=5)
+
+
+def _start(loop, coro):
+    return asyncio.run_coroutine_threadsafe(coro, loop).result(timeout=60)
+
+
+@pytest.fixture(scope="module")
+def single_server(engine, loop):
+    server = QueryServer(engine)
+    _start(loop, server.start())
+    yield server
+    _start(loop, server.stop())
+
+
+@pytest.fixture(scope="module")
+def shard_servers(fleet, serve_paths, loop):
+    servers = []
+    for info in fleet.shard_infos:
+        shard_engine = QueryEngine.open(
+            info.path, serve_paths["environment"],
+            cache_dir=str(serve_paths["cache"]),
+        )
+        shard_engine.warm()
+        live = LiveServer(
+            Tracer(process=f"shard{info.index}"), MetricsRegistry()
+        )
+        server = QueryServer(shard_engine, live=live)
+        _start(loop, server.start())
+        servers.append(server)
+    yield servers
+    for server in servers:
+        _start(loop, server.stop())
+
+
+@pytest.fixture(scope="module")
+def router(fleet, shard_servers, loop):
+    router = FleetRouter.open(
+        fleet.directory, [server.url for server in shard_servers]
+    )
+    _start(loop, router.start())
+    yield router
+    _start(loop, router.stop())
+
+
+def _get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestSplit:
+    def test_split_is_deterministic(self, fleet, serve_paths,
+                                    tmp_path_factory):
+        again = split_corpus(
+            serve_paths["corpus"], serve_paths["environment"],
+            tmp_path_factory.mktemp("fleet-again"),
+            shards=SHARDS, cache_dir=str(serve_paths["cache"]),
+        )
+        assert [info.digest for info in again.shard_infos] == \
+            [info.digest for info in fleet.shard_infos]
+        assert again.parent_digest == fleet.parent_digest
+        assert again.link_plan == fleet.link_plan
+
+    def test_shards_are_standalone_mapped_corpora(self, fleet, serve_paths):
+        parent = load_dataset(serve_paths["corpus"])
+        seen = set()
+        observations = 0
+        for info in fleet.shard_infos:
+            dataset = load_dataset(info.path)
+            assert isinstance(dataset.backend, MappedBackend)
+            shard_fps = set(dataset.certificates)
+            assert not (shard_fps & seen)  # disjoint partition
+            seen |= shard_fps
+            assert len(dataset.scans) == len(parent.scans)
+            observations += dataset.n_observations
+        assert seen == set(parent.certificates)
+        assert observations == parent.n_observations
+
+    def test_owners_sidecar_routes_to_the_holding_shard(self, fleet,
+                                                        serve_paths):
+        owners = FleetOwners(fleet.owners_path)
+        try:
+            members = [
+                set(load_dataset(info.path).certificates)
+                for info in fleet.shard_infos
+            ]
+            for fingerprint in load_dataset(serve_paths["corpus"]).certificates:
+                shard = owners.owner_of_cert(fingerprint)
+                assert fingerprint in members[shard]
+        finally:
+            owners.close()
+
+    def test_manifest_round_trips(self, fleet):
+        manifest = load_fleet_manifest(fleet.directory)
+        assert manifest.shards == SHARDS
+        assert manifest.parent_digest == fleet.parent_digest
+        verify_fleet(manifest)
+
+
+class TestRouterParity:
+    def test_every_endpoint_matches_the_single_server_bytes(
+        self, router, single_server, engine
+    ):
+        sample = json.loads(engine.respond("/sample"))
+        paths = ["/census", "/census/valid", "/census/invalid", "/sample"]
+        paths += [f"/cert/{fp}" for fp in sample["fingerprints"][:20]]
+        paths += [f"/key/{key}/group" for key in sample["keys"][:20]]
+        paths += [f"/track/{ip}" for ip in sample["ips"][:20]]
+        paths += [
+            f"/as/{asn}/reassignment" for asn in sample["asns"][:10]
+        ]
+        # Error paths must match byte-for-byte too.
+        paths += [
+            "/cert/nothex",
+            "/cert/" + "00" * 32,
+            "/key/feedbeef/group",
+            "/track/not-an-ip",
+            "/as/notanas/reassignment",
+            "/as/64999/reassignment",
+            "/certainly/not/served",
+        ]
+        for path in paths:
+            single = _get(single_server.url, path)
+            fleet = _get(router.url, path)
+            assert fleet == single, path
+
+    def test_healthz_reports_every_shard(self, router):
+        status, body = _get(router.url, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert [entry["ok"] for entry in payload["shards"]] == \
+            [True] * SHARDS
+
+    def test_metrics_exports_upstream_histograms(self, router):
+        _get(router.url, "/census")
+        status, body = _get(router.url, "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_router_requests_total" in text
+        for shard in range(SHARDS):
+            assert f"repro_latency_router_upstream_shard{shard}" in text
+
+
+class TestRouterFailureModes:
+    @pytest.fixture()
+    def degraded_router(self, fleet, shard_servers, loop):
+        """Shard 0 live, shard 1 pointing at a port nobody listens on."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead = f"http://127.0.0.1:{probe.getsockname()[1]}"
+        router = FleetRouter.open(
+            fleet.directory, [shard_servers[0].url, dead]
+        )
+        _start(loop, router.start())
+        yield router
+        _start(loop, router.stop())
+
+    def test_dead_shard_degrades_health(self, degraded_router):
+        status, body = _get(degraded_router.url, "/healthz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert payload["shards"][1]["ok"] is False
+
+    def test_live_shard_lookups_keep_answering(
+        self, degraded_router, fleet, serve_paths, engine
+    ):
+        owners = FleetOwners(fleet.owners_path)
+        try:
+            by_owner = {}
+            for fingerprint in sorted(
+                load_dataset(serve_paths["corpus"]).certificates
+            ):
+                by_owner.setdefault(
+                    owners.owner_of_cert(fingerprint), fingerprint
+                )
+        finally:
+            owners.close()
+        live_fp, dead_fp = by_owner[0], by_owner[1]
+        status, body = _get(degraded_router.url, f"/cert/{live_fp.hex()}")
+        assert status == 200
+        assert body == engine.respond(f"/cert/{live_fp.hex()}")
+        status, body = _get(degraded_router.url, f"/cert/{dead_fp.hex()}")
+        assert status == 502
+        assert "unavailable" in json.loads(body)["error"]
+
+    def test_scatter_endpoints_fail_loud_not_wrong(self, degraded_router):
+        # A census over half the corpus would be silently wrong; the
+        # router must refuse rather than merge a partial fleet.
+        status, body = _get(degraded_router.url, "/census")
+        assert status == 502
+        assert "error" in json.loads(body)
+
+    def test_digest_mismatch_is_rejected_at_boot(
+        self, fleet, shard_servers, tmp_path
+    ):
+        import shutil
+
+        clone = tmp_path / "tampered"
+        shutil.copytree(fleet.directory, clone)
+        victim = clone / fleet.shard_infos[0].path.name
+        blob = bytearray(victim.read_bytes())
+        blob[100] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="digest mismatch"):
+            FleetRouter.open(
+                clone, [server.url for server in shard_servers]
+            )

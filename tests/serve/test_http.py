@@ -53,6 +53,7 @@ class TestTransportParity:
         paths += [f"/cert/{fp}" for fp in sample["fingerprints"][:5]]
         paths += [f"/key/{key}/group" for key in sample["keys"][:5]]
         paths += [f"/track/{ip}" for ip in sample["ips"][:5]]
+        paths += [f"/as/{asn}/reassignment" for asn in sample["asns"][:5]]
         for path in paths:
             status, body = _get(server, path)
             assert status == 200, path
@@ -83,11 +84,14 @@ class TestTransportParity:
 class TestObservabilityPlane:
     def test_metrics_exports_serve_counters(self, server):
         _get(server, "/census")
+        _get(server, "/metrics")  # seed the metrics endpoint's own family
         status, body = _get(server, "/metrics")
         assert status == 200
         text = body.decode()
         assert "repro_serve_requests_total" in text
-        assert "repro_latency_serve_bucket" in text
+        # Latency splits into one histogram family per endpoint.
+        assert "repro_latency_serve_census_bucket" in text
+        assert "repro_latency_serve_metrics_bucket" in text
 
     def test_healthz_carries_owner_health(self, server):
         status, body = _get(server, "/healthz")
@@ -145,3 +149,13 @@ class TestLoadgen:
         assert 0.0 < report.p50_ms <= report.p99_ms <= report.max_ms
         assert report.qps > 0
         assert "qps" in report.render()
+
+    def test_report_breaks_latency_down_by_endpoint(self, server):
+        report = run_loadgen(server.url, requests=200, concurrency=8)
+        assert report.by_endpoint
+        assert sum(
+            row["requests"] for row in report.by_endpoint.values()
+        ) == report.requests
+        for endpoint, row in report.by_endpoint.items():
+            assert endpoint in {"cert", "key", "track", "census", "as"}
+            assert 0.0 < row["p50_ms"] <= row["p99_ms"]

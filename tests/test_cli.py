@@ -563,3 +563,48 @@ class TestServeCommands:
     def test_loadgen_unreachable_server_fails(self):
         with pytest.raises(Exception):
             main(["loadgen", "http://127.0.0.1:1", "--requests", "10"])
+
+
+class TestFleetCommands:
+    def test_parser_split_defaults(self):
+        args = build_parser().parse_args(
+            ["split", "c.rpz", "--environment", "e.rpe", "--out", "fleet"]
+        )
+        assert args.shards == 4
+        assert not args.no_cache
+
+    def test_parser_fleet_defaults(self):
+        args = build_parser().parse_args(
+            ["fleet", "c.rpz", "--environment", "e.rpe",
+             "--fleet-dir", "fleet"]
+        )
+        assert args.shards == 4
+        assert args.listen == "127.0.0.1:0"
+        assert args.max_seconds is None
+
+    def test_split_writes_a_verifiable_fleet(self, saved_corpus, tmp_path,
+                                             capsys):
+        from repro.io import load_fleet_manifest, verify_fleet
+
+        corpus, environment = saved_corpus
+        out = tmp_path / "fleet"
+        code = main(
+            ["split", str(corpus), "--environment", str(environment),
+             "--out", str(out), "--shards", "2", "--no-cache"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "shard 0:" in printed and "shard 1:" in printed
+        assert "fleet.json" in printed
+        manifest = load_fleet_manifest(out)
+        assert manifest.shards == 2
+        verify_fleet(manifest)
+
+    def test_split_rejects_bad_shard_counts(self, saved_corpus, tmp_path):
+        corpus, environment = saved_corpus
+        with pytest.raises(Exception):
+            main(
+                ["split", str(corpus), "--environment", str(environment),
+                 "--out", str(tmp_path / "f"), "--shards", "0",
+                 "--no-cache"]
+            )
